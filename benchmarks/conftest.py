@@ -1,0 +1,104 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``test_bench_e*.py`` file regenerates one artefact of the paper (a
+figure, a worked example, a deployment statistic or a qualitative claim —
+see DESIGN.md Section 4 and EXPERIMENTS.md).  Benchmarks both *measure*
+(via pytest-benchmark) and *check the shape* of the result (via plain
+assertions), so ``pytest benchmarks/ --benchmark-only`` doubles as the
+experiment reproduction run.
+
+Run with ``-s`` to see the per-experiment report tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import EntityAlignment, FunctionalDependency, SAMEAS_FUNCTION, default_registry
+from repro.coreference import SameAsService
+from repro.datasets import build_resist_scenario
+from repro.rdf import AKT, KISTI, KISTI_ID, Literal, RKB_ID, Triple, Variable
+
+#: The Figure 1 query (the running example of the whole paper).
+FIGURE_1_QUERY = """
+PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author id:person-02686 .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = id:person-02686))
+}
+"""
+
+#: The Figure 6 variant (constraint moved into the FILTER).
+FIGURE_6_QUERY = """
+PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author ?n .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = id:person-02686) && (?n = id:person-02686))
+}
+"""
+
+KISTI_URI_PATTERN = r"http://kisti\.rkbexplorer\.com/id/\S*"
+KISTI_PERSON_URI = KISTI_ID["PER_00000000000105047"]
+
+
+def report(title: str, rows: list[tuple], headers: tuple) -> None:
+    """Print a small fixed-width table (the experiment's 'paper row')."""
+    widths = [len(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print()
+    print(f"=== {title} ===")
+    print(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    print("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        print(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def worked_example_sameas() -> SameAsService:
+    service = SameAsService()
+    service.add_equivalence(RKB_ID["person-02686"], KISTI_PERSON_URI)
+    return service
+
+
+@pytest.fixture(scope="session")
+def worked_example_alignment() -> EntityAlignment:
+    p1, a1 = Variable("p1"), Variable("a1")
+    p2, c, a2 = Variable("p2"), Variable("c"), Variable("a2")
+    return EntityAlignment(
+        lhs=Triple(p1, AKT["has-author"], a1),
+        rhs=[
+            Triple(p2, KISTI["hasCreatorInfo"], c),
+            Triple(c, KISTI["hasCreator"], a2),
+        ],
+        functional_dependencies=[
+            FunctionalDependency(p2, SAMEAS_FUNCTION, [p1, Literal(KISTI_URI_PATTERN)]),
+            FunctionalDependency(a2, SAMEAS_FUNCTION, [a1, Literal(KISTI_URI_PATTERN)]),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def worked_example_registry(worked_example_sameas):
+    return default_registry(worked_example_sameas)
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The deployed-system scenario (RKB + KISTI + DBpedia, 24+42 alignments)."""
+    return build_resist_scenario(
+        n_persons=40,
+        n_papers=100,
+        n_projects=6,
+        n_organizations=5,
+        rkb_coverage=0.55,
+        kisti_coverage=0.6,
+        dbpedia_coverage=0.35,
+        seed=2010,
+    )

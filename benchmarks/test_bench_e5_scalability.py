@@ -1,0 +1,149 @@
+"""E5 — the scalability argument: rewriting vs. reasoning/materialisation.
+
+Sections 1-2 argue that implementing integration by *reasoning over the
+data* (materialising the alignment semantics) "is often hard to implement
+and rarely scales on Web dimensions", whereas query rewriting only touches
+the query.  This benchmark quantifies the contrast on the synthetic
+scenario:
+
+* rewrite cost is measured as a function of the target *data* size (it
+  should stay flat) and of the alignment KB size (it grows mildly),
+* materialisation cost is measured as a function of the data size (it grows
+  linearly or worse).
+
+Absolute numbers are environment specific; the *shape* (flat vs. growing)
+is the reproduced claim.
+"""
+
+from time import perf_counter
+
+from repro.baselines import MaterializationIntegrator
+from repro.core import QueryRewriter
+from repro.datasets import (
+    KistiDatasetBuilder,
+    RKB_URI_PATTERN,
+    WorldModel,
+    akt_to_kisti_alignment,
+)
+from repro.coreference import SameAsService
+from repro.sparql import parse_query
+
+from .conftest import FIGURE_1_QUERY, report
+
+#: World sizes for the data-size sweep (papers; persons scale alongside).
+DATA_SIZES = [50, 100, 200, 400]
+
+
+def _build_world(n_papers: int):
+    world = WorldModel(n_persons=max(10, n_papers // 3), n_papers=n_papers, seed=7)
+    builder = KistiDatasetBuilder(world, coverage=1.0)
+    graph = builder.build()
+    sameas = SameAsService()
+    akt_minter = __import__("repro.datasets", fromlist=["AktDatasetBuilder"]).AktDatasetBuilder(world)
+    for person in world.persons:
+        sameas.add_equivalence(akt_minter.person_uri(person.key), builder.person_uri(person.key))
+    for paper in world.papers:
+        sameas.add_equivalence(akt_minter.paper_uri(paper.key), builder.paper_uri(paper.key))
+    return graph, sameas
+
+
+def test_bench_e5_rewriting_cost_independent_of_data(benchmark):
+    """Query rewriting latency does not depend on the target dataset size."""
+    alignments = list(akt_to_kisti_alignment())
+    query = parse_query(FIGURE_1_QUERY)
+    rows = []
+    timings = {}
+    for n_papers in DATA_SIZES:
+        graph, sameas = _build_world(n_papers)
+        from repro.alignment import default_registry
+
+        rewriter = QueryRewriter(alignments, default_registry(sameas))
+        start = perf_counter()
+        iterations = 50
+        for _ in range(iterations):
+            rewriter.rewrite(query)
+        elapsed = (perf_counter() - start) / iterations
+        timings[n_papers] = elapsed
+        rows.append((n_papers, len(graph), f"{elapsed * 1000:.3f} ms"))
+
+    report(
+        "E5a: rewrite latency vs. target data size (expected: flat)",
+        rows,
+        headers=("papers in world", "target triples", "rewrite latency"),
+    )
+    # Shape check: going from the smallest to the largest dataset changes
+    # rewriting cost by far less than the data grows (4x guard band).
+    assert timings[DATA_SIZES[-1]] < timings[DATA_SIZES[0]] * 4
+
+    # Register a representative timing with pytest-benchmark as well.
+    graph, sameas = _build_world(DATA_SIZES[-1])
+    from repro.alignment import default_registry
+
+    rewriter = QueryRewriter(alignments, default_registry(sameas))
+    benchmark(rewriter.rewrite, query)
+
+
+def test_bench_e5_materialization_cost_grows_with_data(benchmark):
+    """Materialisation work grows with the data it has to translate."""
+    alignments = list(akt_to_kisti_alignment())
+    rows = []
+    derived = {}
+    timings = {}
+    for n_papers in DATA_SIZES:
+        graph, sameas = _build_world(n_papers)
+        integrator = MaterializationIntegrator(alignments, sameas, RKB_URI_PATTERN)
+        start = perf_counter()
+        materialized, stats = integrator.integrate([graph])
+        elapsed = perf_counter() - start
+        timings[n_papers] = elapsed
+        derived[n_papers] = stats.derived_triples
+        rows.append((n_papers, stats.input_triples, stats.derived_triples,
+                     stats.rule_applications, f"{elapsed * 1000:.1f} ms"))
+
+    report(
+        "E5b: materialisation cost vs. data size (expected: growing)",
+        rows,
+        headers=("papers in world", "input triples", "derived triples",
+                 "rule applications", "materialisation time"),
+    )
+    assert derived[DATA_SIZES[-1]] > derived[DATA_SIZES[0]] * 4
+    assert timings[DATA_SIZES[-1]] > timings[DATA_SIZES[0]]
+
+    graph, sameas = _build_world(DATA_SIZES[0])
+    integrator = MaterializationIntegrator(alignments, sameas, RKB_URI_PATTERN)
+    benchmark(lambda: integrator.integrate([graph]))
+
+
+def test_bench_e5_rewriting_cost_vs_alignment_kb_size(benchmark):
+    """Rewrite latency as a function of the number of alignments in the KB."""
+    from repro.alignment import default_registry, property_alignment
+    from repro.rdf import Namespace
+
+    SRC = Namespace("http://example.org/src#")
+    TGT = Namespace("http://example.org/tgt#")
+    query = parse_query(FIGURE_1_QUERY)
+    base_alignments = list(akt_to_kisti_alignment())
+
+    rows = []
+    timings = {}
+    for extra in (0, 50, 200, 800):
+        padding = [property_alignment(SRC[f"p{i}"], TGT[f"q{i}"]) for i in range(extra)]
+        rewriter = QueryRewriter(padding + base_alignments, default_registry(SameAsService()))
+        start = perf_counter()
+        iterations = 20
+        for _ in range(iterations):
+            rewriter.rewrite(query)
+        elapsed = (perf_counter() - start) / iterations
+        timings[extra] = elapsed
+        rows.append((24 + extra, f"{elapsed * 1000:.3f} ms"))
+
+    report(
+        "E5c: rewrite latency vs. alignment KB size (expected: mild growth)",
+        rows,
+        headers=("alignments in KB", "rewrite latency"),
+    )
+    # Growth is at most linear in the KB size (with generous constant).
+    assert timings[800] < timings[0] * 200
+
+    rewriter = QueryRewriter(base_alignments, default_registry(SameAsService()))
+    benchmark(rewriter.rewrite, query)

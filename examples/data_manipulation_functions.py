@@ -1,0 +1,102 @@
+"""Data-manipulation functions beyond ``sameas``.
+
+Section 3.3.1 notes that "data manipulation functions can come handy in
+many occasions when integrating heterogeneous data sets.  Information can
+be represented and aggregated in different ways across the semantic web
+(e.g. different unit measures can be adopted or properties like address can
+be represented all in one value or alternatively each information encoded
+separately)".
+
+This example builds two tiny repositories that disagree exactly like that —
+one stores distances in kilometres and full names in one literal, the other
+expects miles and split names — and uses alignments whose functional
+dependencies perform the conversions at rewrite time, so the rewritten
+query carries ready-to-match literals and the target endpoint needs no
+function support at all (the paper's "safe assumption").
+
+Run with::
+
+    python examples/data_manipulation_functions.py
+"""
+
+from repro.alignment import (
+    EntityAlignment,
+    FunctionalDependency,
+    KM_TO_MILES_FUNCTION,
+    SPLIT_LAST_FUNCTION,
+    default_registry,
+)
+from repro.core import QueryRewriter
+from repro.rdf import Graph, Literal, Namespace, Triple, Variable, XSD
+from repro.sparql import QueryEvaluator, parse_query
+
+SRC = Namespace("http://example.org/source#")
+TGT = Namespace("http://example.org/target#")
+
+
+def build_target_data() -> Graph:
+    """The target repository: distances in miles, family names split out."""
+    graph = Graph()
+    graph.namespace_manager.bind("tgt", TGT)
+    graph.add(Triple(TGT["route-1"], TGT.lengthMiles, Literal(62.1371, datatype=XSD.double)))
+    graph.add(Triple(TGT["route-2"], TGT.lengthMiles, Literal(6.21371, datatype=XSD.double)))
+    graph.add(Triple(TGT["person-1"], TGT.familyName, Literal("Shadbolt")))
+    graph.add(Triple(TGT["person-2"], TGT.familyName, Literal("Glaser")))
+    return graph
+
+
+def build_alignments() -> list[EntityAlignment]:
+    x, y = Variable("x"), Variable("y")
+    y2 = Variable("y2")
+    return [
+        # <?x src:lengthKm ?y>  ->  <?x tgt:lengthMiles ?y2>, ?y2 = km-to-miles(?y)
+        EntityAlignment(
+            lhs=Triple(x, SRC.lengthKm, y),
+            rhs=[Triple(x, TGT.lengthMiles, y2)],
+            functional_dependencies=[
+                FunctionalDependency(y2, KM_TO_MILES_FUNCTION, [y]),
+            ],
+        ),
+        # <?x src:fullName ?y>  ->  <?x tgt:familyName ?y2>, ?y2 = split-last(?y, " ")
+        EntityAlignment(
+            lhs=Triple(x, SRC.fullName, y),
+            rhs=[Triple(x, TGT.familyName, y2)],
+            functional_dependencies=[
+                FunctionalDependency(y2, SPLIT_LAST_FUNCTION, [y, Literal(" ")]),
+            ],
+        ),
+    ]
+
+
+def main() -> None:
+    target_graph = build_target_data()
+    rewriter = QueryRewriter(build_alignments(), default_registry(),
+                             extra_prefixes={"tgt": str(TGT)})
+
+    queries = {
+        "routes of exactly 100 km": """
+            PREFIX src:<http://example.org/source#>
+            SELECT ?route WHERE { ?route src:lengthKm 100.0 . }
+        """,
+        "who is called 'Nigel Shadbolt'?": """
+            PREFIX src:<http://example.org/source#>
+            SELECT ?person WHERE { ?person src:fullName "Nigel Shadbolt" . }
+        """,
+        "lengths of every route (variable object passes through)": """
+            PREFIX src:<http://example.org/source#>
+            SELECT ?route ?length WHERE { ?route src:lengthKm ?length . }
+        """,
+    }
+
+    evaluator = QueryEvaluator(target_graph)
+    for label, source_query in queries.items():
+        rewritten, report = rewriter.rewrite(parse_query(source_query))
+        print(f"=== {label} ===")
+        print(rewritten.serialize())
+        results = evaluator.evaluate(rewritten)
+        print(results.to_table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Translating ECS/AKT publication queries for DBpedia.
+
+Section 3.4 reports that the deployed alignment service held **42
+alignments between the ECS data set and DBpedia**.  This example loads the
+reconstructed 42-alignment knowledge base, shows how the mediator selects
+it when DBpedia is the target, and translates and runs a small suite of
+publication-metadata queries through the :class:`MediatorService` facade
+(the REST API tier of Figure 5).
+
+Run with::
+
+    python examples/dbpedia_publications.py
+"""
+
+from repro.alignment import classify_level
+from repro.datasets import build_resist_scenario
+
+QUERIES = {
+    "titles of recent articles": """
+        PREFIX akt:<http://www.aktors.org/ontology/portal#>
+        SELECT ?paper ?title WHERE {
+          ?paper a akt:Article-Reference .
+          ?paper akt:has-title ?title .
+          ?paper akt:has-year ?year .
+          FILTER (?year >= 2005)
+        }
+    """,
+    "people and their affiliations": """
+        PREFIX akt:<http://www.aktors.org/ontology/portal#>
+        SELECT ?person ?org WHERE {
+          ?person a akt:Person .
+          ?person akt:has-affiliation ?org .
+        }
+    """,
+    "papers per author": """
+        PREFIX akt:<http://www.aktors.org/ontology/portal#>
+        SELECT DISTINCT ?author ?paper WHERE {
+          ?paper akt:has-author ?author .
+          ?paper akt:has-title ?title .
+        }
+    """,
+}
+
+
+def main() -> None:
+    scenario = build_resist_scenario(n_persons=40, n_papers=100, seed=3)
+    service = scenario.service
+
+    # Inspect the alignment KB the mediator will use for DBpedia.
+    alignments = service.mediator.select_alignments(
+        service.mediator.target(scenario.dbpedia_dataset),
+        source_ontology=scenario.source_ontology,
+    )
+    levels = {}
+    for alignment in alignments:
+        levels[classify_level(alignment)] = levels.get(classify_level(alignment), 0) + 1
+    print(f"Alignments selected for DBpedia: {len(alignments)} "
+          f"(by expressivity level: {dict(sorted(levels.items()))})")
+    print()
+
+    for label, query in QUERIES.items():
+        response = service.translate_and_run(query, scenario.dbpedia_dataset,
+                                             source_ontology=scenario.source_ontology)
+        print(f"=== {label} ===")
+        print(response.translation.translated_query)
+        print(f"--> {response.row_count} rows from the DBpedia endpoint "
+              f"({response.translation.triples_matched} BGP triples rewritten)")
+        for row in response.rows[:5]:
+            print("   ", row)
+        if response.row_count > 5:
+            print(f"    ... and {response.row_count - 5} more")
+        print()
+
+
+if __name__ == "__main__":
+    main()

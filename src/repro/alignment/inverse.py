@@ -1,0 +1,148 @@
+"""Inverting entity alignments.
+
+The alignments of the paper are *directional* ("the alignments so defined
+are directional (i.e. not symmetric)").  In practice a mediator often needs
+both directions — e.g. the deployed system aligned AKT→KISTI, but a KISTI
+user may want to query the RKB repositories.  For a useful subset of the
+formalism the inverse can be computed mechanically:
+
+* **invertible**: alignments whose RHS is a single triple and whose
+  functional dependencies are all ``sameas`` lookups (the co-reference
+  relation is symmetric, so the inverse simply swaps the URI-space pattern);
+* **not invertible**: multi-triple RHS bodies (the inverse head would need
+  to match a conjunction, which the formalism's single-triple LHS cannot
+  express) and non-``sameas`` functions (``km-to-miles`` has an inverse, but
+  the registry has no general way to know it).
+
+:func:`invert_entity_alignment` performs the safe cases and raises
+:class:`AlignmentInversionError` otherwise; :func:`invert_ontology_alignment`
+inverts an OA rule-by-rule, skipping (and reporting) the non-invertible
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..rdf import Literal, URIRef
+from .functions import SAMEAS_FUNCTION
+from .model import EntityAlignment, FunctionalDependency, OntologyAlignment
+
+__all__ = [
+    "AlignmentInversionError",
+    "invert_entity_alignment",
+    "invert_ontology_alignment",
+    "InversionReport",
+]
+
+
+class AlignmentInversionError(ValueError):
+    """Raised when an entity alignment has no mechanical inverse."""
+
+
+def invert_entity_alignment(
+    alignment: EntityAlignment,
+    source_uri_pattern: Optional[str] = None,
+) -> EntityAlignment:
+    """Return the target→source version of a single-triple alignment.
+
+    ``source_uri_pattern`` is the URI-space regular expression of the
+    *original source* dataset; it replaces the pattern argument of every
+    inverted ``sameas`` dependency (lookups now need to land in the source
+    URI space).  When omitted, the original pattern is kept — correct only
+    if both datasets share a URI space.
+    """
+    if len(alignment.rhs) != 1:
+        raise AlignmentInversionError(
+            "only alignments with a single RHS pattern can be inverted "
+            f"(this one has {len(alignment.rhs)})"
+        )
+    for dependency in alignment.functional_dependencies:
+        if dependency.function != SAMEAS_FUNCTION:
+            raise AlignmentInversionError(
+                f"functional dependency over {dependency.function} is not invertible"
+            )
+
+    new_lhs = alignment.rhs[0]
+    new_rhs = [alignment.lhs]
+
+    inverted_dependencies: List[FunctionalDependency] = []
+    for dependency in alignment.functional_dependencies:
+        variable_parameters = [p for p in dependency.parameters if not isinstance(p, (URIRef, Literal))]
+        if not variable_parameters:
+            raise AlignmentInversionError(
+                "sameas dependency without a variable parameter cannot be inverted"
+            )
+        original_source = variable_parameters[0]
+        pattern: Literal
+        if source_uri_pattern is not None:
+            pattern = Literal(source_uri_pattern)
+        else:
+            literals = [p for p in dependency.parameters if isinstance(p, Literal)]
+            pattern = literals[0] if literals else Literal(".*")
+        # ?target = sameas(?source, re_target)  becomes
+        # ?source = sameas(?target, re_source)
+        inverted_dependencies.append(
+            FunctionalDependency(original_source, SAMEAS_FUNCTION,
+                                 [dependency.variable, pattern])
+        )
+
+    identifier = None
+    if alignment.identifier is not None:
+        identifier = URIRef(str(alignment.identifier) + "-inverse")
+    return EntityAlignment(new_lhs, new_rhs, inverted_dependencies, identifier=identifier)
+
+
+@dataclass
+class InversionReport:
+    """Outcome of inverting a whole ontology alignment."""
+
+    inverted: List[EntityAlignment] = field(default_factory=list)
+    skipped: List[Tuple[EntityAlignment, str]] = field(default_factory=list)
+
+    @property
+    def inverted_count(self) -> int:
+        return len(self.inverted)
+
+    @property
+    def skipped_count(self) -> int:
+        return len(self.skipped)
+
+
+def invert_ontology_alignment(
+    alignment: OntologyAlignment,
+    source_dataset: Optional[URIRef] = None,
+    source_uri_pattern: Optional[str] = None,
+) -> Tuple[OntologyAlignment, InversionReport]:
+    """Invert an OA rule-by-rule (skipping non-invertible entity alignments).
+
+    The context of validity is swapped: the original target ontologies
+    become the source ontologies and vice versa; ``source_dataset`` (the
+    original source repository, now the *target* of the inverted OA) becomes
+    the target dataset when given.
+    """
+    report = InversionReport()
+    for entity_alignment in alignment.entity_alignments:
+        try:
+            report.inverted.append(
+                invert_entity_alignment(entity_alignment, source_uri_pattern)
+            )
+        except AlignmentInversionError as exc:
+            report.skipped.append((entity_alignment, str(exc)))
+
+    if not alignment.target_ontologies:
+        raise AlignmentInversionError(
+            "cannot invert an ontology alignment that names no target ontologies"
+        )
+    identifier = None
+    if alignment.identifier is not None:
+        identifier = URIRef(str(alignment.identifier) + "-inverse")
+    inverted = OntologyAlignment(
+        source_ontologies=alignment.target_ontologies,
+        target_ontologies=alignment.source_ontologies,
+        target_datasets=[source_dataset] if source_dataset is not None else [],
+        entity_alignments=report.inverted,
+        identifier=identifier,
+    )
+    return inverted, report

@@ -1,0 +1,276 @@
+"""RDF representation of alignments (the encoding of Section 3.2.2).
+
+The paper stores alignments in an RDF knowledge base; triple patterns are
+described with statement reification and functional-dependency parameters
+with RDF collections.  The Turtle listing of Section 3.2.2 uses the
+vocabulary reproduced here::
+
+    akt2kisti:creator_info
+        a map:EntityAlignment ;
+        map:lhs  [ a rdf:Statement ; rdf:subject _:p1 ;
+                   rdf:predicate akt:has-author ; rdf:object _:a1 ] ;
+        map:rhs  [ a rdf:Statement ; ... ] ;
+        map:hasFunctionalDependency
+                 [ a rdf:Statement ; rdf:subject _:a2 ;
+                   rdf:predicate map:sameas ;
+                   rdf:object ( _:a1 "http://kisti.rkbexplorer.com/id/\\S*" ) ] .
+
+Ontology alignments (``OA = <SO, TO, TD, EA>``) add ``map:OntologyAlignment``
+with ``map:sourceOntology`` / ``map:targetOntology`` / ``map:targetDataset``
+and ``map:hasEntityAlignment`` arcs.
+
+Variables appear as blank nodes in the RDF form; reading converts them back
+to variables.  When several alignments share one document their blank node
+labels are prefixed so distinct rules never accidentally share a variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..rdf import (
+    BNode,
+    Graph,
+    Literal,
+    MAP,
+    RDF,
+    Term,
+    Triple,
+    URIRef,
+    Variable,
+    build_list,
+    fresh_bnode,
+    read_list,
+    reify,
+)
+from ..turtle import parse_turtle, serialize_turtle
+from .model import AlignmentError, EntityAlignment, FunctionalDependency, OntologyAlignment
+
+__all__ = [
+    "AlignmentGraphWriter",
+    "AlignmentGraphReader",
+    "alignments_to_graph",
+    "alignments_from_graph",
+    "ontology_alignment_to_graph",
+    "ontology_alignments_from_graph",
+    "alignments_to_turtle",
+    "alignments_from_turtle",
+]
+
+#: Vocabulary terms (``map:`` namespace of the paper).
+ENTITY_ALIGNMENT_CLASS = MAP.EntityAlignment
+ONTOLOGY_ALIGNMENT_CLASS = MAP.OntologyAlignment
+LHS_PROPERTY = MAP.lhs
+RHS_PROPERTY = MAP.rhs
+FD_PROPERTY = MAP.hasFunctionalDependency
+SOURCE_ONTOLOGY_PROPERTY = MAP.sourceOntology
+TARGET_ONTOLOGY_PROPERTY = MAP.targetOntology
+TARGET_DATASET_PROPERTY = MAP.targetDataset
+HAS_ENTITY_ALIGNMENT_PROPERTY = MAP.hasEntityAlignment
+
+
+# --------------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------------- #
+class AlignmentGraphWriter:
+    """Serialise alignments into an RDF graph using the paper's encoding."""
+
+    def __init__(self, graph: Optional[Graph] = None) -> None:
+        self.graph = graph if graph is not None else Graph()
+        self._alignment_counter = 0
+
+    # -- entity alignments ---------------------------------------------------- #
+    def add_entity_alignment(self, alignment: EntityAlignment) -> Term:
+        """Write one entity alignment; returns its node in the graph."""
+        self._alignment_counter += 1
+        scope = f"ea{self._alignment_counter}"
+        node: Term = alignment.identifier if alignment.identifier is not None else fresh_bnode("align")
+        self.graph.add(Triple(node, RDF.type, ENTITY_ALIGNMENT_CLASS))
+
+        lhs_node = self._write_pattern(alignment.lhs, scope)
+        self.graph.add(Triple(node, LHS_PROPERTY, lhs_node))
+        for pattern in alignment.rhs:
+            rhs_node = self._write_pattern(pattern, scope)
+            self.graph.add(Triple(node, RHS_PROPERTY, rhs_node))
+        for dependency in alignment.functional_dependencies:
+            fd_node = self._write_functional_dependency(dependency, scope)
+            self.graph.add(Triple(node, FD_PROPERTY, fd_node))
+        return node
+
+    def _write_pattern(self, pattern: Triple, scope: str) -> Term:
+        reified = pattern.map_terms(lambda term: self._variable_to_bnode(term, scope))
+        return reify(self.graph, reified)
+
+    def _write_functional_dependency(self, dependency: FunctionalDependency, scope: str) -> Term:
+        node = fresh_bnode("fd")
+        self.graph.add(Triple(node, RDF.type, RDF.Statement))
+        self.graph.add(
+            Triple(node, RDF.subject, self._variable_to_bnode(dependency.variable, scope))
+        )
+        self.graph.add(Triple(node, RDF.predicate, dependency.function))
+        parameters = [
+            self._variable_to_bnode(parameter, scope) for parameter in dependency.parameters
+        ]
+        head = build_list(self.graph, parameters)
+        self.graph.add(Triple(node, RDF.object, head))
+        return node
+
+    @staticmethod
+    def _variable_to_bnode(term: Term, scope: str) -> Term:
+        if isinstance(term, Variable):
+            return BNode(f"{scope}_{term.name}")
+        return term
+
+    # -- ontology alignments --------------------------------------------------- #
+    def add_ontology_alignment(self, alignment: OntologyAlignment) -> Term:
+        """Write an ontology alignment (context + contained entity alignments)."""
+        node: Term = alignment.identifier if alignment.identifier is not None else fresh_bnode("oa")
+        self.graph.add(Triple(node, RDF.type, ONTOLOGY_ALIGNMENT_CLASS))
+        for source in sorted(alignment.source_ontologies, key=str):
+            self.graph.add(Triple(node, SOURCE_ONTOLOGY_PROPERTY, source))
+        for target in sorted(alignment.target_ontologies, key=str):
+            self.graph.add(Triple(node, TARGET_ONTOLOGY_PROPERTY, target))
+        for dataset in sorted(alignment.target_datasets, key=str):
+            self.graph.add(Triple(node, TARGET_DATASET_PROPERTY, dataset))
+        for entity_alignment in alignment.entity_alignments:
+            ea_node = self.add_entity_alignment(entity_alignment)
+            self.graph.add(Triple(node, HAS_ENTITY_ALIGNMENT_PROPERTY, ea_node))
+        return node
+
+
+# --------------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------------- #
+class AlignmentGraphReader:
+    """Reconstruct alignments from their RDF description."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    # -- entity alignments ---------------------------------------------------- #
+    def entity_alignment_nodes(self) -> List[Term]:
+        return sorted(
+            self.graph.subjects(RDF.type, ENTITY_ALIGNMENT_CLASS), key=lambda t: t.sort_key()
+        )
+
+    def read_entity_alignment(self, node: Term) -> EntityAlignment:
+        lhs_nodes = list(self.graph.objects(node, LHS_PROPERTY))
+        if len(lhs_nodes) != 1:
+            raise AlignmentError(f"entity alignment {node} must have exactly one map:lhs")
+        lhs = self._read_pattern(lhs_nodes[0])
+
+        rhs = [
+            self._read_pattern(rhs_node)
+            for rhs_node in sorted(self.graph.objects(node, RHS_PROPERTY), key=lambda t: t.sort_key())
+        ]
+        dependencies = [
+            self._read_functional_dependency(fd_node)
+            for fd_node in sorted(self.graph.objects(node, FD_PROPERTY), key=lambda t: t.sort_key())
+        ]
+        identifier = node if isinstance(node, URIRef) else None
+        return EntityAlignment(lhs, rhs, dependencies, identifier=identifier)
+
+    def read_all_entity_alignments(self) -> List[EntityAlignment]:
+        return [self.read_entity_alignment(node) for node in self.entity_alignment_nodes()]
+
+    def _read_pattern(self, node: Term) -> Triple:
+        subject = self._single(node, RDF.subject)
+        predicate = self._single(node, RDF.predicate)
+        obj = self._single(node, RDF.object)
+        return Triple(
+            self._bnode_to_variable(subject),
+            self._bnode_to_variable(predicate),
+            self._bnode_to_variable(obj),
+        )
+
+    def _read_functional_dependency(self, node: Term) -> FunctionalDependency:
+        target = self._single(node, RDF.subject)
+        function = self._single(node, RDF.predicate)
+        if not isinstance(function, URIRef):
+            raise AlignmentError(f"functional dependency {node} must name a function URI")
+        parameters_head = self._single(node, RDF.object)
+        parameters = [
+            self._bnode_to_variable(parameter)
+            for parameter in read_list(self.graph, parameters_head)
+        ]
+        return FunctionalDependency(self._bnode_to_variable(target), function, parameters)
+
+    def _single(self, node: Term, predicate: URIRef) -> Term:
+        values = list(self.graph.objects(node, predicate))
+        if len(values) != 1:
+            raise AlignmentError(
+                f"node {node} must carry exactly one {predicate}, found {len(values)}"
+            )
+        return values[0]
+
+    @staticmethod
+    def _bnode_to_variable(term: Term) -> Term:
+        if isinstance(term, BNode):
+            return term.to_variable()
+        return term
+
+    # -- ontology alignments --------------------------------------------------- #
+    def ontology_alignment_nodes(self) -> List[Term]:
+        return sorted(
+            self.graph.subjects(RDF.type, ONTOLOGY_ALIGNMENT_CLASS), key=lambda t: t.sort_key()
+        )
+
+    def read_ontology_alignment(self, node: Term) -> OntologyAlignment:
+        sources = [t for t in self.graph.objects(node, SOURCE_ONTOLOGY_PROPERTY)]
+        targets = [t for t in self.graph.objects(node, TARGET_ONTOLOGY_PROPERTY)]
+        datasets = [t for t in self.graph.objects(node, TARGET_DATASET_PROPERTY)]
+        entity_alignments = [
+            self.read_entity_alignment(ea_node)
+            for ea_node in sorted(
+                self.graph.objects(node, HAS_ENTITY_ALIGNMENT_PROPERTY), key=lambda t: t.sort_key()
+            )
+        ]
+        identifier = node if isinstance(node, URIRef) else None
+        return OntologyAlignment(
+            source_ontologies=sources,
+            target_ontologies=targets,
+            target_datasets=datasets,
+            entity_alignments=entity_alignments,
+            identifier=identifier,
+        )
+
+    def read_all_ontology_alignments(self) -> List[OntologyAlignment]:
+        return [self.read_ontology_alignment(node) for node in self.ontology_alignment_nodes()]
+
+
+# --------------------------------------------------------------------------- #
+# Convenience functions
+# --------------------------------------------------------------------------- #
+def alignments_to_graph(alignments: Iterable[EntityAlignment]) -> Graph:
+    """Serialise entity alignments into a fresh RDF graph."""
+    writer = AlignmentGraphWriter()
+    for alignment in alignments:
+        writer.add_entity_alignment(alignment)
+    return writer.graph
+
+
+def alignments_from_graph(graph: Graph) -> List[EntityAlignment]:
+    """Read every entity alignment described in ``graph``."""
+    return AlignmentGraphReader(graph).read_all_entity_alignments()
+
+
+def ontology_alignment_to_graph(alignment: OntologyAlignment) -> Graph:
+    """Serialise one ontology alignment (with its entity alignments)."""
+    writer = AlignmentGraphWriter()
+    writer.add_ontology_alignment(alignment)
+    return writer.graph
+
+
+def ontology_alignments_from_graph(graph: Graph) -> List[OntologyAlignment]:
+    """Read every ontology alignment described in ``graph``."""
+    return AlignmentGraphReader(graph).read_all_ontology_alignments()
+
+
+def alignments_to_turtle(alignments: Iterable[EntityAlignment]) -> str:
+    """Entity alignments as a Turtle document (the paper's exchange format)."""
+    return serialize_turtle(alignments_to_graph(alignments))
+
+
+def alignments_from_turtle(text: str) -> List[EntityAlignment]:
+    """Parse a Turtle document containing entity alignment descriptions."""
+    return alignments_from_graph(parse_turtle(text))

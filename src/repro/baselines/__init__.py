@@ -1,0 +1,11 @@
+"""Comparison baselines: no-rewriting federation and materialisation."""
+
+from .identity import IdentityBaselineResult, IdentityFederation
+from .materialization import MaterializationIntegrator, MaterializationStatistics
+
+__all__ = [
+    "IdentityFederation",
+    "IdentityBaselineResult",
+    "MaterializationIntegrator",
+    "MaterializationStatistics",
+]

@@ -1,0 +1,70 @@
+"""No-rewriting baseline.
+
+The simplest possible "integration" strategy — and the implicit comparison
+point of the whole paper — is to send the source query verbatim to every
+endpoint.  Because each repository uses its own vocabulary and URI space,
+the query only matches on repositories sharing the source schema, so the
+contribution of heterogeneous datasets to recall is (near) zero.  The
+baseline exists so Experiments E5/E6 can quantify the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..federation import DatasetRegistry, EndpointError
+from ..rdf import URIRef, Variable
+from ..sparql import Binding, Query, ResultSet, parse_query
+
+__all__ = ["IdentityBaselineResult", "IdentityFederation"]
+
+
+@dataclass
+class IdentityBaselineResult:
+    """Per-dataset and merged results of the no-rewriting baseline."""
+
+    variables: List[Variable]
+    per_dataset_rows: Dict[URIRef, int] = field(default_factory=dict)
+    errors: Dict[URIRef, str] = field(default_factory=dict)
+    merged_bindings: List[Binding] = field(default_factory=list)
+
+    def merged(self) -> ResultSet:
+        return ResultSet(self.variables, self.merged_bindings)
+
+    def distinct_values(self, variable: Union[Variable, str]) -> set:
+        return self.merged().distinct_values(variable)
+
+
+class IdentityFederation:
+    """Run the *unrewritten* query over every registered dataset."""
+
+    def __init__(self, registry: DatasetRegistry) -> None:
+        self.registry = registry
+
+    def execute(
+        self,
+        query: Union[Query, str],
+        datasets: Optional[Sequence[URIRef]] = None,
+    ) -> IdentityBaselineResult:
+        if isinstance(query, str):
+            query = parse_query(query)
+        projection = getattr(query, "projection", None) or sorted(query.variables(), key=str)
+        result = IdentityBaselineResult(variables=list(projection))
+        targets = self.registry.datasets() if datasets is None else [
+            self.registry.get(uri) for uri in datasets
+        ]
+        seen = set()
+        for target in targets:
+            try:
+                rows = target.endpoint.select(query)
+            except EndpointError as exc:
+                result.errors[target.uri] = str(exc)
+                continue
+            result.per_dataset_rows[target.uri] = len(rows)
+            for binding in rows:
+                key = frozenset(binding.as_dict().items())
+                if key not in seen:
+                    seen.add(key)
+                    result.merged_bindings.append(binding)
+        return result

@@ -1,0 +1,201 @@
+"""Query mediation: select alignments and rewrite for a target dataset.
+
+The mediator ties the pieces of Section 3 together: given a source query,
+the ontology it was written against and the URI of a target dataset, it
+
+1. asks the alignment KB for the relevant ontology alignments (Section
+   3.2.1's selection by context of validity),
+2. takes the union of their entity alignments,
+3. rewrites the query with Algorithm 1 (optionally with the FILTER-aware
+   or algebra-level extensions), executing functional dependencies through
+   the function registry / co-reference service.
+
+Execution of the rewritten query against actual endpoints is the
+responsibility of :mod:`repro.federation` — the mediator here is transport
+agnostic, exactly like the rewriting core of the original three-tier
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..alignment import AlignmentStore, EntityAlignment, FunctionRegistry, default_registry
+from ..coreference import SameAsService
+from ..rdf import URIRef
+from ..sparql import Query, parse_query
+from .algebra_rewriter import AlgebraQueryRewriter
+from .filter_rewriter import FilterAwareQueryRewriter
+from .rewriter import QueryRewriter, RewriteReport
+
+__all__ = ["TargetProfile", "MediationResult", "Mediator"]
+
+
+@dataclass(frozen=True)
+class TargetProfile:
+    """What the mediator needs to know about a rewriting target.
+
+    ``uri_pattern`` is the regular expression describing the dataset's
+    instance URI space (the second argument the paper passes to
+    ``sameas``); ``prefixes`` are namespace bindings to install in the
+    rewritten query's prologue for readability.
+    """
+
+    dataset: URIRef
+    ontologies: Tuple[URIRef, ...] = ()
+    uri_pattern: Optional[str] = None
+    prefixes: Tuple[Tuple[str, str], ...] = ()
+
+    def prefix_dict(self) -> Dict[str, str]:
+        return dict(self.prefixes)
+
+
+@dataclass
+class MediationResult:
+    """Outcome of one mediation request."""
+
+    source_query: Query
+    rewritten_query: Query
+    target: TargetProfile
+    report: RewriteReport
+    alignments_considered: int
+    mode: str
+
+    @property
+    def query_text(self) -> str:
+        """The rewritten query as SPARQL text (what would be sent over HTTP)."""
+        return self.rewritten_query.serialize()
+
+
+class Mediator:
+    """Alignment-driven SPARQL query mediator.
+
+    Parameters
+    ----------
+    alignment_store:
+        The alignment KB.
+    sameas_service:
+        Co-reference service backing the ``sameas`` functional dependency
+        and the FILTER-aware URI translation.
+    registry:
+        Function registry; when omitted, the default registry (with
+        ``sameas`` bound to ``sameas_service``) is used.
+    targets:
+        Known target profiles, keyed by dataset URI.  Targets can also be
+        registered later with :meth:`register_target`.
+    """
+
+    def __init__(
+        self,
+        alignment_store: AlignmentStore,
+        sameas_service: Optional[SameAsService] = None,
+        registry: Optional[FunctionRegistry] = None,
+        targets: Iterable[TargetProfile] = (),
+    ) -> None:
+        self.alignment_store = alignment_store
+        self.sameas_service = sameas_service or SameAsService()
+        self.registry = registry if registry is not None else default_registry(self.sameas_service)
+        self._targets: Dict[URIRef, TargetProfile] = {}
+        for target in targets:
+            self.register_target(target)
+
+    # ------------------------------------------------------------------ #
+    # Target management
+    # ------------------------------------------------------------------ #
+    def register_target(self, target: TargetProfile) -> None:
+        """Make a dataset available as a rewriting target."""
+        self._targets[target.dataset] = target
+
+    def target(self, dataset: URIRef) -> TargetProfile:
+        """The registered profile for ``dataset``; raises ``KeyError`` if unknown."""
+        if dataset not in self._targets:
+            raise KeyError(f"unknown target dataset: {dataset}")
+        return self._targets[dataset]
+
+    def targets(self) -> List[TargetProfile]:
+        return [self._targets[key] for key in sorted(self._targets, key=str)]
+
+    # ------------------------------------------------------------------ #
+    # Mediation
+    # ------------------------------------------------------------------ #
+    def select_alignments(
+        self,
+        target: TargetProfile,
+        source_ontology: Optional[URIRef] = None,
+    ) -> List[EntityAlignment]:
+        """The union of entity alignments relevant for ``target``."""
+        return self.alignment_store.entity_alignments_for(
+            dataset=target.dataset,
+            source_ontology=source_ontology,
+            dataset_ontologies=target.ontologies,
+        )
+
+    def translate(
+        self,
+        query: Union[Query, str],
+        target_dataset: URIRef,
+        source_ontology: Optional[URIRef] = None,
+        mode: str = "bgp",
+        strict: bool = False,
+    ) -> MediationResult:
+        """Rewrite ``query`` so it fits ``target_dataset``.
+
+        ``mode`` selects the rewriting engine:
+
+        * ``"bgp"`` — the paper's Algorithm 1 (BGP-only, FILTERs untouched),
+        * ``"filter-aware"`` — BGP rewriting plus constraint promotion and
+          FILTER URI translation,
+        * ``"algebra"`` — rewriting over the SPARQL algebra tree.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        target = self.target(target_dataset)
+        alignments = self.select_alignments(target, source_ontology)
+        prefixes = target.prefix_dict()
+
+        if mode == "bgp":
+            rewriter = QueryRewriter(alignments, self.registry, strict, prefixes)
+            rewritten, report = rewriter.rewrite(query)
+        elif mode == "filter-aware":
+            if target.uri_pattern is None:
+                raise ValueError(
+                    f"target {target.dataset} has no URI pattern; filter-aware rewriting "
+                    "requires one"
+                )
+            rewriter = FilterAwareQueryRewriter(
+                alignments, self.registry, self.sameas_service, target.uri_pattern,
+                prefixes, strict,
+            )
+            rewritten, report, _constraints = rewriter.rewrite(query)
+        elif mode == "algebra":
+            rewriter = AlgebraQueryRewriter(
+                alignments, self.registry, self.sameas_service, target.uri_pattern,
+                prefixes, strict,
+            )
+            rewritten, report = rewriter.rewrite(query)
+        else:
+            raise ValueError(f"unknown mediation mode: {mode!r}")
+
+        return MediationResult(
+            source_query=query,
+            rewritten_query=rewritten,
+            target=target,
+            report=report,
+            alignments_considered=len(alignments),
+            mode=mode,
+        )
+
+    def translate_for_all_targets(
+        self,
+        query: Union[Query, str],
+        source_ontology: Optional[URIRef] = None,
+        mode: str = "bgp",
+    ) -> Dict[URIRef, MediationResult]:
+        """Rewrite ``query`` once per registered target (federation fan-out)."""
+        results: Dict[URIRef, MediationResult] = {}
+        for target in self.targets():
+            results[target.dataset] = self.translate(
+                query, target.dataset, source_ontology, mode
+            )
+        return results

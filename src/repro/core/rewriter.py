@@ -1,0 +1,376 @@
+"""The SPARQL query rewriting algorithm (Section 3.3 of the paper).
+
+Three layers are provided:
+
+* :func:`instantiate_functions` — Algorithm 2 (``instFunction``): execute
+  the functional dependencies of a matched rule over the bindings obtained
+  by the matching phase, extending the substitution with the computed
+  values.  Functions run **at rewrite time**; unbound variables pass
+  through untouched (the paper's "safe assumption" that the target endpoint
+  needs no function support).
+* :class:`GraphPatternRewriter` — Algorithm 1 (``rewrite``): scan a Basic
+  Graph Pattern, match each triple against the alignment heads, apply the
+  matched rule's body under the (function-extended) binding and rename the
+  remaining free RHS variables to fresh variables; unmatched triples are
+  copied unchanged.
+* :class:`QueryRewriter` — apply the BGP rewriting to every triples block
+  of a parsed query, producing a new query that fits the target ontology /
+  dataset while preserving the result form, FILTERs and solution modifiers
+  (preserving FILTERs verbatim is precisely the limitation discussed in
+  Section 4 and addressed by :mod:`repro.core.filter_rewriter`).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..alignment import (
+    EntityAlignment,
+    FunctionExecutionError,
+    FunctionNotFound,
+    FunctionRegistry,
+    FunctionalDependency,
+)
+from ..rdf import NamespaceManager, Term, Triple, URIRef, Variable, is_ground
+from ..sparql import (
+    AskQuery,
+    ConstructQuery,
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    Prologue,
+    Query,
+    SelectQuery,
+    TriplesBlock,
+    UnionPattern,
+)
+from .matcher import MatchResult, Substitution, find_matches, match_alignment
+
+__all__ = [
+    "RewriteError",
+    "FreshVariableGenerator",
+    "TripleRewrite",
+    "RewriteReport",
+    "instantiate_functions",
+    "GraphPatternRewriter",
+    "QueryRewriter",
+    "clone_query",
+]
+
+
+class RewriteError(ValueError):
+    """Raised when a query cannot be rewritten (e.g. missing function)."""
+
+
+class FreshVariableGenerator:
+    """Mint query variables guaranteed not to clash with existing ones.
+
+    The paper's rewritten query (Figure 3) shows fresh variables named
+    ``?_33``, ``?_38``; we follow the more readable ``?newN`` convention
+    used in the worked example of Section 3.3.2 while still guaranteeing
+    uniqueness against the variables already present in the query.
+    """
+
+    def __init__(self, reserved: Iterable[Variable] = (), prefix: str = "new") -> None:
+        self._reserved: Set[str] = {variable.name for variable in reserved}
+        self._prefix = prefix
+        self._counter = 0
+
+    def reserve(self, variables: Iterable[Variable]) -> None:
+        """Mark more variable names as unavailable."""
+        self._reserved.update(variable.name for variable in variables)
+
+    def fresh(self) -> Variable:
+        """Return a new, unused variable."""
+        while True:
+            self._counter += 1
+            candidate = f"{self._prefix}{self._counter}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return Variable(candidate)
+
+
+@dataclass
+class TripleRewrite:
+    """Trace entry: how one input triple pattern was handled."""
+
+    original: Triple
+    produced: List[Triple]
+    alignment: Optional[EntityAlignment] = None
+    substitution: Optional[Substitution] = None
+
+    @property
+    def matched(self) -> bool:
+        """True when an alignment head matched the original triple."""
+        return self.alignment is not None
+
+
+@dataclass
+class RewriteReport:
+    """Summary of one BGP / query rewriting run."""
+
+    rewrites: List[TripleRewrite] = field(default_factory=list)
+    function_calls: int = 0
+
+    @property
+    def matched_count(self) -> int:
+        return sum(1 for rewrite in self.rewrites if rewrite.matched)
+
+    @property
+    def unmatched_count(self) -> int:
+        return sum(1 for rewrite in self.rewrites if not rewrite.matched)
+
+    @property
+    def input_size(self) -> int:
+        return len(self.rewrites)
+
+    @property
+    def output_size(self) -> int:
+        return sum(len(rewrite.produced) for rewrite in self.rewrites)
+
+    def alignments_used(self) -> List[EntityAlignment]:
+        """Distinct alignments that fired, in order of first use."""
+        seen: List[EntityAlignment] = []
+        for rewrite in self.rewrites:
+            if rewrite.alignment is not None and rewrite.alignment not in seen:
+                seen.append(rewrite.alignment)
+        return seen
+
+    def merge(self, other: "RewriteReport") -> None:
+        """Fold another report (e.g. from a different BGP) into this one."""
+        self.rewrites.extend(other.rewrites)
+        self.function_calls += other.function_calls
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 2 — instFunction
+# --------------------------------------------------------------------------- #
+def instantiate_functions(
+    match: MatchResult,
+    registry: FunctionRegistry,
+    strict: bool = False,
+) -> Tuple[Substitution, int]:
+    """Execute the functional dependencies of a matched rule (Algorithm 2).
+
+    For every RHS variable carrying a functional dependency, the parameters
+    are resolved through the match binding (ground values and bound
+    variables are substituted, unbound variables are passed through) and
+    the function is invoked; the result extends the binding for that
+    variable.  Returns the extended substitution and the number of function
+    invocations performed.
+
+    With ``strict=False`` a missing function or a failing invocation leaves
+    the variable unbound (it will be renamed to a fresh variable by
+    Algorithm 1), mirroring the tolerant behaviour of the deployed system;
+    with ``strict=True`` those situations raise :class:`RewriteError`.
+    """
+    substitution = match.substitution
+    alignment = match.alignment
+    calls = 0
+
+    for dependency in alignment.functional_dependencies:
+        parameters: List[Term] = []
+        for parameter in dependency.parameters:
+            if isinstance(parameter, Variable):
+                parameters.append(substitution.apply_to_term(parameter))
+            else:
+                parameters.append(parameter)
+        try:
+            result = registry.call(dependency.function, parameters)
+            calls += 1
+        except FunctionNotFound:
+            if strict:
+                raise RewriteError(
+                    f"functional dependency references unknown function {dependency.function}"
+                )
+            continue
+        except FunctionExecutionError as exc:
+            if strict:
+                raise RewriteError(f"functional dependency failed: {exc}") from exc
+            continue
+        substitution = substitution.bind(dependency.variable, result)
+    return substitution, calls
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 1 — rewrite
+# --------------------------------------------------------------------------- #
+class GraphPatternRewriter:
+    """Rewrite Basic Graph Patterns using a set of entity alignments.
+
+    Parameters
+    ----------
+    alignments:
+        The entity alignments (the union of the relevant ontology
+        alignments' EA sets, per Section 3.2.1).
+    registry:
+        Function registry used to execute functional dependencies.
+    strict:
+        Propagate function errors instead of skipping the dependency.
+    """
+
+    def __init__(
+        self,
+        alignments: Sequence[EntityAlignment],
+        registry: Optional[FunctionRegistry] = None,
+        strict: bool = False,
+    ) -> None:
+        self.alignments: List[EntityAlignment] = list(alignments)
+        self.registry = registry if registry is not None else FunctionRegistry()
+        self.strict = strict
+
+    # -- single triple -------------------------------------------------------- #
+    def rewrite_triple(
+        self,
+        pattern: Triple,
+        fresh: FreshVariableGenerator,
+    ) -> TripleRewrite:
+        """Rewrite one triple pattern (one iteration of Algorithm 1's loop)."""
+        matches = find_matches(self.alignments, pattern)
+        if not matches:
+            return TripleRewrite(original=pattern, produced=[pattern])
+        match = matches[0]
+        substitution, _calls = instantiate_functions(match, self.registry, self.strict)
+
+        # Step 4: bind all remaining free RHS variables to new variables so
+        # the same alignment can be reused without over-constraining.
+        produced: List[Triple] = []
+        local_fresh: Dict[Variable, Variable] = {}
+
+        def resolve(term: Term) -> Term:
+            if not isinstance(term, Variable):
+                return term
+            value = substitution.apply_to_term(term)
+            if value is not term:
+                return value
+            if term in match.alignment.lhs_variables():
+                # An LHS variable absent from the match can only occur when
+                # the head mentions it in an ignored position; keep it.
+                return term
+            if term not in local_fresh:
+                local_fresh[term] = fresh.fresh()
+            return local_fresh[term]
+
+        for rhs_pattern in match.alignment.rhs:
+            produced.append(rhs_pattern.map_terms(resolve))
+        return TripleRewrite(
+            original=pattern,
+            produced=produced,
+            alignment=match.alignment,
+            substitution=substitution,
+        )
+
+    # -- whole BGP ------------------------------------------------------------- #
+    def rewrite_bgp(
+        self,
+        patterns: Sequence[Triple],
+        fresh: Optional[FreshVariableGenerator] = None,
+    ) -> Tuple[List[Triple], RewriteReport]:
+        """Rewrite a Basic Graph Pattern (Algorithm 1).
+
+        Returns the rewritten pattern list and a :class:`RewriteReport`
+        tracing every decision.
+        """
+        if fresh is None:
+            reserved: Set[Variable] = set()
+            for pattern in patterns:
+                reserved |= pattern.variables()
+            fresh = FreshVariableGenerator(reserved)
+
+        report = RewriteReport()
+        result: List[Triple] = []
+        for pattern in patterns:
+            rewrite = self.rewrite_triple(pattern, fresh)
+            substitution = rewrite.substitution
+            if substitution is not None and rewrite.alignment is not None:
+                report.function_calls += len(rewrite.alignment.functional_dependencies)
+            report.rewrites.append(rewrite)
+            result.extend(rewrite.produced)
+        return result, report
+
+
+# --------------------------------------------------------------------------- #
+# Query-level rewriting
+# --------------------------------------------------------------------------- #
+def clone_query(query: Query) -> Query:
+    """Deep-copy a query AST so rewriting never mutates the input query."""
+    return copy.deepcopy(query)
+
+
+class QueryRewriter:
+    """Rewrite whole SPARQL queries (SELECT / ASK / CONSTRUCT).
+
+    Every triples block in the WHERE clause (including blocks nested inside
+    OPTIONAL, UNION and grouped patterns) is rewritten with
+    :class:`GraphPatternRewriter`.  The query result form, FILTER sections
+    and solution modifiers are preserved unchanged — reproducing both the
+    strength and the documented limitation of the paper's approach.
+    """
+
+    def __init__(
+        self,
+        alignments: Sequence[EntityAlignment],
+        registry: Optional[FunctionRegistry] = None,
+        strict: bool = False,
+        extra_prefixes: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._pattern_rewriter = GraphPatternRewriter(alignments, registry, strict)
+        self._extra_prefixes = dict(extra_prefixes or {})
+
+    @property
+    def alignments(self) -> List[EntityAlignment]:
+        return self._pattern_rewriter.alignments
+
+    @property
+    def registry(self) -> FunctionRegistry:
+        return self._pattern_rewriter.registry
+
+    def rewrite(self, query: Query) -> Tuple[Query, RewriteReport]:
+        """Return the rewritten query (a new object) and the rewrite report."""
+        rewritten = clone_query(query)
+        fresh = FreshVariableGenerator(rewritten.variables())
+        report = RewriteReport()
+
+        for block in rewritten.triples_blocks():
+            new_patterns, block_report = self._pattern_rewriter.rewrite_bgp(
+                block.patterns, fresh
+            )
+            block.patterns = new_patterns
+            report.merge(block_report)
+
+        if isinstance(rewritten, ConstructQuery):
+            # CONSTRUCT templates are part of the result form and are left
+            # untouched: the rewriting targets where data is read from, not
+            # the shape of what the query builds.
+            pass
+
+        self._extend_prologue(rewritten.prologue, report)
+        return rewritten, report
+
+    def rewrite_to_text(self, query: Query) -> str:
+        """Rewrite and serialise in one call (the mediator's common path)."""
+        rewritten, _report = self.rewrite(query)
+        return rewritten.serialize()
+
+    # ------------------------------------------------------------------ #
+    def _extend_prologue(self, prologue: Prologue, report: RewriteReport) -> None:
+        """Bind prefixes for the target vocabulary so output stays compact."""
+        for prefix, namespace in self._extra_prefixes.items():
+            prologue.namespace_manager.bind(prefix, namespace, replace=False)
+        # Derive prefixes from the vocabularies introduced by fired rules.
+        used_namespaces: Set[str] = set()
+        for alignment in report.alignments_used():
+            for uri in alignment.target_properties():
+                used_namespaces.add(uri.namespace_split()[0])
+        counter = 0
+        for namespace in sorted(used_namespaces):
+            if not namespace or prologue.namespace_manager.prefix(namespace) is not None:
+                continue
+            counter += 1
+            candidate = f"tgt{counter}"
+            while prologue.namespace_manager.namespace(candidate) is not None:
+                counter += 1
+                candidate = f"tgt{counter}"
+            prologue.namespace_manager.bind(candidate, namespace)

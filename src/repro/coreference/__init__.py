@@ -1,0 +1,13 @@
+"""Co-reference resolution substrate (local stand-in for sameas.org)."""
+
+from .generator import CoReferenceGenerator, CoReferenceSpec
+from .service import CoReferenceError, SameAsService
+from .unionfind import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "SameAsService",
+    "CoReferenceError",
+    "CoReferenceGenerator",
+    "CoReferenceSpec",
+]

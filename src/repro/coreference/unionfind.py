@@ -1,0 +1,86 @@
+"""Disjoint-set (union-find) structure used by the co-reference service.
+
+``owl:sameAs`` is an equivalence relation; the sameas.org service the paper
+wraps maintains *bundles* of equivalent URIs.  A union-find with path
+compression and union by rank gives near-constant-time bundle lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, TypeVar
+
+__all__ = ["UnionFind"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Union-find over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._rank: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register an item as its own singleton class (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: T) -> T:
+        """Representative of the item's class (with path compression)."""
+        if item not in self._parent:
+            raise KeyError(f"unknown item: {item!r}")
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: T, right: T) -> T:
+        """Merge the classes of ``left`` and ``right``; returns the new root."""
+        self.add(left)
+        self.add(right)
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root == right_root:
+            return left_root
+        if self._rank[left_root] < self._rank[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if self._rank[left_root] == self._rank[right_root]:
+            self._rank[left_root] += 1
+        return left_root
+
+    def connected(self, left: T, right: T) -> bool:
+        """True when the two items are in the same class."""
+        if left not in self._parent or right not in self._parent:
+            return False
+        return self.find(left) == self.find(right)
+
+    def members(self, item: T) -> Set[T]:
+        """Every item in the same class as ``item`` (including itself)."""
+        if item not in self._parent:
+            return {item}
+        root = self.find(item)
+        return {other for other in self._parent if self.find(other) == root}
+
+    def classes(self) -> List[Set[T]]:
+        """All equivalence classes as a list of sets."""
+        buckets: Dict[T, Set[T]] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), set()).add(item)
+        return list(buckets.values())
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._parent)

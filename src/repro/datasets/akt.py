@@ -1,0 +1,190 @@
+"""RKB-explorer-style dataset using the AKT reference ontology.
+
+This is the "source" repository of the scenario (the paper's
+``southampton.rkbexplorer.com`` data): it covers the whole world model and
+mints URIs in the ``http://southampton.rkbexplorer.com/id/`` space, e.g.
+``id:person-02686``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..federation import DatasetDescription
+from ..rdf import AKT, Graph, Literal, RDF, RKB_ID, Triple, URIRef, XSD
+from .ontologies import AKT_ONTOLOGY_URI, AKT_TERMS, RKB_DATASET_URI
+from .world import WorldModel
+
+__all__ = ["AktDatasetBuilder"]
+
+_KIND_TO_CLASS = {
+    "article": "Article-Reference",
+    "proceedings": "Conference-Proceedings-Reference",
+    "book": "Book-Reference",
+    "thesis": "Thesis-Reference",
+}
+
+
+class AktDatasetBuilder:
+    """Publish a :class:`WorldModel` as AKT-vocabulary RDF.
+
+    Parameters
+    ----------
+    world:
+        The shared world model.
+    coverage:
+        Fraction of the world's papers present in this repository (the RKB
+        repository is the reference copy, so the default is full coverage).
+    seed:
+        Seed for the coverage sampling.
+    """
+
+    dataset_uri: URIRef = RKB_DATASET_URI
+    endpoint_uri: URIRef = URIRef("http://southampton.rkbexplorer.com/sparql/")
+    uri_pattern: str = r"http://southampton\.rkbexplorer\.com/id/\S*"
+
+    def __init__(self, world: WorldModel, coverage: float = 1.0, seed: int = 11) -> None:
+        self.world = world
+        self.coverage = coverage
+        self.seed = seed
+        self.covered_paper_keys: Set[int] = self._sample_papers()
+        self.covered_person_keys: Set[int] = self._covered_persons()
+
+    # ------------------------------------------------------------------ #
+    # URI minting (also used by the co-reference generator)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def person_uri(key: int) -> URIRef:
+        return RKB_ID[f"person-{key:05d}"]
+
+    @staticmethod
+    def paper_uri(key: int) -> URIRef:
+        return RKB_ID[f"paper-{key:05d}"]
+
+    @staticmethod
+    def project_uri(key: int) -> URIRef:
+        return RKB_ID[f"project-{key:05d}"]
+
+    @staticmethod
+    def organization_uri(key: int) -> URIRef:
+        return RKB_ID[f"organization-{key:05d}"]
+
+    def mint(self, kind: str, key: int) -> URIRef:
+        """Generic minter keyed by entity kind (used by CoReferenceSpec)."""
+        minters = {
+            "person": self.person_uri,
+            "paper": self.paper_uri,
+            "project": self.project_uri,
+            "organization": self.organization_uri,
+        }
+        return minters[kind](key)
+
+    # ------------------------------------------------------------------ #
+    # Coverage
+    # ------------------------------------------------------------------ #
+    def _sample_papers(self) -> Set[int]:
+        import random
+
+        if self.coverage >= 1.0:
+            return {paper.key for paper in self.world.papers}
+        rng = random.Random(f"{self.seed}-akt-papers")
+        count = max(1, int(len(self.world.papers) * self.coverage))
+        return set(rng.sample([paper.key for paper in self.world.papers], count))
+
+    def _covered_persons(self) -> Set[int]:
+        persons: Set[int] = set()
+        for paper in self.world.papers:
+            if paper.key in self.covered_paper_keys:
+                persons.update(paper.author_keys)
+        if self.coverage >= 1.0:
+            persons.update(person.key for person in self.world.persons)
+        return persons
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def build(self) -> Graph:
+        """Materialise the repository as an RDF graph."""
+        graph = Graph(identifier=self.dataset_uri)
+        self._add_organizations(graph)
+        self._add_persons(graph)
+        self._add_papers(graph)
+        self._add_projects(graph)
+        self._add_citations(graph)
+        return graph
+
+    def _add_organizations(self, graph: Graph) -> None:
+        for organization in self.world.organizations:
+            uri = self.organization_uri(organization.key)
+            graph.add(Triple(uri, RDF.type, AKT_TERMS["Organization"]))
+            graph.add(Triple(uri, AKT_TERMS["full-name"], Literal(organization.name)))
+
+    def _add_persons(self, graph: Graph) -> None:
+        for person in self.world.persons:
+            if person.key not in self.covered_person_keys:
+                continue
+            uri = self.person_uri(person.key)
+            graph.add(Triple(uri, RDF.type, AKT_TERMS["Person"]))
+            graph.add(Triple(uri, AKT_TERMS["full-name"], Literal(person.full_name)))
+            graph.add(Triple(uri, AKT_TERMS["family-name"], Literal(person.family_name)))
+            graph.add(Triple(uri, AKT_TERMS["given-name"], Literal(person.given_name)))
+            graph.add(Triple(uri, AKT_TERMS["has-email-address"], Literal(person.email)))
+            affiliation = self.world.affiliations.get(person.key)
+            if affiliation is not None:
+                graph.add(
+                    Triple(uri, AKT_TERMS["has-affiliation"], self.organization_uri(affiliation))
+                )
+
+    def _add_papers(self, graph: Graph) -> None:
+        for paper in self.world.papers:
+            if paper.key not in self.covered_paper_keys:
+                continue
+            uri = self.paper_uri(paper.key)
+            klass = AKT_TERMS[_KIND_TO_CLASS.get(paper.kind, "Publication-Reference")]
+            graph.add(Triple(uri, RDF.type, klass))
+            graph.add(Triple(uri, RDF.type, AKT_TERMS["Publication-Reference"]))
+            graph.add(Triple(uri, AKT_TERMS["has-title"], Literal(paper.title)))
+            graph.add(Triple(uri, AKT_TERMS["has-year"],
+                             Literal(paper.year, datatype=XSD.integer)))
+            graph.add(Triple(uri, AKT_TERMS["has-date"], Literal(f"{paper.year}-01-01")))
+            graph.add(Triple(uri, AKT_TERMS["article-of-journal"], Literal(paper.venue)))
+            graph.add(Triple(uri, AKT_TERMS["has-pages"], Literal(paper.pages)))
+            for author_key in paper.author_keys:
+                graph.add(Triple(uri, AKT_TERMS["has-author"], self.person_uri(author_key)))
+
+    def _add_projects(self, graph: Graph) -> None:
+        for project in self.world.projects:
+            uri = self.project_uri(project.key)
+            graph.add(Triple(uri, RDF.type, AKT_TERMS["Project"]))
+            graph.add(Triple(uri, AKT_TERMS["has-title"], Literal(project.name)))
+            graph.add(Triple(uri, AKT_TERMS["has-start-date"],
+                             Literal(project.start_year, datatype=XSD.integer)))
+            graph.add(Triple(uri, AKT_TERMS["has-end-date"],
+                             Literal(project.end_year, datatype=XSD.integer)))
+            graph.add(Triple(uri, AKT_TERMS["has-project-leader"],
+                             self.person_uri(project.leader_key)))
+            for member_key in project.member_keys:
+                if member_key in self.covered_person_keys:
+                    graph.add(Triple(uri, AKT_TERMS["has-project-member"],
+                                     self.person_uri(member_key)))
+
+    def _add_citations(self, graph: Graph) -> None:
+        for citing, cited in self.world.citations:
+            if citing in self.covered_paper_keys and cited in self.covered_paper_keys:
+                graph.add(Triple(self.paper_uri(citing),
+                                 AKT_TERMS["cites-publication-reference"],
+                                 self.paper_uri(cited)))
+
+    # ------------------------------------------------------------------ #
+    # voiD description
+    # ------------------------------------------------------------------ #
+    def description(self, triple_count: Optional[int] = None) -> DatasetDescription:
+        return DatasetDescription(
+            uri=self.dataset_uri,
+            endpoint_uri=self.endpoint_uri,
+            ontologies=(AKT_ONTOLOGY_URI,),
+            uri_pattern=self.uri_pattern,
+            title="Southampton RKB explorer (AKT ontology)",
+            triple_count=triple_count,
+        )

@@ -1,0 +1,161 @@
+"""DBpedia-like dataset (the target of the 42-alignment KB of Section 3.4).
+
+DBpedia models the same reality much more loosely: a flat ``dbo:author``
+property from the article to the person, FOAF-style naming and the
+``http://dbpedia.org/resource/`` URI space.  Coverage is intentionally the
+lowest of the three repositories — only "notable" researchers and papers
+appear — which is what makes its contribution to recall modest but
+non-zero in Experiment E6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from ..federation import DatasetDescription
+from ..rdf import DBPEDIA_RES, FOAF, Graph, Literal, RDF, Triple, URIRef, XSD
+from .ontologies import DBPEDIA_DATASET_URI, DBPEDIA_ONTOLOGY_URI, DBPEDIA_TERMS
+from .world import WorldModel
+
+__all__ = ["DBpediaDatasetBuilder"]
+
+_KIND_TO_CLASS = {
+    "article": "AcademicArticle",
+    "proceedings": "AcademicArticle",
+    "book": "Book",
+    "thesis": "Thesis",
+}
+
+
+class DBpediaDatasetBuilder:
+    """Publish a sparse view of the world with the DBpedia-like ontology."""
+
+    dataset_uri: URIRef = DBPEDIA_DATASET_URI
+    endpoint_uri: URIRef = URIRef("http://dbpedia.org/sparql")
+    uri_pattern: str = r"http://dbpedia\.org/resource/\S*"
+
+    def __init__(self, world: WorldModel, coverage: float = 0.35, seed: int = 31) -> None:
+        self.world = world
+        self.coverage = coverage
+        self.seed = seed
+        self.covered_paper_keys: Set[int] = self._sample_papers()
+        self.covered_person_keys: Set[int] = self._covered_persons()
+
+    # ------------------------------------------------------------------ #
+    # URI minting
+    # ------------------------------------------------------------------ #
+    def person_uri(self, key: int) -> URIRef:
+        person = self.world.persons[key]
+        slug = f"{person.given_name}_{person.family_name}".replace(" ", "_")
+        return DBPEDIA_RES[f"{slug}_{key}"]
+
+    @staticmethod
+    def paper_uri(key: int) -> URIRef:
+        return DBPEDIA_RES[f"Academic_Paper_{key}"]
+
+    @staticmethod
+    def project_uri(key: int) -> URIRef:
+        return DBPEDIA_RES[f"Research_Project_{key}"]
+
+    def organization_uri(self, key: int) -> URIRef:
+        name = self.world.organizations[key].name.replace(" ", "_")
+        return DBPEDIA_RES[name]
+
+    def mint(self, kind: str, key: int) -> URIRef:
+        minters = {
+            "person": self.person_uri,
+            "paper": self.paper_uri,
+            "project": self.project_uri,
+            "organization": self.organization_uri,
+        }
+        return minters[kind](key)
+
+    # ------------------------------------------------------------------ #
+    # Coverage
+    # ------------------------------------------------------------------ #
+    def _sample_papers(self) -> Set[int]:
+        if self.coverage >= 1.0:
+            return {paper.key for paper in self.world.papers}
+        rng = random.Random(f"{self.seed}-dbpedia-papers")
+        count = max(1, int(len(self.world.papers) * self.coverage))
+        return set(rng.sample([paper.key for paper in self.world.papers], count))
+
+    def _covered_persons(self) -> Set[int]:
+        persons: Set[int] = set()
+        for paper in self.world.papers:
+            if paper.key in self.covered_paper_keys:
+                persons.update(paper.author_keys)
+        return persons
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def build(self) -> Graph:
+        graph = Graph(identifier=self.dataset_uri)
+        self._add_organisations(graph)
+        self._add_persons(graph)
+        self._add_papers(graph)
+        self._add_projects(graph)
+        return graph
+
+    def _add_organisations(self, graph: Graph) -> None:
+        for organization in self.world.organizations:
+            uri = self.organization_uri(organization.key)
+            graph.add(Triple(uri, RDF.type, DBPEDIA_TERMS["Organisation"]))
+            graph.add(Triple(uri, FOAF.name, Literal(organization.name)))
+
+    def _add_persons(self, graph: Graph) -> None:
+        for person in self.world.persons:
+            if person.key not in self.covered_person_keys:
+                continue
+            uri = self.person_uri(person.key)
+            graph.add(Triple(uri, RDF.type, DBPEDIA_TERMS["Person"]))
+            graph.add(Triple(uri, RDF.type, DBPEDIA_TERMS["Scientist"]))
+            graph.add(Triple(uri, FOAF.name, Literal(person.full_name)))
+            graph.add(Triple(uri, DBPEDIA_TERMS["surname"], Literal(person.family_name)))
+            graph.add(Triple(uri, DBPEDIA_TERMS["givenName"], Literal(person.given_name)))
+            affiliation = self.world.affiliations.get(person.key)
+            if affiliation is not None:
+                graph.add(Triple(uri, DBPEDIA_TERMS["affiliation"],
+                                 self.organization_uri(affiliation)))
+
+    def _add_papers(self, graph: Graph) -> None:
+        for paper in self.world.papers:
+            if paper.key not in self.covered_paper_keys:
+                continue
+            uri = self.paper_uri(paper.key)
+            klass = DBPEDIA_TERMS[_KIND_TO_CLASS.get(paper.kind, "WrittenWork")]
+            graph.add(Triple(uri, RDF.type, klass))
+            graph.add(Triple(uri, RDF.type, DBPEDIA_TERMS["WrittenWork"]))
+            graph.add(Triple(uri, DBPEDIA_TERMS["title"], Literal(paper.title)))
+            graph.add(Triple(uri, DBPEDIA_TERMS["publicationYear"],
+                             Literal(paper.year, datatype=XSD.integer)))
+            graph.add(Triple(uri, DBPEDIA_TERMS["journal"], Literal(paper.venue)))
+            for author_key in paper.author_keys:
+                graph.add(Triple(uri, DBPEDIA_TERMS["author"], self.person_uri(author_key)))
+
+    def _add_projects(self, graph: Graph) -> None:
+        for project in self.world.projects:
+            uri = self.project_uri(project.key)
+            graph.add(Triple(uri, RDF.type, DBPEDIA_TERMS["ResearchProject"]))
+            graph.add(Triple(uri, FOAF.name, Literal(project.name)))
+            graph.add(Triple(uri, DBPEDIA_TERMS["projectStartDate"],
+                             Literal(project.start_year, datatype=XSD.integer)))
+            graph.add(Triple(uri, DBPEDIA_TERMS["projectEndDate"],
+                             Literal(project.end_year, datatype=XSD.integer)))
+            for member_key in project.member_keys:
+                if member_key in self.covered_person_keys:
+                    graph.add(Triple(uri, DBPEDIA_TERMS["projectMember"],
+                                     self.person_uri(member_key)))
+
+    # ------------------------------------------------------------------ #
+    def description(self, triple_count: Optional[int] = None) -> DatasetDescription:
+        return DatasetDescription(
+            uri=self.dataset_uri,
+            endpoint_uri=self.endpoint_uri,
+            ontologies=(DBPEDIA_ONTOLOGY_URI,),
+            uri_pattern=self.uri_pattern,
+            title="DBpedia (DBpedia ontology)",
+            triple_count=triple_count,
+        )

@@ -1,0 +1,184 @@
+"""KISTI-style dataset using the KISTI research-reference ontology.
+
+This is the worked example's target repository: authorship is modelled
+through an intermediate ``CreatorInfo`` node (``paper hasCreatorInfo _:c .
+_:c hasCreator person``), names are split into family/given parts and the
+URI space is ``http://kisti.rkbexplorer.com/id/`` with ``PER_...`` /
+``PAP_...`` identifiers, mirroring the URIs shown in Section 3.3.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set
+
+from ..federation import DatasetDescription
+from ..rdf import Graph, KISTI_ID, Literal, RDF, Triple, URIRef, XSD
+from .ontologies import KISTI_DATASET_URI, KISTI_ONTOLOGY_URI, KISTI_TERMS
+from .world import WorldModel
+
+__all__ = ["KistiDatasetBuilder"]
+
+_KIND_TO_CLASS = {
+    "article": "Paper",
+    "proceedings": "ProceedingsPaper",
+    "book": "Monograph",
+    "thesis": "Dissertation",
+}
+
+
+class KistiDatasetBuilder:
+    """Publish a partial view of the world with the KISTI ontology.
+
+    ``coverage`` controls which fraction of the world's papers this
+    repository holds — the redundancy/overlap that makes federated querying
+    worthwhile.
+    """
+
+    dataset_uri: URIRef = KISTI_DATASET_URI
+    endpoint_uri: URIRef = URIRef("http://kisti.rkbexplorer.com/sparql/")
+    uri_pattern: str = r"http://kisti\.rkbexplorer\.com/id/\S*"
+
+    def __init__(self, world: WorldModel, coverage: float = 0.6, seed: int = 23) -> None:
+        self.world = world
+        self.coverage = coverage
+        self.seed = seed
+        self.covered_paper_keys: Set[int] = self._sample_papers()
+        self.covered_person_keys: Set[int] = self._covered_persons()
+
+    # ------------------------------------------------------------------ #
+    # URI minting (the identifiers of Section 3.3.2: kid:PER_000...105047)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def person_uri(key: int) -> URIRef:
+        return KISTI_ID[f"PER_{key:012d}"]
+
+    @staticmethod
+    def paper_uri(key: int) -> URIRef:
+        return KISTI_ID[f"PAP_{key:012d}"]
+
+    @staticmethod
+    def project_uri(key: int) -> URIRef:
+        return KISTI_ID[f"PRJ_{key:012d}"]
+
+    @staticmethod
+    def organization_uri(key: int) -> URIRef:
+        return KISTI_ID[f"INS_{key:012d}"]
+
+    @staticmethod
+    def creator_info_uri(paper_key: int, position: int) -> URIRef:
+        return KISTI_ID[f"CRE_{paper_key:09d}_{position:03d}"]
+
+    def mint(self, kind: str, key: int) -> URIRef:
+        minters = {
+            "person": self.person_uri,
+            "paper": self.paper_uri,
+            "project": self.project_uri,
+            "organization": self.organization_uri,
+        }
+        return minters[kind](key)
+
+    # ------------------------------------------------------------------ #
+    # Coverage
+    # ------------------------------------------------------------------ #
+    def _sample_papers(self) -> Set[int]:
+        if self.coverage >= 1.0:
+            return {paper.key for paper in self.world.papers}
+        rng = random.Random(f"{self.seed}-kisti-papers")
+        count = max(1, int(len(self.world.papers) * self.coverage))
+        return set(rng.sample([paper.key for paper in self.world.papers], count))
+
+    def _covered_persons(self) -> Set[int]:
+        persons: Set[int] = set()
+        for paper in self.world.papers:
+            if paper.key in self.covered_paper_keys:
+                persons.update(paper.author_keys)
+        return persons
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def build(self) -> Graph:
+        graph = Graph(identifier=self.dataset_uri)
+        self._add_institutes(graph)
+        self._add_researchers(graph)
+        self._add_papers(graph)
+        self._add_projects(graph)
+        self._add_citations(graph)
+        return graph
+
+    def _add_institutes(self, graph: Graph) -> None:
+        for organization in self.world.organizations:
+            uri = self.organization_uri(organization.key)
+            graph.add(Triple(uri, RDF.type, KISTI_TERMS["Institute"]))
+            graph.add(Triple(uri, KISTI_TERMS["name"], Literal(organization.name)))
+
+    def _add_researchers(self, graph: Graph) -> None:
+        for person in self.world.persons:
+            if person.key not in self.covered_person_keys:
+                continue
+            uri = self.person_uri(person.key)
+            graph.add(Triple(uri, RDF.type, KISTI_TERMS["Researcher"]))
+            graph.add(Triple(uri, KISTI_TERMS["name"], Literal(person.full_name)))
+            graph.add(Triple(uri, KISTI_TERMS["familyName"], Literal(person.family_name)))
+            graph.add(Triple(uri, KISTI_TERMS["givenName"], Literal(person.given_name)))
+            graph.add(Triple(uri, KISTI_TERMS["email"], Literal(person.email)))
+            affiliation = self.world.affiliations.get(person.key)
+            if affiliation is not None:
+                graph.add(Triple(uri, KISTI_TERMS["affiliatedWith"],
+                                 self.organization_uri(affiliation)))
+
+    def _add_papers(self, graph: Graph) -> None:
+        for paper in self.world.papers:
+            if paper.key not in self.covered_paper_keys:
+                continue
+            uri = self.paper_uri(paper.key)
+            klass = KISTI_TERMS[_KIND_TO_CLASS.get(paper.kind, "Publication")]
+            graph.add(Triple(uri, RDF.type, klass))
+            graph.add(Triple(uri, RDF.type, KISTI_TERMS["Publication"]))
+            graph.add(Triple(uri, KISTI_TERMS["title"], Literal(paper.title)))
+            graph.add(Triple(uri, KISTI_TERMS["publicationYear"],
+                             Literal(paper.year, datatype=XSD.integer)))
+            graph.add(Triple(uri, KISTI_TERMS["publishedIn"], Literal(paper.venue)))
+            graph.add(Triple(uri, KISTI_TERMS["pageRange"], Literal(paper.pages)))
+            # Authorship through the CreatorInfo indirection.
+            for position, author_key in enumerate(paper.author_keys):
+                creator_info = self.creator_info_uri(paper.key, position)
+                graph.add(Triple(creator_info, RDF.type, KISTI_TERMS["CreatorInfo"]))
+                graph.add(Triple(uri, KISTI_TERMS["hasCreatorInfo"], creator_info))
+                graph.add(Triple(creator_info, KISTI_TERMS["hasCreator"],
+                                 self.person_uri(author_key)))
+
+    def _add_projects(self, graph: Graph) -> None:
+        for project in self.world.projects:
+            uri = self.project_uri(project.key)
+            graph.add(Triple(uri, RDF.type, KISTI_TERMS["ResearchProject"]))
+            graph.add(Triple(uri, KISTI_TERMS["title"], Literal(project.name)))
+            graph.add(Triple(uri, KISTI_TERMS["startDate"],
+                             Literal(project.start_year, datatype=XSD.integer)))
+            graph.add(Triple(uri, KISTI_TERMS["endDate"],
+                             Literal(project.end_year, datatype=XSD.integer)))
+            if project.leader_key in self.covered_person_keys:
+                graph.add(Triple(uri, KISTI_TERMS["hasLeader"],
+                                 self.person_uri(project.leader_key)))
+            for member_key in project.member_keys:
+                if member_key in self.covered_person_keys:
+                    graph.add(Triple(uri, KISTI_TERMS["hasMember"],
+                                     self.person_uri(member_key)))
+
+    def _add_citations(self, graph: Graph) -> None:
+        for citing, cited in self.world.citations:
+            if citing in self.covered_paper_keys and cited in self.covered_paper_keys:
+                graph.add(Triple(self.paper_uri(citing), KISTI_TERMS["references"],
+                                 self.paper_uri(cited)))
+
+    # ------------------------------------------------------------------ #
+    def description(self, triple_count: Optional[int] = None) -> DatasetDescription:
+        return DatasetDescription(
+            uri=self.dataset_uri,
+            endpoint_uri=self.endpoint_uri,
+            ontologies=(KISTI_ONTOLOGY_URI,),
+            uri_pattern=self.uri_pattern,
+            title="KISTI RKB repository (KISTI ontology)",
+            triple_count=triple_count,
+        )

@@ -1,0 +1,23 @@
+"""Federation layer: endpoints, voiD registry, federated execution, service facade."""
+
+from .endpoint import EndpointError, EndpointUnavailable, LocalSparqlEndpoint, SparqlEndpoint
+from .federator import (
+    DatasetResult,
+    FederatedQueryEngine,
+    FederatedResult,
+    f1_score,
+    precision,
+    recall,
+)
+from .registry import DatasetRegistry, RegisteredDataset
+from .service import DatasetInfo, ExecutionResponse, MediatorService, TranslationResponse
+from .void import DatasetDescription, descriptions_from_graph, descriptions_to_graph
+
+__all__ = [
+    "SparqlEndpoint", "LocalSparqlEndpoint", "EndpointError", "EndpointUnavailable",
+    "DatasetDescription", "descriptions_to_graph", "descriptions_from_graph",
+    "DatasetRegistry", "RegisteredDataset",
+    "FederatedQueryEngine", "FederatedResult", "DatasetResult",
+    "recall", "precision", "f1_score",
+    "MediatorService", "DatasetInfo", "TranslationResponse", "ExecutionResponse",
+]

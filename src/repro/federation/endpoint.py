@@ -1,0 +1,146 @@
+"""SPARQL endpoint abstraction.
+
+The original system dispatched rewritten queries to remote endpoints over
+SPARQL/HTTP (Figure 5).  Offline we model an endpoint as "something that
+answers SPARQL queries": :class:`LocalSparqlEndpoint` wraps an in-memory
+graph behind the same interface a remote endpoint would offer, including
+simple failure injection and invocation accounting so experiments can
+report how many endpoint calls the federation layer makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..rdf import Graph, ReadOnlyGraphView, Triple, URIRef
+from ..sparql import AskResult, Query, QueryEvaluator, ResultSet, parse_query
+
+__all__ = ["SparqlEndpoint", "LocalSparqlEndpoint", "EndpointError", "EndpointUnavailable"]
+
+
+class EndpointError(RuntimeError):
+    """Base error for endpoint interaction failures."""
+
+
+class EndpointUnavailable(EndpointError):
+    """Raised when a (simulated) endpoint is switched off."""
+
+
+class SparqlEndpoint:
+    """Abstract endpoint interface used by the federation layer."""
+
+    #: URI identifying the endpoint (the value stored in the voiD profile).
+    uri: URIRef
+
+    def select(self, query: Union[Query, str]) -> ResultSet:
+        """Run a SELECT query and return its result set."""
+        raise NotImplementedError
+
+    def ask(self, query: Union[Query, str]) -> AskResult:
+        """Run an ASK query."""
+        raise NotImplementedError
+
+    def construct(self, query: Union[Query, str]) -> Graph:
+        """Run a CONSTRUCT query."""
+        raise NotImplementedError
+
+
+@dataclass
+class EndpointStatistics:
+    """Bookkeeping about the traffic an endpoint has served."""
+
+    select_queries: int = 0
+    ask_queries: int = 0
+    construct_queries: int = 0
+
+    @property
+    def total_queries(self) -> int:
+        return self.select_queries + self.ask_queries + self.construct_queries
+
+
+class LocalSparqlEndpoint(SparqlEndpoint):
+    """An in-process endpoint over an in-memory RDF graph.
+
+    Parameters
+    ----------
+    uri:
+        The endpoint URI recorded in the dataset's voiD description.
+    graph:
+        The data served by the endpoint.
+    name:
+        Human-readable label used in logs and experiment tables.
+    available:
+        When false every query raises :class:`EndpointUnavailable`
+        (failure-injection hook used by the federation tests).
+    """
+
+    def __init__(
+        self,
+        uri: URIRef,
+        graph: Graph,
+        name: Optional[str] = None,
+        available: bool = True,
+    ) -> None:
+        self.uri = uri
+        self.name = name or str(uri)
+        self.available = available
+        self._graph = graph
+        self._evaluator = QueryEvaluator(graph)
+        self.statistics = EndpointStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Data access
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> ReadOnlyGraphView:
+        """Read-only view of the endpoint's data."""
+        return ReadOnlyGraphView(self._graph)
+
+    def triple_count(self) -> int:
+        return len(self._graph)
+
+    def load(self, triples: Iterable[Triple]) -> "LocalSparqlEndpoint":
+        """Bulk-load triples (used by the scenario builders)."""
+        self._graph.add_all(triples)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Query interface
+    # ------------------------------------------------------------------ #
+    def _check_available(self) -> None:
+        if not self.available:
+            raise EndpointUnavailable(f"endpoint {self.name} is unavailable")
+
+    def select(self, query: Union[Query, str]) -> ResultSet:
+        self._check_available()
+        self.statistics.select_queries += 1
+        result = self._evaluator.evaluate(self._coerce(query))
+        if not isinstance(result, ResultSet):
+            raise EndpointError("query did not produce SELECT results")
+        return result
+
+    def ask(self, query: Union[Query, str]) -> AskResult:
+        self._check_available()
+        self.statistics.ask_queries += 1
+        result = self._evaluator.evaluate(self._coerce(query))
+        if not isinstance(result, AskResult):
+            raise EndpointError("query did not produce an ASK result")
+        return result
+
+    def construct(self, query: Union[Query, str]) -> Graph:
+        self._check_available()
+        self.statistics.construct_queries += 1
+        result = self._evaluator.evaluate(self._coerce(query))
+        if not isinstance(result, Graph):
+            raise EndpointError("query did not produce a CONSTRUCT graph")
+        return result
+
+    @staticmethod
+    def _coerce(query: Union[Query, str]) -> Query:
+        if isinstance(query, str):
+            return parse_query(query)
+        return query
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LocalSparqlEndpoint {self.name} ({self.triple_count()} triples)>"

@@ -1,0 +1,234 @@
+"""Federated query execution with co-reference-aware result merging.
+
+The introduction of the paper motivates rewriting with *recall*: "the
+information space on the Web of Data is highly redundant and data
+repositories need to be integrated in order to provide high recall result
+sets".  The federator implements that integration step:
+
+1. the mediator rewrites the source query once per target dataset,
+2. every rewritten query is executed on its dataset's endpoint,
+3. the per-dataset result sets are merged; bindings whose URIs co-refer
+   (per the sameas service) are collapsed onto a canonical representative
+   so the merged result counts *entities*, not URIs.
+
+:func:`recall` / :func:`precision` provide the evaluation metrics used by
+Experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..coreference import SameAsService
+from ..core import MediationResult, Mediator
+from ..rdf import Term, URIRef, Variable
+from ..sparql import Binding, Query, ResultSet, parse_query
+from .endpoint import EndpointError
+from .registry import DatasetRegistry, RegisteredDataset
+
+__all__ = ["DatasetResult", "FederatedResult", "FederatedQueryEngine", "recall", "precision", "f1_score"]
+
+
+@dataclass
+class DatasetResult:
+    """Result of running one (rewritten) query on one dataset."""
+
+    dataset_uri: URIRef
+    mediation: Optional[MediationResult]
+    result: Optional[ResultSet]
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result is not None and self.error is None
+
+    @property
+    def row_count(self) -> int:
+        return len(self.result) if self.result is not None else 0
+
+
+@dataclass
+class FederatedResult:
+    """Merged outcome of a federated query."""
+
+    variables: List[Variable]
+    per_dataset: List[DatasetResult] = field(default_factory=list)
+    merged_bindings: List[Binding] = field(default_factory=list)
+
+    def merged(self) -> ResultSet:
+        """The merged (co-reference-canonicalised, deduplicated) result set."""
+        return ResultSet(self.variables, self.merged_bindings)
+
+    def distinct_values(self, variable: Union[Variable, str]) -> Set[Term]:
+        return self.merged().distinct_values(variable)
+
+    def successful_datasets(self) -> List[URIRef]:
+        return [entry.dataset_uri for entry in self.per_dataset if entry.succeeded]
+
+    def failed_datasets(self) -> List[URIRef]:
+        return [entry.dataset_uri for entry in self.per_dataset if not entry.succeeded]
+
+    @property
+    def total_rows(self) -> int:
+        """Rows retrieved before merging (sum over datasets)."""
+        return sum(entry.row_count for entry in self.per_dataset)
+
+
+class FederatedQueryEngine:
+    """Run a source query over every registered dataset through the mediator."""
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        registry: DatasetRegistry,
+        sameas_service: Optional[SameAsService] = None,
+    ) -> None:
+        self.mediator = mediator
+        self.registry = registry
+        self.sameas_service = sameas_service or mediator.sameas_service
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: Union[Query, str],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+        canonical_pattern: Optional[str] = None,
+    ) -> FederatedResult:
+        """Run ``query`` over the federation.
+
+        ``source_dataset`` names the dataset the query was originally
+        written for: that dataset receives the query *unrewritten*; every
+        other dataset receives the mediated translation.  ``datasets``
+        restricts the fan-out; ``canonical_pattern`` selects the URI space
+        results are canonicalised into (defaults to the source dataset's
+        pattern, falling back to plain deduplication).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        targets = self._select_targets(datasets)
+        variables = self._result_variables(query)
+
+        if canonical_pattern is None and source_dataset is not None and source_dataset in self.registry:
+            canonical_pattern = self.registry.get(source_dataset).uri_pattern
+
+        outcome = FederatedResult(variables=list(variables))
+        for target in targets:
+            outcome.per_dataset.append(
+                self._run_on_dataset(query, target, source_ontology, source_dataset, mode)
+            )
+        outcome.merged_bindings = self._merge(
+            (entry.result for entry in outcome.per_dataset if entry.result is not None),
+            variables,
+            canonical_pattern,
+        )
+        return outcome
+
+    def _select_targets(self, datasets: Optional[Sequence[URIRef]]) -> List[RegisteredDataset]:
+        if datasets is None:
+            return self.registry.datasets()
+        return [self.registry.get(uri) for uri in datasets]
+
+    @staticmethod
+    def _result_variables(query: Query) -> List[Variable]:
+        projection = getattr(query, "projection", None)
+        if projection:
+            return list(projection)
+        return sorted(query.variables(), key=str)
+
+    def _run_on_dataset(
+        self,
+        query: Query,
+        target: RegisteredDataset,
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+    ) -> DatasetResult:
+        mediation: Optional[MediationResult] = None
+        try:
+            if source_dataset is not None and target.uri == source_dataset:
+                executable: Query = query
+            else:
+                mediation = self.mediator.translate(query, target.uri, source_ontology, mode)
+                executable = mediation.rewritten_query
+            result = target.endpoint.select(executable)
+            return DatasetResult(target.uri, mediation, result)
+        except (EndpointError, KeyError, ValueError) as exc:
+            return DatasetResult(target.uri, mediation, None, error=str(exc))
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+    def _merge(
+        self,
+        result_sets: Iterable[ResultSet],
+        variables: Sequence[Variable],
+        canonical_pattern: Optional[str],
+    ) -> List[Binding]:
+        merged: List[Binding] = []
+        seen: Set[frozenset] = set()
+        for result_set in result_sets:
+            for binding in result_set:
+                canonical = self._canonicalise(binding, variables, canonical_pattern)
+                key = frozenset(canonical.as_dict().items())
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(canonical)
+        return merged
+
+    def _canonicalise(
+        self,
+        binding: Binding,
+        variables: Sequence[Variable],
+        canonical_pattern: Optional[str],
+    ) -> Binding:
+        data: Dict[Variable, Term] = {}
+        for variable in variables:
+            term = binding.get_term(variable)
+            if term is None:
+                continue
+            if isinstance(term, URIRef):
+                term = self._canonical_uri(term, canonical_pattern)
+            data[variable] = term
+        return Binding(data)
+
+    def _canonical_uri(self, uri: URIRef, canonical_pattern: Optional[str]) -> URIRef:
+        if canonical_pattern:
+            translated = self.sameas_service.lookup(uri, canonical_pattern)
+            if translated is not None:
+                return translated
+        # No preferred URI space: use the lexicographically smallest member
+        # of the bundle so co-referent URIs from different datasets collapse.
+        bundle = self.sameas_service.equivalence_class(uri)
+        return sorted(bundle, key=str)[0]
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation metrics
+# --------------------------------------------------------------------------- #
+def recall(retrieved: Set, relevant: Set) -> float:
+    """|retrieved ∩ relevant| / |relevant| (1.0 when nothing is relevant)."""
+    if not relevant:
+        return 1.0
+    return len(set(retrieved) & set(relevant)) / len(set(relevant))
+
+
+def precision(retrieved: Set, relevant: Set) -> float:
+    """|retrieved ∩ relevant| / |retrieved| (1.0 when nothing is retrieved)."""
+    if not retrieved:
+        return 1.0
+    return len(set(retrieved) & set(relevant)) / len(set(retrieved))
+
+
+def f1_score(retrieved: Set, relevant: Set) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(retrieved, relevant)
+    r = recall(retrieved, relevant)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)

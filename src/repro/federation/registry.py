@@ -1,0 +1,105 @@
+"""Dataset registry: voiD descriptions plus live endpoints.
+
+The registry is the runtime companion of the voiD KB: for every registered
+dataset it stores the :class:`DatasetDescription` *and* the endpoint object
+that actually answers queries (a :class:`LocalSparqlEndpoint` in this
+reproduction, an HTTP client in the original system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..rdf import Graph, URIRef
+from .endpoint import SparqlEndpoint
+from .void import DatasetDescription, descriptions_to_graph
+
+__all__ = ["RegisteredDataset", "DatasetRegistry"]
+
+
+@dataclass(frozen=True)
+class RegisteredDataset:
+    """A dataset known to the mediator: description + endpoint."""
+
+    description: DatasetDescription
+    endpoint: SparqlEndpoint
+
+    @property
+    def uri(self) -> URIRef:
+        return self.description.uri
+
+    @property
+    def ontologies(self):
+        return self.description.ontologies
+
+    @property
+    def uri_pattern(self) -> Optional[str]:
+        return self.description.uri_pattern
+
+
+class DatasetRegistry:
+    """URI-keyed registry of datasets available for federation."""
+
+    def __init__(self, datasets: Iterable[RegisteredDataset] = ()) -> None:
+        self._datasets: Dict[URIRef, RegisteredDataset] = {}
+        for dataset in datasets:
+            self.register(dataset)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, dataset: RegisteredDataset) -> "DatasetRegistry":
+        """Add (or replace) a dataset."""
+        self._datasets[dataset.uri] = dataset
+        return self
+
+    def register_endpoint(
+        self, description: DatasetDescription, endpoint: SparqlEndpoint
+    ) -> RegisteredDataset:
+        """Convenience: build and register a :class:`RegisteredDataset`."""
+        dataset = RegisteredDataset(description, endpoint)
+        self.register(dataset)
+        return dataset
+
+    def unregister(self, uri: URIRef) -> None:
+        self._datasets.pop(uri, None)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __contains__(self, uri: URIRef) -> bool:
+        return uri in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __iter__(self) -> Iterator[RegisteredDataset]:
+        for uri in sorted(self._datasets, key=str):
+            yield self._datasets[uri]
+
+    def get(self, uri: URIRef) -> RegisteredDataset:
+        """The dataset registered under ``uri``; raises ``KeyError`` if absent."""
+        if uri not in self._datasets:
+            raise KeyError(f"unknown dataset: {uri}")
+        return self._datasets[uri]
+
+    def datasets(self) -> List[RegisteredDataset]:
+        return list(iter(self))
+
+    def dataset_uris(self) -> List[URIRef]:
+        return [dataset.uri for dataset in self]
+
+    def using_ontology(self, ontology: URIRef) -> List[RegisteredDataset]:
+        """Datasets whose voiD description lists ``ontology`` as a vocabulary."""
+        return [dataset for dataset in self if ontology in dataset.ontologies]
+
+    # ------------------------------------------------------------------ #
+    # voiD KB export
+    # ------------------------------------------------------------------ #
+    def void_graph(self) -> Graph:
+        """The voiD KB describing every registered dataset."""
+        return descriptions_to_graph(dataset.description for dataset in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DatasetRegistry {len(self)} datasets>"

@@ -1,0 +1,128 @@
+"""voiD dataset descriptions (the mediator's *voiD KB* of Figure 5).
+
+The deployed system "maintains a simple knowledge base in RDF describing
+data sets, and their SPARQL endpoints, using the voiD vocabulary ... every
+data set is uniquely identified within the system with an URI".
+:class:`DatasetDescription` is the in-memory form of one such description
+and converts to/from the voiD RDF encoding, so the registry can persist its
+knowledge base exactly as the paper's system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..rdf import (
+    DC,
+    Graph,
+    Literal,
+    RDF,
+    Term,
+    Triple,
+    URIRef,
+    VOID,
+    XSD,
+)
+
+__all__ = ["DatasetDescription", "descriptions_to_graph", "descriptions_from_graph"]
+
+#: Property linking a dataset to the regular expression of its URI space.
+#: voiD has ``void:uriRegexPattern`` for exactly this purpose.
+URI_PATTERN_PROPERTY = VOID.uriRegexPattern
+
+
+@dataclass(frozen=True)
+class DatasetDescription:
+    """A voiD-style description of one dataset.
+
+    Attributes
+    ----------
+    uri:
+        Dataset identity (e.g. ``http://kisti.rkbexplorer.com/id/void``).
+    endpoint_uri:
+        The dataset's SPARQL endpoint (``void:sparqlEndpoint``).
+    ontologies:
+        Vocabularies the dataset adopts (``void:vocabulary``).
+    uri_pattern:
+        Regular expression of the instance URI space
+        (``void:uriRegexPattern``) — the second argument of ``sameas``.
+    title:
+        Human readable name (``dc:title``).
+    triple_count:
+        Advertised size (``void:triples``), informational.
+    """
+
+    uri: URIRef
+    endpoint_uri: URIRef
+    ontologies: Tuple[URIRef, ...] = ()
+    uri_pattern: Optional[str] = None
+    title: Optional[str] = None
+    triple_count: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # RDF encoding
+    # ------------------------------------------------------------------ #
+    def to_triples(self) -> List[Triple]:
+        """The voiD triples describing this dataset."""
+        triples = [
+            Triple(self.uri, RDF.type, VOID.Dataset),
+            Triple(self.uri, VOID.sparqlEndpoint, self.endpoint_uri),
+        ]
+        for ontology in self.ontologies:
+            triples.append(Triple(self.uri, VOID.vocabulary, ontology))
+        if self.uri_pattern is not None:
+            triples.append(Triple(self.uri, URI_PATTERN_PROPERTY, Literal(self.uri_pattern)))
+        if self.title is not None:
+            triples.append(Triple(self.uri, DC.title, Literal(self.title)))
+        if self.triple_count is not None:
+            triples.append(
+                Triple(self.uri, VOID.triples, Literal(self.triple_count, datatype=XSD.integer))
+            )
+        return triples
+
+    @classmethod
+    def from_graph(cls, graph: Graph, uri: URIRef) -> "DatasetDescription":
+        """Read one dataset description rooted at ``uri``."""
+        endpoint = graph.value(uri, VOID.sparqlEndpoint, None)
+        if endpoint is None:
+            raise ValueError(f"dataset {uri} has no void:sparqlEndpoint")
+        ontologies = tuple(
+            sorted(
+                (term for term in graph.objects(uri, VOID.vocabulary) if isinstance(term, URIRef)),
+                key=str,
+            )
+        )
+        pattern_term = graph.value(uri, URI_PATTERN_PROPERTY, None)
+        title_term = graph.value(uri, DC.title, None)
+        count_term = graph.value(uri, VOID.triples, None)
+        triple_count = None
+        if isinstance(count_term, Literal):
+            value = count_term.to_python()
+            if isinstance(value, int):
+                triple_count = value
+        return cls(
+            uri=uri,
+            endpoint_uri=endpoint,  # type: ignore[arg-type]
+            ontologies=ontologies,
+            uri_pattern=pattern_term.lexical if isinstance(pattern_term, Literal) else None,
+            title=title_term.lexical if isinstance(title_term, Literal) else None,
+            triple_count=triple_count,
+        )
+
+
+def descriptions_to_graph(descriptions: Iterable[DatasetDescription]) -> Graph:
+    """Serialise dataset descriptions into one voiD graph."""
+    graph = Graph()
+    for description in descriptions:
+        graph.add_all(description.to_triples())
+    return graph
+
+
+def descriptions_from_graph(graph: Graph) -> List[DatasetDescription]:
+    """Read every ``void:Dataset`` description from a graph."""
+    descriptions = []
+    for uri in sorted(graph.subjects(RDF.type, VOID.Dataset), key=lambda t: t.sort_key()):
+        if isinstance(uri, URIRef):
+            descriptions.append(DatasetDescription.from_graph(graph, uri))
+    return descriptions

@@ -1,0 +1,114 @@
+"""RDF datasets (collections of named graphs).
+
+The mediator of Section 3.4 keeps two knowledge bases (the alignment KB and
+the voiD KB) and the federation layer manages one graph per remote dataset.
+:class:`Dataset` gives those components a common container: a default graph
+plus any number of named graphs, addressable by URI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+from .graph import Graph
+from .terms import URIRef
+from .triple import Quad, Triple
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """A default graph plus a set of named graphs."""
+
+    def __init__(self) -> None:
+        self._default = Graph()
+        self._named: Dict[URIRef, Graph] = {}
+
+    # ------------------------------------------------------------------ #
+    # Graph management
+    # ------------------------------------------------------------------ #
+    @property
+    def default_graph(self) -> Graph:
+        """The unnamed default graph."""
+        return self._default
+
+    def graph(self, name: Optional[URIRef] = None, create: bool = True) -> Graph:
+        """Return the graph named ``name`` (the default graph when ``None``).
+
+        When ``create`` is true a missing named graph is created on demand;
+        otherwise :class:`KeyError` is raised.
+        """
+        if name is None:
+            return self._default
+        if name not in self._named:
+            if not create:
+                raise KeyError(f"no graph named {name}")
+            self._named[name] = Graph(identifier=name)
+        return self._named[name]
+
+    def remove_graph(self, name: URIRef) -> None:
+        """Drop a named graph entirely."""
+        self._named.pop(name, None)
+
+    def graph_names(self) -> list[URIRef]:
+        """URIs of all named graphs, sorted for determinism."""
+        return sorted(self._named, key=str)
+
+    def graphs(self) -> Iterator[Graph]:
+        """Iterate over the default graph followed by the named graphs."""
+        yield self._default
+        for name in self.graph_names():
+            yield self._named[name]
+
+    def __contains__(self, name: URIRef) -> bool:
+        return name in self._named
+
+    def __len__(self) -> int:
+        """Total number of quads across all graphs."""
+        return sum(len(graph) for graph in self.graphs())
+
+    # ------------------------------------------------------------------ #
+    # Quad-level operations
+    # ------------------------------------------------------------------ #
+    def add_quad(self, quad: Quad) -> "Dataset":
+        """Insert a quad into the appropriate graph."""
+        self.graph(quad.graph_name).add(quad.triple)
+        return self
+
+    def add(self, triple: Triple, graph_name: Optional[URIRef] = None) -> "Dataset":
+        """Insert a triple into the named (or default) graph."""
+        self.graph(graph_name).add(triple)
+        return self
+
+    def quads(
+        self,
+        subject=None,
+        predicate=None,
+        obj=None,
+        graph_name: Optional[URIRef] = None,
+    ) -> Iterator[Quad]:
+        """Yield quads matching a pattern, optionally restricted to a graph."""
+        if graph_name is not None:
+            for triple in self.graph(graph_name, create=False).triples(subject, predicate, obj):
+                yield Quad(triple, graph_name)
+            return
+        for triple in self._default.triples(subject, predicate, obj):
+            yield Quad(triple, None)
+        for name in self.graph_names():
+            for triple in self._named[name].triples(subject, predicate, obj):
+                yield Quad(triple, name)
+
+    def union_graph(self) -> Graph:
+        """Merge the default and every named graph into one new graph."""
+        merged = Graph()
+        for graph in self.graphs():
+            merged.add_all(graph)
+        return merged
+
+    def load(self, triples: Iterable[Triple], graph_name: Optional[URIRef] = None) -> "Dataset":
+        """Bulk-load triples into a graph."""
+        self.graph(graph_name).add_all(triples)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Dataset default={len(self._default)} named_graphs={len(self._named)}>"

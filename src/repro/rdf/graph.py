@@ -1,0 +1,398 @@
+"""In-memory indexed RDF graph.
+
+:class:`Graph` is the storage substrate underneath the local SPARQL
+endpoints of the federation layer.  It maintains three permutation indexes
+(SPO, POS, OSP) so that any triple pattern with at least one ground
+position is answered without a full scan — the same design used by
+mainstream triple stores (and by Jena's in-memory model, the store used by
+the original system).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+from .namespace import NamespaceManager, RDF
+from .terms import BNode, Literal, Term, URIRef, Variable
+from .triple import Triple
+
+__all__ = ["Graph", "ReadOnlyGraphView"]
+
+_Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class Graph:
+    """A set of RDF triples with pattern-match indexes.
+
+    The graph exposes a small, explicit API:
+
+    * :meth:`add`, :meth:`add_all`, :meth:`remove`, :meth:`discard`
+    * :meth:`triples` -- generator over triples matching an ``(s, p, o)``
+      pattern where ``None`` acts as a wildcard
+    * :meth:`subjects`, :meth:`predicates`, :meth:`objects` -- projections
+    * :meth:`value` -- fetch a single object/subject
+    * set-style operators ``+`` (union), ``-`` (difference), ``&``
+      (intersection)
+    """
+
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        identifier: Optional[URIRef] = None,
+        namespace_manager: Optional[NamespaceManager] = None,
+    ) -> None:
+        self._identifier = identifier
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self.namespace_manager = namespace_manager or NamespaceManager()
+        if triples:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------ #
+    # Identification
+    # ------------------------------------------------------------------ #
+    @property
+    def identifier(self) -> Optional[URIRef]:
+        """Optional URI naming this graph (used by :class:`Dataset`)."""
+        return self._identifier
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> "Graph":
+        """Add a single (ground) triple.  Returns ``self`` for chaining."""
+        triple = self._coerce(triple)
+        if triple.variables():
+            raise ValueError(f"cannot assert a triple pattern with variables: {triple}")
+        if triple in self._triples:
+            return self
+        self._triples.add(triple)
+        s, p, o = triple.as_tuple()
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return self
+
+    def add_all(self, triples: Iterable[Union[Triple, Tuple[Term, Term, Term]]]) -> "Graph":
+        """Add every triple from an iterable."""
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> "Graph":
+        """Remove a triple; raise :class:`KeyError` when absent."""
+        triple = self._coerce(triple)
+        if triple not in self._triples:
+            raise KeyError(f"triple not in graph: {triple}")
+        return self.discard(triple)
+
+    def discard(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> "Graph":
+        """Remove a triple if present."""
+        triple = self._coerce(triple)
+        if triple not in self._triples:
+            return self
+        self._triples.discard(triple)
+        s, p, o = triple.as_tuple()
+        self._prune(self._spo, s, p, o)
+        self._prune(self._pos, p, o, s)
+        self._prune(self._osp, o, s, p)
+        return self
+
+    def remove_pattern(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Remove every triple matching the pattern; return the count."""
+        victims = list(self.triples(subject, predicate, obj))
+        for triple in victims:
+            self.discard(triple)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    @staticmethod
+    def _prune(index, a: Term, b: Term, c: Term) -> None:
+        bucket = index[a][b]
+        bucket.discard(c)
+        if not bucket:
+            del index[a][b]
+        if not index[a]:
+            del index[a]
+
+    @staticmethod
+    def _coerce(triple: Union[Triple, Tuple[Term, Term, Term]]) -> Triple:
+        if isinstance(triple, Triple):
+            return triple
+        return Triple(*triple)
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+    def __contains__(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> bool:
+        return self._coerce(triple) in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __bool__(self) -> bool:
+        return bool(self._triples)
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching a pattern.
+
+        ``None`` (or a :class:`Variable`) in a position acts as a wildcard.
+        The most selective index available for the bound positions is used.
+        """
+        s = self._normalize(subject)
+        p = self._normalize(predicate)
+        o = self._normalize(obj)
+
+        if s is not None and p is not None and o is not None:
+            candidate = Triple(s, p, o)
+            if candidate in self._triples:
+                yield candidate
+            return
+        if s is not None and p is not None:
+            for obj_term in self._spo.get(s, {}).get(p, ()):  # type: ignore[arg-type]
+                yield Triple(s, p, obj_term)
+            return
+        if p is not None and o is not None:
+            for subj_term in self._pos.get(p, {}).get(o, ()):  # type: ignore[arg-type]
+                yield Triple(subj_term, p, o)
+            return
+        if s is not None and o is not None:
+            for pred_term in self._osp.get(o, {}).get(s, ()):  # type: ignore[arg-type]
+                yield Triple(s, pred_term, o)
+            return
+        if s is not None:
+            for pred_term, objects in self._spo.get(s, {}).items():
+                for obj_term in objects:
+                    yield Triple(s, pred_term, obj_term)
+            return
+        if p is not None:
+            for obj_term, subjects in self._pos.get(p, {}).items():
+                for subj_term in subjects:
+                    yield Triple(subj_term, p, obj_term)
+            return
+        if o is not None:
+            for subj_term, predicates in self._osp.get(o, {}).items():
+                for pred_term in predicates:
+                    yield Triple(subj_term, pred_term, o)
+            return
+        yield from self._triples
+
+    @staticmethod
+    def _normalize(term: Optional[Term]) -> Optional[Term]:
+        """Variables behave as wildcards when used in graph-level matching."""
+        if term is None or isinstance(term, Variable):
+            return None
+        return term
+
+    def match_pattern(self, pattern: Triple) -> Iterator[Triple]:
+        """Yield triples matching a :class:`Triple` pattern (variables wild)."""
+        return self.triples(pattern.subject, pattern.predicate, pattern.object)
+
+    def subjects(
+        self, predicate: Optional[Term] = None, obj: Optional[Term] = None
+    ) -> Iterator[Term]:
+        """Distinct subjects of triples matching ``(?, predicate, obj)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(None, predicate, obj):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(
+        self, subject: Optional[Term] = None, obj: Optional[Term] = None
+    ) -> Iterator[Term]:
+        """Distinct predicates of triples matching ``(subject, ?, obj)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(subject, None, obj):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(
+        self, subject: Optional[Term] = None, predicate: Optional[Term] = None
+    ) -> Iterator[Term]:
+        """Distinct objects of triples matching ``(subject, predicate, ?)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+        default: Optional[Term] = None,
+    ) -> Optional[Term]:
+        """Return the single missing component of a triple, or ``default``.
+
+        Exactly one of the three positions must be ``None``; the first
+        matching value is returned (no uniqueness check, mirroring rdflib).
+        """
+        positions = [subject, predicate, obj]
+        if positions.count(None) != 1:
+            raise ValueError("value() requires exactly one unbound position")
+        for triple in self.triples(subject, predicate, obj):
+            if subject is None:
+                return triple.subject
+            if predicate is None:
+                return triple.predicate
+            return triple.object
+        return default
+
+    def subjects_of_type(self, rdf_type: URIRef) -> Iterator[Term]:
+        """Distinct subjects with ``rdf:type rdf_type``."""
+        return self.subjects(RDF.type, rdf_type)
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary statistics (used by voiD descriptions)
+    # ------------------------------------------------------------------ #
+    def predicate_histogram(self) -> Dict[Term, int]:
+        """Map each predicate to the number of triples using it."""
+        histogram: Dict[Term, int] = defaultdict(int)
+        for triple in self._triples:
+            histogram[triple.predicate] += 1
+        return dict(histogram)
+
+    def class_histogram(self) -> Dict[Term, int]:
+        """Map each ``rdf:type`` object to its instance count."""
+        histogram: Dict[Term, int] = defaultdict(int)
+        for triple in self.triples(None, RDF.type, None):
+            histogram[triple.object] += 1
+        return dict(histogram)
+
+    def vocabularies(self) -> Set[str]:
+        """Namespace URIs of every predicate and class used in the graph."""
+        spaces: Set[str] = set()
+        for triple in self._triples:
+            if isinstance(triple.predicate, URIRef):
+                spaces.add(triple.predicate.namespace_split()[0])
+            if triple.predicate == RDF.type and isinstance(triple.object, URIRef):
+                spaces.add(triple.object.namespace_split()[0])
+        spaces.discard("")
+        return spaces
+
+    # ------------------------------------------------------------------ #
+    # Set algebra
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Graph":
+        """Shallow copy preserving identifier and namespace bindings."""
+        clone = Graph(identifier=self._identifier,
+                      namespace_manager=self.namespace_manager.copy())
+        clone.add_all(self._triples)
+        return clone
+
+    def __add__(self, other: "Graph") -> "Graph":
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+        self.add_all(other)
+        return self
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        result = Graph(namespace_manager=self.namespace_manager.copy())
+        result.add_all(t for t in self._triples if t not in other)
+        return result
+
+    def __and__(self, other: "Graph") -> "Graph":
+        result = Graph(namespace_manager=self.namespace_manager.copy())
+        result.add_all(t for t in self._triples if t in other)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        """Exact set equality (not bnode-isomorphism; see ``isomorphism``)."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._triples == other._triples
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        return id(self)
+
+    # ------------------------------------------------------------------ #
+    # Convenience I/O hooks (implemented in repro.turtle)
+    # ------------------------------------------------------------------ #
+    def serialize(self, format: str = "turtle") -> str:
+        """Serialise the graph to ``turtle`` or ``ntriples`` text."""
+        from ..turtle import serialize_graph
+
+        return serialize_graph(self, format=format)
+
+    @classmethod
+    def parse(cls, text: str, format: str = "turtle",
+              identifier: Optional[URIRef] = None) -> "Graph":
+        """Parse Turtle or N-Triples text into a new graph."""
+        from ..turtle import parse_graph
+
+        graph = parse_graph(text, format=format)
+        if identifier is not None:
+            graph._identifier = identifier
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = str(self._identifier) if self._identifier else "anonymous"
+        return f"<Graph {name} with {len(self)} triples>"
+
+
+class ReadOnlyGraphView:
+    """Immutable facade over a :class:`Graph`.
+
+    Local SPARQL endpoints hand this view to query evaluation so that a
+    federated query can never mutate the dataset it reads.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    def triples(self, subject=None, predicate=None, obj=None) -> Iterator[Triple]:
+        return self._graph.triples(subject, predicate, obj)
+
+    def match_pattern(self, pattern: Triple) -> Iterator[Triple]:
+        return self._graph.match_pattern(pattern)
+
+    def __contains__(self, triple) -> bool:
+        return triple in self._graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._graph)
+
+    @property
+    def identifier(self) -> Optional[URIRef]:
+        return self._graph.identifier
+
+    @property
+    def namespace_manager(self) -> NamespaceManager:
+        return self._graph.namespace_manager

@@ -1,0 +1,81 @@
+"""SPARQL substrate: tokenizer, parser, AST, algebra, evaluator, results.
+
+This package substitutes for the Jena ARQ library used by the original
+system (see DESIGN.md): it gives the rewriting engine access to the query
+structure (Section 3.1's anatomy — result form, basic graph patterns and
+filters) and lets the federation layer execute queries against in-memory
+graphs standing in for remote endpoints.
+"""
+
+from .ast import (
+    AskQuery,
+    BinaryExpression,
+    ConstructQuery,
+    ExistsExpression,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    OptionalPattern,
+    OrderCondition,
+    Prologue,
+    Query,
+    SelectQuery,
+    SolutionModifiers,
+    TermExpression,
+    TriplesBlock,
+    UnaryExpression,
+    UnionPattern,
+    VariableExpression,
+)
+from .algebra import (
+    AlgebraBGP,
+    AlgebraDistinct,
+    AlgebraFilter,
+    AlgebraJoin,
+    AlgebraLeftJoin,
+    AlgebraNode,
+    AlgebraOrderBy,
+    AlgebraProject,
+    AlgebraSlice,
+    AlgebraUnion,
+    algebra_to_group,
+    to_sexpr,
+    translate_group,
+    translate_query,
+)
+from .evaluator import QueryEvaluator, evaluate_group, evaluate_query, match_bgp
+from .expressions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate_expression,
+    expression_satisfied,
+)
+from .parser import SparqlParseError, SparqlParser, parse_query
+from .results import AskResult, Binding, ResultSet
+from .serializer import serialize_expression, serialize_pattern_group, serialize_query
+from .tokenizer import SparqlLexError, SparqlToken, tokenize_sparql
+
+__all__ = [
+    # parsing
+    "SparqlParser", "SparqlParseError", "parse_query",
+    "SparqlToken", "SparqlLexError", "tokenize_sparql",
+    # AST
+    "Query", "SelectQuery", "AskQuery", "ConstructQuery",
+    "Prologue", "SolutionModifiers", "OrderCondition",
+    "GroupGraphPattern", "TriplesBlock", "Filter", "OptionalPattern", "UnionPattern",
+    "Expression", "TermExpression", "VariableExpression", "BinaryExpression",
+    "UnaryExpression", "FunctionCall", "ExistsExpression",
+    # algebra
+    "AlgebraNode", "AlgebraBGP", "AlgebraJoin", "AlgebraLeftJoin", "AlgebraUnion",
+    "AlgebraFilter", "AlgebraProject", "AlgebraDistinct", "AlgebraOrderBy", "AlgebraSlice",
+    "translate_query", "translate_group", "algebra_to_group", "to_sexpr",
+    # evaluation
+    "QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp",
+    "ExpressionError", "evaluate_expression", "expression_satisfied",
+    "effective_boolean_value",
+    # results
+    "Binding", "ResultSet", "AskResult",
+    # serialisation
+    "serialize_query", "serialize_expression", "serialize_pattern_group",
+]

@@ -1,0 +1,352 @@
+"""SPARQL algebra representation.
+
+Section 4 of the paper proposes moving the rewriting from the syntactic
+BGP level to the *SPARQL algebra* (citing Cyganiak's relational algebra for
+SPARQL), because the algebra offers "an homogeneous representation of the
+whole query (LISP like structures)": graph patterns and FILTER constraints
+live in one tree and can be rewritten uniformly.  This module provides that
+representation:
+
+* algebra operators: :class:`AlgebraBGP`, :class:`AlgebraJoin`,
+  :class:`AlgebraLeftJoin`, :class:`AlgebraUnion`, :class:`AlgebraFilter`,
+  :class:`AlgebraProject`, :class:`AlgebraDistinct`, :class:`AlgebraOrderBy`,
+  :class:`AlgebraSlice`,
+* :func:`translate_query` / :func:`translate_group` -- AST to algebra
+  (following the SPARQL 1.0 translation rules, simplified),
+* :func:`algebra_to_group` -- algebra back to an AST group graph pattern so
+  a rewritten algebra tree can be serialised and executed,
+* :func:`to_sexpr` -- the LISP-like rendering used in logs and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ..rdf import Triple, Variable
+from .ast import (
+    AskQuery,
+    ConstructQuery,
+    Expression,
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    OrderCondition,
+    Query,
+    SelectQuery,
+    TriplesBlock,
+    UnionPattern,
+)
+from .serializer import serialize_expression
+
+__all__ = [
+    "AlgebraNode", "AlgebraBGP", "AlgebraJoin", "AlgebraLeftJoin",
+    "AlgebraUnion", "AlgebraFilter", "AlgebraProject", "AlgebraDistinct",
+    "AlgebraOrderBy", "AlgebraSlice",
+    "translate_query", "translate_group", "algebra_to_group", "to_sexpr",
+]
+
+
+class AlgebraNode:
+    """Base class of algebra operators."""
+
+    def children(self) -> Sequence["AlgebraNode"]:
+        return ()
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for child in self.children():
+            result |= child.variables()
+        return result
+
+    def walk(self) -> Iterator["AlgebraNode"]:
+        """Depth-first pre-order traversal of the operator tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def transform(self, func: Callable[["AlgebraNode"], Optional["AlgebraNode"]]) -> "AlgebraNode":
+        """Bottom-up rewriting: rebuild children then apply ``func``.
+
+        ``func`` returns either a replacement node or ``None`` to keep the
+        (rebuilt) node unchanged.
+        """
+        rebuilt = self._rebuild([child.transform(func) for child in self.children()])
+        replacement = func(rebuilt)
+        return replacement if replacement is not None else rebuilt
+
+    def _rebuild(self, children: List["AlgebraNode"]) -> "AlgebraNode":
+        return self
+
+
+@dataclass
+class AlgebraBGP(AlgebraNode):
+    """A Basic Graph Pattern leaf."""
+
+    patterns: List[Triple] = field(default_factory=list)
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+
+@dataclass
+class AlgebraJoin(AlgebraNode):
+    """Join(left, right)."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.left, self.right)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraJoin(children[0], children[1])
+
+
+@dataclass
+class AlgebraLeftJoin(AlgebraNode):
+    """LeftJoin(left, right, expr) — the algebra form of OPTIONAL."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+    expression: Optional[Expression] = None
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.left, self.right)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraLeftJoin(children[0], children[1], self.expression)
+
+
+@dataclass
+class AlgebraUnion(AlgebraNode):
+    """Union(left, right)."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.left, self.right)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraUnion(children[0], children[1])
+
+
+@dataclass
+class AlgebraFilter(AlgebraNode):
+    """Filter(expr, child)."""
+
+    expression: Expression
+    child: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.child,)
+
+    def variables(self) -> set[Variable]:
+        return self.child.variables() | self.expression.variables()
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraFilter(self.expression, children[0])
+
+
+@dataclass
+class AlgebraProject(AlgebraNode):
+    """Project(vars, child)."""
+
+    projection: List[Variable]
+    child: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.child,)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraProject(list(self.projection), children[0])
+
+
+@dataclass
+class AlgebraDistinct(AlgebraNode):
+    """Distinct(child)."""
+
+    child: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.child,)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraDistinct(children[0])
+
+
+@dataclass
+class AlgebraOrderBy(AlgebraNode):
+    """OrderBy(conditions, child)."""
+
+    conditions: List[OrderCondition]
+    child: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.child,)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraOrderBy(list(self.conditions), children[0])
+
+
+@dataclass
+class AlgebraSlice(AlgebraNode):
+    """Slice(offset, limit, child)."""
+
+    offset: Optional[int]
+    limit: Optional[int]
+    child: AlgebraNode
+
+    def children(self) -> Sequence[AlgebraNode]:
+        return (self.child,)
+
+    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+        return AlgebraSlice(self.offset, self.limit, children[0])
+
+
+_EMPTY_BGP = AlgebraBGP([])
+
+
+# --------------------------------------------------------------------------- #
+# AST -> algebra
+# --------------------------------------------------------------------------- #
+def translate_group(group: GroupGraphPattern) -> AlgebraNode:
+    """Translate a group graph pattern following the SPARQL translation rules.
+
+    Filters of a group scope over the whole group: they are collected and
+    wrapped around the joined pattern at the end (this is exactly the
+    behaviour that makes FILTER-expressed constraints invisible to BGP-only
+    rewriting, Experiment E7).
+    """
+    current: Optional[AlgebraNode] = None
+    filters: List[Expression] = []
+
+    for element in group.elements:
+        if isinstance(element, Filter):
+            filters.append(element.expression)
+            continue
+        translated = _translate_element(element)
+        if isinstance(element, OptionalPattern):
+            base = current if current is not None else AlgebraBGP([])
+            expression = None
+            inner = translated
+            if isinstance(translated, AlgebraFilter):
+                expression = translated.expression
+                inner = translated.child
+            current = AlgebraLeftJoin(base, inner, expression)
+        elif current is None:
+            current = translated
+        else:
+            current = AlgebraJoin(current, translated)
+
+    if current is None:
+        current = AlgebraBGP([])
+    for expression in filters:
+        current = AlgebraFilter(expression, current)
+    return current
+
+
+def _translate_element(element) -> AlgebraNode:
+    if isinstance(element, TriplesBlock):
+        return AlgebraBGP(list(element.patterns))
+    if isinstance(element, GroupGraphPattern):
+        return translate_group(element)
+    if isinstance(element, OptionalPattern):
+        return translate_group(element.group)
+    if isinstance(element, UnionPattern):
+        nodes = [translate_group(alternative) for alternative in element.alternatives]
+        result = nodes[0]
+        for node in nodes[1:]:
+            result = AlgebraUnion(result, node)
+        return result
+    raise TypeError(f"unsupported pattern element: {element!r}")
+
+
+def translate_query(query: Query) -> AlgebraNode:
+    """Translate a full query (pattern + modifiers) into an algebra tree."""
+    node = translate_group(query.where)
+    modifiers = query.modifiers
+    if modifiers.order_by:
+        node = AlgebraOrderBy(list(modifiers.order_by), node)
+    if isinstance(query, SelectQuery):
+        node = AlgebraProject(query.effective_projection(), node)
+    if modifiers.distinct:
+        node = AlgebraDistinct(node)
+    if modifiers.limit is not None or modifiers.offset is not None:
+        node = AlgebraSlice(modifiers.offset, modifiers.limit, node)
+    return node
+
+
+# --------------------------------------------------------------------------- #
+# Algebra -> AST group (for serialisation / execution of rewritten trees)
+# --------------------------------------------------------------------------- #
+def algebra_to_group(node: AlgebraNode) -> GroupGraphPattern:
+    """Convert a pattern-level algebra tree back into an AST group."""
+    group = GroupGraphPattern()
+    _emit(node, group)
+    return group
+
+
+def _emit(node: AlgebraNode, group: GroupGraphPattern) -> None:
+    if isinstance(node, AlgebraBGP):
+        if node.patterns:
+            group.add(TriplesBlock(list(node.patterns)))
+        return
+    if isinstance(node, AlgebraJoin):
+        _emit(node.left, group)
+        _emit(node.right, group)
+        return
+    if isinstance(node, AlgebraLeftJoin):
+        _emit(node.left, group)
+        optional_group = algebra_to_group(node.right)
+        if node.expression is not None:
+            optional_group.add(Filter(node.expression))
+        group.add(OptionalPattern(optional_group))
+        return
+    if isinstance(node, AlgebraUnion):
+        alternatives = [algebra_to_group(node.left), algebra_to_group(node.right)]
+        group.add(UnionPattern(alternatives))
+        return
+    if isinstance(node, AlgebraFilter):
+        _emit(node.child, group)
+        group.add(Filter(node.expression))
+        return
+    if isinstance(node, (AlgebraProject, AlgebraDistinct, AlgebraOrderBy, AlgebraSlice)):
+        _emit(node.children()[0], group)
+        return
+    raise TypeError(f"cannot convert algebra node to pattern: {node!r}")
+
+
+# --------------------------------------------------------------------------- #
+# LISP-like rendering
+# --------------------------------------------------------------------------- #
+def to_sexpr(node: AlgebraNode, indent: int = 0) -> str:
+    """Render the algebra tree as an s-expression (ARQ ``--print=op`` style)."""
+    pad = "  " * indent
+    if isinstance(node, AlgebraBGP):
+        triples = " ".join(f"({t.subject.n3()} {t.predicate.n3()} {t.object.n3()})" for t in node.patterns)
+        return f"{pad}(bgp {triples})"
+    if isinstance(node, AlgebraJoin):
+        return f"{pad}(join\n{to_sexpr(node.left, indent + 1)}\n{to_sexpr(node.right, indent + 1)})"
+    if isinstance(node, AlgebraLeftJoin):
+        expr = serialize_expression(node.expression) if node.expression is not None else "true"
+        return (f"{pad}(leftjoin [{expr}]\n{to_sexpr(node.left, indent + 1)}\n"
+                f"{to_sexpr(node.right, indent + 1)})")
+    if isinstance(node, AlgebraUnion):
+        return f"{pad}(union\n{to_sexpr(node.left, indent + 1)}\n{to_sexpr(node.right, indent + 1)})"
+    if isinstance(node, AlgebraFilter):
+        return f"{pad}(filter [{serialize_expression(node.expression)}]\n{to_sexpr(node.child, indent + 1)})"
+    if isinstance(node, AlgebraProject):
+        variables = " ".join(f"?{v.name}" for v in node.projection)
+        return f"{pad}(project ({variables})\n{to_sexpr(node.child, indent + 1)})"
+    if isinstance(node, AlgebraDistinct):
+        return f"{pad}(distinct\n{to_sexpr(node.child, indent + 1)})"
+    if isinstance(node, AlgebraOrderBy):
+        return f"{pad}(order\n{to_sexpr(node.child, indent + 1)})"
+    if isinstance(node, AlgebraSlice):
+        return f"{pad}(slice {node.offset} {node.limit}\n{to_sexpr(node.child, indent + 1)})"
+    raise TypeError(f"unsupported algebra node: {node!r}")

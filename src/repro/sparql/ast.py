@@ -1,0 +1,412 @@
+"""Abstract syntax tree for SPARQL queries.
+
+The AST mirrors the anatomy described in Section 3.1 of the paper:
+
+* a *prologue* of PREFIX/BASE declarations,
+* a *query result form* (SELECT variables / CONSTRUCT template / ASK),
+* a *where clause* made of group graph patterns whose leaves are
+  :class:`TriplesBlock` objects (the Basic Graph Patterns the rewriting
+  algorithm operates on) plus :class:`Filter`, :class:`OptionalPattern`
+  and :class:`UnionPattern` nodes,
+* solution modifiers (DISTINCT/REDUCED, ORDER BY, LIMIT, OFFSET).
+
+Expression nodes used inside FILTERs live in this module as well; their
+evaluation semantics is implemented in :mod:`repro.sparql.expressions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..rdf import NamespaceManager, Term, Triple, Variable
+
+__all__ = [
+    # expressions
+    "Expression", "TermExpression", "VariableExpression", "BinaryExpression",
+    "UnaryExpression", "FunctionCall", "ExistsExpression",
+    # patterns
+    "PatternElement", "TriplesBlock", "Filter", "OptionalPattern",
+    "UnionPattern", "GroupGraphPattern", "GraphPattern",
+    # query forms
+    "Prologue", "OrderCondition", "SolutionModifiers",
+    "Query", "SelectQuery", "AskQuery", "ConstructQuery",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+class Expression:
+    """Base class of FILTER expression nodes."""
+
+    def variables(self) -> set[Variable]:
+        """All variables mentioned by the expression."""
+        return set()
+
+    def map_terms(self, func) -> "Expression":
+        """Structurally rebuild the expression applying ``func`` to RDF terms."""
+        return self
+
+
+@dataclass(frozen=True)
+class TermExpression(Expression):
+    """A constant RDF term (URI or literal) appearing in an expression."""
+
+    term: Term
+
+    def variables(self) -> set[Variable]:
+        return {self.term} if isinstance(self.term, Variable) else set()
+
+    def map_terms(self, func) -> "Expression":
+        return TermExpression(func(self.term))
+
+
+@dataclass(frozen=True)
+class VariableExpression(Expression):
+    """A variable reference inside an expression."""
+
+    variable: Variable
+
+    def variables(self) -> set[Variable]:
+        return {self.variable}
+
+    def map_terms(self, func) -> "Expression":
+        mapped = func(self.variable)
+        if isinstance(mapped, Variable):
+            return VariableExpression(mapped)
+        return TermExpression(mapped)
+
+
+@dataclass(frozen=True)
+class BinaryExpression(Expression):
+    """A binary operator: ``||  &&  =  !=  <  >  <=  >=  +  -  *  /``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def variables(self) -> set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def map_terms(self, func) -> "Expression":
+        return BinaryExpression(self.operator, self.left.map_terms(func), self.right.map_terms(func))
+
+
+@dataclass(frozen=True)
+class UnaryExpression(Expression):
+    """A unary operator: ``!``, unary ``-`` or unary ``+``."""
+
+    operator: str
+    operand: Expression
+
+    def variables(self) -> set[Variable]:
+        return self.operand.variables()
+
+    def map_terms(self, func) -> "Expression":
+        return UnaryExpression(self.operator, self.operand.map_terms(func))
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A built-in call (``BOUND``, ``REGEX``, ``STR``, ...) or extension function."""
+
+    name: str
+    arguments: tuple
+
+    def __init__(self, name: str, arguments: Sequence[Expression]) -> None:
+        object.__setattr__(self, "name", name.upper() if isinstance(name, str) else name)
+        object.__setattr__(self, "arguments", tuple(arguments))
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for argument in self.arguments:
+            result |= argument.variables()
+        return result
+
+    def map_terms(self, func) -> "Expression":
+        return FunctionCall(self.name, [a.map_terms(func) for a in self.arguments])
+
+
+@dataclass(frozen=True)
+class ExistsExpression(Expression):
+    """``EXISTS { ... }`` / ``NOT EXISTS { ... }`` (SPARQL 1.1 convenience)."""
+
+    group: "GroupGraphPattern"
+    negated: bool = False
+
+    def variables(self) -> set[Variable]:
+        return self.group.variables()
+
+
+# --------------------------------------------------------------------------- #
+# Graph patterns
+# --------------------------------------------------------------------------- #
+class PatternElement:
+    """Base class for the elements of a group graph pattern."""
+
+    def variables(self) -> set[Variable]:
+        return set()
+
+
+class TriplesBlock(PatternElement):
+    """A Basic Graph Pattern: an ordered block of triple patterns.
+
+    This is the unit Algorithm 1 of the paper rewrites.  The block keeps
+    insertion order so rewritten queries remain readable, but equality is
+    order-insensitive (a BGP denotes a conjunction).
+    """
+
+    def __init__(self, patterns: Optional[Iterable[Triple]] = None) -> None:
+        self.patterns: List[Triple] = list(patterns) if patterns else []
+
+    def add(self, pattern: Triple) -> "TriplesBlock":
+        self.patterns.append(pattern)
+        return self
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.patterns)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TriplesBlock) and set(self.patterns) == set(other.patterns)
+
+    def __hash__(self) -> int:  # pragma: no cover - blocks are mutable
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TriplesBlock({self.patterns!r})"
+
+
+@dataclass
+class Filter(PatternElement):
+    """A FILTER constraint attached to a group."""
+
+    expression: Expression
+
+    def variables(self) -> set[Variable]:
+        return self.expression.variables()
+
+
+@dataclass
+class OptionalPattern(PatternElement):
+    """An OPTIONAL group."""
+
+    group: "GroupGraphPattern"
+
+    def variables(self) -> set[Variable]:
+        return self.group.variables()
+
+
+@dataclass
+class UnionPattern(PatternElement):
+    """A UNION of two or more groups."""
+
+    alternatives: List["GroupGraphPattern"]
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for alternative in self.alternatives:
+            result |= alternative.variables()
+        return result
+
+
+class GroupGraphPattern(PatternElement):
+    """A ``{ ... }`` group: an ordered list of pattern elements."""
+
+    def __init__(self, elements: Optional[Iterable[PatternElement]] = None) -> None:
+        self.elements: List[PatternElement] = list(elements) if elements else []
+
+    def add(self, element: PatternElement) -> "GroupGraphPattern":
+        self.elements.append(element)
+        return self
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for element in self.elements:
+            result |= element.variables()
+        return result
+
+    def triples_blocks(self) -> Iterator[TriplesBlock]:
+        """Yield every :class:`TriplesBlock` nested anywhere in the group.
+
+        This is the traversal the query rewriter uses to locate all BGPs,
+        including those inside OPTIONAL and UNION branches.
+        """
+        for element in self.elements:
+            if isinstance(element, TriplesBlock):
+                yield element
+            elif isinstance(element, GroupGraphPattern):
+                yield from element.triples_blocks()
+            elif isinstance(element, OptionalPattern):
+                yield from element.group.triples_blocks()
+            elif isinstance(element, UnionPattern):
+                for alternative in element.alternatives:
+                    yield from alternative.triples_blocks()
+
+    def filters(self) -> Iterator[Filter]:
+        """Yield every FILTER nested anywhere in the group."""
+        for element in self.elements:
+            if isinstance(element, Filter):
+                yield element
+            elif isinstance(element, GroupGraphPattern):
+                yield from element.filters()
+            elif isinstance(element, OptionalPattern):
+                yield from element.group.filters()
+            elif isinstance(element, UnionPattern):
+                for alternative in element.alternatives:
+                    yield from alternative.filters()
+
+    def all_triple_patterns(self) -> List[Triple]:
+        """Flat list of every triple pattern in the group (all BGPs)."""
+        patterns: List[Triple] = []
+        for block in self.triples_blocks():
+            patterns.extend(block.patterns)
+        return patterns
+
+    def __iter__(self) -> Iterator[PatternElement]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroupGraphPattern({self.elements!r})"
+
+
+#: Alias used in type annotations across the code base.
+GraphPattern = Union[GroupGraphPattern, PatternElement]
+
+
+# --------------------------------------------------------------------------- #
+# Query forms
+# --------------------------------------------------------------------------- #
+@dataclass
+class Prologue:
+    """PREFIX/BASE declarations of a query."""
+
+    namespace_manager: NamespaceManager = field(default_factory=lambda: NamespaceManager(install_defaults=False))
+    base: Optional[str] = None
+
+    def bind(self, prefix: str, namespace: str) -> None:
+        self.namespace_manager.bind(prefix, namespace)
+
+    def copy(self) -> "Prologue":
+        return Prologue(self.namespace_manager.copy(), self.base)
+
+
+@dataclass
+class OrderCondition:
+    """A single ORDER BY condition."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class SolutionModifiers:
+    """DISTINCT/REDUCED, ORDER BY, LIMIT and OFFSET."""
+
+    distinct: bool = False
+    reduced: bool = False
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def copy(self) -> "SolutionModifiers":
+        return SolutionModifiers(
+            distinct=self.distinct,
+            reduced=self.reduced,
+            order_by=list(self.order_by),
+            limit=self.limit,
+            offset=self.offset,
+        )
+
+
+class Query:
+    """Base class of the three query forms."""
+
+    def __init__(self, prologue: Prologue, where: GroupGraphPattern,
+                 modifiers: Optional[SolutionModifiers] = None) -> None:
+        self.prologue = prologue
+        self.where = where
+        self.modifiers = modifiers or SolutionModifiers()
+
+    # -- introspection used by the rewriter --------------------------------- #
+    def triples_blocks(self) -> Iterator[TriplesBlock]:
+        """All BGPs of the WHERE clause."""
+        return self.where.triples_blocks()
+
+    def filters(self) -> Iterator[Filter]:
+        """All FILTERs of the WHERE clause."""
+        return self.where.filters()
+
+    def all_triple_patterns(self) -> List[Triple]:
+        return self.where.all_triple_patterns()
+
+    def variables(self) -> set[Variable]:
+        return self.where.variables()
+
+    def serialize(self) -> str:
+        """Render the query back to SPARQL text."""
+        from .serializer import serialize_query
+
+        return serialize_query(self)
+
+    def __str__(self) -> str:
+        return self.serialize()
+
+
+class SelectQuery(Query):
+    """A SELECT query.
+
+    ``projection`` is the list of requested variables; an empty list means
+    ``SELECT *`` (project every visible variable).
+    """
+
+    def __init__(
+        self,
+        prologue: Prologue,
+        projection: Sequence[Variable],
+        where: GroupGraphPattern,
+        modifiers: Optional[SolutionModifiers] = None,
+    ) -> None:
+        super().__init__(prologue, where, modifiers)
+        self.projection: List[Variable] = list(projection)
+
+    @property
+    def select_all(self) -> bool:
+        """True for ``SELECT *``."""
+        return not self.projection
+
+    def effective_projection(self) -> List[Variable]:
+        """The projected variables, expanding ``*`` to all visible variables."""
+        if self.projection:
+            return list(self.projection)
+        return sorted(self.where.variables(), key=str)
+
+
+class AskQuery(Query):
+    """An ASK query (boolean result)."""
+
+
+class ConstructQuery(Query):
+    """A CONSTRUCT query with a template of triple patterns."""
+
+    def __init__(
+        self,
+        prologue: Prologue,
+        template: Sequence[Triple],
+        where: GroupGraphPattern,
+        modifiers: Optional[SolutionModifiers] = None,
+    ) -> None:
+        super().__init__(prologue, where, modifiers)
+        self.template: List[Triple] = list(template)

@@ -1,0 +1,350 @@
+"""In-memory SPARQL query evaluation over :class:`repro.rdf.Graph`.
+
+The evaluator implements the standard bottom-up semantics:
+
+* BGP matching produces solution bindings by joining triple-pattern matches
+  (with a greedy selectivity-based pattern ordering),
+* group graph patterns combine element results with join / left-join
+  (OPTIONAL) / union semantics,
+* FILTER elements restrict the solutions of their enclosing group,
+* solution modifiers apply DISTINCT, ORDER BY, OFFSET and LIMIT,
+* SELECT projects, ASK checks emptiness, CONSTRUCT instantiates templates.
+
+This substrate plays the role of the remote SPARQL endpoints of the
+original deployment (ARQ over Jena behind HTTP): the federation layer runs
+rewritten queries against it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..rdf import BNode, Graph, Literal, Term, Triple, URIRef, Variable, fresh_bnode
+from .ast import (
+    AskQuery,
+    ConstructQuery,
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    Query,
+    SelectQuery,
+    TriplesBlock,
+    UnionPattern,
+)
+from .expressions import ExpressionError, evaluate_expression, expression_satisfied
+from .parser import parse_query
+from .results import AskResult, Binding, ResultSet
+
+__all__ = ["QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp"]
+
+
+# --------------------------------------------------------------------------- #
+# BGP matching
+# --------------------------------------------------------------------------- #
+def _pattern_selectivity(pattern: Triple, binding: Binding) -> int:
+    """Lower numbers mean more selective (more ground positions)."""
+    bound = 0
+    for term in pattern:
+        if isinstance(term, Variable):
+            if binding.get_term(term) is not None:
+                bound += 1
+        elif not isinstance(term, BNode):
+            bound += 1
+    return 3 - bound
+
+
+def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]:
+    """All extensions of ``binding`` that match ``pattern`` against ``graph``.
+
+    Blank nodes written in the query pattern behave as non-selective
+    variables scoped to the query (standard SPARQL BGP semantics); a blank
+    node that arrives through the *binding* (i.e. a variable already bound
+    to a data blank node by an earlier pattern) is a concrete value and must
+    match exactly.
+    """
+
+    def anchor_for(term: Term) -> Variable:
+        return Variable(f"__bnode_{term.value}")
+
+    def resolved(term: Term) -> Optional[Term]:
+        """The ground value this position must equal, or None when free."""
+        if isinstance(term, Variable):
+            return binding.get_term(term)
+        if isinstance(term, BNode):
+            return binding.get_term(anchor_for(term))
+        return term
+
+    lookup_subject = resolved(pattern.subject)
+    lookup_predicate = resolved(pattern.predicate)
+    lookup_object = resolved(pattern.object)
+
+    for triple in graph.triples(lookup_subject, lookup_predicate, lookup_object):
+        extended: Optional[Binding] = binding
+        for pattern_term, data_term in zip(pattern, triple):
+            if isinstance(pattern_term, Variable):
+                key: Term = pattern_term
+            elif isinstance(pattern_term, BNode):
+                key = anchor_for(pattern_term)
+            else:
+                if pattern_term != data_term:
+                    extended = None
+                    break
+                continue
+            bound = extended.get_term(key)
+            if bound is None:
+                extended = extended.extend(key, data_term)
+            elif bound != data_term:
+                extended = None
+                break
+        if extended is not None:
+            yield extended
+
+
+def match_bgp(
+    patterns: Sequence[Triple],
+    graph,
+    initial: Optional[Binding] = None,
+) -> Iterator[Binding]:
+    """Match a Basic Graph Pattern (a conjunction of triple patterns)."""
+    solutions: List[Binding] = [initial or Binding()]
+    remaining = list(patterns)
+    while remaining:
+        # Greedy join order: pick the most selective pattern under the
+        # bindings established so far (cheap heuristic, adequate for the
+        # query sizes involved).
+        remaining.sort(key=lambda p: _pattern_selectivity(p, solutions[0]) if solutions else 0)
+        pattern = remaining.pop(0)
+        next_solutions: List[Binding] = []
+        for solution in solutions:
+            next_solutions.extend(_match_triple(pattern, solution, graph))
+        solutions = next_solutions
+        if not solutions:
+            return iter(())
+    return iter(solutions)
+
+
+# --------------------------------------------------------------------------- #
+# Group graph patterns
+# --------------------------------------------------------------------------- #
+def evaluate_group(
+    group: GroupGraphPattern,
+    graph,
+    initial: Optional[Binding] = None,
+) -> List[Binding]:
+    """Evaluate a group graph pattern, returning the list of solutions."""
+    solutions: List[Binding] = [initial or Binding()]
+    filters: List[Filter] = []
+
+    for element in group.elements:
+        if isinstance(element, Filter):
+            # FILTERs scope over the whole group: apply after everything else.
+            filters.append(element)
+            continue
+        solutions = _apply_element(element, solutions, graph)
+        if not solutions and not filters:
+            # Keep evaluating filters for error-freedom but no solutions remain.
+            pass
+
+    for filter_element in filters:
+        solutions = [
+            solution
+            for solution in solutions
+            if expression_satisfied(filter_element.expression, solution, graph)
+        ]
+    return solutions
+
+
+def _apply_element(element, solutions: List[Binding], graph) -> List[Binding]:
+    if isinstance(element, TriplesBlock):
+        result: List[Binding] = []
+        for solution in solutions:
+            result.extend(match_bgp(element.patterns, graph, initial=solution))
+        return result
+    if isinstance(element, GroupGraphPattern):
+        result = []
+        for solution in solutions:
+            result.extend(evaluate_group(element, graph, initial=solution))
+        return result
+    if isinstance(element, OptionalPattern):
+        result = []
+        for solution in solutions:
+            extensions = evaluate_group(element.group, graph, initial=solution)
+            if extensions:
+                result.extend(extensions)
+            else:
+                result.append(solution)
+        return result
+    if isinstance(element, UnionPattern):
+        result = []
+        for solution in solutions:
+            for alternative in element.alternatives:
+                result.extend(evaluate_group(alternative, graph, initial=solution))
+        return result
+    raise TypeError(f"unsupported pattern element: {element!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Query forms and modifiers
+# --------------------------------------------------------------------------- #
+class QueryEvaluator:
+    """Evaluate parsed queries (or query text) against a graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def evaluate(self, query: Union[Query, str]) -> Union[ResultSet, AskResult, Graph]:
+        """Evaluate a query; the result type depends on the query form."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SelectQuery):
+            return self._evaluate_select(query)
+        if isinstance(query, AskQuery):
+            return self._evaluate_ask(query)
+        if isinstance(query, ConstructQuery):
+            return self._evaluate_construct(query)
+        raise TypeError(f"unsupported query form: {type(query).__name__}")
+
+    def select(self, query: Union[SelectQuery, str]) -> ResultSet:
+        """Evaluate a SELECT query (convenience wrapper with type checking)."""
+        result = self.evaluate(query)
+        if not isinstance(result, ResultSet):
+            raise TypeError("query did not produce a SELECT result")
+        return result
+
+    # -- SELECT -------------------------------------------------------------- #
+    def _evaluate_select(self, query: SelectQuery) -> ResultSet:
+        solutions = evaluate_group(query.where, self._graph)
+        solutions = self._apply_modifiers(query, solutions)
+        projection = query.effective_projection()
+        projected = [
+            solution.project(projection).project(
+                [v for v in projection if not v.name.startswith("__bnode_")]
+            )
+            for solution in solutions
+        ]
+        if query.modifiers.distinct:
+            projected = _distinct(projected)
+        return ResultSet(projection, projected)
+
+    def _apply_modifiers(self, query: Query, solutions: List[Binding]) -> List[Binding]:
+        modifiers = query.modifiers
+        if modifiers.order_by:
+            solutions = _order(solutions, modifiers.order_by, self._graph)
+        offset = modifiers.offset or 0
+        if offset:
+            solutions = solutions[offset:]
+        if modifiers.limit is not None:
+            solutions = solutions[: modifiers.limit]
+        return solutions
+
+    # -- ASK ------------------------------------------------------------------ #
+    def _evaluate_ask(self, query: AskQuery) -> AskResult:
+        solutions = evaluate_group(query.where, self._graph)
+        return AskResult(bool(solutions))
+
+    # -- CONSTRUCT ------------------------------------------------------------ #
+    def _evaluate_construct(self, query: ConstructQuery) -> Graph:
+        solutions = evaluate_group(query.where, self._graph)
+        solutions = self._apply_modifiers(query, solutions)
+        output = Graph(namespace_manager=query.prologue.namespace_manager.copy())
+        for solution in solutions:
+            bnode_map: dict = {}
+            for pattern in query.template:
+                instantiated = _instantiate_template(pattern, solution, bnode_map)
+                if instantiated is not None:
+                    output.add(instantiated)
+        return output
+
+
+def _instantiate_template(pattern: Triple, solution: Binding, bnode_map: dict) -> Optional[Triple]:
+    terms = []
+    for term in pattern:
+        if isinstance(term, Variable):
+            value = solution.get_term(term)
+            if value is None:
+                return None
+            terms.append(value)
+        elif isinstance(term, BNode):
+            terms.append(bnode_map.setdefault(term, fresh_bnode("ct")))
+        else:
+            terms.append(term)
+    try:
+        return Triple(*terms)
+    except TypeError:
+        # e.g. a literal ended up in the subject position — skip the triple,
+        # matching the lenient behaviour of common engines.
+        return None
+
+
+def _distinct(solutions: List[Binding]) -> List[Binding]:
+    seen = set()
+    unique: List[Binding] = []
+    for solution in solutions:
+        key = frozenset(solution.as_dict().items())
+        if key not in seen:
+            seen.add(key)
+            unique.append(solution)
+    return unique
+
+
+def _order(solutions: List[Binding], conditions, graph) -> List[Binding]:
+    def sort_key(solution: Binding):
+        key = []
+        for condition in conditions:
+            try:
+                value = evaluate_expression(condition.expression, solution, graph)
+            except ExpressionError:
+                value = None
+            key.append(_orderable(value, condition.descending))
+        return key
+
+    return sorted(solutions, key=sort_key)
+
+
+class _Reversed:
+    """Wrapper inverting the comparison order for DESC sorting."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _orderable(value, descending: bool):
+    if isinstance(value, Literal):
+        python_value = value.to_python()
+        normalized = (1, python_value) if isinstance(python_value, (int, float)) else (2, str(python_value))
+    elif isinstance(value, (URIRef, BNode)):
+        normalized = (3, str(value))
+    elif isinstance(value, (int, float)):
+        normalized = (1, value)
+    elif isinstance(value, str):
+        normalized = (2, value)
+    elif value is None:
+        normalized = (0, "")
+    else:
+        normalized = (4, str(value))
+    # Normalise the payload to a comparable (rank, string) pair when mixed.
+    rank, payload = normalized
+    if not isinstance(payload, (int, float)):
+        payload = str(payload)
+        rank = (rank, 1)
+    else:
+        rank = (rank, 0)
+    key = (rank, payload)
+    return _Reversed(key) if descending else key
+
+
+def evaluate_query(query: Union[Query, str], graph: Graph) -> Union[ResultSet, AskResult, Graph]:
+    """Module-level convenience: evaluate ``query`` against ``graph``."""
+    return QueryEvaluator(graph).evaluate(query)

@@ -1,0 +1,222 @@
+"""Solution mappings and result sets.
+
+SPARQL SELECT evaluation produces a sequence of *solution mappings*
+(bindings from variables to RDF terms).  :class:`Binding` is the immutable
+mapping used during evaluation and by the rewriting engine;
+:class:`ResultSet` is the user-facing container with tabular presentation
+and dict export (mirroring the SPARQL JSON results layout).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+from ..rdf import BNode, Literal, Term, URIRef, Variable
+
+__all__ = ["Binding", "ResultSet", "AskResult"]
+
+
+class Binding(Mapping[Variable, Term]):
+    """An immutable mapping from variables to RDF terms.
+
+    Supports the two operations evaluation needs: compatibility check and
+    merge (join), both defined exactly as in the SPARQL algebra — two
+    bindings are compatible when they agree on every shared variable.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Optional[Mapping[Variable, Term]] = None) -> None:
+        self._data: Dict[Variable, Term] = dict(data) if data else {}
+
+    # -- Mapping protocol --------------------------------------------------- #
+    def __getitem__(self, key: Union[Variable, str]) -> Term:
+        return self._data[self._coerce_key(key)]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        try:
+            return self._coerce_key(key) in self._data  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+
+    @staticmethod
+    def _coerce_key(key: Union[Variable, str]) -> Variable:
+        if isinstance(key, Variable):
+            return key
+        return Variable(str(key))
+
+    # -- Algebra ------------------------------------------------------------ #
+    def get_term(self, key: Union[Variable, str], default: Optional[Term] = None) -> Optional[Term]:
+        """Bound term for ``key`` or ``default``."""
+        return self._data.get(self._coerce_key(key), default)
+
+    def compatible(self, other: "Binding") -> bool:
+        """True when the two bindings agree on all shared variables."""
+        for variable, term in self._data.items():
+            other_term = other._data.get(variable)
+            if other_term is not None and other_term != term:
+                return False
+        return True
+
+    def merge(self, other: "Binding") -> "Binding":
+        """Union of two compatible bindings (caller checks compatibility)."""
+        merged = dict(self._data)
+        merged.update(other._data)
+        return Binding(merged)
+
+    def extend(self, variable: Union[Variable, str], term: Term) -> "Binding":
+        """Return a new binding with one extra pair."""
+        data = dict(self._data)
+        data[self._coerce_key(variable)] = term
+        return Binding(data)
+
+    def project(self, variables: Iterable[Union[Variable, str]]) -> "Binding":
+        """Restrict the binding to the given variables."""
+        wanted = {self._coerce_key(v) for v in variables}
+        return Binding({k: v for k, v in self._data.items() if k in wanted})
+
+    def substitute(self, term: Term) -> Term:
+        """Replace a variable by its bound value (identity for other terms)."""
+        if isinstance(term, Variable):
+            return self._data.get(term, term)
+        return term
+
+    def as_dict(self) -> Dict[str, Term]:
+        """Plain ``{variable-name: term}`` dictionary."""
+        return {variable.name: term for variable, term in self._data.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._data == other._data
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._data.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"?{k.name}={v.n3()}" for k, v in sorted(self._data.items(), key=lambda i: i[0].name))
+        return f"Binding({pairs})"
+
+
+class ResultSet:
+    """The result of a SELECT query: variables + a list of bindings."""
+
+    def __init__(self, variables: Sequence[Variable], bindings: Iterable[Binding]) -> None:
+        self.variables: List[Variable] = list(variables)
+        self.bindings: List[Binding] = list(bindings)
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.bindings)
+
+    def __bool__(self) -> bool:
+        return bool(self.bindings)
+
+    def column(self, variable: Union[Variable, str]) -> List[Optional[Term]]:
+        """All values of one variable, aligned with the binding order."""
+        return [binding.get_term(variable) for binding in self.bindings]
+
+    def distinct_values(self, variable: Union[Variable, str]) -> set:
+        """Set of non-null values bound to ``variable``."""
+        return {term for term in self.column(variable) if term is not None}
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """Rows as ``{variable-name: n3-string}`` dictionaries."""
+        rows = []
+        for binding in self.bindings:
+            row = {}
+            for variable in self.variables:
+                term = binding.get_term(variable)
+                row[variable.name] = term.n3() if term is not None else ""
+            rows.append(row)
+        return rows
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Export following the layout of the SPARQL 1.1 JSON results format."""
+        bindings_json = []
+        for binding in self.bindings:
+            row: Dict[str, Any] = {}
+            for variable in self.variables:
+                term = binding.get_term(variable)
+                if term is None:
+                    continue
+                row[variable.name] = _term_to_json(term)
+            bindings_json.append(row)
+        return {
+            "head": {"vars": [v.name for v in self.variables]},
+            "results": {"bindings": bindings_json},
+        }
+
+    def to_table(self, max_width: int = 60) -> str:
+        """Human-readable fixed-width table (used by the CLI and examples)."""
+        headers = [f"?{v.name}" for v in self.variables]
+        rows = []
+        for binding in self.bindings:
+            row = []
+            for variable in self.variables:
+                term = binding.get_term(variable)
+                text = term.n3() if term is not None else ""
+                if len(text) > max_width:
+                    text = text[: max_width - 3] + "..."
+                row.append(text)
+            rows.append(row)
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultSet {len(self.bindings)} rows x {len(self.variables)} vars>"
+
+
+class AskResult:
+    """The boolean result of an ASK query."""
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AskResult):
+            return self.value == other.value
+        if isinstance(other, bool):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("AskResult", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AskResult({self.value})"
+
+
+def _term_to_json(term: Term) -> Dict[str, str]:
+    if isinstance(term, URIRef):
+        return {"type": "uri", "value": str(term)}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": str(term)}
+    if isinstance(term, Literal):
+        payload: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.lang:
+            payload["xml:lang"] = term.lang
+        elif term.datatype is not None:
+            payload["datatype"] = str(term.datatype)
+        return payload
+    return {"type": "unknown", "value": str(term)}

@@ -1,0 +1,147 @@
+"""Tokenizer for the SPARQL query language.
+
+Covers the SPARQL 1.0 grammar subset implemented by the parser: SELECT /
+ASK / CONSTRUCT forms, PREFIX/BASE prologue, braces and brackets, triple
+punctuation, variables, IRIs, prefixed names, blank nodes, literals,
+operators used in FILTER expressions and the keywords the evaluator
+understands.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["SparqlToken", "SparqlLexError", "tokenize_sparql", "KEYWORDS"]
+
+
+class SparqlLexError(ValueError):
+    """Raised when SPARQL text cannot be tokenised."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class SparqlToken:
+    """A lexical token: ``kind`` is a symbolic name, ``value`` the raw text."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparqlToken({self.kind}, {self.value!r})"
+
+
+#: Keywords recognised case-insensitively.  The lexer emits them as
+#: ``KEYWORD`` tokens with the upper-case spelling in ``value``.
+KEYWORDS = {
+    "SELECT", "CONSTRUCT", "ASK", "DESCRIBE", "WHERE", "FILTER", "OPTIONAL",
+    "UNION", "PREFIX", "BASE", "DISTINCT", "REDUCED", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "OFFSET", "FROM", "NAMED", "GRAPH", "A",
+    "BOUND", "REGEX", "STR", "LANG", "LANGMATCHES", "DATATYPE", "ISURI",
+    "ISIRI", "ISLITERAL", "ISBLANK", "SAMETERM", "TRUE", "FALSE", "NOT", "IN",
+}
+
+_TOKEN_PATTERNS = [
+    ("COMMENT", re.compile(r"#[^\n]*")),
+    ("IRIREF", re.compile(r"<[^<>\"{}|^`\\\x00-\x20]*>")),
+    ("VAR", re.compile(r"[?$][A-Za-z0-9_]+")),
+    ("STRING_LONG", re.compile(r'"""(?:[^"\\]|\\.|"(?!""))*"""', re.DOTALL)),
+    ("STRING", re.compile(r'"(?:[^"\\\n]|\\.)*"')),
+    ("STRING_LONG_SQ", re.compile(r"'''(?:[^'\\]|\\.|'(?!''))*'''", re.DOTALL)),
+    ("STRING_SQ", re.compile(r"'(?:[^'\\\n]|\\.)*'")),
+    ("LANGTAG", re.compile(r"@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*")),
+    ("DATATYPE_MARKER", re.compile(r"\^\^")),
+    ("BLANK_NODE", re.compile(r"_:[A-Za-z0-9_][A-Za-z0-9_.-]*")),
+    ("DOUBLE", re.compile(r"[+-]?(?:\d+\.\d*[eE][+-]?\d+|\.?\d+[eE][+-]?\d+)")),
+    ("DECIMAL", re.compile(r"[+-]?\d*\.\d+")),
+    ("INTEGER", re.compile(r"[+-]?\d+")),
+    ("NEQ", re.compile(r"!=")),
+    ("LE", re.compile(r"<=")),
+    ("GE", re.compile(r">=")),
+    ("AND", re.compile(r"&&")),
+    ("OR", re.compile(r"\|\|")),
+    ("EQ", re.compile(r"=")),
+    ("BANG", re.compile(r"!")),
+    ("LT", re.compile(r"<")),
+    ("GT", re.compile(r">")),
+    ("PLUS", re.compile(r"\+")),
+    ("MINUS", re.compile(r"-")),
+    ("STAR", re.compile(r"\*")),
+    ("SLASH", re.compile(r"/")),
+    ("LBRACE", re.compile(r"\{")),
+    ("RBRACE", re.compile(r"\}")),
+    ("LPAREN", re.compile(r"\(")),
+    ("RPAREN", re.compile(r"\)")),
+    ("LBRACKET", re.compile(r"\[")),
+    ("RBRACKET", re.compile(r"\]")),
+    ("SEMICOLON", re.compile(r";")),
+    ("COMMA", re.compile(r",")),
+    ("DOT", re.compile(r"\.")),
+    # Prefixed names and bare keywords share word-ish shapes; keywords are
+    # disambiguated after the match (a PNAME always contains ':').
+    ("PNAME", re.compile(r"[A-Za-z_][A-Za-z0-9_.-]*:[A-Za-z0-9_]?[A-Za-z0-9_.\-%]*|:[A-Za-z0-9_][A-Za-z0-9_.\-%]*|[A-Za-z_][A-Za-z0-9_.-]*:")),
+    ("WORD", re.compile(r"[A-Za-z_][A-Za-z0-9_]*")),
+]
+
+_STRING_KINDS = {"STRING_LONG", "STRING_SQ", "STRING_LONG_SQ"}
+
+
+def tokenize_sparql(text: str) -> List[SparqlToken]:
+    """Tokenise SPARQL text into a list ending with an ``EOF`` token."""
+    tokens: List[SparqlToken] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    while position < length:
+        ch = text[position]
+        if ch in " \t\r":
+            position += 1
+            continue
+        if ch == "\n":
+            position += 1
+            line += 1
+            line_start = position
+            continue
+
+        column = position - line_start + 1
+        for kind, pattern in _TOKEN_PATTERNS:
+            match = pattern.match(text, position)
+            if not match:
+                continue
+            value = match.group(0)
+            if kind == "COMMENT":
+                position = match.end()
+                break
+            if kind == "PNAME" and value.endswith("."):
+                value = value.rstrip(".")
+            if kind == "WORD":
+                upper = value.upper()
+                if upper in KEYWORDS:
+                    tokens.append(SparqlToken("KEYWORD", upper, line, column))
+                else:
+                    tokens.append(SparqlToken("WORD", value, line, column))
+            elif kind in _STRING_KINDS:
+                tokens.append(SparqlToken("STRING", value, line, column))
+            else:
+                tokens.append(SparqlToken(kind, value, line, column))
+            end = position + len(value) if kind == "PNAME" else match.end()
+            newlines = text.count("\n", position, end)
+            if newlines:
+                line += newlines
+                line_start = text.rindex("\n", position, end) + 1
+            position = end
+            break
+        else:
+            raise SparqlLexError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(SparqlToken("EOF", "", line, 1))
+    return tokens

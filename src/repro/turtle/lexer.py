@@ -1,0 +1,133 @@
+"""Tokenizer for the Turtle syntax.
+
+Produces a stream of :class:`Token` objects consumed by
+:mod:`repro.turtle.parser`.  The token inventory covers the Turtle subset
+used across the project (which includes everything appearing in the
+paper's listings): directives, IRIs, prefixed names, blank node labels,
+string literals (single and triple quoted) with language tags and
+datatypes, numeric and boolean literals, the ``a`` keyword and the
+structural punctuation ``. ; , [ ] ( )``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "TurtleLexError", "tokenize"]
+
+
+class TurtleLexError(ValueError):
+    """Raised when the input cannot be tokenised."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of: ``PREFIX_DIRECTIVE``, ``BASE_DIRECTIVE``, ``IRIREF``,
+    ``PNAME``, ``BLANK_NODE``, ``STRING``, ``LANGTAG``, ``DATATYPE_MARKER``,
+    ``INTEGER``, ``DECIMAL``, ``DOUBLE``, ``BOOLEAN``, ``A``, ``DOT``,
+    ``SEMICOLON``, ``COMMA``, ``LBRACKET``, ``RBRACKET``, ``LPAREN``,
+    ``RPAREN``, ``EOF``.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+_PATTERNS = [
+    ("COMMENT", re.compile(r"#[^\n]*")),
+    ("PREFIX_DIRECTIVE", re.compile(r"@prefix\b|PREFIX\b", re.IGNORECASE)),
+    ("BASE_DIRECTIVE", re.compile(r"@base\b|BASE\b", re.IGNORECASE)),
+    ("IRIREF", re.compile(r"<[^<>\"{}|^`\\\x00-\x20]*>")),
+    ("STRING_LONG", re.compile(r'"""(?:[^"\\]|\\.|"(?!""))*"""', re.DOTALL)),
+    ("STRING", re.compile(r'"(?:[^"\\\n]|\\.)*"')),
+    ("STRING_LONG_SQ", re.compile(r"'''(?:[^'\\]|\\.|'(?!''))*'''", re.DOTALL)),
+    ("STRING_SQ", re.compile(r"'(?:[^'\\\n]|\\.)*'")),
+    ("LANGTAG", re.compile(r"@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*")),
+    ("DATATYPE_MARKER", re.compile(r"\^\^")),
+    ("BLANK_NODE", re.compile(r"_:[A-Za-z0-9_][A-Za-z0-9_.-]*")),
+    ("DOUBLE", re.compile(r"[+-]?(?:\d+\.\d*[eE][+-]?\d+|\.?\d+[eE][+-]?\d+)")),
+    ("DECIMAL", re.compile(r"[+-]?\d*\.\d+")),
+    ("INTEGER", re.compile(r"[+-]?\d+")),
+    ("BOOLEAN", re.compile(r"\b(?:true|false)\b")),
+    # Prefixed name: optional prefix, ':', optional local part.  Local parts
+    # may contain dots but must not end with one (the trailing dot is the
+    # statement terminator).
+    ("PNAME", re.compile(r"[A-Za-z0-9_][A-Za-z0-9_.-]*?:[A-Za-z0-9_]?[A-Za-z0-9_.\-%]*|:[A-Za-z0-9_][A-Za-z0-9_.\-%]*|[A-Za-z0-9_][A-Za-z0-9_.-]*?:")),
+    ("A", re.compile(r"\ba\b")),
+    ("DOT", re.compile(r"\.")),
+    ("SEMICOLON", re.compile(r";")),
+    ("COMMA", re.compile(r",")),
+    ("LBRACKET", re.compile(r"\[")),
+    ("RBRACKET", re.compile(r"\]")),
+    ("LPAREN", re.compile(r"\(")),
+    ("RPAREN", re.compile(r"\)")),
+]
+
+_STRING_KIND_MAP = {
+    "STRING_LONG": "STRING",
+    "STRING_SQ": "STRING",
+    "STRING_LONG_SQ": "STRING",
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise Turtle text; raises :class:`TurtleLexError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    while position < length:
+        ch = text[position]
+        if ch in " \t\r":
+            position += 1
+            continue
+        if ch == "\n":
+            position += 1
+            line += 1
+            line_start = position
+            continue
+
+        column = position - line_start + 1
+        for kind, pattern in _PATTERNS:
+            match = pattern.match(text, position)
+            if not match:
+                continue
+            value = match.group(0)
+            if kind == "COMMENT":
+                position = match.end()
+                break
+            # PNAME local parts must not swallow the statement-final dot.
+            if kind == "PNAME" and value.endswith("."):
+                value = value.rstrip(".")
+                match_end = position + len(value)
+            else:
+                match_end = match.end()
+            token_kind = _STRING_KIND_MAP.get(kind, kind)
+            tokens.append(Token(token_kind, value, line, column))
+            newlines = text.count("\n", position, match_end)
+            if newlines:
+                line += newlines
+                line_start = text.rindex("\n", position, match_end) + 1
+            position = match_end
+            break
+        else:
+            raise TurtleLexError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens

@@ -1,0 +1,135 @@
+"""Unit tests for alignment inversion."""
+
+import pytest
+
+from repro.alignment import (
+    AlignmentInversionError,
+    EntityAlignment,
+    FunctionalDependency,
+    KM_TO_MILES_FUNCTION,
+    SAMEAS_FUNCTION,
+    class_alignment,
+    invert_entity_alignment,
+    invert_ontology_alignment,
+    property_alignment,
+)
+from repro.core import GraphPatternRewriter, QueryRewriter
+from repro.coreference import SameAsService
+from repro.datasets import (
+    RKB_DATASET_URI,
+    RKB_URI_PATTERN,
+    akt_to_kisti_alignment,
+)
+from repro.alignment import default_registry
+from repro.rdf import AKT, KISTI, KISTI_ID, Literal, RDF, RKB_ID, Triple, URIRef, Variable
+
+
+class TestInvertEntityAlignment:
+    def test_class_alignment_inverts_cleanly(self):
+        alignment = class_alignment(AKT["Person"], KISTI["Researcher"])
+        inverse = invert_entity_alignment(alignment)
+        assert inverse.lhs.object == KISTI["Researcher"]
+        assert inverse.rhs[0].object == AKT["Person"]
+
+    def test_property_alignment_with_sameas_swaps_pattern(self):
+        x, y, x2 = Variable("x"), Variable("y"), Variable("x2")
+        alignment = EntityAlignment(
+            lhs=Triple(x, AKT["has-affiliation"], y),
+            rhs=[Triple(x2, KISTI["affiliatedWith"], y)],
+            functional_dependencies=[
+                FunctionalDependency(x2, SAMEAS_FUNCTION,
+                                     [x, Literal(r"http://kisti\.rkbexplorer\.com/id/\S*")]),
+            ],
+        )
+        inverse = invert_entity_alignment(alignment, source_uri_pattern=RKB_URI_PATTERN)
+        assert inverse.lhs.predicate == KISTI["affiliatedWith"]
+        assert inverse.rhs[0].predicate == AKT["has-affiliation"]
+        fd = inverse.functional_dependencies[0]
+        assert fd.variable == Variable("x")
+        assert fd.parameters[0] == Variable("x2")
+        assert "southampton" in fd.parameters[1].lexical
+
+    def test_multi_triple_rhs_not_invertible(self, figure2_alignment):
+        with pytest.raises(AlignmentInversionError):
+            invert_entity_alignment(figure2_alignment)
+
+    def test_non_sameas_function_not_invertible(self):
+        x, y, y2 = Variable("x"), Variable("y"), Variable("y2")
+        alignment = EntityAlignment(
+            lhs=Triple(x, AKT["has-pages"], y),
+            rhs=[Triple(x, KISTI["pageRange"], y2)],
+            functional_dependencies=[FunctionalDependency(y2, KM_TO_MILES_FUNCTION, [y])],
+        )
+        with pytest.raises(AlignmentInversionError):
+            invert_entity_alignment(alignment)
+
+    def test_identifier_suffixed(self):
+        alignment = class_alignment(AKT["Person"], KISTI["Researcher"],
+                                    identifier=URIRef("http://ex.org/a1"))
+        inverse = invert_entity_alignment(alignment)
+        assert str(inverse.identifier).endswith("-inverse")
+
+    def test_inverted_rule_rewrites_target_vocabulary_queries(self):
+        """KISTI-vocabulary patterns rewrite back to AKT with the inverse rule."""
+        inverse = invert_entity_alignment(property_alignment(AKT["has-title"], KISTI["title"]))
+        rewriter = GraphPatternRewriter([inverse], default_registry())
+        result, report = rewriter.rewrite_bgp(
+            [Triple(Variable("p"), KISTI["title"], Variable("t"))]
+        )
+        assert report.matched_count == 1
+        assert result[0].predicate == AKT["has-title"]
+
+    def test_roundtrip_class_alignment(self):
+        alignment = class_alignment(AKT["Person"], KISTI["Researcher"])
+        roundtripped = invert_entity_alignment(invert_entity_alignment(alignment))
+        assert roundtripped == alignment
+
+
+class TestInvertOntologyAlignment:
+    def test_invert_the_kisti_kb(self):
+        sameas = SameAsService()
+        sameas.add_equivalence(RKB_ID["person-02686"], KISTI_ID["PER_00000000000105047"])
+        original = akt_to_kisti_alignment()
+        inverted, report = invert_ontology_alignment(
+            original,
+            source_dataset=RKB_DATASET_URI,
+            source_uri_pattern=RKB_URI_PATTERN,
+        )
+        # The chain alignment (multi-triple RHS) is the only non-invertible rule.
+        assert report.skipped_count == 1
+        assert report.inverted_count == 23
+        assert inverted.applies_to_source(
+            URIRef("http://www.kisti.re.kr/isrl/ResearchRefOntology#")
+        )
+        assert inverted.applies_to_target_dataset(RKB_DATASET_URI)
+
+    def test_inverted_kb_drives_query_rewriting(self):
+        sameas = SameAsService()
+        sameas.add_equivalence(RKB_ID["person-02686"], KISTI_ID["PER_00000000000105047"])
+        inverted, _report = invert_ontology_alignment(
+            akt_to_kisti_alignment(),
+            source_dataset=RKB_DATASET_URI,
+            source_uri_pattern=RKB_URI_PATTERN,
+        )
+        rewriter = QueryRewriter(list(inverted), default_registry(sameas))
+        rewritten, report = rewriter.rewrite(
+            __import__("repro.sparql", fromlist=["parse_query"]).parse_query("""
+                PREFIX kisti:<http://www.kisti.re.kr/isrl/ResearchRefOntology#>
+                SELECT ?r WHERE { ?r a kisti:Researcher . ?r kisti:name ?n }
+            """)
+        )
+        predicates = {p.predicate for p in rewritten.all_triple_patterns()}
+        assert AKT["full-name"] in predicates
+        assert {p.object for p in rewritten.all_triple_patterns()} & {AKT["Person"]}
+        assert report.matched_count == 2
+
+    def test_requires_target_ontologies(self):
+        from repro.alignment import OntologyAlignment
+
+        dataset_only = OntologyAlignment(
+            source_ontologies=[URIRef("http://www.aktors.org/ontology/portal#")],
+            target_datasets=[URIRef("http://kisti.rkbexplorer.com/id/void")],
+            entity_alignments=[class_alignment(AKT["Person"], KISTI["Researcher"])],
+        )
+        with pytest.raises(AlignmentInversionError):
+            invert_ontology_alignment(dataset_only)

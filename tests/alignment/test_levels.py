@@ -1,0 +1,96 @@
+"""Unit tests for alignment expressivity levels (Section 3.2.2)."""
+
+from repro.alignment import (
+    class_alignment,
+    class_to_intersection_alignment,
+    class_to_value_partition_alignment,
+    classify_level,
+    property_alignment,
+    property_chain_alignment,
+)
+from repro.rdf import Literal, Namespace, RDF, Triple, Variable
+
+import pytest
+
+WINE1 = Namespace("http://example.org/wine1#")
+WINE2 = Namespace("http://example.org/wine2#")
+GOODS = Namespace("http://example.org/goods#")
+O1 = Namespace("http://example.org/o1#")
+O2 = Namespace("http://example.org/o2#")
+
+
+class TestBuilders:
+    def test_class_alignment_shape(self):
+        alignment = class_alignment(WINE1.Burgundy, WINE2.Wine)
+        assert alignment.lhs == Triple(Variable("x"), RDF.type, WINE1.Burgundy)
+        assert alignment.rhs == [Triple(Variable("x"), RDF.type, WINE2.Wine)]
+
+    def test_property_alignment_shape(self):
+        alignment = property_alignment(O1.name, O2.label)
+        assert alignment.lhs.predicate == O1.name
+        assert alignment.rhs[0].predicate == O2.label
+        assert alignment.lhs.subject == alignment.rhs[0].subject
+
+    def test_intersection_alignment_burgundy_example(self):
+        """The paper's level-1 example: Burgundy -> Wine AND BurgundyRegionProduct."""
+        alignment = class_to_intersection_alignment(
+            WINE1.Burgundy, [WINE2.Wine, GOODS.BurgundyRegionProduct]
+        )
+        assert len(alignment.rhs) == 2
+        assert {pattern.object for pattern in alignment.rhs} == {
+            WINE2.Wine, GOODS.BurgundyRegionProduct
+        }
+
+    def test_intersection_requires_targets(self):
+        with pytest.raises(ValueError):
+            class_to_intersection_alignment(WINE1.Burgundy, [])
+
+    def test_value_partition_whitewine_example(self):
+        """The paper's level-2 example: WhiteWine -> Wine with has_color 'White'."""
+        alignment = class_to_value_partition_alignment(
+            O1.WhiteWine, O2.Wine, O2.has_color, Literal("White")
+        )
+        assert len(alignment.rhs) == 2
+        assert Triple(Variable("x"), O2.has_color, Literal("White")) in alignment.rhs
+
+    def test_property_chain_alignment(self):
+        alignment = property_chain_alignment(O1.hasAuthor, [O2.hasCreatorInfo, O2.hasCreator])
+        assert len(alignment.rhs) == 2
+        # The chain introduces exactly one intermediate fresh variable.
+        assert len(alignment.fresh_rhs_variables()) == 1
+
+    def test_property_chain_requires_properties(self):
+        with pytest.raises(ValueError):
+            property_chain_alignment(O1.hasAuthor, [])
+
+    def test_property_chain_single_step_equals_renaming(self):
+        alignment = property_chain_alignment(O1.name, [O2.label])
+        assert len(alignment.rhs) == 1
+        assert alignment.fresh_rhs_variables() == set()
+
+
+class TestClassification:
+    def test_level0_class(self):
+        assert classify_level(class_alignment(WINE1.Burgundy, WINE2.Wine)) == 0
+
+    def test_level0_property(self):
+        assert classify_level(property_alignment(O1.name, O2.label)) == 0
+
+    def test_level1_intersection(self):
+        alignment = class_to_intersection_alignment(
+            WINE1.Burgundy, [WINE2.Wine, GOODS.BurgundyRegionProduct]
+        )
+        assert classify_level(alignment) == 1
+
+    def test_level2_value_partition(self):
+        alignment = class_to_value_partition_alignment(
+            O1.WhiteWine, O2.Wine, O2.has_color, Literal("White")
+        )
+        assert classify_level(alignment) == 2
+
+    def test_level2_chain(self):
+        alignment = property_chain_alignment(O1.hasAuthor, [O2.hasCreatorInfo, O2.hasCreator])
+        assert classify_level(alignment) == 2
+
+    def test_worked_example_is_level2(self, figure2_alignment):
+        assert classify_level(figure2_alignment) == 2

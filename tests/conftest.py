@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import (
+    EntityAlignment,
+    FunctionalDependency,
+    SAMEAS_FUNCTION,
+    default_registry,
+)
+from repro.coreference import SameAsService
+from repro.datasets import build_resist_scenario
+from repro.rdf import AKT, KISTI, KISTI_ID, Literal, RKB_ID, Triple, Variable
+
+#: The KISTI instance URI space regular expression used throughout the paper.
+KISTI_URI_PATTERN = r"http://kisti\.rkbexplorer\.com/id/\S*"
+
+#: The query of Figure 1 (verbatim apart from whitespace).
+FIGURE_1_QUERY = """
+PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author id:person-02686 .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = id:person-02686))
+}
+"""
+
+#: The Figure 6 variant: the same constraint expressed in the FILTER.
+FIGURE_6_QUERY = """
+PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author ?n .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = id:person-02686) && (?n = id:person-02686))
+}
+"""
+
+#: The KISTI URI the paper reports for person-02686 (slightly shortened).
+KISTI_PERSON_URI = KISTI_ID["PER_00000000000105047"]
+
+
+@pytest.fixture()
+def sameas_service() -> SameAsService:
+    """A sameas store holding the worked example's equivalence."""
+    service = SameAsService()
+    service.add_equivalence(RKB_ID["person-02686"], KISTI_PERSON_URI)
+    service.add_equivalence(RKB_ID["paper-00001"], KISTI_ID["PAP_000000000001"])
+    return service
+
+
+@pytest.fixture()
+def figure2_alignment() -> EntityAlignment:
+    """The akt:has-author -> kisti:hasCreatorInfo/hasCreator alignment."""
+    p1, a1 = Variable("p1"), Variable("a1")
+    p2, c, a2 = Variable("p2"), Variable("c"), Variable("a2")
+    return EntityAlignment(
+        lhs=Triple(p1, AKT["has-author"], a1),
+        rhs=[
+            Triple(p2, KISTI["hasCreatorInfo"], c),
+            Triple(c, KISTI["hasCreator"], a2),
+        ],
+        functional_dependencies=[
+            FunctionalDependency(p2, SAMEAS_FUNCTION, [p1, Literal(KISTI_URI_PATTERN)]),
+            FunctionalDependency(a2, SAMEAS_FUNCTION, [a1, Literal(KISTI_URI_PATTERN)]),
+        ],
+    )
+
+
+@pytest.fixture()
+def registry(sameas_service):
+    """Default function registry bound to the worked-example sameas store."""
+    return default_registry(sameas_service)
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A small but complete integration scenario (shared across tests)."""
+    return build_resist_scenario(
+        n_persons=25,
+        n_papers=50,
+        n_projects=4,
+        n_organizations=4,
+        rkb_coverage=0.6,
+        kisti_coverage=0.6,
+        dbpedia_coverage=0.4,
+        seed=99,
+    )

@@ -1,0 +1,130 @@
+"""Unit tests for the FILTER-aware rewriting extension (Section 4)."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    FilterAwareQueryRewriter,
+    QueryRewriter,
+    extract_equality_constraints,
+    promote_equality_constraints,
+    translate_expression_terms,
+)
+from repro.rdf import AKT, KISTI, KISTI_ID, RKB_ID, URIRef, Variable
+from repro.sparql import parse_query, serialize_expression
+
+from ..conftest import FIGURE_1_QUERY, FIGURE_6_QUERY, KISTI_PERSON_URI, KISTI_URI_PATTERN
+
+
+def first_filter_expression(query_text: str):
+    return next(iter(parse_query(query_text).filters())).expression
+
+
+class TestExtractEqualityConstraints:
+    def test_figure6_positive_conjunct_found(self):
+        constraints = extract_equality_constraints(first_filter_expression(FIGURE_6_QUERY))
+        assert EqualityConstraint(Variable("n"), RKB_ID["person-02686"]) in constraints
+
+    def test_negated_equality_not_extracted(self):
+        constraints = extract_equality_constraints(first_filter_expression(FIGURE_1_QUERY))
+        assert constraints == []
+
+    def test_disjunction_not_extracted(self):
+        expression = first_filter_expression("""
+            PREFIX id:<http://southampton.rkbexplorer.com/id/>
+            SELECT ?a WHERE { ?p ?q ?a . FILTER ((?a = id:x) || (?a = id:y)) }
+        """)
+        assert extract_equality_constraints(expression) == []
+
+    def test_reversed_operands_supported(self):
+        expression = first_filter_expression("""
+            PREFIX id:<http://southampton.rkbexplorer.com/id/>
+            SELECT ?a WHERE { ?p ?q ?a . FILTER (id:x = ?a) }
+        """)
+        constraints = extract_equality_constraints(expression)
+        assert constraints == [EqualityConstraint(Variable("a"), RKB_ID["x"])]
+
+    def test_variable_to_variable_equality_ignored(self):
+        expression = first_filter_expression(
+            "SELECT ?a WHERE { ?p ?q ?a . FILTER (?a = ?p) }"
+        )
+        assert extract_equality_constraints(expression) == []
+
+
+class TestPromotion:
+    def test_promotion_adds_specialised_patterns(self):
+        query = parse_query(FIGURE_6_QUERY)
+        promoted, constraints = promote_equality_constraints(query)
+        assert len(constraints) == 1
+        patterns = promoted.all_triple_patterns()
+        # Original two patterns plus one specialised copy with the ground URI.
+        assert len(patterns) == 3
+        assert any(p.object == RKB_ID["person-02686"] for p in patterns)
+        # Original patterns still present: the variable stays bound.
+        assert any(p.object == Variable("n") for p in patterns)
+
+    def test_promotion_is_noop_without_constraints(self):
+        query = parse_query(FIGURE_1_QUERY)
+        promoted, constraints = promote_equality_constraints(query)
+        assert constraints == []
+        assert len(promoted.all_triple_patterns()) == len(query.all_triple_patterns())
+
+    def test_promotion_does_not_mutate_input(self):
+        query = parse_query(FIGURE_6_QUERY)
+        before = len(query.all_triple_patterns())
+        promote_equality_constraints(query)
+        assert len(query.all_triple_patterns()) == before
+
+
+class TestExpressionTranslation:
+    def test_uris_translated_into_target_space(self, sameas_service):
+        expression = first_filter_expression(FIGURE_1_QUERY)
+        translated = translate_expression_terms(expression, sameas_service, KISTI_URI_PATTERN)
+        text = serialize_expression(translated)
+        assert str(KISTI_PERSON_URI) in text
+        assert "southampton" not in text
+
+    def test_unknown_uris_left_alone(self, sameas_service):
+        expression = first_filter_expression("""
+            PREFIX id:<http://southampton.rkbexplorer.com/id/>
+            SELECT ?a WHERE { ?p ?q ?a . FILTER (?a = id:unlinked-person) }
+        """)
+        translated = translate_expression_terms(expression, sameas_service, KISTI_URI_PATTERN)
+        assert "unlinked-person" in serialize_expression(translated)
+
+
+class TestFilterAwareQueryRewriter:
+    def make_rewriter(self, figure2_alignment, registry, sameas_service):
+        return FilterAwareQueryRewriter(
+            [figure2_alignment], registry, sameas_service, KISTI_URI_PATTERN,
+            extra_prefixes={"kisti": str(KISTI), "kid": str(KISTI_ID)},
+        )
+
+    def test_figure6_bgp_only_rewriting_misses_the_constraint(self, figure2_alignment, registry):
+        rewritten, _ = QueryRewriter([figure2_alignment], registry).rewrite(
+            parse_query(FIGURE_6_QUERY)
+        )
+        # The source URI survives untranslated (the documented failure).
+        assert "person-02686" in rewritten.serialize()
+        assert str(KISTI_PERSON_URI) not in rewritten.serialize()
+
+    def test_figure6_filter_aware_translates_the_constraint(
+        self, figure2_alignment, registry, sameas_service
+    ):
+        rewriter = self.make_rewriter(figure2_alignment, registry, sameas_service)
+        rewritten, report, constraints = rewriter.rewrite(parse_query(FIGURE_6_QUERY))
+        text = rewritten.serialize()
+        assert str(KISTI_PERSON_URI) in text or "PER_00000000000105047" in text
+        assert len(constraints) == 1
+        assert report.matched_count >= 2
+
+    def test_figure1_filter_uri_also_translated(self, figure2_alignment, registry, sameas_service):
+        rewriter = self.make_rewriter(figure2_alignment, registry, sameas_service)
+        rewritten, _, _ = rewriter.rewrite(parse_query(FIGURE_1_QUERY))
+        filter_text = serialize_expression(next(iter(rewritten.filters())).expression)
+        assert "southampton" not in filter_text
+
+    def test_rewrite_to_text(self, figure2_alignment, registry, sameas_service):
+        rewriter = self.make_rewriter(figure2_alignment, registry, sameas_service)
+        text = rewriter.rewrite_to_text(parse_query(FIGURE_6_QUERY))
+        assert "hasCreatorInfo" in text

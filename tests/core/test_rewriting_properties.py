@@ -1,0 +1,103 @@
+"""Property-based tests of the rewriting algorithm's invariants.
+
+These check the structural guarantees Algorithm 1 promises for *any* BGP
+and any set of (level-0/1) alignments, not just the paper's examples:
+
+* triples whose predicate has no alignment survive unchanged,
+* the output size equals the sum of the RHS sizes of the fired rules plus
+  the unmatched triples,
+* rewriting never produces a variable that clashes with an input variable
+  unless it came from the input,
+* rewriting is idempotent for alignments whose target vocabulary is
+  disjoint from the source vocabulary (applying the rewriter twice equals
+  applying it once).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alignment import default_registry, property_alignment
+from repro.core import GraphPatternRewriter
+from repro.rdf import Namespace, Triple, URIRef, Variable
+
+SRC = Namespace("http://example.org/source#")
+TGT = Namespace("http://example.org/target#")
+
+_SOURCE_PROPERTIES = [SRC[f"p{i}"] for i in range(6)]
+_TARGET_PROPERTIES = [TGT[f"q{i}"] for i in range(6)]
+_ALIGNED = {
+    source: target
+    for source, target in zip(_SOURCE_PROPERTIES[:4], _TARGET_PROPERTIES[:4])
+}
+_ALIGNMENTS = [property_alignment(source, target) for source, target in _ALIGNED.items()]
+
+_variables = st.sampled_from([Variable(name) for name in "xyzuvw"])
+_subjects = st.one_of(_variables, st.sampled_from([SRC[f"s{i}"] for i in range(4)]))
+_objects = st.one_of(_variables, st.sampled_from([SRC[f"o{i}"] for i in range(4)]))
+_predicates = st.sampled_from(_SOURCE_PROPERTIES)
+
+
+@st.composite
+def triple_patterns(draw):
+    return Triple(draw(_subjects), draw(_predicates), draw(_objects))
+
+
+@st.composite
+def bgps(draw):
+    return draw(st.lists(triple_patterns(), min_size=0, max_size=8))
+
+
+def rewrite(patterns):
+    rewriter = GraphPatternRewriter(_ALIGNMENTS, default_registry())
+    return rewriter.rewrite_bgp(patterns)
+
+
+@settings(max_examples=150, deadline=None)
+@given(bgps())
+def test_unaligned_triples_survive_unchanged(patterns):
+    result, _report = rewrite(patterns)
+    for pattern in patterns:
+        if pattern.predicate not in _ALIGNED:
+            assert pattern in result
+
+
+@settings(max_examples=150, deadline=None)
+@given(bgps())
+def test_output_size_accounts_for_every_input_triple(patterns):
+    result, report = rewrite(patterns)
+    assert report.input_size == len(patterns)
+    assert len(result) == report.output_size
+    # Level-0 property alignments have single-triple bodies, so sizes match.
+    assert len(result) == len(patterns)
+
+
+@settings(max_examples=150, deadline=None)
+@given(bgps())
+def test_aligned_predicates_fully_translated(patterns):
+    result, _report = rewrite(patterns)
+    translated = {p.predicate for p in result}
+    assert not (translated & set(_ALIGNED))
+
+
+@settings(max_examples=150, deadline=None)
+@given(bgps())
+def test_subjects_objects_and_variables_preserved_for_level0_rules(patterns):
+    """Level-0 property renaming keeps subjects and objects untouched."""
+    result, _report = rewrite(patterns)
+    assert [(p.subject, p.object) for p in result] == [(p.subject, p.object) for p in patterns]
+
+
+@settings(max_examples=100, deadline=None)
+@given(bgps())
+def test_rewriting_is_idempotent_when_vocabularies_disjoint(patterns):
+    once, _ = rewrite(patterns)
+    twice, report = rewrite(once)
+    assert twice == once
+    assert report.matched_count == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(bgps())
+def test_rewriting_is_deterministic(patterns):
+    first, _ = rewrite(patterns)
+    second, _ = rewrite(patterns)
+    assert first == second

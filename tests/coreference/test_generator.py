@@ -1,0 +1,58 @@
+"""Unit tests for the synthetic co-reference bundle generator."""
+
+from repro.coreference import CoReferenceGenerator, CoReferenceSpec, SameAsService
+from repro.rdf import OWL, URIRef
+
+
+def rkb_minter(kind: str, index: int) -> URIRef:
+    return URIRef(f"http://southampton.rkbexplorer.com/id/{kind}-{index:05d}")
+
+
+def kisti_minter(kind: str, index: int) -> URIRef:
+    return URIRef(f"http://kisti.rkbexplorer.com/id/{kind.upper()}_{index:012d}")
+
+
+def make_generator(coverage: float = 1.0, seed: int = 7) -> CoReferenceGenerator:
+    return CoReferenceGenerator(
+        specs=[
+            CoReferenceSpec("rkb", rkb_minter),
+            CoReferenceSpec("kisti", kisti_minter),
+        ],
+        coverage=coverage,
+        seed=seed,
+    )
+
+
+class TestGenerator:
+    def test_full_coverage_links_every_entity(self):
+        generator = make_generator(coverage=1.0)
+        bundles = generator.bundles_for("person", 10)
+        assert len(bundles) == 10
+        assert all(len(bundle) == 2 for bundle in bundles)
+
+    def test_partial_coverage_links_fewer_entities(self):
+        generator = make_generator(coverage=0.3, seed=5)
+        bundles = generator.bundles_for("person", 200)
+        assert 20 < len(bundles) < 120
+
+    def test_deterministic_for_same_seed(self):
+        a = make_generator(coverage=0.5, seed=3).bundles_for("person", 50)
+        b = make_generator(coverage=0.5, seed=3).bundles_for("person", 50)
+        assert a == b
+
+    def test_populate_service(self):
+        generator = make_generator()
+        service = SameAsService()
+        added = generator.populate(service, "person", 5)
+        assert added == 5
+        assert service.are_same(rkb_minter("person", 0), kisti_minter("person", 0))
+
+    def test_build_service_multiple_kinds(self):
+        generator = make_generator()
+        service = generator.build_service({"person": 3, "paper": 2})
+        assert service.bundle_count() == 5
+
+    def test_sameas_graph_contains_owl_sameas(self):
+        generator = make_generator()
+        graph = generator.sameas_graph({"person": 2})
+        assert len(list(graph.triples(None, OWL.sameAs, None))) == 2

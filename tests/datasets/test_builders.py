@@ -1,0 +1,126 @@
+"""Unit tests for the per-dataset builders (AKT / KISTI / DBpedia views)."""
+
+import pytest
+
+from repro.datasets import (
+    AktDatasetBuilder,
+    DBpediaDatasetBuilder,
+    KistiDatasetBuilder,
+    WorldModel,
+    AKT_TERMS,
+    DBPEDIA_TERMS,
+    KISTI_TERMS,
+)
+from repro.rdf import RDF
+
+
+@pytest.fixture(scope="module")
+def world() -> WorldModel:
+    return WorldModel(n_persons=20, n_papers=40, n_projects=3, n_organizations=3, seed=13)
+
+
+class TestAktBuilder:
+    def test_full_coverage_includes_everything(self, world):
+        builder = AktDatasetBuilder(world, coverage=1.0)
+        assert builder.covered_paper_keys == {p.key for p in world.papers}
+        assert builder.covered_person_keys == {p.key for p in world.persons}
+
+    def test_partial_coverage_is_smaller(self, world):
+        builder = AktDatasetBuilder(world, coverage=0.5, seed=3)
+        assert 0 < len(builder.covered_paper_keys) < len(world.papers)
+        # Covered persons are exactly the authors of covered papers.
+        for paper in world.papers:
+            if paper.key in builder.covered_paper_keys:
+                assert set(paper.author_keys) <= builder.covered_person_keys
+
+    def test_graph_structure(self, world):
+        builder = AktDatasetBuilder(world, coverage=1.0)
+        graph = builder.build()
+        assert len(graph) > 0
+        # Every paper has has-author arcs for each author.
+        author_arcs = list(graph.triples(None, AKT_TERMS["has-author"], None))
+        expected = sum(len(p.author_keys) for p in world.papers)
+        assert len(author_arcs) == expected
+        # Typing uses the AKT classes.
+        assert list(graph.triples(None, RDF.type, AKT_TERMS["Person"]))
+
+    def test_uri_space(self, world):
+        builder = AktDatasetBuilder(world)
+        assert str(builder.person_uri(5)).startswith("http://southampton.rkbexplorer.com/id/person-")
+        assert builder.mint("paper", 3) == builder.paper_uri(3)
+
+    def test_description(self, world):
+        builder = AktDatasetBuilder(world)
+        description = builder.description(triple_count=100)
+        assert description.uri == builder.dataset_uri
+        assert description.triple_count == 100
+        assert description.uri_pattern is not None
+
+
+class TestKistiBuilder:
+    def test_creatorinfo_indirection(self, world):
+        builder = KistiDatasetBuilder(world, coverage=1.0)
+        graph = builder.build()
+        info_arcs = list(graph.triples(None, KISTI_TERMS["hasCreatorInfo"], None))
+        creator_arcs = list(graph.triples(None, KISTI_TERMS["hasCreator"], None))
+        expected = sum(len(p.author_keys) for p in world.papers)
+        assert len(info_arcs) == expected
+        assert len(creator_arcs) == expected
+        # No direct paper->person arcs exist (heterogeneous modelling).
+        assert not list(graph.triples(None, AKT_TERMS["has-author"], None))
+
+    def test_partial_coverage(self, world):
+        builder = KistiDatasetBuilder(world, coverage=0.4, seed=5)
+        assert 0 < len(builder.covered_paper_keys) <= int(len(world.papers) * 0.4) + 1
+
+    def test_uri_space_matches_paper_convention(self, world):
+        builder = KistiDatasetBuilder(world)
+        assert str(builder.person_uri(105047)).endswith("PER_000000105047")
+        assert str(builder.paper_uri(1)).startswith("http://kisti.rkbexplorer.com/id/PAP_")
+
+    def test_covered_persons_are_authors_of_covered_papers(self, world):
+        builder = KistiDatasetBuilder(world, coverage=0.5, seed=9)
+        authors_of_covered = set()
+        for paper in world.papers:
+            if paper.key in builder.covered_paper_keys:
+                authors_of_covered.update(paper.author_keys)
+        assert builder.covered_person_keys == authors_of_covered
+
+
+class TestDBpediaBuilder:
+    def test_flat_author_modelling(self, world):
+        builder = DBpediaDatasetBuilder(world, coverage=1.0)
+        graph = builder.build()
+        author_arcs = list(graph.triples(None, DBPEDIA_TERMS["author"], None))
+        expected = sum(len(p.author_keys) for p in world.papers)
+        assert len(author_arcs) == expected
+
+    def test_sparser_than_kisti_by_default(self, world):
+        kisti = KistiDatasetBuilder(world)
+        dbpedia = DBpediaDatasetBuilder(world)
+        assert len(dbpedia.covered_paper_keys) < len(kisti.covered_paper_keys)
+
+    def test_uri_space_uses_resource_namespace(self, world):
+        builder = DBpediaDatasetBuilder(world)
+        assert str(builder.person_uri(0)).startswith("http://dbpedia.org/resource/")
+        assert "_0" in str(builder.person_uri(0))
+
+    def test_scientist_typing(self, world):
+        builder = DBpediaDatasetBuilder(world, coverage=1.0)
+        graph = builder.build()
+        scientists = list(graph.triples(None, RDF.type, DBPEDIA_TERMS["Scientist"]))
+        assert scientists
+
+
+class TestCrossDatasetConsistency:
+    def test_urispaces_disjoint(self, world):
+        akt = AktDatasetBuilder(world)
+        kisti = KistiDatasetBuilder(world)
+        dbpedia = DBpediaDatasetBuilder(world)
+        uris = {str(akt.person_uri(1)), str(kisti.person_uri(1)), str(dbpedia.person_uri(1))}
+        assert len(uris) == 3
+
+    def test_same_seed_same_coverage(self, world):
+        a = KistiDatasetBuilder(world, coverage=0.5, seed=21)
+        b = KistiDatasetBuilder(world, coverage=0.5, seed=21)
+        assert a.covered_paper_keys == b.covered_paper_keys

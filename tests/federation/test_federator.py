@@ -1,0 +1,126 @@
+"""Unit tests for federated execution and result merging."""
+
+import pytest
+
+from repro.federation import f1_score, precision, recall
+
+from ..conftest import FIGURE_1_QUERY
+
+
+class TestMetrics:
+    def test_recall(self):
+        assert recall({1, 2}, {1, 2, 3, 4}) == 0.5
+        assert recall(set(), {1}) == 0.0
+        assert recall({1}, set()) == 1.0
+
+    def test_precision(self):
+        assert precision({1, 2, 9}, {1, 2, 3}) == pytest.approx(2 / 3)
+        assert precision(set(), {1}) == 1.0
+
+    def test_f1(self):
+        assert f1_score({1, 2}, {1, 2}) == 1.0
+        assert f1_score(set(), set()) == 1.0
+        assert f1_score({1}, {2}) == 0.0
+
+
+class TestFederatedExecution:
+    def coauthor_query(self, scenario, person_key):
+        person_uri = scenario.akt_person_uri(person_key)
+        return f"""
+        PREFIX akt:<http://www.aktors.org/ontology/portal#>
+        SELECT DISTINCT ?a WHERE {{
+          ?paper akt:has-author <{person_uri}> .
+          ?paper akt:has-author ?a .
+          FILTER (!(?a = <{person_uri}>))
+        }}
+        """
+
+    def test_every_dataset_queried(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        result = small_scenario.service.federate(
+            self.coauthor_query(small_scenario, person),
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+        )
+        assert len(result.per_dataset) == 3
+        assert not result.failed_datasets()
+
+    def test_restricting_datasets(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        result = small_scenario.service.federate(
+            self.coauthor_query(small_scenario, person),
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+            datasets=[small_scenario.rkb_dataset, small_scenario.kisti_dataset],
+        )
+        assert len(result.per_dataset) == 2
+
+    def test_source_dataset_receives_unrewritten_query(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        result = small_scenario.service.federate(
+            self.coauthor_query(small_scenario, person),
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+        )
+        rkb_entry = next(e for e in result.per_dataset
+                         if e.dataset_uri == small_scenario.rkb_dataset)
+        assert rkb_entry.mediation is None
+        kisti_entry = next(e for e in result.per_dataset
+                           if e.dataset_uri == small_scenario.kisti_dataset)
+        assert kisti_entry.mediation is not None
+
+    def test_merged_results_are_canonicalised_and_deduplicated(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        result = small_scenario.service.federate(
+            self.coauthor_query(small_scenario, person),
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        merged_values = result.distinct_values("a")
+        # Every merged URI is in the RKB URI space (the canonical space).
+        assert all("southampton" in str(value) for value in merged_values)
+        # Merged row count never exceeds the raw total.
+        assert len(result.merged()) <= result.total_rows
+
+    def test_federation_raises_recall_over_single_source(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        query = self.coauthor_query(small_scenario, person)
+        gold = small_scenario.gold_coauthor_uris(person)
+
+        local = small_scenario.endpoint(small_scenario.rkb_dataset).select(query)
+        federated = small_scenario.service.federate(
+            query,
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        local_recall = recall(local.distinct_values("a"), gold)
+        federated_recall = recall(federated.distinct_values("a"), gold)
+        assert federated_recall >= local_recall
+        assert federated_recall > 0.5
+
+    def test_unavailable_endpoint_reported_not_fatal(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        endpoint = small_scenario.endpoint(small_scenario.dbpedia_dataset)
+        endpoint.available = False
+        try:
+            result = small_scenario.service.federate(
+                self.coauthor_query(small_scenario, person),
+                source_ontology=small_scenario.source_ontology,
+                source_dataset=small_scenario.rkb_dataset,
+            )
+            assert small_scenario.dbpedia_dataset in result.failed_datasets()
+            assert len(result.successful_datasets()) == 2
+            assert result.merged_bindings  # the others still contribute
+        finally:
+            endpoint.available = True
+
+    def test_result_variables_follow_projection(self, small_scenario):
+        person = small_scenario.world.most_prolific_author()
+        result = small_scenario.service.federate(
+            self.coauthor_query(small_scenario, person),
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+        )
+        assert [v.name for v in result.variables] == ["a"]

@@ -1,0 +1,87 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.federation import (
+    DatasetDescription,
+    DatasetRegistry,
+    LocalSparqlEndpoint,
+    RegisteredDataset,
+)
+from repro.rdf import Graph, RDF, URIRef, VOID
+
+KISTI_ONT = URIRef("http://www.kisti.re.kr/isrl/ResearchRefOntology#")
+AKT_ONT = URIRef("http://www.aktors.org/ontology/portal#")
+
+
+def make_dataset(name: str, ontology: URIRef) -> RegisteredDataset:
+    description = DatasetDescription(
+        uri=URIRef(f"http://{name}.org/void"),
+        endpoint_uri=URIRef(f"http://{name}.org/sparql"),
+        ontologies=(ontology,),
+        uri_pattern=rf"http://{name}\.org/id/\S*",
+        title=name,
+    )
+    endpoint = LocalSparqlEndpoint(description.endpoint_uri, Graph(), name=name)
+    return RegisteredDataset(description, endpoint)
+
+
+@pytest.fixture()
+def registry() -> DatasetRegistry:
+    registry = DatasetRegistry()
+    registry.register(make_dataset("kisti", KISTI_ONT))
+    registry.register(make_dataset("rkb", AKT_ONT))
+    return registry
+
+
+class TestRegistry:
+    def test_membership_and_lookup(self, registry):
+        uri = URIRef("http://kisti.org/void")
+        assert uri in registry
+        assert registry.get(uri).description.title == "kisti"
+
+    def test_unknown_dataset_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get(URIRef("http://unknown.org/void"))
+
+    def test_iteration_sorted_by_uri(self, registry):
+        uris = [str(d.uri) for d in registry]
+        assert uris == sorted(uris)
+
+    def test_register_endpoint_convenience(self):
+        registry = DatasetRegistry()
+        description = DatasetDescription(
+            uri=URIRef("http://new.org/void"),
+            endpoint_uri=URIRef("http://new.org/sparql"),
+        )
+        registered = registry.register_endpoint(
+            description, LocalSparqlEndpoint(description.endpoint_uri, Graph())
+        )
+        assert registered.uri in registry
+        assert len(registry) == 1
+
+    def test_unregister(self, registry):
+        registry.unregister(URIRef("http://kisti.org/void"))
+        assert len(registry) == 1
+
+    def test_using_ontology(self, registry):
+        found = registry.using_ontology(KISTI_ONT)
+        assert len(found) == 1
+        assert found[0].description.title == "kisti"
+        assert registry.using_ontology(URIRef("http://none.org/")) == []
+
+    def test_void_graph_describes_every_dataset(self, registry):
+        graph = registry.void_graph()
+        datasets = list(graph.subjects(RDF.type, VOID.Dataset))
+        assert len(datasets) == 2
+
+    def test_replacing_registration(self, registry):
+        replacement = make_dataset("kisti", AKT_ONT)
+        registry.register(replacement)
+        assert len(registry) == 2
+        assert registry.get(URIRef("http://kisti.org/void")).ontologies == (AKT_ONT,)
+
+    def test_accessors(self, registry):
+        dataset = registry.get(URIRef("http://kisti.org/void"))
+        assert dataset.uri_pattern == r"http://kisti\.org/id/\S*"
+        assert dataset.ontologies == (KISTI_ONT,)

@@ -1,0 +1,64 @@
+"""Unit tests for voiD dataset descriptions."""
+
+import pytest
+
+from repro.federation import DatasetDescription, descriptions_from_graph, descriptions_to_graph
+from repro.rdf import Graph, RDF, Triple, URIRef, VOID
+
+
+def make_description(**overrides) -> DatasetDescription:
+    defaults = dict(
+        uri=URIRef("http://kisti.rkbexplorer.com/id/void"),
+        endpoint_uri=URIRef("http://kisti.rkbexplorer.com/sparql/"),
+        ontologies=(URIRef("http://www.kisti.re.kr/isrl/ResearchRefOntology#"),),
+        uri_pattern=r"http://kisti\.rkbexplorer\.com/id/\S*",
+        title="KISTI",
+        triple_count=1234,
+    )
+    defaults.update(overrides)
+    return DatasetDescription(**defaults)
+
+
+class TestVoidEncoding:
+    def test_to_triples_contains_core_properties(self):
+        triples = make_description().to_triples()
+        graph = Graph().add_all(triples)
+        uri = URIRef("http://kisti.rkbexplorer.com/id/void")
+        assert Triple(uri, RDF.type, VOID.Dataset) in graph
+        assert graph.value(uri, VOID.sparqlEndpoint, None) is not None
+        assert graph.value(uri, VOID.uriRegexPattern, None) is not None
+        assert graph.value(uri, VOID.triples, None) is not None
+
+    def test_roundtrip(self):
+        original = make_description()
+        graph = descriptions_to_graph([original])
+        restored = descriptions_from_graph(graph)
+        assert restored == [original]
+
+    def test_roundtrip_without_optional_fields(self):
+        original = make_description(uri_pattern=None, title=None, triple_count=None)
+        restored = descriptions_from_graph(descriptions_to_graph([original]))
+        assert restored == [original]
+
+    def test_multiple_descriptions(self):
+        first = make_description()
+        second = make_description(uri=URIRef("http://dbpedia.org/void"),
+                                  endpoint_uri=URIRef("http://dbpedia.org/sparql"),
+                                  title="DBpedia")
+        restored = descriptions_from_graph(descriptions_to_graph([first, second]))
+        assert len(restored) == 2
+        assert {d.uri for d in restored} == {first.uri, second.uri}
+
+    def test_missing_endpoint_raises(self):
+        graph = Graph()
+        uri = URIRef("http://broken.org/void")
+        graph.add(Triple(uri, RDF.type, VOID.Dataset))
+        with pytest.raises(ValueError):
+            DatasetDescription.from_graph(graph, uri)
+
+    def test_ontologies_sorted_deterministically(self):
+        description = make_description(ontologies=(
+            URIRef("http://z.org/onto#"), URIRef("http://a.org/onto#"),
+        ))
+        restored = descriptions_from_graph(descriptions_to_graph([description]))
+        assert list(restored[0].ontologies) == sorted(restored[0].ontologies, key=str)

@@ -1,0 +1,82 @@
+"""Unit tests for the named-graph Dataset."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, Quad, Triple, URIRef
+
+EX = "http://example.org/"
+
+
+def uri(name: str) -> URIRef:
+    return URIRef(EX + name)
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    ds = Dataset()
+    ds.add(Triple(uri("s1"), uri("p"), uri("o1")))
+    ds.add(Triple(uri("s2"), uri("p"), uri("o2")), graph_name=uri("g1"))
+    ds.add(Triple(uri("s3"), uri("p"), uri("o3")), graph_name=uri("g2"))
+    return ds
+
+
+class TestDataset:
+    def test_default_graph(self, dataset):
+        assert len(dataset.default_graph) == 1
+
+    def test_named_graph_access(self, dataset):
+        assert len(dataset.graph(uri("g1"))) == 1
+        assert uri("g1") in dataset
+
+    def test_graph_create_on_demand(self):
+        ds = Dataset()
+        graph = ds.graph(uri("new"))
+        assert isinstance(graph, Graph)
+        assert uri("new") in ds
+
+    def test_graph_no_create(self):
+        ds = Dataset()
+        with pytest.raises(KeyError):
+            ds.graph(uri("missing"), create=False)
+
+    def test_graph_names_sorted(self, dataset):
+        assert dataset.graph_names() == [uri("g1"), uri("g2")]
+
+    def test_len_counts_all_graphs(self, dataset):
+        assert len(dataset) == 3
+
+    def test_quads_across_graphs(self, dataset):
+        quads = list(dataset.quads(None, uri("p"), None))
+        assert len(quads) == 3
+        graph_names = {quad.graph_name for quad in quads}
+        assert graph_names == {None, uri("g1"), uri("g2")}
+
+    def test_quads_restricted_to_graph(self, dataset):
+        quads = list(dataset.quads(graph_name=uri("g1")))
+        assert len(quads) == 1
+        assert quads[0].triple.subject == uri("s2")
+
+    def test_add_quad(self):
+        ds = Dataset()
+        ds.add_quad(Quad(Triple(uri("s"), uri("p"), uri("o")), uri("g")))
+        assert len(ds.graph(uri("g"))) == 1
+
+    def test_union_graph(self, dataset):
+        union = dataset.union_graph()
+        assert len(union) == 3
+
+    def test_remove_graph(self, dataset):
+        dataset.remove_graph(uri("g1"))
+        assert uri("g1") not in dataset
+        assert len(dataset) == 2
+
+    def test_load_bulk(self):
+        ds = Dataset()
+        ds.load([Triple(uri("a"), uri("p"), uri("b")),
+                 Triple(uri("c"), uri("p"), uri("d"))], graph_name=uri("bulk"))
+        assert len(ds.graph(uri("bulk"))) == 2
+
+    def test_graphs_iteration_order(self, dataset):
+        graphs = list(dataset.graphs())
+        assert graphs[0] is dataset.default_graph
+        assert [g.identifier for g in graphs[1:]] == [uri("g1"), uri("g2")]

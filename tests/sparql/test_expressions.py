@@ -1,0 +1,182 @@
+"""Unit tests for FILTER expression evaluation."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, URIRef, Variable, XSD
+from repro.sparql import (
+    Binding,
+    ExpressionError,
+    effective_boolean_value,
+    evaluate_expression,
+    expression_satisfied,
+    parse_query,
+)
+
+
+def filter_expression(filter_body: str):
+    """Parse a query containing the FILTER and return its expression."""
+    query = parse_query(f"""
+        PREFIX ex: <http://ex.org/>
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+        SELECT ?x WHERE {{ ?x ex:p ?y . FILTER {filter_body} }}
+    """)
+    return next(iter(query.filters())).expression
+
+
+def binding(**kwargs) -> Binding:
+    return Binding({Variable(name): value for name, value in kwargs.items()})
+
+
+class TestEffectiveBooleanValue:
+    def test_booleans(self):
+        assert effective_boolean_value(True) is True
+        assert effective_boolean_value(False) is False
+
+    def test_numbers(self):
+        assert effective_boolean_value(3) is True
+        assert effective_boolean_value(0) is False
+
+    def test_strings(self):
+        assert effective_boolean_value("x") is True
+        assert effective_boolean_value("") is False
+
+    def test_literals(self):
+        assert effective_boolean_value(Literal("true", datatype=XSD.boolean)) is True
+        assert effective_boolean_value(Literal("0", datatype=XSD.integer)) is False
+        assert effective_boolean_value(Literal("")) is False
+        assert effective_boolean_value(Literal("text")) is True
+
+    def test_uri_is_type_error(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(URIRef("http://ex.org/x"))
+
+
+class TestComparisons:
+    def test_numeric_equality_across_datatypes(self):
+        expression = filter_expression("(?y = 5)")
+        assert expression_satisfied(expression, binding(y=Literal("5", datatype=XSD.integer)))
+        assert expression_satisfied(expression, binding(y=Literal("5.0", datatype=XSD.double)))
+        assert not expression_satisfied(expression, binding(y=Literal("6", datatype=XSD.integer)))
+
+    def test_uri_equality(self):
+        expression = filter_expression("(?y = ex:thing)")
+        assert expression_satisfied(expression, binding(y=URIRef("http://ex.org/thing")))
+        assert not expression_satisfied(expression, binding(y=URIRef("http://ex.org/other")))
+
+    def test_inequality(self):
+        expression = filter_expression("(?y != ex:thing)")
+        assert expression_satisfied(expression, binding(y=URIRef("http://ex.org/other")))
+
+    def test_numeric_ordering(self):
+        assert expression_satisfied(filter_expression("(?y > 3)"), binding(y=Literal(4)))
+        assert expression_satisfied(filter_expression("(?y <= 3)"), binding(y=Literal(3)))
+        assert not expression_satisfied(filter_expression("(?y < 3)"), binding(y=Literal(3)))
+
+    def test_string_ordering(self):
+        assert expression_satisfied(filter_expression('(?y < "b")'), binding(y=Literal("a")))
+
+    def test_mixed_type_comparison_fails(self):
+        assert not expression_satisfied(filter_expression('(?y > 3)'), binding(y=Literal("abc")))
+
+    def test_unbound_variable_fails_filter(self):
+        assert not expression_satisfied(filter_expression("(?y = 5)"), binding())
+
+
+class TestLogicalOperators:
+    def test_negation(self):
+        expression = filter_expression("(!(?y = 5))")
+        assert expression_satisfied(expression, binding(y=Literal(4)))
+        assert not expression_satisfied(expression, binding(y=Literal(5)))
+
+    def test_conjunction(self):
+        expression = filter_expression("((?y > 1) && (?y < 10))")
+        assert expression_satisfied(expression, binding(y=Literal(5)))
+        assert not expression_satisfied(expression, binding(y=Literal(11)))
+
+    def test_disjunction(self):
+        expression = filter_expression("((?y = 1) || (?y = 2))")
+        assert expression_satisfied(expression, binding(y=Literal(2)))
+        assert not expression_satisfied(expression, binding(y=Literal(3)))
+
+    def test_or_recovers_from_error_when_other_side_true(self):
+        # ?z is unbound -> error, but the left disjunct is true.
+        expression = filter_expression("((?y = 1) || (?z = 1))")
+        assert expression_satisfied(expression, binding(y=Literal(1)))
+
+    def test_and_recovers_from_error_when_other_side_false(self):
+        expression = filter_expression("((?z = 1) && (?y = 1))")
+        assert not expression_satisfied(expression, binding(y=Literal(2)))
+
+    def test_arithmetic(self):
+        expression = filter_expression("((?y + 2) * 3 = 15)")
+        assert expression_satisfied(expression, binding(y=Literal(3)))
+
+    def test_division_by_zero_is_error(self):
+        expression = filter_expression("((?y / 0) = 1)")
+        assert not expression_satisfied(expression, binding(y=Literal(3)))
+
+    def test_unary_minus(self):
+        expression = filter_expression("(-?y = -4)")
+        assert expression_satisfied(expression, binding(y=Literal(4)))
+
+
+class TestBuiltins:
+    def test_bound(self):
+        expression = filter_expression("BOUND(?y)")
+        assert expression_satisfied(expression, binding(y=Literal(1)))
+        assert not expression_satisfied(expression, binding())
+
+    def test_str_of_uri_and_literal(self):
+        expression = filter_expression('(STR(?y) = "http://ex.org/thing")')
+        assert expression_satisfied(expression, binding(y=URIRef("http://ex.org/thing")))
+        expression = filter_expression('(STR(?y) = "5")')
+        assert expression_satisfied(expression, binding(y=Literal("5", datatype=XSD.integer)))
+
+    def test_lang_and_langmatches(self):
+        assert expression_satisfied(filter_expression('(LANG(?y) = "en")'),
+                                    binding(y=Literal("hi", lang="en")))
+        assert expression_satisfied(filter_expression('LANGMATCHES(LANG(?y), "en")'),
+                                    binding(y=Literal("hi", lang="en-gb")))
+        assert expression_satisfied(filter_expression('LANGMATCHES(LANG(?y), "*")'),
+                                    binding(y=Literal("hi", lang="fr")))
+        assert not expression_satisfied(filter_expression('LANGMATCHES(LANG(?y), "*")'),
+                                        binding(y=Literal("hi")))
+
+    def test_datatype(self):
+        expression = filter_expression("(DATATYPE(?y) = xsd:integer)")
+        assert expression_satisfied(expression, binding(y=Literal("5", datatype=XSD.integer)))
+        expression = filter_expression("(DATATYPE(?y) = xsd:string)")
+        assert expression_satisfied(expression, binding(y=Literal("plain")))
+
+    def test_type_checks(self):
+        assert expression_satisfied(filter_expression("isURI(?y)"),
+                                    binding(y=URIRef("http://ex.org/x")))
+        assert expression_satisfied(filter_expression("isLITERAL(?y)"), binding(y=Literal("x")))
+        assert expression_satisfied(filter_expression("isBLANK(?y)"), binding(y=BNode("b")))
+        assert not expression_satisfied(filter_expression("isURI(?y)"), binding(y=Literal("x")))
+
+    def test_sameterm(self):
+        expression = filter_expression("sameTerm(?y, ex:thing)")
+        assert expression_satisfied(expression, binding(y=URIRef("http://ex.org/thing")))
+
+    def test_regex(self):
+        expression = filter_expression('REGEX(STR(?y), "^http://kisti")')
+        assert expression_satisfied(expression,
+                                    binding(y=URIRef("http://kisti.rkbexplorer.com/id/x")))
+        assert not expression_satisfied(expression, binding(y=URIRef("http://ex.org/x")))
+
+    def test_regex_case_insensitive_flag(self):
+        expression = filter_expression('REGEX(?y, "PERSON", "i")')
+        assert expression_satisfied(expression, binding(y=Literal("a person here")))
+
+    def test_regex_invalid_pattern_is_error(self):
+        expression = filter_expression('REGEX(?y, "(unclosed")')
+        assert not expression_satisfied(expression, binding(y=Literal("x")))
+
+    def test_unknown_function_is_error(self):
+        expression = filter_expression("<http://ex.org/fn/custom>(?y)")
+        assert not expression_satisfied(expression, binding(y=Literal("x")))
+
+    def test_bound_requires_variable_argument(self):
+        expression = filter_expression('BOUND("x")')
+        assert not expression_satisfied(expression, binding(y=Literal("x")))

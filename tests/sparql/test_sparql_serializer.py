@@ -1,0 +1,85 @@
+"""Unit tests for query serialisation (AST -> SPARQL text)."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, RDF, Triple, URIRef
+from repro.sparql import QueryEvaluator, parse_query, serialize_query
+
+from ..conftest import FIGURE_1_QUERY, FIGURE_6_QUERY
+
+EX = "http://ex.org/"
+
+
+def roundtrip(text: str):
+    """Parse, serialise, reparse — returns both ASTs."""
+    first = parse_query(text)
+    second = parse_query(serialize_query(first))
+    return first, second
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("query_text", [
+        FIGURE_1_QUERY,
+        FIGURE_6_QUERY,
+        "SELECT * WHERE { ?s ?p ?o }",
+        "PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p [ ex:q ?v ] }",
+        "PREFIX ex: <http://ex.org/> SELECT ?x WHERE { { ?x a ex:A } UNION { ?x a ex:B } }",
+        "PREFIX ex: <http://ex.org/> SELECT ?s ?n WHERE { ?s a ex:P . OPTIONAL { ?s ex:n ?n } }",
+        "PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:age ?a . FILTER (?a >= 18 && ?a != 99) }",
+        'PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p "5"^^<http://www.w3.org/2001/XMLSchema#integer> }',
+        'PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p "hi"@en } ORDER BY DESC(?s) LIMIT 3 OFFSET 1',
+        "PREFIX ex: <http://ex.org/> ASK { ex:a ex:p ?o }",
+        "PREFIX ex: <http://ex.org/> CONSTRUCT { ?s ex:q ?o } WHERE { ?s ex:p ?o }",
+        "PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p ?o . FILTER REGEX(STR(?o), \"x\", \"i\") }",
+    ])
+    def test_parse_serialize_parse_preserves_structure(self, query_text):
+        first, second = roundtrip(query_text)
+        assert type(first) is type(second)
+        assert len(first.all_triple_patterns()) == len(second.all_triple_patterns())
+        assert len(list(first.filters())) == len(list(second.filters()))
+        assert first.modifiers.distinct == second.modifiers.distinct
+        assert first.modifiers.limit == second.modifiers.limit
+        assert first.modifiers.offset == second.modifiers.offset
+
+    def test_roundtrip_preserves_semantics_on_data(self):
+        graph = Graph()
+        graph.add(Triple(URIRef(EX + "a"), URIRef(EX + "p"), Literal(5)))
+        graph.add(Triple(URIRef(EX + "b"), URIRef(EX + "p"), Literal(15)))
+        evaluator = QueryEvaluator(graph)
+        text = "PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p ?v . FILTER (?v > 10) }"
+        original = evaluator.select(text)
+        reserialized = evaluator.select(serialize_query(parse_query(text)))
+        assert original.to_dicts() == reserialized.to_dicts()
+
+
+class TestFormatting:
+    def test_prefixes_declared(self):
+        text = serialize_query(parse_query(FIGURE_1_QUERY))
+        assert "PREFIX akt: <http://www.aktors.org/ontology/portal#>" in text
+        assert "PREFIX id: <http://southampton.rkbexplorer.com/id/>" in text
+
+    def test_distinct_and_projection(self):
+        text = serialize_query(parse_query(FIGURE_1_QUERY))
+        assert "SELECT DISTINCT ?a" in text
+
+    def test_rdf_type_serialised_as_a(self):
+        text = serialize_query(parse_query(
+            "PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Person }"
+        ))
+        assert " a ex:Person ." in text
+
+    def test_filter_rendered(self):
+        text = serialize_query(parse_query(FIGURE_1_QUERY))
+        assert "FILTER" in text
+        assert "id:person-02686" in text
+
+    def test_select_star_rendered(self):
+        text = serialize_query(parse_query("SELECT * WHERE { ?s ?p ?o }"))
+        assert "SELECT *" in text
+
+    def test_construct_template_rendered(self):
+        text = serialize_query(parse_query(
+            "PREFIX ex: <http://ex.org/> CONSTRUCT { ?s ex:q ?o } WHERE { ?s ex:p ?o }"
+        ))
+        assert "CONSTRUCT {" in text
+        assert "ex:q" in text

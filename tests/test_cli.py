@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.alignment import AlignmentStore, ontology_alignment_to_graph
+from repro.cli import main_federate, main_query, main_rewrite
+from repro.datasets import (
+    KISTI_DATASET_URI,
+    KISTI_URI_PATTERN,
+    akt_to_kisti_alignment,
+    build_resist_scenario,
+)
+from repro.turtle import serialize_turtle
+
+from .conftest import FIGURE_1_QUERY
+
+
+@pytest.fixture()
+def query_file(tmp_path):
+    path = tmp_path / "query.rq"
+    path.write_text(FIGURE_1_QUERY, encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def alignment_file(tmp_path):
+    graph = ontology_alignment_to_graph(akt_to_kisti_alignment())
+    path = tmp_path / "alignments.ttl"
+    path.write_text(serialize_turtle(graph), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def sameas_file(tmp_path, sameas_service):
+    path = tmp_path / "sameas.ttl"
+    path.write_text(serialize_turtle(sameas_service.to_graph()), encoding="utf-8")
+    return path
+
+
+class TestRewriteCommand:
+    def test_rewrite_outputs_translated_query(self, capsys, query_file, alignment_file, sameas_file):
+        exit_code = main_rewrite([
+            str(query_file), str(alignment_file),
+            "--target", str(KISTI_DATASET_URI),
+            "--source-ontology", "http://www.aktors.org/ontology/portal#",
+            "--sameas", str(sameas_file),
+            "--uri-pattern", KISTI_URI_PATTERN,
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "hasCreatorInfo" in captured.out
+        assert "alignments considered: 24" in captured.err
+
+    def test_rewrite_filter_aware_mode(self, capsys, query_file, alignment_file, sameas_file):
+        exit_code = main_rewrite([
+            str(query_file), str(alignment_file),
+            "--target", str(KISTI_DATASET_URI),
+            "--sameas", str(sameas_file),
+            "--uri-pattern", KISTI_URI_PATTERN,
+            "--mode", "filter-aware",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "PER_00000000000105047" in captured.out
+
+    def test_rewrite_warns_on_empty_alignment_kb(self, capsys, query_file, tmp_path):
+        empty = tmp_path / "empty.ttl"
+        empty.write_text("", encoding="utf-8")
+        exit_code = main_rewrite([
+            str(query_file), str(empty),
+            "--target", str(KISTI_DATASET_URI),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "no ontology alignments" in captured.err
+
+
+class TestQueryCommand:
+    def test_query_against_turtle_file(self, capsys, tmp_path):
+        data = tmp_path / "data.ttl"
+        data.write_text("""
+            @prefix akt: <http://www.aktors.org/ontology/portal#> .
+            @prefix id: <http://southampton.rkbexplorer.com/id/> .
+            id:paper-1 akt:has-author id:person-02686 , id:person-2 .
+        """, encoding="utf-8")
+        query = tmp_path / "query.rq"
+        query.write_text(FIGURE_1_QUERY, encoding="utf-8")
+        exit_code = main_query([str(query), str(data)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "person-2" in captured.out
+        assert "1 rows" in captured.err
+
+
+class TestFederateCommand:
+    def test_demo_run(self, capsys):
+        exit_code = main_federate(["--persons", "15", "--papers", "30", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Federated co-authors" in captured.out
+        assert "recall" in captured.out

@@ -1,0 +1,63 @@
+"""Unit tests for the Turtle tokenizer."""
+
+import pytest
+
+from repro.turtle import TurtleLexError, tokenize
+
+
+def kinds(text: str):
+    return [token.kind for token in tokenize(text)]
+
+
+class TestTurtleLexer:
+    def test_directives(self):
+        tokens = tokenize("@prefix ex: <http://ex.org/> . @base <http://ex.org/> .")
+        assert tokens[0].kind == "PREFIX_DIRECTIVE"
+        assert [t.kind for t in tokens if t.kind == "BASE_DIRECTIVE"] == ["BASE_DIRECTIVE"]
+
+    def test_sparql_style_directives(self):
+        tokens = tokenize("PREFIX ex: <http://ex.org/>\nBASE <http://ex.org/>")
+        assert tokens[0].kind == "PREFIX_DIRECTIVE"
+        assert any(t.kind == "BASE_DIRECTIVE" for t in tokens)
+
+    def test_langtag_not_confused_with_prefix_directive(self):
+        tokens = tokenize('"hello"@en')
+        assert tokens[0].kind == "STRING"
+        assert tokens[1].kind == "LANGTAG"
+
+    def test_pname_with_dots_and_dashes(self):
+        tokens = tokenize("akt:has-author foaf.ext:name")
+        assert tokens[0].value == "akt:has-author"
+        assert tokens[1].value == "foaf.ext:name"
+
+    def test_pname_trailing_dot_is_statement_terminator(self):
+        tokens = tokenize("ex:thing.")
+        assert tokens[0].value == "ex:thing"
+        assert tokens[1].kind == "DOT"
+
+    def test_numbers_and_booleans(self):
+        assert kinds("42 -3.5 2e10 true false")[:-1] == [
+            "INTEGER", "DECIMAL", "DOUBLE", "BOOLEAN", "BOOLEAN",
+        ]
+
+    def test_collections_and_bnode_lists(self):
+        assert kinds("( ) [ ]")[:-1] == ["LPAREN", "RPAREN", "LBRACKET", "RBRACKET"]
+
+    def test_long_strings_span_lines(self):
+        tokens = tokenize('"""one\ntwo""" ex:p')
+        assert tokens[0].kind == "STRING"
+        assert "\n" in tokens[0].value
+        # Line counter advanced past the embedded newline.
+        assert tokens[1].line == 2
+
+    def test_comments_skipped(self):
+        assert kinds("# full line\nex:a ex:b ex:c .")[:-1] == ["PNAME", "PNAME", "PNAME", "DOT"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(TurtleLexError) as error:
+            tokenize("ex:a ex:b ¤ .")
+        assert error.value.line == 1
+
+    def test_a_keyword(self):
+        tokens = tokenize("ex:x a ex:Thing .")
+        assert tokens[1].kind == "A"

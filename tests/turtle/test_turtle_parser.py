@@ -1,0 +1,182 @@
+"""Unit tests for the Turtle parser."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Literal,
+    MAP,
+    NamespaceManager,
+    RDF,
+    Triple,
+    URIRef,
+    XSD,
+)
+from repro.turtle import TurtleLexError, TurtleParseError, parse_turtle, tokenize
+
+
+class TestDirectives:
+    def test_prefix_declaration(self):
+        graph = parse_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .")
+        assert Triple(URIRef("http://ex.org/a"), URIRef("http://ex.org/p"),
+                      URIRef("http://ex.org/b")) in graph
+
+    def test_sparql_style_prefix(self):
+        graph = parse_turtle("PREFIX ex: <http://ex.org/>\nex:a ex:p ex:b .")
+        assert len(graph) == 1
+
+    def test_base_resolution(self):
+        graph = parse_turtle('@base <http://ex.org/data/> . <a> <p> <b> .')
+        triple = list(graph)[0]
+        assert triple.subject == URIRef("http://ex.org/data/a")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("ex:a ex:p ex:b .")
+
+    def test_seed_namespace_manager(self):
+        manager = NamespaceManager()
+        graph = parse_turtle("akt:Person a akt:Class .", namespace_manager=manager)
+        assert len(graph) == 1
+
+
+class TestAbbreviations:
+    def test_a_keyword(self):
+        graph = parse_turtle("@prefix ex: <http://ex.org/> . ex:x a ex:Thing .")
+        assert list(graph)[0].predicate == RDF.type
+
+    def test_predicate_object_lists(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://ex.org/> . ex:x ex:p ex:a ; ex:q ex:b , ex:c ."
+        )
+        assert len(graph) == 3
+
+    def test_trailing_semicolon_tolerated(self):
+        graph = parse_turtle("@prefix ex: <http://ex.org/> . ex:x ex:p ex:a ; .")
+        assert len(graph) == 1
+
+    def test_blank_node_property_list(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://ex.org/> . ex:x ex:p [ ex:q ex:y ; ex:r ex:z ] ."
+        )
+        assert len(graph) == 3
+        anon = [t.object for t in graph.triples(URIRef("http://ex.org/x"), None, None)][0]
+        assert isinstance(anon, BNode)
+
+    def test_nested_blank_node_property_lists(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://ex.org/> . ex:x ex:p [ ex:q [ ex:r ex:y ] ] ."
+        )
+        assert len(graph) == 3
+
+    def test_collection(self):
+        graph = parse_turtle(
+            '@prefix ex: <http://ex.org/> . ex:x ex:p ( ex:a "b" 3 ) .'
+        )
+        # list of 3 items -> 3 first + 3 rest + 1 link from ex:x
+        assert len(graph) == 7
+        firsts = list(graph.triples(None, RDF.first, None))
+        assert len(firsts) == 3
+
+    def test_empty_collection_is_nil(self):
+        graph = parse_turtle("@prefix ex: <http://ex.org/> . ex:x ex:p ( ) .")
+        assert list(graph)[0].object == RDF.nil
+
+
+class TestLiterals:
+    def test_language_tag(self):
+        graph = parse_turtle('@prefix ex: <http://ex.org/> . ex:x ex:p "chat"@fr .')
+        assert list(graph)[0].object == Literal("chat", lang="fr")
+
+    def test_datatyped_literal_with_pname(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://ex.org/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> . "
+            'ex:x ex:p "5"^^xsd:integer .'
+        )
+        assert list(graph)[0].object == Literal("5", datatype=XSD.integer)
+
+    def test_bare_numbers_and_booleans(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://ex.org/> . ex:x ex:i 42 ; ex:d 3.14 ; ex:e 1.0e3 ; ex:b true ."
+        )
+        objects = {t.predicate.namespace_split()[1]: t.object for t in graph}
+        assert objects["i"].datatype == XSD.integer
+        assert objects["d"].datatype == XSD.decimal
+        assert objects["e"].datatype == XSD.double
+        assert objects["b"].datatype == XSD.boolean
+
+    def test_long_string_literal(self):
+        graph = parse_turtle(
+            '@prefix ex: <http://ex.org/> . ex:x ex:p """line one\nline two""" .'
+        )
+        assert "\n" in list(graph)[0].object.lexical
+
+    def test_literal_in_subject_position_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('@prefix ex: <http://ex.org/> . "bad" ex:p ex:o .')
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(TurtleLexError):
+            tokenize("@prefix ex: <http://ex.org/> . ex:a ex:p § .")
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('@prefix ex: <http://ex.org/> . ex:a "p" ex:b .')
+
+
+class TestPaperListing:
+    """The Turtle alignment listing of Section 3.2.2 parses as published."""
+
+    LISTING = """
+    @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+    @prefix map: <http://ecs.soton.ac.uk/om.owl#> .
+    @prefix akt2kisti: <http://ecs.soton.ac.uk/alignments/akt2kisti#> .
+    @prefix akt: <http://www.aktors.org/ontology/portal#> .
+    @prefix kisti: <http://www.kisti.re.kr/isrl/ResearchRefOntology#> .
+
+    akt2kisti:creator_info
+        a map:EntityAlignment ;
+        map:lhs [
+            rdf:type rdf:Statement ;
+            rdf:subject _:p1 ;
+            rdf:predicate akt:has-author ;
+            rdf:object _:a1
+        ] ;
+        map:rhs [
+            rdf:type rdf:Statement ;
+            rdf:subject _:p2 ;
+            rdf:predicate kisti:hasCreatorInfo ;
+            rdf:object _:c
+        ] ;
+        map:rhs [
+            rdf:type rdf:Statement ;
+            rdf:subject _:c ;
+            rdf:predicate kisti:hasCreator ;
+            rdf:object _:a2
+        ] ;
+        map:hasFunctionalDependency [
+            rdf:type rdf:Statement ;
+            rdf:subject _:a2 ;
+            rdf:predicate map:sameas ;
+            rdf:object ( _:a1 "http://kisti.rkbexplorer.com/id/\\S*" )
+        ] ;
+        map:hasFunctionalDependency [
+            rdf:type rdf:Statement ;
+            rdf:subject _:p2 ;
+            rdf:predicate map:sameas ;
+            rdf:object ( _:p1 "http://kisti.rkbexplorer.com/id/\\S*" )
+        ] .
+    """
+
+    def test_listing_parses(self):
+        graph = parse_turtle(self.LISTING)
+        alignment_node = URIRef("http://ecs.soton.ac.uk/alignments/akt2kisti#creator_info")
+        assert Triple(alignment_node, RDF.type, MAP.EntityAlignment) in graph
+        assert len(list(graph.objects(alignment_node, MAP.rhs))) == 2
+        assert len(list(graph.objects(alignment_node, MAP.hasFunctionalDependency))) == 2
