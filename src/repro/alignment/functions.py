@@ -80,13 +80,26 @@ class FunctionRegistry:
 
     def __init__(self) -> None:
         self._functions: Dict[URIRef, TransformFunction] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every registry mutation.
+
+        Rewrite results depend on which functions are registered (missing
+        functions are skipped in non-strict mode), so the mediator's
+        rewrite cache keys on this value.
+        """
+        return self._generation
 
     def register(self, uri: URIRef, function: TransformFunction) -> None:
         """Register (or replace) the implementation of ``uri``."""
         self._functions[URIRef(str(uri))] = function
+        self._generation += 1
 
     def unregister(self, uri: URIRef) -> None:
         self._functions.pop(URIRef(str(uri)), None)
+        self._generation += 1
 
     def __contains__(self, uri: URIRef) -> bool:
         return URIRef(str(uri)) in self._functions

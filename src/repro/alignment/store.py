@@ -33,8 +33,19 @@ class AlignmentStore:
 
     def __init__(self, alignments: Iterable[OntologyAlignment] = ()) -> None:
         self._alignments: List[OntologyAlignment] = []
+        self._generation = 0
         for alignment in alignments:
             self.add(alignment)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every KB mutation.
+
+        Derived structures (the mediator's compiled rule sets and rewrite
+        cache) key their entries on this value, so any :meth:`add` /
+        :meth:`load_graph` automatically invalidates them.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------ #
     # Population
@@ -42,6 +53,7 @@ class AlignmentStore:
     def add(self, alignment: OntologyAlignment) -> "AlignmentStore":
         """Register an ontology alignment."""
         self._alignments.append(alignment)
+        self._generation += 1
         return self
 
     def load_graph(self, graph: Graph) -> int:

@@ -43,7 +43,8 @@ def main_rewrite(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-rewrite",
         description="Rewrite a SPARQL query for a target dataset using an RDF alignment KB.",
     )
-    parser.add_argument("query", help="path to the SPARQL query file")
+    parser.add_argument("query", nargs="+",
+                        help="path(s) to one or more SPARQL query files (rewritten as a batch)")
     parser.add_argument("alignments", help="path to the alignment KB (Turtle)")
     parser.add_argument("--target", required=True, help="URI of the target dataset")
     parser.add_argument("--source-ontology", default=None, help="URI of the source ontology")
@@ -72,16 +73,22 @@ def main_rewrite(argv: Optional[Sequence[str]] = None) -> int:
         TargetProfile(dataset=target_uri, uri_pattern=arguments.uri_pattern)
     )
     source_ontology = URIRef(arguments.source_ontology) if arguments.source_ontology else None
-    result = mediator.translate(
-        _read_text(arguments.query), target_uri, source_ontology, mode=arguments.mode
+    results = mediator.rewrite_many(
+        [_read_text(path) for path in arguments.query],
+        target_uri,
+        source_ontology,
+        mode=arguments.mode,
     )
-    print(result.query_text)
-    print(
-        f"# alignments considered: {result.alignments_considered}; "
-        f"triples matched: {result.report.matched_count}; "
-        f"unmatched: {result.report.unmatched_count}",
-        file=sys.stderr,
-    )
+    for path, result in zip(arguments.query, results):
+        if len(results) > 1:
+            print(f"# --- {path} ---")
+        print(result.query_text)
+        print(
+            f"# {path}: alignments considered: {result.alignments_considered}; "
+            f"triples matched: {result.report.matched_count}; "
+            f"unmatched: {result.report.unmatched_count}",
+            file=sys.stderr,
+        )
     return 0
 
 

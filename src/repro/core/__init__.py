@@ -15,6 +15,7 @@ from .matcher import (
     match_node,
     match_triple,
 )
+from .index import CompiledRule, CompiledRuleSet, PatternIndex
 from .rewriter import (
     FreshVariableGenerator,
     GraphPatternRewriter,
@@ -23,6 +24,7 @@ from .rewriter import (
     RewriteReport,
     TripleRewrite,
     clone_query,
+    extend_prologue,
     instantiate_functions,
 )
 from .filter_rewriter import (
@@ -46,9 +48,12 @@ __all__ = [
     # matching
     "Substitution", "MatchResult", "match_node", "match_triple", "match_alignment",
     "find_matches",
+    # indexed matching
+    "CompiledRule", "CompiledRuleSet", "PatternIndex",
     # rewriting
     "RewriteError", "FreshVariableGenerator", "TripleRewrite", "RewriteReport",
-    "instantiate_functions", "GraphPatternRewriter", "QueryRewriter", "clone_query",
+    "instantiate_functions", "extend_prologue", "GraphPatternRewriter", "QueryRewriter",
+    "clone_query",
     # extensions
     "EqualityConstraint", "extract_equality_constraints", "promote_equality_constraints",
     "translate_expression_terms", "FilterAwareQueryRewriter", "AlgebraQueryRewriter",

@@ -35,7 +35,14 @@ from ..sparql import (
     translate_query,
 )
 from .filter_rewriter import translate_expression_terms
-from .rewriter import FreshVariableGenerator, GraphPatternRewriter, QueryRewriter, RewriteReport, clone_query
+from .rewriter import (
+    FreshVariableGenerator,
+    GraphPatternRewriter,
+    QueryRewriter,
+    RewriteReport,
+    clone_query,
+    extend_prologue,
+)
 
 __all__ = ["AlgebraQueryRewriter"]
 
@@ -51,8 +58,11 @@ class AlgebraQueryRewriter:
         target_uri_pattern: Optional[str] = None,
         extra_prefixes: Optional[Dict[str, str]] = None,
         strict: bool = False,
+        use_index: bool = True,
     ) -> None:
-        self._pattern_rewriter = GraphPatternRewriter(alignments, registry, strict)
+        # ``alignments`` may be a plain sequence or a pre-built
+        # ``CompiledRuleSet`` (the mediator shares one across modes).
+        self._pattern_rewriter = GraphPatternRewriter(alignments, registry, strict, use_index)
         self._service = sameas_service
         self._target_uri_pattern = target_uri_pattern
         self._extra_prefixes = dict(extra_prefixes or {})
@@ -94,12 +104,7 @@ class AlgebraQueryRewriter:
         new_algebra, report = self.rewrite_algebra(pattern_algebra, fresh)
         rewritten.where = algebra_to_group(new_algebra)
 
-        helper = QueryRewriter(
-            self._pattern_rewriter.alignments,
-            self._pattern_rewriter.registry,
-            extra_prefixes=self._extra_prefixes,
-        )
-        helper._extend_prologue(rewritten.prologue, report)
+        extend_prologue(rewritten.prologue, report, self._extra_prefixes)
         return rewritten, report
 
     def rewrite_to_text(self, query: Query) -> str:

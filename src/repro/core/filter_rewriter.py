@@ -185,8 +185,12 @@ class FilterAwareQueryRewriter:
         target_uri_pattern: str,
         extra_prefixes: Optional[Dict[str, str]] = None,
         strict: bool = False,
+        use_index: bool = True,
     ) -> None:
-        self._base_rewriter = QueryRewriter(alignments, registry, strict, extra_prefixes)
+        # ``alignments`` may be a plain sequence or a pre-built
+        # ``CompiledRuleSet`` (the mediator shares one across modes).
+        self._base_rewriter = QueryRewriter(alignments, registry, strict, extra_prefixes,
+                                            use_index)
         self._service = sameas_service
         self._target_uri_pattern = target_uri_pattern
 

@@ -18,6 +18,7 @@ system.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -27,9 +28,30 @@ from ..rdf import URIRef
 from ..sparql import Query, parse_query
 from .algebra_rewriter import AlgebraQueryRewriter
 from .filter_rewriter import FilterAwareQueryRewriter
-from .rewriter import QueryRewriter, RewriteReport
+from .index import CompiledRuleSet
+from .rewriter import QueryRewriter, RewriteReport, TripleRewrite, clone_query
 
 __all__ = ["TargetProfile", "MediationResult", "Mediator"]
+
+#: Upper bound on cached rewrite results (oldest entries evicted first).
+_RESULT_CACHE_LIMIT = 512
+
+
+def _copy_report(report: RewriteReport) -> RewriteReport:
+    """Report copy whose entries are safe for callers to mutate.
+
+    Trace entries are mutable dataclasses; sharing them between the cache
+    and returned results would let one caller's edit poison later hits.
+    Triples and substitutions are immutable, so copying stops there.
+    """
+    return RewriteReport(
+        [
+            TripleRewrite(entry.original, list(entry.produced),
+                          entry.alignment, entry.substitution)
+            for entry in report.rewrites
+        ],
+        report.function_calls,
+    )
 
 
 @dataclass(frozen=True)
@@ -97,6 +119,14 @@ class Mediator:
         self.sameas_service = sameas_service or SameAsService()
         self.registry = registry if registry is not None else default_registry(self.sameas_service)
         self._targets: Dict[URIRef, TargetProfile] = {}
+        # Compiled rule sets shared across modes, keyed by selection context;
+        # rewrite results keyed additionally by normalized query text.  Both
+        # caches are only valid for one alignment-KB generation.
+        self._ruleset_cache: Dict[Tuple, CompiledRuleSet] = {}
+        self._result_cache: "OrderedDict[Tuple, Tuple[Query, RewriteReport, int]]" = OrderedDict()
+        self._cache_generation = self._current_generation()
+        self._cache_hits = 0
+        self._cache_misses = 0
         for target in targets:
             self.register_target(target)
 
@@ -104,8 +134,13 @@ class Mediator:
     # Target management
     # ------------------------------------------------------------------ #
     def register_target(self, target: TargetProfile) -> None:
-        """Make a dataset available as a rewriting target."""
+        """Make a dataset available as a rewriting target.
+
+        Re-registering a dataset may change its profile (ontologies, URI
+        pattern, prefixes), so cached rewrites are dropped.
+        """
         self._targets[target.dataset] = target
+        self._clear_caches()
 
     def target(self, dataset: URIRef) -> TargetProfile:
         """The registered profile for ``dataset``; raises ``KeyError`` if unknown."""
@@ -131,6 +166,25 @@ class Mediator:
             dataset_ontologies=target.ontologies,
         )
 
+    def compiled_ruleset(
+        self,
+        target: TargetProfile,
+        source_ontology: Optional[URIRef] = None,
+    ) -> CompiledRuleSet:
+        """The indexed rule set for ``target``, compiled once per KB generation.
+
+        Shared by every rewriting mode, so selecting + compiling the
+        relevant alignments is paid once per (target, source ontology) pair
+        instead of once per translation.
+        """
+        self._check_generation()
+        key = (target.dataset, source_ontology)
+        ruleset = self._ruleset_cache.get(key)
+        if ruleset is None:
+            ruleset = CompiledRuleSet(self.select_alignments(target, source_ontology))
+            self._ruleset_cache[key] = ruleset
+        return ruleset
+
     def translate(
         self,
         query: Union[Query, str],
@@ -147,15 +201,39 @@ class Mediator:
         * ``"filter-aware"`` — BGP rewriting plus constraint promotion and
           FILTER URI translation,
         * ``"algebra"`` — rewriting over the SPARQL algebra tree.
+
+        Results are cached per (normalized query text, target dataset,
+        source ontology, mode, strict, KB generation); any mutation of the
+        alignment store or the sameas service invalidates the cache.
+        Cache hits return a fresh copy of the rewritten query, so callers
+        may mutate it freely.
         """
         if isinstance(query, str):
             query = parse_query(query)
         target = self.target(target_dataset)
-        alignments = self.select_alignments(target, source_ontology)
+        self._check_generation()
+
+        key = (query.serialize(), target.dataset, source_ontology, mode, strict)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._result_cache.move_to_end(key)
+            rewritten, report, considered = cached
+            return MediationResult(
+                source_query=query,
+                rewritten_query=clone_query(rewritten),
+                target=target,
+                report=_copy_report(report),
+                alignments_considered=considered,
+                mode=mode,
+            )
+        self._cache_misses += 1
+
+        ruleset = self.compiled_ruleset(target, source_ontology)
         prefixes = target.prefix_dict()
 
         if mode == "bgp":
-            rewriter = QueryRewriter(alignments, self.registry, strict, prefixes)
+            rewriter = QueryRewriter(ruleset, self.registry, strict, prefixes)
             rewritten, report = rewriter.rewrite(query)
         elif mode == "filter-aware":
             if target.uri_pattern is None:
@@ -164,38 +242,114 @@ class Mediator:
                     "requires one"
                 )
             rewriter = FilterAwareQueryRewriter(
-                alignments, self.registry, self.sameas_service, target.uri_pattern,
+                ruleset, self.registry, self.sameas_service, target.uri_pattern,
                 prefixes, strict,
             )
             rewritten, report, _constraints = rewriter.rewrite(query)
         elif mode == "algebra":
             rewriter = AlgebraQueryRewriter(
-                alignments, self.registry, self.sameas_service, target.uri_pattern,
+                ruleset, self.registry, self.sameas_service, target.uri_pattern,
                 prefixes, strict,
             )
             rewritten, report = rewriter.rewrite(query)
         else:
             raise ValueError(f"unknown mediation mode: {mode!r}")
 
+        self._result_cache[key] = (rewritten, report, len(ruleset))
+        while len(self._result_cache) > _RESULT_CACHE_LIMIT:
+            self._result_cache.popitem(last=False)
+
         return MediationResult(
             source_query=query,
-            rewritten_query=rewritten,
+            rewritten_query=clone_query(rewritten),
             target=target,
-            report=report,
-            alignments_considered=len(alignments),
+            report=_copy_report(report),
+            alignments_considered=len(ruleset),
             mode=mode,
         )
+
+    def rewrite_many(
+        self,
+        queries: Sequence[Union[Query, str]],
+        target_dataset: URIRef,
+        source_ontology: Optional[URIRef] = None,
+        mode: str = "bgp",
+        strict: bool = False,
+    ) -> List[MediationResult]:
+        """Rewrite a batch of queries for one target (same order as input).
+
+        The relevant alignments are selected and compiled once for the
+        whole batch; repeated queries within the batch hit the rewrite
+        cache.  Used by the federation layer and the CLI to amortise
+        per-translation setup.
+        """
+        target = self.target(target_dataset)
+        self.compiled_ruleset(target, source_ontology)  # warm the shared index
+        return [
+            self.translate(query, target_dataset, source_ontology, mode, strict)
+            for query in queries
+        ]
 
     def translate_for_all_targets(
         self,
         query: Union[Query, str],
         source_ontology: Optional[URIRef] = None,
         mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
     ) -> Dict[URIRef, MediationResult]:
-        """Rewrite ``query`` once per registered target (federation fan-out)."""
+        """Rewrite ``query`` once per registered target (federation fan-out).
+
+        ``datasets`` restricts the fan-out to a subset of the registered
+        targets.
+        """
+        selected = self.targets() if datasets is None else [self.target(uri) for uri in datasets]
         results: Dict[URIRef, MediationResult] = {}
-        for target in self.targets():
+        for target in selected:
             results[target.dataset] = self.translate(
                 query, target.dataset, source_ontology, mode
             )
         return results
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    @property
+    def result_cache_limit(self) -> int:
+        """Maximum number of rewrite results retained (LRU-evicted beyond)."""
+        return _RESULT_CACHE_LIMIT
+
+    def cache_info(self) -> Dict[str, object]:
+        """Hit/miss counters and current cache occupancy (for monitoring)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "results": len(self._result_cache),
+            "rulesets": len(self._ruleset_cache),
+            "generation": self._cache_generation,
+        }
+
+    def _current_generation(self) -> Tuple[int, int, int]:
+        """Combined version of everything rewrite output depends on.
+
+        Alignment-KB mutations change which rules fire; sameas-store
+        mutations change what the ``sameas`` functional dependency and the
+        FILTER URI translation produce; registry mutations change which
+        functional dependencies can execute at all.  Any one must
+        invalidate.
+        """
+        return (
+            self.alignment_store.generation,
+            self.sameas_service.generation,
+            self.registry.generation,
+        )
+
+    def _check_generation(self) -> None:
+        """Drop every cached structure when a backing KB has changed."""
+        generation = self._current_generation()
+        if generation != self._cache_generation:
+            self._clear_caches()
+            self._cache_generation = generation
+
+    def _clear_caches(self) -> None:
+        self._ruleset_cache.clear()
+        self._result_cache.clear()

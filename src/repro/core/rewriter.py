@@ -54,6 +54,7 @@ __all__ = [
     "TripleRewrite",
     "RewriteReport",
     "instantiate_functions",
+    "extend_prologue",
     "GraphPatternRewriter",
     "QueryRewriter",
     "clone_query",
@@ -204,22 +205,49 @@ class GraphPatternRewriter:
     ----------
     alignments:
         The entity alignments (the union of the relevant ontology
-        alignments' EA sets, per Section 3.2.1).
+        alignments' EA sets, per Section 3.2.1), or an already-compiled
+        :class:`~repro.core.index.CompiledRuleSet` to share across
+        rewriters.
     registry:
         Function registry used to execute functional dependencies.
     strict:
         Propagate function errors instead of skipping the dependency.
+    use_index:
+        When ``True`` (the default), matching runs through the pattern
+        index; ``False`` falls back to the reference linear scan.  Both
+        paths produce byte-identical rewrites — the flag exists for the
+        equivalence tests and the E5 indexed-vs-linear benchmark.
     """
 
     def __init__(
         self,
-        alignments: Sequence[EntityAlignment],
+        alignments: Union[Sequence[EntityAlignment], "CompiledRuleSet"],
         registry: Optional[FunctionRegistry] = None,
         strict: bool = False,
+        use_index: bool = True,
     ) -> None:
-        self.alignments: List[EntityAlignment] = list(alignments)
+        from .index import CompiledRuleSet
+
+        self._ruleset: Optional[CompiledRuleSet]
+        if isinstance(alignments, CompiledRuleSet):
+            # Shared ruleset: reference its (append-only) list, no copy.
+            self._ruleset = alignments if use_index else None
+            self._alignments = alignments.alignments
+        else:
+            self._alignments = list(alignments)
+            self._ruleset = CompiledRuleSet(self._alignments) if use_index else None
         self.registry = registry if registry is not None else FunctionRegistry()
         self.strict = strict
+
+    @property
+    def alignments(self) -> List[EntityAlignment]:
+        """Snapshot of the rule set (compiled once at construction).
+
+        Returns a copy: the rules consulted during rewriting are fixed
+        when the rewriter is built, so mutating the returned list cannot
+        (and must not appear to) change matching behaviour.
+        """
+        return list(self._alignments)
 
     # -- single triple -------------------------------------------------------- #
     def rewrite_triple(
@@ -228,11 +256,21 @@ class GraphPatternRewriter:
         fresh: FreshVariableGenerator,
     ) -> TripleRewrite:
         """Rewrite one triple pattern (one iteration of Algorithm 1's loop)."""
-        matches = find_matches(self.alignments, pattern)
-        if not matches:
+        if self._ruleset is not None:
+            match, rule = self._ruleset.first_match(pattern)
+        else:
+            matches = find_matches(self._alignments, pattern)
+            match, rule = (matches[0], None) if matches else (None, None)
+        if match is None:
             return TripleRewrite(original=pattern, produced=[pattern])
-        match = matches[0]
-        substitution, _calls = instantiate_functions(match, self.registry, self.strict)
+        if rule is not None:
+            substitution, _calls = rule.instantiate_functions(
+                match.substitution, self.registry, self.strict
+            )
+            lhs_variables: Union[frozenset, Set[Variable]] = rule.lhs_variables
+        else:
+            substitution, _calls = instantiate_functions(match, self.registry, self.strict)
+            lhs_variables = match.alignment.lhs_variables()
 
         # Step 4: bind all remaining free RHS variables to new variables so
         # the same alignment can be reused without over-constraining.
@@ -245,7 +283,7 @@ class GraphPatternRewriter:
             value = substitution.apply_to_term(term)
             if value is not term:
                 return value
-            if term in match.alignment.lhs_variables():
+            if term in lhs_variables:
                 # An LHS variable absent from the match can only occur when
                 # the head mentions it in an ignored position; keep it.
                 return term
@@ -311,12 +349,13 @@ class QueryRewriter:
 
     def __init__(
         self,
-        alignments: Sequence[EntityAlignment],
+        alignments: Union[Sequence[EntityAlignment], "CompiledRuleSet"],
         registry: Optional[FunctionRegistry] = None,
         strict: bool = False,
         extra_prefixes: Optional[Dict[str, str]] = None,
+        use_index: bool = True,
     ) -> None:
-        self._pattern_rewriter = GraphPatternRewriter(alignments, registry, strict)
+        self._pattern_rewriter = GraphPatternRewriter(alignments, registry, strict, use_index)
         self._extra_prefixes = dict(extra_prefixes or {})
 
     @property
@@ -356,21 +395,29 @@ class QueryRewriter:
 
     # ------------------------------------------------------------------ #
     def _extend_prologue(self, prologue: Prologue, report: RewriteReport) -> None:
-        """Bind prefixes for the target vocabulary so output stays compact."""
-        for prefix, namespace in self._extra_prefixes.items():
-            prologue.namespace_manager.bind(prefix, namespace, replace=False)
-        # Derive prefixes from the vocabularies introduced by fired rules.
-        used_namespaces: Set[str] = set()
-        for alignment in report.alignments_used():
-            for uri in alignment.target_properties():
-                used_namespaces.add(uri.namespace_split()[0])
-        counter = 0
-        for namespace in sorted(used_namespaces):
-            if not namespace or prologue.namespace_manager.prefix(namespace) is not None:
-                continue
+        extend_prologue(prologue, report, self._extra_prefixes)
+
+
+def extend_prologue(
+    prologue: Prologue,
+    report: RewriteReport,
+    extra_prefixes: Optional[Dict[str, str]] = None,
+) -> None:
+    """Bind prefixes for the target vocabulary so output stays compact."""
+    for prefix, namespace in (extra_prefixes or {}).items():
+        prologue.namespace_manager.bind(prefix, namespace, replace=False)
+    # Derive prefixes from the vocabularies introduced by fired rules.
+    used_namespaces: Set[str] = set()
+    for alignment in report.alignments_used():
+        for uri in alignment.target_properties():
+            used_namespaces.add(uri.namespace_split()[0])
+    counter = 0
+    for namespace in sorted(used_namespaces):
+        if not namespace or prologue.namespace_manager.prefix(namespace) is not None:
+            continue
+        counter += 1
+        candidate = f"tgt{counter}"
+        while prologue.namespace_manager.namespace(candidate) is not None:
             counter += 1
             candidate = f"tgt{counter}"
-            while prologue.namespace_manager.namespace(candidate) is not None:
-                counter += 1
-                candidate = f"tgt{counter}"
-            prologue.namespace_manager.bind(candidate, namespace)
+        prologue.namespace_manager.bind(candidate, namespace)

@@ -38,8 +38,19 @@ class SameAsService:
     def __init__(self, pairs: Iterable[Tuple[URIRef, URIRef]] = ()) -> None:
         self._bundles: UnionFind[URIRef] = UnionFind()
         self._lookups = 0
+        self._generation = 0
         for left, right in pairs:
             self.add_equivalence(left, right)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every mutation.
+
+        Rewrite results depend on the co-reference store (the ``sameas``
+        functional dependency and FILTER URI translation), so caches key
+        on this value alongside the alignment KB generation.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------ #
     # Population
@@ -49,6 +60,7 @@ class SameAsService:
         if not isinstance(left, URIRef) or not isinstance(right, URIRef):
             raise TypeError("sameAs equivalences must relate URIs")
         self._bundles.union(left, right)
+        self._generation += 1
 
     def add_bundle(self, uris: Iterable[URIRef]) -> None:
         """Assert that every URI in ``uris`` denotes the same entity."""
@@ -57,6 +69,7 @@ class SameAsService:
             self.add_equivalence(uris[0], uri)
         if len(uris) == 1:
             self._bundles.add(uris[0])
+            self._generation += 1
 
     def load_graph(self, graph: Graph) -> int:
         """Import every ``owl:sameAs`` triple from an RDF graph.

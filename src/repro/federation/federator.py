@@ -129,6 +129,46 @@ class FederatedQueryEngine:
         )
         return outcome
 
+    def execute_many(
+        self,
+        queries: Sequence[Union[Query, str]],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+        canonical_pattern: Optional[str] = None,
+    ) -> List[FederatedResult]:
+        """Run a batch of queries over the federation (same order as input).
+
+        The mediator's :meth:`~repro.core.Mediator.rewrite_many` batch API
+        pre-translates the whole batch per target dataset, so alignment
+        selection/compilation is paid once per target instead of once per
+        (query, target) pair; the per-query :meth:`execute` calls then
+        replay the cached rewrites.
+        """
+        parsed: List[Query] = [
+            parse_query(query) if isinstance(query, str) else query for query in queries
+        ]
+        warm_targets = [
+            target for target in self._select_targets(datasets)
+            if source_dataset is None or target.uri != source_dataset
+        ]
+        # Warming is only useful while the whole batch fits in the rewrite
+        # cache; beyond that the replay loop would evict-and-recompute every
+        # entry, doubling the work instead of saving it.
+        if len(parsed) * max(1, len(warm_targets)) <= self.mediator.result_cache_limit // 2:
+            for target in warm_targets:
+                try:
+                    self.mediator.rewrite_many(parsed, target.uri, source_ontology, mode)
+                except (EndpointError, KeyError, ValueError):
+                    # Per-dataset failures are reported by execute(), per query.
+                    continue
+        return [
+            self.execute(query, source_ontology, source_dataset, mode, datasets,
+                         canonical_pattern)
+            for query in parsed
+        ]
+
     def _select_targets(self, datasets: Optional[Sequence[URIRef]]) -> List[RegisteredDataset]:
         if datasets is None:
             return self.registry.datasets()

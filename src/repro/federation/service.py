@@ -167,6 +167,30 @@ class MediatorService:
             canonical_pattern=canonical_pattern,
         )
 
+    def federate_many(
+        self,
+        queries: Sequence[Union[Query, str]],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+        canonical_pattern: Optional[str] = None,
+    ) -> List[FederatedResult]:
+        """Batch variant of :meth:`federate` (one result per input query).
+
+        Translations are batched through the mediator's ``rewrite_many``
+        so alignment selection and index compilation are shared across the
+        whole batch.
+        """
+        return self.federation.execute_many(
+            queries,
+            source_ontology=source_ontology,
+            source_dataset=source_dataset,
+            mode=mode,
+            datasets=datasets,
+            canonical_pattern=canonical_pattern,
+        )
+
     # ------------------------------------------------------------------ #
     @staticmethod
     def _translation_response(query: Query, mediation: MediationResult) -> TranslationResponse:

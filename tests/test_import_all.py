@@ -1,0 +1,42 @@
+"""Collection guard: every module in the ``repro`` package must import.
+
+The seed suite once failed with 12 opaque collection errors because of a
+packaging problem; this test turns any future broken import (circular
+imports, missing optional dependencies, renamed modules) into one clear
+failure naming the module and the exception.
+"""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _walk_module_names():
+    yield "repro"
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield module.name
+
+
+def test_every_repro_module_imports():
+    failures = []
+    for name in _walk_module_names():
+        try:
+            importlib.import_module(name)
+        except Exception as exc:  # noqa: BLE001 - reporting, not handling
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+    assert not failures, "modules failed to import:\n" + "\n".join(failures)
+
+
+def test_walk_covers_the_known_subpackages():
+    names = set(_walk_module_names())
+    for expected in (
+        "repro.core.index",
+        "repro.core.mediator",
+        "repro.alignment.store",
+        "repro.federation.federator",
+        "repro.sparql",
+        "repro.turtle",
+        "repro.cli",
+    ):
+        assert expected in names
