@@ -22,7 +22,7 @@ from .alignment import AlignmentStore, default_registry, ontology_alignments_fro
 from .coreference import SameAsService
 from .core import Mediator, TargetProfile
 from .datasets import build_resist_scenario
-from .federation import recall
+from .federation import ExecutionPolicy, recall
 from .rdf import OWL, URIRef
 from .sparql import QueryEvaluator, ResultSet, parse_query
 from .turtle import parse_graph
@@ -135,6 +135,14 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--kisti-coverage", type=float, default=0.6)
     parser.add_argument("--dbpedia-coverage", type=float, default=0.35)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--parallel", type=int, default=8, metavar="WORKERS",
+                        help="concurrent endpoint requests (0 or 1 = sequential)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-attempt endpoint timeout")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retries per endpoint after a failure")
+    parser.add_argument("--latency", type=float, default=0.0, metavar="SECONDS",
+                        help="simulated per-query endpoint latency")
     arguments = parser.parse_args(argv)
 
     scenario = build_resist_scenario(
@@ -145,6 +153,17 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
         dbpedia_coverage=arguments.dbpedia_coverage,
         seed=arguments.seed,
     )
+    if arguments.latency:
+        for dataset in scenario.registry:
+            dataset.endpoint.latency = arguments.latency  # type: ignore[attr-defined]
+    scenario.registry.default_policy = ExecutionPolicy(
+        timeout=arguments.timeout,
+        max_retries=max(0, arguments.retries),
+    )
+    engine = scenario.service.federation
+    engine.parallel = arguments.parallel > 1
+    engine.max_workers = max(1, arguments.parallel)
+
     person_key = scenario.world.most_prolific_author()
     person_uri = scenario.akt_person_uri(person_key)
     query = f"""
@@ -172,7 +191,15 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
           f"(recall {recall(federated.distinct_values('a'), gold):.2f})")
     for entry in federated.per_dataset:
         status = "ok" if entry.succeeded else f"error: {entry.error}"
-        print(f"  {entry.dataset_uri}: {entry.row_count} rows ({status})")
+        attempts = f", {entry.attempts} attempts" if entry.attempts != 1 else ""
+        print(f"  {entry.dataset_uri}: {entry.row_count} rows ({status}{attempts})")
+    mode = f"parallel x{engine.max_workers}" if engine.parallel else "sequential"
+    print(f"Fan-out: {mode}; wall-clock {federated.elapsed:.3f}s; "
+          f"endpoint attempts {federated.total_attempts}")
+    health = scenario.registry.health()
+    if any(state != "closed" for state in health.values()):
+        for uri, state in health.items():
+            print(f"  breaker {uri}: {state}")
     return 0
 
 

@@ -18,6 +18,7 @@ system.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -121,7 +122,10 @@ class Mediator:
         self._targets: Dict[URIRef, TargetProfile] = {}
         # Compiled rule sets shared across modes, keyed by selection context;
         # rewrite results keyed additionally by normalized query text.  Both
-        # caches are only valid for one alignment-KB generation.
+        # caches are only valid for one alignment-KB generation.  The lock
+        # makes cache reads/writes safe under the federation layer's
+        # concurrent fan-out (rewrites themselves run outside the lock).
+        self._cache_lock = threading.RLock()
         self._ruleset_cache: Dict[Tuple, CompiledRuleSet] = {}
         self._result_cache: "OrderedDict[Tuple, Tuple[Query, RewriteReport, int]]" = OrderedDict()
         self._cache_generation = self._current_generation()
@@ -177,12 +181,21 @@ class Mediator:
         relevant alignments is paid once per (target, source ontology) pair
         instead of once per translation.
         """
-        self._check_generation()
         key = (target.dataset, source_ontology)
-        ruleset = self._ruleset_cache.get(key)
+        with self._cache_lock:
+            self._check_generation()
+            generation = self._cache_generation
+            ruleset = self._ruleset_cache.get(key)
         if ruleset is None:
             ruleset = CompiledRuleSet(self.select_alignments(target, source_ontology))
-            self._ruleset_cache[key] = ruleset
+            with self._cache_lock:
+                # Publish only into the generation the rules were selected
+                # for — a concurrent KB mutation (possibly already observed
+                # by another thread's _check_generation) makes them stale.
+                self._check_generation()
+                if self._cache_generation == generation:
+                    # Another thread may have compiled concurrently; keep one.
+                    ruleset = self._ruleset_cache.setdefault(key, ruleset)
         return ruleset
 
     def translate(
@@ -211,13 +224,18 @@ class Mediator:
         if isinstance(query, str):
             query = parse_query(query)
         target = self.target(target_dataset)
-        self._check_generation()
 
         key = (query.serialize(), target.dataset, source_ontology, mode, strict)
-        cached = self._result_cache.get(key)
+        with self._cache_lock:
+            self._check_generation()
+            generation = self._cache_generation
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._result_cache.move_to_end(key)
+            else:
+                self._cache_misses += 1
         if cached is not None:
-            self._cache_hits += 1
-            self._result_cache.move_to_end(key)
             rewritten, report, considered = cached
             return MediationResult(
                 source_query=query,
@@ -227,7 +245,6 @@ class Mediator:
                 alignments_considered=considered,
                 mode=mode,
             )
-        self._cache_misses += 1
 
         ruleset = self.compiled_ruleset(target, source_ontology)
         prefixes = target.prefix_dict()
@@ -255,9 +272,15 @@ class Mediator:
         else:
             raise ValueError(f"unknown mediation mode: {mode!r}")
 
-        self._result_cache[key] = (rewritten, report, len(ruleset))
-        while len(self._result_cache) > _RESULT_CACHE_LIMIT:
-            self._result_cache.popitem(last=False)
+        with self._cache_lock:
+            # Only publish into the generation the rewrite was computed for;
+            # a concurrent KB mutation (even one another thread has already
+            # folded into _cache_generation) would make this entry stale.
+            self._check_generation()
+            if self._cache_generation == generation:
+                self._result_cache[key] = (rewritten, report, len(ruleset))
+                while len(self._result_cache) > _RESULT_CACHE_LIMIT:
+                    self._result_cache.popitem(last=False)
 
         return MediationResult(
             source_query=query,
@@ -320,13 +343,14 @@ class Mediator:
 
     def cache_info(self) -> Dict[str, object]:
         """Hit/miss counters and current cache occupancy (for monitoring)."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "results": len(self._result_cache),
-            "rulesets": len(self._ruleset_cache),
-            "generation": self._cache_generation,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "results": len(self._result_cache),
+                "rulesets": len(self._ruleset_cache),
+                "generation": self._cache_generation,
+            }
 
     def _current_generation(self) -> Tuple[int, int, int]:
         """Combined version of everything rewrite output depends on.
@@ -345,11 +369,13 @@ class Mediator:
 
     def _check_generation(self) -> None:
         """Drop every cached structure when a backing KB has changed."""
-        generation = self._current_generation()
-        if generation != self._cache_generation:
-            self._clear_caches()
-            self._cache_generation = generation
+        with self._cache_lock:
+            generation = self._current_generation()
+            if generation != self._cache_generation:
+                self._clear_caches()
+                self._cache_generation = generation
 
     def _clear_caches(self) -> None:
-        self._ruleset_cache.clear()
-        self._result_cache.clear()
+        with self._cache_lock:
+            self._ruleset_cache.clear()
+            self._result_cache.clear()

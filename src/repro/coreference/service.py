@@ -20,6 +20,7 @@ local and deterministic so experiments are reproducible offline.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..rdf import Graph, OWL, Term, Triple, URIRef
@@ -39,6 +40,11 @@ class SameAsService:
         self._bundles: UnionFind[URIRef] = UnionFind()
         self._lookups = 0
         self._generation = 0
+        # Lookup patterns repeat endlessly (one per target dataset), so
+        # compile each once; guarded together with the counters because the
+        # federation layer calls into the service from worker threads.
+        self._patterns: Dict[str, "re.Pattern[str]"] = {}
+        self._lock = threading.RLock()
         for left, right in pairs:
             self.add_equivalence(left, right)
 
@@ -59,8 +65,9 @@ class SameAsService:
         """Assert that two URIs denote the same entity."""
         if not isinstance(left, URIRef) or not isinstance(right, URIRef):
             raise TypeError("sameAs equivalences must relate URIs")
-        self._bundles.union(left, right)
-        self._generation += 1
+        with self._lock:
+            self._bundles.union(left, right)
+            self._generation += 1
 
     def add_bundle(self, uris: Iterable[URIRef]) -> None:
         """Assert that every URI in ``uris`` denotes the same entity."""
@@ -68,8 +75,9 @@ class SameAsService:
         for uri in uris[1:]:
             self.add_equivalence(uris[0], uri)
         if len(uris) == 1:
-            self._bundles.add(uris[0])
-            self._generation += 1
+            with self._lock:
+                self._bundles.add(uris[0])
+                self._generation += 1
 
     def load_graph(self, graph: Graph) -> int:
         """Import every ``owl:sameAs`` triple from an RDF graph.
@@ -113,8 +121,9 @@ class SameAsService:
         match, the lexicographically smallest is returned so results are
         deterministic.  Returns ``None`` when no member matches.
         """
-        self._lookups += 1
-        compiled = re.compile(pattern)
+        compiled = self._compiled(pattern)
+        with self._lock:
+            self._lookups += 1
         candidates = [
             member
             for member in self.equivalence_class(uri)
@@ -123,6 +132,15 @@ class SameAsService:
         if not candidates:
             return None
         return sorted(candidates, key=str)[0]
+
+    def _compiled(self, pattern: str) -> "re.Pattern[str]":
+        """The compiled form of ``pattern``, cached per service instance."""
+        compiled = self._patterns.get(pattern)
+        if compiled is None:
+            compiled = re.compile(pattern)
+            with self._lock:
+                self._patterns.setdefault(pattern, compiled)
+        return compiled
 
     def lookup_strict(self, uri: URIRef, pattern: str) -> URIRef:
         """Like :meth:`lookup` but raising :class:`CoReferenceError` on a miss."""

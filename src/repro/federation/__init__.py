@@ -1,6 +1,12 @@
 """Federation layer: endpoints, voiD registry, federated execution, service facade."""
 
-from .endpoint import EndpointError, EndpointUnavailable, LocalSparqlEndpoint, SparqlEndpoint
+from .endpoint import (
+    EndpointError,
+    EndpointTimeout,
+    EndpointUnavailable,
+    LocalSparqlEndpoint,
+    SparqlEndpoint,
+)
 from .federator import (
     DatasetResult,
     FederatedQueryEngine,
@@ -9,12 +15,15 @@ from .federator import (
     precision,
     recall,
 )
+from .policy import CircuitBreaker, CircuitState, ExecutionPolicy
 from .registry import DatasetRegistry, RegisteredDataset
 from .service import DatasetInfo, ExecutionResponse, MediatorService, TranslationResponse
 from .void import DatasetDescription, descriptions_from_graph, descriptions_to_graph
 
 __all__ = [
-    "SparqlEndpoint", "LocalSparqlEndpoint", "EndpointError", "EndpointUnavailable",
+    "SparqlEndpoint", "LocalSparqlEndpoint",
+    "EndpointError", "EndpointUnavailable", "EndpointTimeout",
+    "ExecutionPolicy", "CircuitBreaker", "CircuitState",
     "DatasetDescription", "descriptions_to_graph", "descriptions_from_graph",
     "DatasetRegistry", "RegisteredDataset",
     "FederatedQueryEngine", "FederatedResult", "DatasetResult",

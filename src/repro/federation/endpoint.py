@@ -4,19 +4,29 @@ The original system dispatched rewritten queries to remote endpoints over
 SPARQL/HTTP (Figure 5).  Offline we model an endpoint as "something that
 answers SPARQL queries": :class:`LocalSparqlEndpoint` wraps an in-memory
 graph behind the same interface a remote endpoint would offer, including
-simple failure injection and invocation accounting so experiments can
-report how many endpoint calls the federation layer makes.
+simulated network latency, failure injection and invocation accounting, so
+the federation layer's resilience machinery (timeouts, retries, circuit
+breakers) is exercisable entirely offline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+import threading
+import time
+from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..rdf import Graph, ReadOnlyGraphView, Triple, URIRef
 from ..sparql import AskResult, Query, QueryEvaluator, ResultSet, parse_query
 
-__all__ = ["SparqlEndpoint", "LocalSparqlEndpoint", "EndpointError", "EndpointUnavailable"]
+__all__ = [
+    "SparqlEndpoint",
+    "LocalSparqlEndpoint",
+    "EndpointError",
+    "EndpointUnavailable",
+    "EndpointTimeout",
+]
 
 
 class EndpointError(RuntimeError):
@@ -24,7 +34,11 @@ class EndpointError(RuntimeError):
 
 
 class EndpointUnavailable(EndpointError):
-    """Raised when a (simulated) endpoint is switched off."""
+    """Raised when a (simulated) endpoint is switched off or flakes."""
+
+
+class EndpointTimeout(EndpointError):
+    """Raised when an endpoint attempt exceeded its policy's time budget."""
 
 
 class SparqlEndpoint:
@@ -53,6 +67,7 @@ class EndpointStatistics:
     select_queries: int = 0
     ask_queries: int = 0
     construct_queries: int = 0
+    injected_failures: int = 0
 
     @property
     def total_queries(self) -> int:
@@ -73,6 +88,17 @@ class LocalSparqlEndpoint(SparqlEndpoint):
     available:
         When false every query raises :class:`EndpointUnavailable`
         (failure-injection hook used by the federation tests).
+    latency:
+        Simulated per-query network/evaluation delay in seconds.  The
+        endpoint sleeps this long before answering, which is what makes
+        concurrent fan-out measurably faster than sequential execution in
+        the offline benchmarks.
+    failure_rate:
+        Probability in [0, 1] that a query fails with
+        :class:`EndpointUnavailable` (drawn from a private ``Random``
+        seeded with ``seed``, so flakiness is reproducible).
+    seed:
+        Seed for the failure-injection random stream.
     """
 
     def __init__(
@@ -81,13 +107,25 @@ class LocalSparqlEndpoint(SparqlEndpoint):
         graph: Graph,
         name: Optional[str] = None,
         available: bool = True,
+        latency: float = 0.0,
+        failure_rate: float = 0.0,
+        seed: int = 0,
     ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
         self.uri = uri
         self.name = name or str(uri)
         self.available = available
+        self.latency = latency
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self._fail_next = 0
         self._graph = graph
         self._evaluator = QueryEvaluator(graph)
         self.statistics = EndpointStatistics()
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Data access
@@ -106,31 +144,56 @@ class LocalSparqlEndpoint(SparqlEndpoint):
         return self
 
     # ------------------------------------------------------------------ #
-    # Query interface
+    # Failure injection
     # ------------------------------------------------------------------ #
-    def _check_available(self) -> None:
+    def fail_next(self, count: int = 1) -> "LocalSparqlEndpoint":
+        """Make the next ``count`` queries fail deterministically.
+
+        Used to test bounded retries: ``fail_next(2)`` plus a policy with
+        ``max_retries >= 2`` succeeds on the third attempt.
+        """
+        with self._lock:
+            self._fail_next = max(0, count)
+        return self
+
+    def _simulate(self, kind: str) -> None:
+        """Account for the query, then apply latency and injected failures."""
         if not self.available:
             raise EndpointUnavailable(f"endpoint {self.name} is unavailable")
+        with self._lock:
+            setattr(self.statistics, kind, getattr(self.statistics, kind) + 1)
+            flake = False
+            if self._fail_next > 0:
+                self._fail_next -= 1
+                flake = True
+            elif self.failure_rate and self._rng.random() < self.failure_rate:
+                flake = True
+            if flake:
+                self.statistics.injected_failures += 1
+        if self.latency:
+            time.sleep(self.latency)
+        if flake:
+            raise EndpointUnavailable(f"endpoint {self.name} flaked (injected failure)")
 
+    # ------------------------------------------------------------------ #
+    # Query interface
+    # ------------------------------------------------------------------ #
     def select(self, query: Union[Query, str]) -> ResultSet:
-        self._check_available()
-        self.statistics.select_queries += 1
+        self._simulate("select_queries")
         result = self._evaluator.evaluate(self._coerce(query))
         if not isinstance(result, ResultSet):
             raise EndpointError("query did not produce SELECT results")
         return result
 
     def ask(self, query: Union[Query, str]) -> AskResult:
-        self._check_available()
-        self.statistics.ask_queries += 1
+        self._simulate("ask_queries")
         result = self._evaluator.evaluate(self._coerce(query))
         if not isinstance(result, AskResult):
             raise EndpointError("query did not produce an ASK result")
         return result
 
     def construct(self, query: Union[Query, str]) -> Graph:
-        self._check_available()
-        self.statistics.construct_queries += 1
+        self._simulate("construct_queries")
         result = self._evaluator.evaluate(self._coerce(query))
         if not isinstance(result, Graph):
             raise EndpointError("query did not produce a CONSTRUCT graph")

@@ -6,10 +6,18 @@ repositories need to be integrated in order to provide high recall result
 sets".  The federator implements that integration step:
 
 1. the mediator rewrites the source query once per target dataset,
-2. every rewritten query is executed on its dataset's endpoint,
+2. every rewritten query is executed on its dataset's endpoint —
+   concurrently, under the per-endpoint :class:`ExecutionPolicy` (attempt
+   timeout, bounded retries with exponential backoff) and circuit breaker
+   recorded in the :class:`DatasetRegistry`,
 3. the per-dataset result sets are merged; bindings whose URIs co-refer
    (per the sameas service) are collapsed onto a canonical representative
    so the merged result counts *entities*, not URIs.
+
+Results are deterministic regardless of completion order: per-dataset
+outcomes are collected by target index and merged in registry order, so
+concurrent and sequential execution produce byte-identical merged result
+sets.
 
 :func:`recall` / :func:`precision` provide the evaluation metrics used by
 Experiment E6.
@@ -17,6 +25,9 @@ Experiment E6.
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -24,10 +35,14 @@ from ..coreference import SameAsService
 from ..core import MediationResult, Mediator
 from ..rdf import Term, URIRef, Variable
 from ..sparql import Binding, Query, ResultSet, parse_query
-from .endpoint import EndpointError
+from .endpoint import EndpointError, EndpointTimeout
+from .policy import ExecutionPolicy
 from .registry import DatasetRegistry, RegisteredDataset
 
 __all__ = ["DatasetResult", "FederatedResult", "FederatedQueryEngine", "recall", "precision", "f1_score"]
+
+#: Default upper bound on concurrent endpoint requests per engine.
+_DEFAULT_MAX_WORKERS = 16
 
 
 @dataclass
@@ -38,6 +53,10 @@ class DatasetResult:
     mediation: Optional[MediationResult]
     result: Optional[ResultSet]
     error: Optional[str] = None
+    #: Endpoint attempts made (> 1 when the policy retried).
+    attempts: int = 1
+    #: Wall-clock seconds spent on this dataset (mediation + endpoint).
+    elapsed: float = 0.0
 
     @property
     def succeeded(self) -> bool:
@@ -55,6 +74,8 @@ class FederatedResult:
     variables: List[Variable]
     per_dataset: List[DatasetResult] = field(default_factory=list)
     merged_bindings: List[Binding] = field(default_factory=list)
+    #: Wall-clock seconds for the whole fan-out + merge.
+    elapsed: float = 0.0
 
     def merged(self) -> ResultSet:
         """The merged (co-reference-canonicalised, deduplicated) result set."""
@@ -74,19 +95,42 @@ class FederatedResult:
         """Rows retrieved before merging (sum over datasets)."""
         return sum(entry.row_count for entry in self.per_dataset)
 
+    @property
+    def total_attempts(self) -> int:
+        """Endpoint attempts across the fan-out (retries included)."""
+        return sum(entry.attempts for entry in self.per_dataset)
+
 
 class FederatedQueryEngine:
-    """Run a source query over every registered dataset through the mediator."""
+    """Run a source query over every registered dataset through the mediator.
+
+    Parameters
+    ----------
+    mediator / registry / sameas_service:
+        The rewriting core, the dataset registry (which also tracks
+        per-endpoint policies and circuit breakers) and the co-reference
+        store used for merging.
+    parallel:
+        Default execution mode: fan out over a thread pool (``True``) or
+        query endpoints one after another (``False``).  Either way the
+        merged output is identical; per-call ``parallel=`` overrides.
+    max_workers:
+        Upper bound on concurrent endpoint requests.
+    """
 
     def __init__(
         self,
         mediator: Mediator,
         registry: DatasetRegistry,
         sameas_service: Optional[SameAsService] = None,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.mediator = mediator
         self.registry = registry
         self.sameas_service = sameas_service or mediator.sameas_service
+        self.parallel = parallel
+        self.max_workers = max_workers or _DEFAULT_MAX_WORKERS
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -99,6 +143,7 @@ class FederatedQueryEngine:
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
+        parallel: Optional[bool] = None,
     ) -> FederatedResult:
         """Run ``query`` over the federation.
 
@@ -107,10 +152,12 @@ class FederatedQueryEngine:
         other dataset receives the mediated translation.  ``datasets``
         restricts the fan-out; ``canonical_pattern`` selects the URI space
         results are canonicalised into (defaults to the source dataset's
-        pattern, falling back to plain deduplication).
+        pattern, falling back to plain deduplication).  ``parallel``
+        overrides the engine's default execution mode for this call.
         """
         if isinstance(query, str):
             query = parse_query(query)
+        started = time.perf_counter()
         targets = self._select_targets(datasets)
         variables = self._result_variables(query)
 
@@ -118,15 +165,16 @@ class FederatedQueryEngine:
             canonical_pattern = self.registry.get(source_dataset).uri_pattern
 
         outcome = FederatedResult(variables=list(variables))
-        for target in targets:
-            outcome.per_dataset.append(
-                self._run_on_dataset(query, target, source_ontology, source_dataset, mode)
-            )
+        outcome.per_dataset = self._fan_out(
+            query, targets, source_ontology, source_dataset, mode,
+            self.parallel if parallel is None else parallel,
+        )
         outcome.merged_bindings = self._merge(
             (entry.result for entry in outcome.per_dataset if entry.result is not None),
             variables,
             canonical_pattern,
         )
+        outcome.elapsed = time.perf_counter() - started
         return outcome
 
     def execute_many(
@@ -137,6 +185,7 @@ class FederatedQueryEngine:
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
+        parallel: Optional[bool] = None,
     ) -> List[FederatedResult]:
         """Run a batch of queries over the federation (same order as input).
 
@@ -165,7 +214,7 @@ class FederatedQueryEngine:
                     continue
         return [
             self.execute(query, source_ontology, source_dataset, mode, datasets,
-                         canonical_pattern)
+                         canonical_pattern, parallel)
             for query in parsed
         ]
 
@@ -181,6 +230,40 @@ class FederatedQueryEngine:
             return list(projection)
         return sorted(query.variables(), key=str)
 
+    # ------------------------------------------------------------------ #
+    # Fan-out
+    # ------------------------------------------------------------------ #
+    def _fan_out(
+        self,
+        query: Query,
+        targets: Sequence[RegisteredDataset],
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+        parallel: bool,
+    ) -> List[DatasetResult]:
+        """One :class:`DatasetResult` per target, in target order."""
+        if not parallel or len(targets) <= 1:
+            return [
+                self._run_on_dataset(query, target, source_ontology, source_dataset, mode)
+                for target in targets
+            ]
+        results: List[Optional[DatasetResult]] = [None] * len(targets)
+        with ThreadPoolExecutor(
+            max_workers=min(len(targets), self.max_workers),
+            thread_name_prefix="federate",
+        ) as pool:
+            futures = {
+                pool.submit(
+                    self._run_on_dataset, query, target,
+                    source_ontology, source_dataset, mode,
+                ): index
+                for index, target in enumerate(targets)
+            }
+            for future, index in futures.items():
+                results[index] = future.result()
+        return [entry for entry in results if entry is not None]
+
     def _run_on_dataset(
         self,
         query: Query,
@@ -189,6 +272,10 @@ class FederatedQueryEngine:
         source_dataset: Optional[URIRef],
         mode: str,
     ) -> DatasetResult:
+        """Rewrite for one dataset, then execute under its policy."""
+        started = time.perf_counter()
+        policy = self.registry.policy_for(target.uri)
+        breaker = self.registry.breaker_for(target.uri)
         mediation: Optional[MediationResult] = None
         try:
             if source_dataset is not None and target.uri == source_dataset:
@@ -196,10 +283,74 @@ class FederatedQueryEngine:
             else:
                 mediation = self.mediator.translate(query, target.uri, source_ontology, mode)
                 executable = mediation.rewritten_query
-            result = target.endpoint.select(executable)
-            return DatasetResult(target.uri, mediation, result)
         except (EndpointError, KeyError, ValueError) as exc:
-            return DatasetResult(target.uri, mediation, None, error=str(exc))
+            return DatasetResult(target.uri, mediation, None, error=str(exc),
+                                 attempts=0, elapsed=time.perf_counter() - started)
+
+        last_error: Optional[str] = None
+        attempts = 0
+        for attempt in range(policy.max_attempts):
+            if not breaker.allow():
+                last_error = f"circuit open for {target.uri}"
+                break
+            attempts += 1
+            try:
+                result = self._attempt(target, executable, policy.timeout)
+                breaker.record_success()
+                return DatasetResult(target.uri, mediation, result,
+                                     attempts=attempts,
+                                     elapsed=time.perf_counter() - started)
+            except (EndpointError, KeyError, ValueError) as exc:
+                breaker.record_failure()
+                last_error = str(exc)
+                if attempt < policy.max_retries:
+                    delay = policy.retry_delay(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+            except BaseException:
+                # Unexpected failure: still settle the breaker (a half-open
+                # probe reservation would otherwise leak and wedge the
+                # breaker refusing forever), then propagate the bug.
+                breaker.record_failure()
+                raise
+        return DatasetResult(target.uri, mediation, None, error=last_error,
+                             attempts=attempts,
+                             elapsed=time.perf_counter() - started)
+
+    @staticmethod
+    def _attempt(
+        target: RegisteredDataset,
+        executable: Query,
+        timeout: Optional[float],
+    ) -> ResultSet:
+        """One endpoint attempt, bounded by ``timeout`` seconds.
+
+        Endpoints expose no cancellation, so the attempt runs on a daemon
+        thread and is abandoned on timeout — exactly how an HTTP client
+        would drop a socket while the server keeps computing.
+        """
+        if timeout is None:
+            return target.endpoint.select(executable)
+        box: Dict[str, object] = {}
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                box["result"] = target.endpoint.select(executable)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=run, daemon=True, name=f"attempt-{target.uri}")
+        thread.start()
+        if not done.wait(timeout):
+            raise EndpointTimeout(
+                f"endpoint for {target.uri} timed out after {timeout:g}s"
+            )
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["result"]  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     # Merging

@@ -1,0 +1,177 @@
+"""Per-endpoint execution policies and circuit breakers.
+
+The original deployment talked to remote SPARQL endpoints over HTTP, where
+slow and flaky responders are the norm, not the exception.  A federated
+query is only as fast as its slowest endpoint and only as reliable as the
+federation layer's failure handling, so execution is governed per endpoint
+by an :class:`ExecutionPolicy` (attempt timeout, bounded retries with
+exponential backoff) and a :class:`CircuitBreaker` that stops hammering an
+endpoint after repeated consecutive failures.
+
+The breaker follows the classic three-state protocol:
+
+* ``closed`` — requests flow; consecutive failures are counted.
+* ``open`` — entered after ``failure_threshold`` consecutive failures;
+  every request is refused without touching the endpoint.
+* ``half-open`` — entered ``reset_timeout`` seconds after opening; a
+  single probe request is let through.  Success closes the breaker,
+  failure re-opens it.
+
+The clock is injectable so tests can drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["ExecutionPolicy", "CircuitBreaker", "CircuitState"]
+
+
+class CircuitState:
+    """Breaker state names (plain strings keep reports readable)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the federation layer drives one endpoint.
+
+    Attributes
+    ----------
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = unbounded).
+    max_retries:
+        Extra attempts after the first failure (0 = fail fast).
+    backoff:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied to the delay on every further retry.
+    failure_threshold:
+        Consecutive failures after which the circuit breaker opens.
+    reset_timeout:
+        Seconds the breaker stays open before letting a probe through.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 0
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def retry_delay(self, retry_index: int) -> float:
+        """Backoff before retry number ``retry_index`` (0-based)."""
+        return self.backoff * (self.backoff_factor ** retry_index)
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker for one endpoint."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == CircuitState.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = CircuitState.HALF_OPEN
+            self._probe_in_flight = False
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """May a request be issued right now?
+
+        In the half-open state only a single probe is allowed until its
+        outcome is recorded.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CircuitState.CLOSED:
+                return True
+            if self._state == CircuitState.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The endpoint answered: close the breaker and reset counters."""
+        with self._lock:
+            self._state = CircuitState.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """The endpoint failed: count it, opening the breaker at threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == CircuitState.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = CircuitState.OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+
+    def reset(self) -> None:
+        """Force the breaker back to pristine closed state."""
+        self.record_success()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"({self.consecutive_failures}/{self.failure_threshold} failures)>"
+        )

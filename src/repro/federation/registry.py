@@ -4,15 +4,22 @@ The registry is the runtime companion of the voiD KB: for every registered
 dataset it stores the :class:`DatasetDescription` *and* the endpoint object
 that actually answers queries (a :class:`LocalSparqlEndpoint` in this
 reproduction, an HTTP client in the original system).
+
+It also owns the *health* side of federation: a per-dataset
+:class:`ExecutionPolicy` (timeout/retry budget) and a per-dataset
+:class:`CircuitBreaker` tracking consecutive endpoint failures, so every
+federated engine sharing the registry sees the same endpoint health state.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..rdf import Graph, URIRef
 from .endpoint import SparqlEndpoint
+from .policy import CircuitBreaker, ExecutionPolicy
 from .void import DatasetDescription, descriptions_to_graph
 
 __all__ = ["RegisteredDataset", "DatasetRegistry"]
@@ -39,10 +46,23 @@ class RegisteredDataset:
 
 
 class DatasetRegistry:
-    """URI-keyed registry of datasets available for federation."""
+    """URI-keyed registry of datasets available for federation.
 
-    def __init__(self, datasets: Iterable[RegisteredDataset] = ()) -> None:
+    ``default_policy`` governs endpoints without an explicit per-dataset
+    policy; circuit breakers are created lazily from the effective policy's
+    ``failure_threshold`` / ``reset_timeout``.
+    """
+
+    def __init__(
+        self,
+        datasets: Iterable[RegisteredDataset] = (),
+        default_policy: Optional[ExecutionPolicy] = None,
+    ) -> None:
         self._datasets: Dict[URIRef, RegisteredDataset] = {}
+        self.default_policy = default_policy or ExecutionPolicy()
+        self._policies: Dict[URIRef, ExecutionPolicy] = {}
+        self._breakers: Dict[URIRef, CircuitBreaker] = {}
+        self._lock = threading.RLock()
         for dataset in datasets:
             self.register(dataset)
 
@@ -51,7 +71,11 @@ class DatasetRegistry:
     # ------------------------------------------------------------------ #
     def register(self, dataset: RegisteredDataset) -> "DatasetRegistry":
         """Add (or replace) a dataset."""
-        self._datasets[dataset.uri] = dataset
+        with self._lock:
+            self._datasets[dataset.uri] = dataset
+            # A replaced dataset may point at a different endpoint, so its
+            # recorded health is no longer meaningful.
+            self._breakers.pop(dataset.uri, None)
         return self
 
     def register_endpoint(
@@ -63,26 +87,73 @@ class DatasetRegistry:
         return dataset
 
     def unregister(self, uri: URIRef) -> None:
-        self._datasets.pop(uri, None)
+        with self._lock:
+            self._datasets.pop(uri, None)
+            self._policies.pop(uri, None)
+            self._breakers.pop(uri, None)
+
+    # ------------------------------------------------------------------ #
+    # Execution policies and endpoint health
+    # ------------------------------------------------------------------ #
+    def set_policy(self, uri: URIRef, policy: ExecutionPolicy) -> None:
+        """Attach a per-dataset execution policy (overrides the default)."""
+        with self._lock:
+            self._policies[uri] = policy
+            # Threshold/reset may have changed; rebuild the breaker lazily.
+            self._breakers.pop(uri, None)
+
+    def policy_for(self, uri: URIRef) -> ExecutionPolicy:
+        """The effective execution policy for ``uri``."""
+        with self._lock:
+            return self._policies.get(uri, self.default_policy)
+
+    def breaker_for(self, uri: URIRef) -> CircuitBreaker:
+        """The circuit breaker tracking ``uri``'s endpoint health."""
+        with self._lock:
+            breaker = self._breakers.get(uri)
+            if breaker is None:
+                policy = self.policy_for(uri)
+                breaker = CircuitBreaker(
+                    failure_threshold=policy.failure_threshold,
+                    reset_timeout=policy.reset_timeout,
+                )
+                self._breakers[uri] = breaker
+            return breaker
+
+    def health(self) -> Dict[URIRef, str]:
+        """Breaker state per dataset (``closed``/``open``/``half-open``)."""
+        with self._lock:
+            uris = sorted(self._datasets, key=str)
+        return {uri: self.breaker_for(uri).state for uri in uris}
+
+    def reset_breakers(self) -> None:
+        """Forget all recorded endpoint failures."""
+        with self._lock:
+            self._breakers.clear()
 
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
     def __contains__(self, uri: URIRef) -> bool:
-        return uri in self._datasets
+        with self._lock:
+            return uri in self._datasets
 
     def __len__(self) -> int:
-        return len(self._datasets)
+        with self._lock:
+            return len(self._datasets)
 
     def __iter__(self) -> Iterator[RegisteredDataset]:
-        for uri in sorted(self._datasets, key=str):
-            yield self._datasets[uri]
+        with self._lock:
+            snapshot = dict(self._datasets)
+        for uri in sorted(snapshot, key=str):
+            yield snapshot[uri]
 
     def get(self, uri: URIRef) -> RegisteredDataset:
         """The dataset registered under ``uri``; raises ``KeyError`` if absent."""
-        if uri not in self._datasets:
-            raise KeyError(f"unknown dataset: {uri}")
-        return self._datasets[uri]
+        with self._lock:
+            if uri not in self._datasets:
+                raise KeyError(f"unknown dataset: {uri}")
+            return self._datasets[uri]
 
     def datasets(self) -> List[RegisteredDataset]:
         return list(iter(self))

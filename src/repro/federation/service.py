@@ -70,6 +70,8 @@ class MediatorService:
         alignment_store: AlignmentStore,
         registry: DatasetRegistry,
         sameas_service: Optional[SameAsService] = None,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.alignment_store = alignment_store
         self.registry = registry
@@ -83,7 +85,10 @@ class MediatorService:
                     uri_pattern=dataset.uri_pattern,
                 )
             )
-        self.federation = FederatedQueryEngine(self.mediator, registry, self.sameas_service)
+        self.federation = FederatedQueryEngine(
+            self.mediator, registry, self.sameas_service,
+            parallel=parallel, max_workers=max_workers,
+        )
 
     # ------------------------------------------------------------------ #
     # Knowledge-base views (what the Jena back end stores in Figure 5)
@@ -156,6 +161,7 @@ class MediatorService:
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
+        parallel: Optional[bool] = None,
     ) -> FederatedResult:
         """Run the query over every registered dataset and merge the results."""
         return self.federation.execute(
@@ -165,6 +171,7 @@ class MediatorService:
             mode=mode,
             datasets=datasets,
             canonical_pattern=canonical_pattern,
+            parallel=parallel,
         )
 
     def federate_many(
@@ -175,6 +182,7 @@ class MediatorService:
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
+        parallel: Optional[bool] = None,
     ) -> List[FederatedResult]:
         """Batch variant of :meth:`federate` (one result per input query).
 
@@ -189,6 +197,7 @@ class MediatorService:
             mode=mode,
             datasets=datasets,
             canonical_pattern=canonical_pattern,
+            parallel=parallel,
         )
 
     # ------------------------------------------------------------------ #

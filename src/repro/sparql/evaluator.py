@@ -218,22 +218,37 @@ class QueryEvaluator:
     # -- SELECT -------------------------------------------------------------- #
     def _evaluate_select(self, query: SelectQuery) -> ResultSet:
         solutions = evaluate_group(query.where, self._graph)
-        solutions = self._apply_modifiers(query, solutions)
         projection = query.effective_projection()
-        projected = [
-            solution.project(projection).project(
+
+        def project(solution: Binding) -> Binding:
+            return solution.project(
                 [v for v in projection if not v.name.startswith("__bnode_")]
             )
-            for solution in solutions
-        ]
-        if query.modifiers.distinct:
-            projected = _distinct(projected)
-        return ResultSet(projection, projected)
 
-    def _apply_modifiers(self, query: Query, solutions: List[Binding]) -> List[Binding]:
+        solutions = self._apply_modifiers(query, solutions, project)
+        return ResultSet(projection, solutions)
+
+    def _apply_modifiers(
+        self,
+        query: Query,
+        solutions: List[Binding],
+        project=None,
+    ) -> List[Binding]:
+        """Solution modifiers in standard SPARQL order.
+
+        ORDER BY sorts the full solutions (it may reference non-projected
+        variables), then the projection is applied, then DISTINCT
+        deduplicates, and only then OFFSET/LIMIT slice — so a query such as
+        ``SELECT DISTINCT ?t ... LIMIT 2`` returns two distinct rows, not
+        two raw rows deduplicated afterwards.
+        """
         modifiers = query.modifiers
         if modifiers.order_by:
             solutions = _order(solutions, modifiers.order_by, self._graph)
+        if project is not None:
+            solutions = [project(solution) for solution in solutions]
+        if modifiers.distinct:
+            solutions = _distinct(solutions)
         offset = modifiers.offset or 0
         if offset:
             solutions = solutions[offset:]

@@ -100,3 +100,29 @@ class TestPopulation:
         stats = SameAsService().statistics()
         assert stats["uris"] == 0
         assert stats["bundles"] == 0
+
+
+class TestPatternCache:
+    """lookup() compiles each regex once and reuses the compiled object."""
+
+    def test_compiled_pattern_is_cached(self, service):
+        first = service._compiled(KISTI_PATTERN)
+        service.lookup(URIRef(RKB + "person-02686"), KISTI_PATTERN)
+        assert service._compiled(KISTI_PATTERN) is first
+
+    def test_distinct_patterns_cached_separately(self, service):
+        kisti = service._compiled(KISTI_PATTERN)
+        dbp = service._compiled(r"http://dbpedia\.org/resource/\S*")
+        assert kisti is not dbp
+        assert service._compiled(KISTI_PATTERN) is kisti
+
+    def test_lookup_behaviour_unchanged_by_cache(self, service):
+        uri = URIRef(RKB + "person-02686")
+        for _ in range(3):
+            assert service.lookup(uri, KISTI_PATTERN) == URIRef(KISTI + "PER_0105047")
+        assert service.lookup_count >= 3
+
+    def test_invalid_pattern_still_raises(self, service):
+        import re
+        with pytest.raises(re.error):
+            service.lookup(URIRef(RKB + "person-02686"), "(unclosed")

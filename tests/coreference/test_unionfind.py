@@ -116,3 +116,58 @@ def test_equivalence_relation_properties(pairs):
             for c in items:
                 if uf.connected(a, b) and uf.connected(b, c):
                     assert uf.connected(a, c)
+
+
+class TestMembersIndex:
+    """The root→members index must stay exact through arbitrary unions."""
+
+    def test_members_unknown_item_is_singleton(self):
+        uf = UnionFind()
+        assert uf.members("ghost") == {"ghost"}
+
+    def test_index_survives_chained_unions(self):
+        uf = UnionFind()
+        for left, right in [("a", "b"), ("c", "d"), ("b", "c"), ("e", "f"), ("d", "e")]:
+            uf.union(left, right)
+        everyone = {"a", "b", "c", "d", "e", "f"}
+        for item in everyone:
+            assert uf.members(item) == everyone
+
+    def test_members_returns_copy(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        snapshot = uf.members("a")
+        snapshot.add("z")
+        assert uf.members("a") == {"a", "b"}
+
+    def test_classes_match_members(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        uf.add("lonely")
+        classes = {frozenset(cls) for cls in uf.classes()}
+        assert classes == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+            frozenset({"lonely"}),
+        }
+
+    def test_redundant_union_keeps_index_exact(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        uf.union("b", "a")
+        assert uf.members("a") == {"a", "b"}
+        assert len(uf.classes()) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=1, max_size=40))
+def test_members_index_matches_naive_scan(pairs):
+    """members() via the index equals the O(n) scan it replaced."""
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    for item in uf:
+        scanned = {other for other in uf if uf.find(other) == uf.find(item)}
+        assert uf.members(item) == scanned
