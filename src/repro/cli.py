@@ -105,13 +105,22 @@ def main_query(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("data", help="path to the RDF data file (Turtle or N-Triples)")
     parser.add_argument("--format", choices=["turtle", "ntriples"], default=None,
                         help="RDF syntax of the data file (guessed from the extension)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the physical query plan instead of executing")
+    parser.add_argument("--engine", choices=["planner", "naive"], default="planner",
+                        help="evaluation engine (the naive path is the reference)")
     arguments = parser.parse_args(argv)
 
     format_name = arguments.format
     if format_name is None:
         format_name = "ntriples" if arguments.data.endswith(".nt") else "turtle"
     graph = parse_graph(_read_text(arguments.data), format=format_name)
-    result = QueryEvaluator(graph).evaluate(parse_query(_read_text(arguments.query)))
+    evaluator = QueryEvaluator(graph, use_planner=arguments.engine == "planner")
+    query = parse_query(_read_text(arguments.query))
+    if arguments.explain:
+        print(evaluator.explain(query))
+        return 0
+    result = evaluator.evaluate(query)
     if isinstance(result, ResultSet):
         print(result.to_table())
         print(f"# {len(result)} rows", file=sys.stderr)

@@ -199,6 +199,14 @@ class LocalSparqlEndpoint(SparqlEndpoint):
             raise EndpointError("query did not produce a CONSTRUCT graph")
         return result
 
+    def explain(self, query: Union[Query, str]) -> str:
+        """The endpoint evaluator's EXPLAIN plan for ``query`` (no execution).
+
+        Not counted as endpoint traffic and exempt from failure injection —
+        planning never touches the data, only the statistics.
+        """
+        return self._evaluator.explain(self._coerce(query))
+
     @staticmethod
     def _coerce(query: Union[Query, str]) -> Query:
         if isinstance(query, str):

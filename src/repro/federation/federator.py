@@ -218,6 +218,41 @@ class FederatedQueryEngine:
             for query in parsed
         ]
 
+    def explain(
+        self,
+        query: Union[Query, str],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+    ) -> Dict[URIRef, str]:
+        """Per-dataset EXPLAIN for a federated query, without executing it.
+
+        Each target receives exactly the query :meth:`execute` would send
+        it (the source dataset its original query, every other dataset the
+        mediated rewrite) and reports the physical plan its endpoint's
+        planner would run.  Endpoints that expose no ``explain`` (remote
+        transports) report the rewritten query text instead.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        plans: Dict[URIRef, str] = {}
+        for target in self._select_targets(datasets):
+            try:
+                if source_dataset is not None and target.uri == source_dataset:
+                    executable: Query = query
+                else:
+                    executable = self.mediator.translate(
+                        query, target.uri, source_ontology, mode
+                    ).rewritten_query
+                if hasattr(target.endpoint, "explain"):
+                    plans[target.uri] = target.endpoint.explain(executable)
+                else:
+                    plans[target.uri] = executable.serialize()
+            except (EndpointError, KeyError, ValueError) as exc:
+                plans[target.uri] = f"error: {exc}"
+        return plans
+
     def _select_targets(self, datasets: Optional[Sequence[URIRef]]) -> List[RegisteredDataset]:
         if datasets is None:
             return self.registry.datasets()

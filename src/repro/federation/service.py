@@ -200,6 +200,24 @@ class MediatorService:
             parallel=parallel,
         )
 
+    def explain(
+        self,
+        query: Union[Query, str],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+    ) -> Dict[str, str]:
+        """Per-dataset physical plans for a federated query (no execution)."""
+        plans = self.federation.explain(
+            query,
+            source_ontology=source_ontology,
+            source_dataset=source_dataset,
+            mode=mode,
+            datasets=datasets,
+        )
+        return {str(uri): text for uri, text in plans.items()}
+
     # ------------------------------------------------------------------ #
     @staticmethod
     def _translation_response(query: Query, mediation: MediationResult) -> TranslationResponse:

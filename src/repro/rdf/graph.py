@@ -17,9 +17,74 @@ from .namespace import NamespaceManager, RDF
 from .terms import BNode, Literal, Term, URIRef, Variable
 from .triple import Triple
 
-__all__ = ["Graph", "ReadOnlyGraphView"]
+__all__ = ["Graph", "GraphStatistics", "ReadOnlyGraphView"]
 
 _Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class GraphStatistics:
+    """Incrementally maintained cardinality statistics for one graph.
+
+    The query planner orders joins by how many triples each pattern can
+    match; these counters answer that question in O(1) for any pattern
+    with at most one ground position (two- and three-bound patterns are
+    answered exactly from the permutation indexes).  Counts are refreshed
+    on every :meth:`Graph.add` / :meth:`Graph.discard`, so they are always
+    exact — no ANALYZE step, no staleness.
+    """
+
+    __slots__ = ("subject_counts", "predicate_counts", "object_counts", "class_counts")
+
+    def __init__(self) -> None:
+        #: triples per subject / predicate / object term.
+        self.subject_counts: Dict[Term, int] = {}
+        self.predicate_counts: Dict[Term, int] = {}
+        self.object_counts: Dict[Term, int] = {}
+        #: instances per ``rdf:type`` class (object of an rdf:type triple).
+        self.class_counts: Dict[Term, int] = {}
+
+    # -- maintenance ------------------------------------------------------ #
+    def _record(self, s: Term, p: Term, o: Term, delta: int) -> None:
+        for counts, term in (
+            (self.subject_counts, s),
+            (self.predicate_counts, p),
+            (self.object_counts, o),
+        ):
+            updated = counts.get(term, 0) + delta
+            if updated > 0:
+                counts[term] = updated
+            else:
+                counts.pop(term, None)
+        if p == RDF.type:
+            updated = self.class_counts.get(o, 0) + delta
+            if updated > 0:
+                self.class_counts[o] = updated
+            else:
+                self.class_counts.pop(o, None)
+
+    def _clear(self) -> None:
+        self.subject_counts.clear()
+        self.predicate_counts.clear()
+        self.object_counts.clear()
+        self.class_counts.clear()
+
+    # -- read API ---------------------------------------------------------- #
+    @property
+    def distinct_subjects(self) -> int:
+        return len(self.subject_counts)
+
+    @property
+    def distinct_predicates(self) -> int:
+        return len(self.predicate_counts)
+
+    @property
+    def distinct_objects(self) -> int:
+        return len(self.object_counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<GraphStatistics s={self.distinct_subjects} "
+                f"p={self.distinct_predicates} o={self.distinct_objects} "
+                f"classes={len(self.class_counts)}>")
 
 
 class Graph:
@@ -47,6 +112,7 @@ class Graph:
         self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._stats = GraphStatistics()
         self.namespace_manager = namespace_manager or NamespaceManager()
         if triples:
             self.add_all(triples)
@@ -74,6 +140,7 @@ class Graph:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
+        self._stats._record(s, p, o, +1)
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, Tuple[Term, Term, Term]]]) -> "Graph":
@@ -99,6 +166,7 @@ class Graph:
         self._prune(self._spo, s, p, o)
         self._prune(self._pos, p, o, s)
         self._prune(self._osp, o, s, p)
+        self._stats._record(s, p, o, -1)
         return self
 
     def remove_pattern(
@@ -119,6 +187,7 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._stats._clear()
 
     @staticmethod
     def _prune(index, a: Term, b: Term, c: Term) -> None:
@@ -164,6 +233,10 @@ class Graph:
         s = self._normalize(subject)
         p = self._normalize(predicate)
         o = self._normalize(obj)
+        if not self._positions_valid(s, p):
+            # e.g. a literal in subject/predicate position (a variable bound
+            # to a literal by an earlier pattern): nothing can match.
+            return
 
         if s is not None and p is not None and o is not None:
             candidate = Triple(s, p, o)
@@ -205,6 +278,59 @@ class Graph:
         if term is None or isinstance(term, Variable):
             return None
         return term
+
+    @staticmethod
+    def _positions_valid(s: Optional[Term], p: Optional[Term]) -> bool:
+        """Whether the ground lookup terms can occupy their positions at all."""
+        if s is not None and not isinstance(s, (URIRef, BNode)):
+            return False
+        if p is not None and not isinstance(p, URIRef):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Cardinalities (used by the query planner)
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> GraphStatistics:
+        """Live, incrementally maintained cardinality statistics."""
+        return self._stats
+
+    def cardinality(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Exact number of triples matching the pattern, without enumerating.
+
+        ``None`` (or a :class:`Variable`) acts as a wildcard, mirroring
+        :meth:`triples`.  Two- and three-bound patterns are answered from
+        the permutation-index buckets; one-bound patterns from the
+        incrementally maintained per-term counters; the all-wildcard
+        pattern from the triple count.
+        """
+        s = self._normalize(subject)
+        p = self._normalize(predicate)
+        o = self._normalize(obj)
+        if not self._positions_valid(s, p):
+            return 0
+
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._triples else 0
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return self._stats.subject_counts.get(s, 0)
+        if p is not None:
+            return self._stats.predicate_counts.get(p, 0)
+        if o is not None:
+            return self._stats.object_counts.get(o, 0)
+        return len(self._triples)
 
     def match_pattern(self, pattern: Triple) -> Iterator[Triple]:
         """Yield triples matching a :class:`Triple` pattern (variables wild)."""
@@ -272,17 +398,11 @@ class Graph:
     # ------------------------------------------------------------------ #
     def predicate_histogram(self) -> Dict[Term, int]:
         """Map each predicate to the number of triples using it."""
-        histogram: Dict[Term, int] = defaultdict(int)
-        for triple in self._triples:
-            histogram[triple.predicate] += 1
-        return dict(histogram)
+        return dict(self._stats.predicate_counts)
 
     def class_histogram(self) -> Dict[Term, int]:
         """Map each ``rdf:type`` object to its instance count."""
-        histogram: Dict[Term, int] = defaultdict(int)
-        for triple in self.triples(None, RDF.type, None):
-            histogram[triple.object] += 1
-        return dict(histogram)
+        return dict(self._stats.class_counts)
 
     def vocabularies(self) -> Set[str]:
         """Namespace URIs of every predicate and class used in the graph."""
@@ -379,6 +499,13 @@ class ReadOnlyGraphView:
 
     def match_pattern(self, pattern: Triple) -> Iterator[Triple]:
         return self._graph.match_pattern(pattern)
+
+    def cardinality(self, subject=None, predicate=None, obj=None) -> int:
+        return self._graph.cardinality(subject, predicate, obj)
+
+    @property
+    def stats(self) -> GraphStatistics:
+        return self._graph.stats
 
     def __contains__(self, triple) -> bool:
         return triple in self._graph

@@ -44,7 +44,20 @@ from .algebra import (
     translate_group,
     translate_query,
 )
-from .evaluator import QueryEvaluator, evaluate_group, evaluate_query, match_bgp
+from .evaluator import (
+    QueryEvaluator,
+    evaluate_group,
+    evaluate_query,
+    match_bgp,
+    ordered_bgp_patterns,
+)
+from .plan import (
+    CardinalityEstimator,
+    QueryPlan,
+    QueryPlanner,
+    explain_query,
+    plan_query,
+)
 from .expressions import (
     ExpressionError,
     effective_boolean_value,
@@ -72,8 +85,12 @@ __all__ = [
     "translate_query", "translate_group", "algebra_to_group", "to_sexpr",
     # evaluation
     "QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp",
+    "ordered_bgp_patterns",
     "ExpressionError", "evaluate_expression", "expression_satisfied",
     "effective_boolean_value",
+    # planning
+    "QueryPlanner", "QueryPlan", "CardinalityEstimator",
+    "plan_query", "explain_query",
     # results
     "Binding", "ResultSet", "AskResult",
     # serialisation

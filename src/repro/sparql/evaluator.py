@@ -35,22 +35,85 @@ from .expressions import ExpressionError, evaluate_expression, expression_satisf
 from .parser import parse_query
 from .results import AskResult, Binding, ResultSet
 
-__all__ = ["QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp"]
+__all__ = [
+    "QueryEvaluator",
+    "evaluate_query",
+    "evaluate_group",
+    "match_bgp",
+    "ordered_bgp_patterns",
+]
 
 
 # --------------------------------------------------------------------------- #
 # BGP matching
 # --------------------------------------------------------------------------- #
-def _pattern_selectivity(pattern: Triple, binding: Binding) -> int:
-    """Lower numbers mean more selective (more ground positions)."""
+#: Name prefix of the internal variables standing in for query blank nodes.
+#: Shared by the naive evaluator and the planner (both must bind and hide
+#: blank-node positions identically).
+BNODE_ANCHOR_PREFIX = "__bnode_"
+
+
+def bnode_anchor(term: BNode) -> Variable:
+    """The internal variable standing in for a query blank node."""
+    return Variable(f"{BNODE_ANCHOR_PREFIX}{term.value}")
+
+
+def _pattern_selectivity(pattern: Triple, bound_vars: set) -> int:
+    """Lower numbers mean more selective (more ground/bound positions)."""
     bound = 0
     for term in pattern:
         if isinstance(term, Variable):
-            if binding.get_term(term) is not None:
+            if term in bound_vars:
                 bound += 1
-        elif not isinstance(term, BNode):
+        elif isinstance(term, BNode):
+            if bnode_anchor(term) in bound_vars:
+                bound += 1
+        else:
             bound += 1
     return 3 - bound
+
+
+def _pattern_binding_vars(pattern: Triple) -> set:
+    """The variables (incl. blank-node anchors) a pattern match binds."""
+    result = set()
+    for term in pattern:
+        if isinstance(term, Variable):
+            result.add(term)
+        elif isinstance(term, BNode):
+            result.add(bnode_anchor(term))
+    return result
+
+
+def ordered_bgp_patterns(
+    patterns: Sequence[Triple],
+    initial: Optional[Binding] = None,
+) -> List[Triple]:
+    """Deterministic greedy evaluation order for a BGP.
+
+    The order is computed *once*, statically: repeatedly pick the most
+    selective pattern under the variables bound so far (ground and
+    already-bound positions count equally), breaking ties by the pattern's
+    serialised text and then by input position.  This replaces the old
+    per-round re-sort against ``solutions[0]``, whose tie handling depended
+    on incidental list order — plan choice can no longer flip between runs
+    or between equal-solution graphs.
+    """
+    bound_vars = set(initial or ())
+    remaining = list(enumerate(patterns))
+    ordered: List[Triple] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda item: (
+                _pattern_selectivity(item[1], bound_vars),
+                " ".join(term.n3() for term in item[1]),
+                item[0],
+            ),
+        )
+        remaining.remove(best)
+        ordered.append(best[1])
+        bound_vars |= _pattern_binding_vars(best[1])
+    return ordered
 
 
 def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]:
@@ -63,15 +126,12 @@ def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]
     match exactly.
     """
 
-    def anchor_for(term: Term) -> Variable:
-        return Variable(f"__bnode_{term.value}")
-
     def resolved(term: Term) -> Optional[Term]:
         """The ground value this position must equal, or None when free."""
         if isinstance(term, Variable):
             return binding.get_term(term)
         if isinstance(term, BNode):
-            return binding.get_term(anchor_for(term))
+            return binding.get_term(bnode_anchor(term))
         return term
 
     lookup_subject = resolved(pattern.subject)
@@ -84,7 +144,7 @@ def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]
             if isinstance(pattern_term, Variable):
                 key: Term = pattern_term
             elif isinstance(pattern_term, BNode):
-                key = anchor_for(pattern_term)
+                key = bnode_anchor(pattern_term)
             else:
                 if pattern_term != data_term:
                     extended = None
@@ -107,13 +167,7 @@ def match_bgp(
 ) -> Iterator[Binding]:
     """Match a Basic Graph Pattern (a conjunction of triple patterns)."""
     solutions: List[Binding] = [initial or Binding()]
-    remaining = list(patterns)
-    while remaining:
-        # Greedy join order: pick the most selective pattern under the
-        # bindings established so far (cheap heuristic, adequate for the
-        # query sizes involved).
-        remaining.sort(key=lambda p: _pattern_selectivity(p, solutions[0]) if solutions else 0)
-        pattern = remaining.pop(0)
+    for pattern in ordered_bgp_patterns(patterns, initial):
         next_solutions: List[Binding] = []
         for solution in solutions:
             next_solutions.extend(_match_triple(pattern, solution, graph))
@@ -187,10 +241,18 @@ def _apply_element(element, solutions: List[Binding], graph) -> List[Binding]:
 # Query forms and modifiers
 # --------------------------------------------------------------------------- #
 class QueryEvaluator:
-    """Evaluate parsed queries (or query text) against a graph."""
+    """Evaluate parsed queries (or query text) against a graph.
 
-    def __init__(self, graph: Graph) -> None:
+    By default queries run through the cost-based planner
+    (:mod:`repro.sparql.plan`): statistics-ordered index scans, pushed-down
+    FILTERs and streaming modifiers with early termination.  Pass
+    ``use_planner=False`` to force the naive bottom-up reference path —
+    the differential tests execute both and require identical solutions.
+    """
+
+    def __init__(self, graph: Graph, use_planner: bool = True) -> None:
         self._graph = graph
+        self.use_planner = use_planner
 
     @property
     def graph(self) -> Graph:
@@ -208,6 +270,12 @@ class QueryEvaluator:
             return self._evaluate_construct(query)
         raise TypeError(f"unsupported query form: {type(query).__name__}")
 
+    def explain(self, query: Union[Query, str]) -> str:
+        """EXPLAIN-style rendering of the physical plan for ``query``."""
+        from .plan import explain_query
+
+        return explain_query(query, self._graph)
+
     def select(self, query: Union[SelectQuery, str]) -> ResultSet:
         """Evaluate a SELECT query (convenience wrapper with type checking)."""
         result = self.evaluate(query)
@@ -217,12 +285,16 @@ class QueryEvaluator:
 
     # -- SELECT -------------------------------------------------------------- #
     def _evaluate_select(self, query: SelectQuery) -> ResultSet:
-        solutions = evaluate_group(query.where, self._graph)
         projection = query.effective_projection()
+        if self.use_planner:
+            from .plan import plan_query
+
+            return ResultSet(projection, plan_query(query, self._graph).execute())
+        solutions = evaluate_group(query.where, self._graph)
 
         def project(solution: Binding) -> Binding:
             return solution.project(
-                [v for v in projection if not v.name.startswith("__bnode_")]
+                [v for v in projection if not v.name.startswith(BNODE_ANCHOR_PREFIX)]
             )
 
         solutions = self._apply_modifiers(query, solutions, project)
@@ -258,13 +330,25 @@ class QueryEvaluator:
 
     # -- ASK ------------------------------------------------------------------ #
     def _evaluate_ask(self, query: AskQuery) -> AskResult:
+        if self.use_planner:
+            from .plan import plan_query
+
+            # Streaming pays off most here: stop at the first solution.
+            first = next(plan_query(query, self._graph).execute(), None)
+            return AskResult(first is not None)
         solutions = evaluate_group(query.where, self._graph)
         return AskResult(bool(solutions))
 
     # -- CONSTRUCT ------------------------------------------------------------ #
     def _evaluate_construct(self, query: ConstructQuery) -> Graph:
-        solutions = evaluate_group(query.where, self._graph)
-        solutions = self._apply_modifiers(query, solutions)
+        if self.use_planner:
+            from .plan import plan_query
+
+            solutions: Iterable[Binding] = plan_query(query, self._graph).execute()
+        else:
+            solutions = self._apply_modifiers(
+                query, evaluate_group(query.where, self._graph)
+            )
         output = Graph(namespace_manager=query.prologue.namespace_manager.copy())
         for solution in solutions:
             bnode_map: dict = {}

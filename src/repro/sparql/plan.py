@@ -1,0 +1,807 @@
+"""Cost-based query planning and streaming execution.
+
+The naive evaluator (:mod:`repro.sparql.evaluator`) materialises the full
+binding list at every step and defers FILTERs to the end of their group.
+This module compiles the :class:`~repro.sparql.algebra.AlgebraNode` tree of
+a query into a tree of *physical operators* instead:
+
+* :class:`BGPScanOp` — a chain of index scans over the triple patterns of a
+  BGP, ordered greedily by exact cardinality estimates drawn from the
+  graph's incrementally maintained statistics
+  (:meth:`repro.rdf.Graph.cardinality`),
+* :class:`HashJoinOp` — a hash join on the shared variables of two
+  independent sub-plans (build on the smaller/right side, probe streaming),
+* :class:`PipelineJoinOp` — the streaming nested-loop (bind-join) fallback:
+  left solutions flow into the right sub-plan as input bindings, so the
+  right side's index scans are correlated lookups,
+* :class:`LeftJoinOp` / :class:`UnionOp` — OPTIONAL and UNION with the same
+  correlated streaming discipline,
+* :class:`FilterOp` — FILTERs pushed down to the earliest operator at which
+  every variable of the expression is *certainly* bound (which is exactly
+  the point from which their verdict can no longer change),
+* :class:`ProjectOp` / :class:`DistinctOp` / :class:`OrderByOp` /
+  :class:`SliceOp` — the solution-modifier pipeline, streaming except for
+  the unavoidable ORDER BY materialisation.
+
+Every operator consumes and produces *iterators* of
+:class:`~repro.sparql.results.Binding`, so a ``LIMIT``-ed query stops
+scanning as soon as enough solutions have been produced and an ``ASK``
+stops at the first solution, instead of enumerating every solution the way
+the naive evaluator does.
+
+Plans render as an ``EXPLAIN``-style operator tree via
+:meth:`QueryPlan.explain` (exposed on the CLI as ``repro-query
+--explain``).  Planned execution is solution-equivalent to the naive
+evaluator: the same multiset of solutions, in the same order whenever the
+query constrains order (ORDER BY); the conformance corpus and the
+hypothesis differential test pin this down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rdf import BNode, Triple, Variable
+from .algebra import (
+    AlgebraBGP,
+    AlgebraDistinct,
+    AlgebraFilter,
+    AlgebraJoin,
+    AlgebraLeftJoin,
+    AlgebraNode,
+    AlgebraOrderBy,
+    AlgebraProject,
+    AlgebraSlice,
+    AlgebraUnion,
+    translate_group,
+    translate_query,
+)
+from .ast import AskQuery, Expression, OrderCondition, Query
+from .evaluator import (
+    BNODE_ANCHOR_PREFIX,
+    _match_triple,
+    _order,
+    bnode_anchor,
+)
+from .expressions import expression_satisfied
+from .results import Binding
+from .serializer import serialize_expression
+
+__all__ = [
+    "CardinalityEstimator",
+    "PhysicalOperator",
+    "BGPScanOp",
+    "PipelineJoinOp",
+    "HashJoinOp",
+    "LeftJoinOp",
+    "UnionOp",
+    "FilterOp",
+    "ProjectOp",
+    "DistinctOp",
+    "OrderByOp",
+    "SliceOp",
+    "QueryPlan",
+    "QueryPlanner",
+    "plan_query",
+    "explain_query",
+    "order_patterns",
+]
+
+#: Hash joins build a table from the full right-hand result; beyond this
+#: many estimated build rows the correlated bind-join (which exploits the
+#: left bindings as index lookups) is preferred.
+_HASH_BUILD_CEILING = 250_000.0
+
+
+def _binding_variables(pattern: Triple) -> Set[Variable]:
+    """The variables a scan of ``pattern`` binds (incl. blank-node anchors)."""
+    result: Set[Variable] = set()
+    for term in pattern:
+        if isinstance(term, Variable):
+            result.add(term)
+        elif isinstance(term, BNode):
+            result.add(bnode_anchor(term))
+    return result
+
+
+def _pattern_text(pattern: Triple) -> str:
+    """Deterministic tie-break key for pattern ordering."""
+    return " ".join(term.n3() for term in pattern)
+
+
+# --------------------------------------------------------------------------- #
+# Cardinality estimation
+# --------------------------------------------------------------------------- #
+class CardinalityEstimator:
+    """Estimate how many solutions a triple pattern contributes.
+
+    For patterns whose only free positions are plain wildcards the estimate
+    is the *exact* matching-triple count, answered in O(1) from the graph's
+    incremental statistics.  A position held by an already-bound variable
+    cannot be resolved at plan time, so its average bucket size is used:
+    the wildcard count divided by the number of distinct terms in that
+    position.
+    """
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+        self._cardinality = getattr(graph, "cardinality", None)
+        self._stats = getattr(graph, "stats", None)
+
+    def pattern_estimate(self, pattern: Triple, bound: Set[Variable]) -> float:
+        lookup: List[Optional[Triple]] = []
+        bound_positions: List[int] = []
+        for index, term in enumerate(pattern):
+            if isinstance(term, (Variable, BNode)):
+                anchor = term if isinstance(term, Variable) else bnode_anchor(term)
+                if anchor in bound:
+                    bound_positions.append(index)
+                lookup.append(None)
+            else:
+                lookup.append(term)
+
+        if self._cardinality is None:
+            # Graph without statistics: fall back to the classic
+            # bound-position selectivity heuristic.
+            ground = sum(1 for term in lookup if term is not None) + len(bound_positions)
+            return float(len(self._graph)) / (10.0 ** ground)
+
+        estimate = float(self._cardinality(lookup[0], lookup[1], lookup[2]))
+        if estimate == 0.0 or self._stats is None:
+            return estimate
+        distinct = (
+            self._stats.distinct_subjects,
+            self._stats.distinct_predicates,
+            self._stats.distinct_objects,
+        )
+        for index in bound_positions:
+            estimate /= max(1, distinct[index])
+        return estimate
+
+
+def order_patterns(
+    patterns: Sequence[Triple],
+    bound: Set[Variable],
+    estimator: CardinalityEstimator,
+) -> List[Triple]:
+    """Greedy, deterministic join order for the patterns of one BGP.
+
+    Repeatedly pick the cheapest pattern (lowest cardinality estimate under
+    the variables bound so far, ties broken by the pattern's serialised
+    text), preferring patterns connected to already-bound variables so the
+    chain never degenerates into an avoidable cross product.
+    """
+    remaining = list(patterns)
+    ordered: List[Triple] = []
+    seen_vars = set(bound)
+    while remaining:
+        connected = [
+            pattern for pattern in remaining
+            if not _binding_variables(pattern) or _binding_variables(pattern) & seen_vars
+        ]
+        candidates = connected if connected and seen_vars else remaining
+
+        def sort_key(pattern: Triple) -> Tuple[float, str]:
+            return (estimator.pattern_estimate(pattern, seen_vars), _pattern_text(pattern))
+
+        best = min(candidates, key=sort_key)
+        remaining.remove(best)
+        ordered.append(best)
+        seen_vars |= _binding_variables(best)
+    return ordered
+
+
+# --------------------------------------------------------------------------- #
+# Static variable analysis (certain vs. possible bindings)
+# --------------------------------------------------------------------------- #
+def certain_variables(node: AlgebraNode) -> Set[Variable]:
+    """Variables bound in *every* solution the node can produce."""
+    if isinstance(node, AlgebraBGP):
+        result: Set[Variable] = set()
+        for pattern in node.patterns:
+            result |= _binding_variables(pattern)
+        return result
+    if isinstance(node, AlgebraJoin):
+        return certain_variables(node.left) | certain_variables(node.right)
+    if isinstance(node, AlgebraLeftJoin):
+        return certain_variables(node.left)
+    if isinstance(node, AlgebraUnion):
+        return certain_variables(node.left) & certain_variables(node.right)
+    if isinstance(node, AlgebraFilter):
+        return certain_variables(node.child)
+    if isinstance(node, AlgebraProject):
+        return certain_variables(node.child) & set(node.projection)
+    if isinstance(node, (AlgebraDistinct, AlgebraOrderBy, AlgebraSlice)):
+        return certain_variables(node.children()[0])
+    return set()
+
+
+def possible_variables(node: AlgebraNode) -> Set[Variable]:
+    """Variables bound in *some* solution the node can produce."""
+    if isinstance(node, AlgebraBGP):
+        return certain_variables(node)
+    if isinstance(node, (AlgebraJoin, AlgebraLeftJoin, AlgebraUnion)):
+        return possible_variables(node.left) | possible_variables(node.right)
+    if isinstance(node, AlgebraFilter):
+        return possible_variables(node.child)
+    if isinstance(node, AlgebraProject):
+        return possible_variables(node.child) & set(node.projection)
+    if isinstance(node, (AlgebraDistinct, AlgebraOrderBy, AlgebraSlice)):
+        return possible_variables(node.children()[0])
+    return set()
+
+
+# --------------------------------------------------------------------------- #
+# Physical operators
+# --------------------------------------------------------------------------- #
+class PhysicalOperator:
+    """Base class: a pull-based operator over streams of bindings.
+
+    ``run`` must be restartable — every call creates fresh iteration state,
+    because correlated operators (bind-join, OPTIONAL, UNION) re-run their
+    inner sub-plan once per outer binding.
+    """
+
+    #: Estimated output rows for one empty input binding (used for display
+    #: and join-strategy choice; never a correctness input).
+    est: float = 1.0
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop any state cached across ``run`` calls (new plan execution).
+
+        Correlated parents re-run their sub-plans once per outer binding
+        *within* one execution, and operators may cache invariant state
+        (e.g. a hash table) across those re-runs; a fresh execution against
+        possibly mutated data must start clean.
+        """
+        for child in self.children():
+            child.reset()
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def explain_lines(self, indent: int = 0) -> List[str]:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.extend(child.explain_lines(indent + 1))
+        return lines
+
+
+class _ScanStep:
+    """One index scan of a BGP chain plus the filters applied right after."""
+
+    __slots__ = ("pattern", "filters", "est")
+
+    def __init__(self, pattern: Triple, filters: List[Expression], est: float) -> None:
+        self.pattern = pattern
+        self.filters = filters
+        self.est = est
+
+
+class BGPScanOp(PhysicalOperator):
+    """A statistics-ordered chain of index scans with inlined filters."""
+
+    def __init__(self, graph, steps: List[_ScanStep], tail_filters: List[Expression]) -> None:
+        self._graph = graph
+        self.steps = steps
+        self.tail_filters = tail_filters
+        est = 1.0
+        for step in steps:
+            est *= max(step.est, 0.0)
+        self.est = est
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        stream = bindings
+        for step in self.steps:
+            stream = self._scan(step, stream)
+        if self.tail_filters:
+            stream = self._filter_tail(stream)
+        return stream
+
+    def _scan(self, step: _ScanStep, stream: Iterator[Binding]) -> Iterator[Binding]:
+        graph = self._graph
+        for binding in stream:
+            for extended in _match_triple(step.pattern, binding, graph):
+                if all(expression_satisfied(expr, extended, graph) for expr in step.filters):
+                    yield extended
+
+    def _filter_tail(self, stream: Iterator[Binding]) -> Iterator[Binding]:
+        graph = self._graph
+        for binding in stream:
+            if all(expression_satisfied(expr, binding, graph) for expr in self.tail_filters):
+                yield binding
+
+    def describe(self) -> str:
+        return f"BGPScan est={self.est:.1f}"
+
+    def explain_lines(self, indent: int = 0) -> List[str]:
+        lines = ["  " * indent + self.describe()]
+        pad = "  " * (indent + 1)
+        for step in self.steps:
+            suffix = ""
+            if step.filters:
+                rendered = ", ".join(serialize_expression(expr) for expr in step.filters)
+                suffix = f" [filter {rendered}]"
+            lines.append(f"{pad}scan ({_pattern_text(step.pattern)}) est={step.est:.1f}{suffix}")
+        for expr in self.tail_filters:
+            lines.append(f"{pad}filter {serialize_expression(expr)}")
+        return lines
+
+
+class PipelineJoinOp(PhysicalOperator):
+    """Streaming nested-loop (bind) join: left solutions feed the right plan."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        self._left = left
+        self._right = right
+        self.est = max(left.est, 0.0) * max(right.est, 0.0)
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        return self._right.run(self._left.run(bindings))
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+    def describe(self) -> str:
+        return f"BindJoin est={self.est:.1f}"
+
+
+class HashJoinOp(PhysicalOperator):
+    """Hash join on shared variables: build right once, probe left streaming."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        key: Sequence[Variable],
+    ) -> None:
+        self._left = left
+        self._right = right
+        self.key = tuple(sorted(key, key=lambda v: v.name))
+        self.est = max(left.est, 0.0) * max(right.est, 0.0) * 0.1
+        # The build side is compiled against an empty input (that is what
+        # makes the hash join safe), so its result cannot vary between runs
+        # of one execution: build once, reuse under correlated parents.
+        self._table: Optional[Dict[tuple, List[Binding]]] = None
+
+    def reset(self) -> None:
+        self._table = None
+        super().reset()
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        if self._table is None:
+            self._table = {}
+            for row in self._right.run(iter((Binding(),))):
+                key = tuple(row.get_term(variable) for variable in self.key)
+                self._table.setdefault(key, []).append(row)
+        table = self._table
+        for binding in self._left.run(bindings):
+            key = tuple(binding.get_term(variable) for variable in self.key)
+            for row in table.get(key, ()):
+                yield binding.merge(row)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+    def describe(self) -> str:
+        rendered = " ".join(f"?{variable.name}" for variable in self.key)
+        return f"HashJoin on ({rendered}) est={self.est:.1f}"
+
+
+class LeftJoinOp(PhysicalOperator):
+    """OPTIONAL: correlated left-outer join with an optional join condition."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        expression: Optional[Expression],
+        graph,
+    ) -> None:
+        self._left = left
+        self._right = right
+        self._expression = expression
+        self._graph = graph
+        self.est = max(left.est, 1.0)
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        graph = self._graph
+        for binding in self._left.run(bindings):
+            matched = False
+            for extended in self._right.run(iter((binding,))):
+                if self._expression is None or expression_satisfied(
+                    self._expression, extended, graph
+                ):
+                    matched = True
+                    yield extended
+            if not matched:
+                yield binding
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+    def describe(self) -> str:
+        condition = (
+            f" on [{serialize_expression(self._expression)}]"
+            if self._expression is not None
+            else ""
+        )
+        return f"LeftJoin{condition} est={self.est:.1f}"
+
+
+class UnionOp(PhysicalOperator):
+    """UNION: each input binding flows through every branch, in branch order."""
+
+    def __init__(self, branches: Sequence[PhysicalOperator]) -> None:
+        self._branches = list(branches)
+        self.est = sum(max(branch.est, 0.0) for branch in self._branches)
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        for binding in bindings:
+            for branch in self._branches:
+                yield from branch.run(iter((binding,)))
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return tuple(self._branches)
+
+    def describe(self) -> str:
+        return f"Union est={self.est:.1f}"
+
+
+class FilterOp(PhysicalOperator):
+    """A FILTER that could not be pushed further down."""
+
+    def __init__(self, expressions: Sequence[Expression], child: PhysicalOperator, graph) -> None:
+        self._expressions = list(expressions)
+        self._child = child
+        self._graph = graph
+        self.est = max(child.est, 0.0) * (0.5 ** len(self._expressions))
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        graph = self._graph
+        for binding in self._child.run(bindings):
+            if all(expression_satisfied(expr, binding, graph) for expr in self._expressions):
+                yield binding
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        rendered = ", ".join(serialize_expression(expr) for expr in self._expressions)
+        return f"Filter [{rendered}] est={self.est:.1f}"
+
+
+class ProjectOp(PhysicalOperator):
+    """Project each solution onto the requested variables (streaming)."""
+
+    def __init__(self, projection: Sequence[Variable], child: PhysicalOperator) -> None:
+        # Blank-node anchor variables are internal and never projected,
+        # matching the naive evaluator's projection rule.
+        self._projection = [
+            variable for variable in projection
+            if not variable.name.startswith(BNODE_ANCHOR_PREFIX)
+        ]
+        self._child = child
+        self.est = child.est
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        for binding in self._child.run(bindings):
+            yield binding.project(self._projection)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        rendered = " ".join(f"?{variable.name}" for variable in self._projection)
+        return f"Project ({rendered})"
+
+
+class DistinctOp(PhysicalOperator):
+    """Streaming duplicate elimination (first occurrence wins)."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self._child = child
+        self.est = child.est
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        seen: Set[frozenset] = set()
+        for binding in self._child.run(bindings):
+            key = frozenset(binding.as_dict().items())
+            if key not in seen:
+                seen.add(key)
+                yield binding
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class OrderByOp(PhysicalOperator):
+    """ORDER BY: the one blocking operator (must materialise to sort)."""
+
+    def __init__(self, conditions: Sequence[OrderCondition], child: PhysicalOperator, graph) -> None:
+        self._conditions = list(conditions)
+        self._child = child
+        self._graph = graph
+        self.est = child.est
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        return iter(_order(list(self._child.run(bindings)), self._conditions, self._graph))
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return f"OrderBy ({len(self._conditions)} conditions, blocking)"
+
+
+class SliceOp(PhysicalOperator):
+    """OFFSET/LIMIT with early termination: stop pulling once satisfied."""
+
+    def __init__(self, offset: Optional[int], limit: Optional[int], child: PhysicalOperator) -> None:
+        self._offset = offset or 0
+        self._limit = limit
+        self._child = child
+        self.est = min(child.est, float(limit)) if limit is not None else child.est
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        skipped = 0
+        emitted = 0
+        for binding in self._child.run(bindings):
+            if skipped < self._offset:
+                skipped += 1
+                continue
+            if self._limit is not None and emitted >= self._limit:
+                return
+            emitted += 1
+            yield binding
+            if self._limit is not None and emitted >= self._limit:
+                return
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return f"Slice (offset={self._offset}, limit={self._limit})"
+
+
+# --------------------------------------------------------------------------- #
+# Compilation
+# --------------------------------------------------------------------------- #
+class QueryPlanner:
+    """Compile algebra trees into physical plans for one graph."""
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+        self._estimator = CardinalityEstimator(graph)
+
+    # -- public entry points ------------------------------------------------ #
+    def plan(self, query: Query) -> "QueryPlan":
+        """Plan a full query (WHERE clause plus solution modifiers)."""
+        if isinstance(query, AskQuery):
+            # ASK ignores solution modifiers; plan the pattern only so the
+            # executor can stop at the first solution.
+            node = translate_group(query.where)
+        else:
+            node = translate_query(query)
+        root, _, _ = self._compile(self._coalesce(node), frozenset(), frozenset(), [])
+        return QueryPlan(query, root, self._graph)
+
+    # -- algebra normalisation ---------------------------------------------- #
+    @staticmethod
+    def _coalesce(node: AlgebraNode) -> AlgebraNode:
+        """Fuse Join(BGP, BGP) into one BGP so ordering sees all patterns."""
+
+        def fuse(candidate: AlgebraNode) -> Optional[AlgebraNode]:
+            if (
+                isinstance(candidate, AlgebraJoin)
+                and isinstance(candidate.left, AlgebraBGP)
+                and isinstance(candidate.right, AlgebraBGP)
+            ):
+                return AlgebraBGP(list(candidate.left.patterns) + list(candidate.right.patterns))
+            return None
+
+        return node.transform(fuse)
+
+    # -- recursive compilation ---------------------------------------------- #
+    def _compile(
+        self,
+        node: AlgebraNode,
+        certain: frozenset,
+        possible: frozenset,
+        pending: List[Expression],
+    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        """Compile ``node`` given the input stream's variable knowledge.
+
+        ``certain``/``possible`` describe the bindings arriving from the
+        operator's input stream; ``pending`` are FILTER expressions scoped
+        to this subtree that are guaranteed to have been applied by the
+        time the returned operator's output emerges.
+        """
+        if isinstance(node, AlgebraFilter):
+            return self._compile(node.child, certain, possible, pending + [node.expression])
+        if isinstance(node, AlgebraBGP):
+            return self._compile_bgp(node, certain, possible, pending)
+        if isinstance(node, AlgebraJoin):
+            return self._compile_join(node, certain, possible, pending)
+        if isinstance(node, AlgebraLeftJoin):
+            return self._compile_leftjoin(node, certain, possible, pending)
+        if isinstance(node, AlgebraUnion):
+            branches: List[PhysicalOperator] = []
+            branch_certain: List[frozenset] = []
+            branch_possible: List[frozenset] = []
+            for child in (node.left, node.right):
+                op, c_out, p_out = self._compile(child, certain, possible, list(pending))
+                branches.append(op)
+                branch_certain.append(c_out)
+                branch_possible.append(p_out)
+            union = UnionOp(branches)
+            return (
+                union,
+                certain | (branch_certain[0] & branch_certain[1]),
+                possible | branch_possible[0] | branch_possible[1],
+            )
+        if isinstance(node, AlgebraProject):
+            child, c_out, p_out = self._compile(node.child, certain, possible, pending)
+            projection = frozenset(node.projection)
+            return (
+                ProjectOp(node.projection, child),
+                c_out & projection,
+                p_out & projection,
+            )
+        if isinstance(node, AlgebraDistinct):
+            child, c_out, p_out = self._compile(node.child, certain, possible, pending)
+            return DistinctOp(child), c_out, p_out
+        if isinstance(node, AlgebraOrderBy):
+            child, c_out, p_out = self._compile(node.child, certain, possible, pending)
+            return OrderByOp(node.conditions, child, self._graph), c_out, p_out
+        if isinstance(node, AlgebraSlice):
+            child, c_out, p_out = self._compile(node.child, certain, possible, pending)
+            return SliceOp(node.offset, node.limit, child), c_out, p_out
+        raise TypeError(f"cannot compile algebra node: {node!r}")
+
+    def _compile_bgp(
+        self,
+        node: AlgebraBGP,
+        certain: frozenset,
+        possible: frozenset,
+        pending: List[Expression],
+    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        ordered = order_patterns(node.patterns, set(certain), self._estimator)
+        bound = set(certain)
+        remaining = list(pending)
+        steps: List[_ScanStep] = []
+        for pattern in ordered:
+            est = self._estimator.pattern_estimate(pattern, bound)
+            bound |= _binding_variables(pattern)
+            attached: List[Expression] = []
+            still_pending: List[Expression] = []
+            for expr in remaining:
+                if expr.variables() <= bound:
+                    attached.append(expr)
+                else:
+                    still_pending.append(expr)
+            remaining = still_pending
+            steps.append(_ScanStep(pattern, attached, est))
+        # Whatever could not be pushed runs at the end of the chain — the
+        # original FILTER position, so semantics are unchanged.
+        op = BGPScanOp(self._graph, steps, remaining)
+        bgp_vars = frozenset(bound) - certain
+        return op, certain | bgp_vars, possible | bgp_vars
+
+    def _compile_join(
+        self,
+        node: AlgebraJoin,
+        certain: frozenset,
+        possible: frozenset,
+        pending: List[Expression],
+    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        left_static_certain = certain_variables(node.left) | certain
+        push_left = [expr for expr in pending if expr.variables() <= left_static_certain]
+        rest = [expr for expr in pending if expr not in push_left]
+        left_op, left_certain, left_possible = self._compile(
+            node.left, certain, possible, push_left
+        )
+
+        right_certain_static = frozenset(certain_variables(node.right))
+        right_possible_static = frozenset(possible_variables(node.right))
+        shared = left_possible & right_possible_static
+        hash_safe = (
+            bool(shared)
+            and shared <= left_certain
+            and shared <= right_certain_static
+        )
+        if hash_safe:
+            right_alone, _, _ = self._compile(node.right, frozenset(), frozenset(), [])
+            hash_worthwhile = (
+                left_op.est > 1.5
+                and right_alone.est <= _HASH_BUILD_CEILING
+                and right_alone.est <= max(10_000.0, left_op.est * 100.0)
+            )
+            if hash_worthwhile:
+                push_right = [
+                    expr for expr in rest if expr.variables() <= right_certain_static
+                ]
+                leftover = [expr for expr in rest if expr not in push_right]
+                right_op, right_certain, right_possible = self._compile(
+                    node.right, frozenset(), frozenset(), push_right
+                )
+                op: PhysicalOperator = HashJoinOp(left_op, right_op, sorted(shared, key=str))
+                if leftover:
+                    op = FilterOp(leftover, op, self._graph)
+                return (
+                    op,
+                    left_certain | right_certain,
+                    left_possible | right_possible,
+                )
+
+        right_op, right_certain, right_possible = self._compile(
+            node.right, left_certain, left_possible, rest
+        )
+        return PipelineJoinOp(left_op, right_op), right_certain, right_possible
+
+    def _compile_leftjoin(
+        self,
+        node: AlgebraLeftJoin,
+        certain: frozenset,
+        possible: frozenset,
+        pending: List[Expression],
+    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        left_static_certain = certain_variables(node.left) | certain
+        push_left = [expr for expr in pending if expr.variables() <= left_static_certain]
+        rest = [expr for expr in pending if expr not in push_left]
+        left_op, left_certain, left_possible = self._compile(
+            node.left, certain, possible, push_left
+        )
+        right_op, _, right_possible = self._compile(
+            node.right, left_certain, left_possible, []
+        )
+        op: PhysicalOperator = LeftJoinOp(left_op, right_op, node.expression, self._graph)
+        if rest:
+            # A FILTER above an OPTIONAL also constrains the unextended
+            # fallback rows, so it cannot move below the left join.
+            op = FilterOp(rest, op, self._graph)
+        return op, left_certain, left_possible | right_possible
+
+
+class QueryPlan:
+    """A compiled physical plan, ready for streaming execution."""
+
+    def __init__(self, query: Query, root: PhysicalOperator, graph) -> None:
+        self.query = query
+        self.root = root
+        self._graph = graph
+
+    def execute(self) -> Iterator[Binding]:
+        """Stream the plan's solutions (top-level evaluation, empty input)."""
+        self.root.reset()
+        return self.root.run(iter((Binding(),)))
+
+    def explain(self) -> str:
+        """EXPLAIN-style rendering of the operator tree with estimates."""
+        form = type(self.query).__name__.replace("Query", "").upper()
+        size = len(self._graph) if hasattr(self._graph, "__len__") else "?"
+        header = f"plan for {form} query over graph with {size} triples"
+        return "\n".join([header] + self.root.explain_lines(0))
+
+
+def plan_query(query: Query, graph) -> QueryPlan:
+    """Module-level convenience: compile ``query`` into a plan for ``graph``."""
+    return QueryPlanner(graph).plan(query)
+
+
+def explain_query(query, graph) -> str:
+    """The EXPLAIN text for ``query`` over ``graph`` (accepts query text)."""
+    from .parser import parse_query
+
+    if isinstance(query, str):
+        query = parse_query(query)
+    return plan_query(query, graph).explain()

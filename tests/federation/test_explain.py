@@ -1,0 +1,65 @@
+"""EXPLAIN threading through endpoints, the federator and the service."""
+
+from __future__ import annotations
+
+from ..conftest import FIGURE_1_QUERY
+
+
+class TestEndpointExplain:
+    def test_local_endpoint_explains_without_traffic(self, small_scenario):
+        endpoint = small_scenario.endpoint(small_scenario.rkb_dataset)
+        before = endpoint.statistics.total_queries
+        text = endpoint.explain(FIGURE_1_QUERY)
+        assert text.startswith("plan for SELECT query")
+        assert "BGPScan" in text
+        assert endpoint.statistics.total_queries == before
+
+    def test_explain_not_subject_to_failure_injection(self, small_scenario):
+        endpoint = small_scenario.endpoint(small_scenario.rkb_dataset)
+        endpoint.fail_next(1)
+        try:
+            text = endpoint.explain(FIGURE_1_QUERY)
+            assert "plan for" in text
+            # The injected failure is still pending for the next real query.
+            assert endpoint._fail_next == 1
+        finally:
+            # The scenario fixture is session-scoped: don't leak the pending
+            # injected failure into unrelated tests.
+            endpoint.fail_next(0)
+
+
+class TestFederatedExplain:
+    def test_per_dataset_plans(self, small_scenario):
+        plans = small_scenario.service.federation.explain(
+            FIGURE_1_QUERY,
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        assert set(plans) == {d.uri for d in small_scenario.registry.datasets()}
+        for text in plans.values():
+            assert "plan for SELECT query" in text
+
+    def test_rewritten_datasets_plan_the_translated_query(self, small_scenario):
+        plans = small_scenario.service.federation.explain(
+            FIGURE_1_QUERY,
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        # The KISTI plan must scan KISTI vocabulary, not the AKT source terms.
+        kisti_plan = plans[small_scenario.kisti_dataset]
+        assert "has-author" not in kisti_plan
+        # The source dataset runs the original query untranslated.
+        rkb_plan = plans[small_scenario.rkb_dataset]
+        assert "has-author" in rkb_plan
+
+    def test_service_facade_exposes_explain(self, small_scenario):
+        plans = small_scenario.service.explain(
+            FIGURE_1_QUERY,
+            source_ontology=small_scenario.source_ontology,
+            source_dataset=small_scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        assert all(isinstance(key, str) for key in plans)
+        assert len(plans) == 3

@@ -91,6 +91,36 @@ class TestQueryCommand:
         assert "person-2" in captured.out
         assert "1 rows" in captured.err
 
+    def test_query_explain_prints_plan(self, capsys, tmp_path):
+        data = tmp_path / "data.ttl"
+        data.write_text("""
+            @prefix akt: <http://www.aktors.org/ontology/portal#> .
+            @prefix id: <http://southampton.rkbexplorer.com/id/> .
+            id:paper-1 akt:has-author id:person-02686 , id:person-2 .
+        """, encoding="utf-8")
+        query = tmp_path / "query.rq"
+        query.write_text(FIGURE_1_QUERY, encoding="utf-8")
+        exit_code = main_query([str(query), str(data), "--explain"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.startswith("plan for SELECT query")
+        assert "scan (" in captured.out
+
+    def test_query_naive_engine_matches_planner(self, capsys, tmp_path):
+        data = tmp_path / "data.ttl"
+        data.write_text("""
+            @prefix akt: <http://www.aktors.org/ontology/portal#> .
+            @prefix id: <http://southampton.rkbexplorer.com/id/> .
+            id:paper-1 akt:has-author id:person-02686 , id:person-2 .
+        """, encoding="utf-8")
+        query = tmp_path / "query.rq"
+        query.write_text(FIGURE_1_QUERY, encoding="utf-8")
+        assert main_query([str(query), str(data), "--engine", "naive"]) == 0
+        naive_out = capsys.readouterr().out
+        assert main_query([str(query), str(data), "--engine", "planner"]) == 0
+        planner_out = capsys.readouterr().out
+        assert naive_out == planner_out
+
 
 class TestFederateCommand:
     def test_demo_run(self, capsys):
