@@ -1,14 +1,17 @@
 """Command-line interface.
 
-Three entry points (installed as console scripts by ``pyproject.toml``):
+Four entry points (installed as console scripts by ``pyproject.toml``):
 
 * ``repro-rewrite`` — rewrite a SPARQL query file against an alignment KB
   (Turtle) for a chosen target, printing the rewritten query.  This is the
   command-line twin of the web UI of Figure 4.
 * ``repro-query`` — evaluate a SPARQL query against an RDF file (Turtle or
-  N-Triples) and print the result table.
+  N-Triples) and print the results (table by default, or any SPARQL
+  results wire format via ``--format``).
 * ``repro-federate`` — run the demo federation over the built-in synthetic
   scenario and print per-dataset and merged result counts.
+* ``repro-serve`` — publish an RDF file or the built-in mediated
+  federation as a W3C SPARQL Protocol endpoint over HTTP.
 """
 
 from __future__ import annotations
@@ -24,10 +27,13 @@ from .core import Mediator, TargetProfile
 from .datasets import build_resist_scenario
 from .federation import ExecutionPolicy, recall
 from .rdf import OWL, URIRef
-from .sparql import QueryEvaluator, ResultSet, parse_query
+from .sparql import AskResult, QueryEvaluator, ResultSet, parse_query, write_results
 from .turtle import parse_graph
 
-__all__ = ["main_rewrite", "main_query", "main_federate"]
+__all__ = ["main_rewrite", "main_query", "main_federate", "main_serve"]
+
+#: Output format choices shared by ``repro-query`` and ``repro-federate``.
+_OUTPUT_FORMATS = ["table", "json", "xml", "csv", "tsv"]
 
 
 def _read_text(path: str) -> str:
@@ -103,15 +109,18 @@ def main_query(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("query", help="path to the SPARQL query file")
     parser.add_argument("data", help="path to the RDF data file (Turtle or N-Triples)")
-    parser.add_argument("--format", choices=["turtle", "ntriples"], default=None,
+    parser.add_argument("--data-format", choices=["turtle", "ntriples"], default=None,
                         help="RDF syntax of the data file (guessed from the extension)")
+    parser.add_argument("--format", choices=_OUTPUT_FORMATS, default="table",
+                        help="result output format (SPARQL results JSON/XML/CSV/TSV "
+                             "or the human-readable table)")
     parser.add_argument("--explain", action="store_true",
                         help="print the physical query plan instead of executing")
     parser.add_argument("--engine", choices=["planner", "naive"], default="planner",
                         help="evaluation engine (the naive path is the reference)")
     arguments = parser.parse_args(argv)
 
-    format_name = arguments.format
+    format_name = arguments.data_format
     if format_name is None:
         format_name = "ntriples" if arguments.data.endswith(".nt") else "turtle"
     graph = parse_graph(_read_text(arguments.data), format=format_name)
@@ -122,10 +131,16 @@ def main_query(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     result = evaluator.evaluate(query)
     if isinstance(result, ResultSet):
-        print(result.to_table())
+        print(write_results(result, arguments.format), end="")
         print(f"# {len(result)} rows", file=sys.stderr)
-    else:
-        print(result if not hasattr(result, "serialize") else result.serialize())
+    elif isinstance(result, AskResult):
+        if arguments.format in ("csv", "tsv"):
+            print("error: ASK results have no CSV/TSV encoding; use --format json or xml",
+                  file=sys.stderr)
+            return 2
+        print(write_results(result, arguments.format), end="")
+    else:  # CONSTRUCT: an RDF graph, not a result set
+        print(result.serialize())
     return 0
 
 
@@ -152,6 +167,9 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
                         help="retries per endpoint after a failure")
     parser.add_argument("--latency", type=float, default=0.0, metavar="SECONDS",
                         help="simulated per-query endpoint latency")
+    parser.add_argument("--format", choices=_OUTPUT_FORMATS, default="table",
+                        help="print the merged result set in this format "
+                             "(non-table formats move the run summary to stderr)")
     arguments = parser.parse_args(argv)
 
     scenario = build_resist_scenario(
@@ -183,8 +201,11 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
       FILTER (!(?a = <{person_uri}>))
     }}
     """
-    print(f"Dataset sizes: {scenario.dataset_sizes()}")
-    print(f"Query subject: {person_uri}")
+    # With a machine-readable --format the merged result set owns stdout
+    # and the human-readable run summary moves to stderr.
+    summary = sys.stdout if arguments.format == "table" else sys.stderr
+    print(f"Dataset sizes: {scenario.dataset_sizes()}", file=summary)
+    print(f"Query subject: {person_uri}", file=summary)
 
     local = scenario.endpoint(scenario.rkb_dataset).select(query)
     federated = scenario.service.federate(
@@ -195,20 +216,134 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     )
     gold = scenario.gold_coauthor_uris(person_key)
     print(f"RKB-only co-authors:   {len(local.distinct_values('a')):3d} "
-          f"(recall {recall(local.distinct_values('a'), gold):.2f})")
+          f"(recall {recall(local.distinct_values('a'), gold):.2f})", file=summary)
     print(f"Federated co-authors:  {len(federated.distinct_values('a')):3d} "
-          f"(recall {recall(federated.distinct_values('a'), gold):.2f})")
+          f"(recall {recall(federated.distinct_values('a'), gold):.2f})", file=summary)
+    health = scenario.registry.health()
     for entry in federated.per_dataset:
         status = "ok" if entry.succeeded else f"error: {entry.error}"
         attempts = f", {entry.attempts} attempts" if entry.attempts != 1 else ""
-        print(f"  {entry.dataset_uri}: {entry.row_count} rows ({status}{attempts})")
+        statistics = health[entry.dataset_uri].statistics
+        served = (f"; served {statistics.total_queries} queries, "
+                  f"{statistics.total_failures} failures"
+                  if statistics is not None else "")
+        print(f"  {entry.dataset_uri}: {entry.row_count} rows ({status}{attempts}{served})",
+              file=summary)
     mode = f"parallel x{engine.max_workers}" if engine.parallel else "sequential"
     print(f"Fan-out: {mode}; wall-clock {federated.elapsed:.3f}s; "
-          f"endpoint attempts {federated.total_attempts}")
-    health = scenario.registry.health()
+          f"endpoint attempts {federated.total_attempts}", file=summary)
     if any(state != "closed" for state in health.values()):
         for uri, state in health.items():
-            print(f"  breaker {uri}: {state}")
+            print(f"  breaker {uri}: {state}", file=summary)
+    if arguments.format != "table":
+        print(write_results(federated.merged(), arguments.format), end="")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-serve
+# --------------------------------------------------------------------------- #
+def main_serve(argv: Optional[Sequence[str]] = None) -> int:
+    """Publish a SPARQL endpoint over HTTP (the W3C SPARQL Protocol).
+
+    Two modes:
+
+    * ``repro-serve data.ttl [more.ttl ...]`` — serve the union of the
+      given RDF files as a single endpoint (SELECT/ASK/CONSTRUCT);
+    * ``repro-serve --scenario`` — serve the built-in mediated federation
+      (every SELECT is rewritten per dataset, executed and merged), or one
+      scenario dataset with ``--dataset``.
+    """
+    from .federation import LocalSparqlEndpoint
+    from .server import EndpointBackend, FederationBackend, SparqlHttpServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve an RDF file or the demo federation as a SPARQL Protocol endpoint.",
+    )
+    parser.add_argument("data", nargs="*",
+                        help="RDF file(s) to serve (Turtle or N-Triples); "
+                             "omit when using --scenario")
+    parser.add_argument("--scenario", action="store_true",
+                        help="serve the built-in mediated federation scenario")
+    parser.add_argument("--dataset", default=None, metavar="URI",
+                        help="with --scenario: serve just this dataset's endpoint "
+                             "instead of the federation")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="TCP port (0 binds an ephemeral port)")
+    parser.add_argument("--uri", default=None,
+                        help="endpoint identity URI (defaults to the server URL)")
+    parser.add_argument("--data-format", choices=["turtle", "ntriples"], default=None,
+                        help="RDF syntax of the data files (guessed from the extension)")
+    parser.add_argument("--mode", choices=["bgp", "filter-aware", "algebra"],
+                        default="filter-aware",
+                        help="rewriting mode of the federation backend")
+    parser.add_argument("--cache-size", type=int, default=128,
+                        help="response cache entries (0 disables caching)")
+    parser.add_argument("--persons", type=int, default=40)
+    parser.add_argument("--papers", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    arguments = parser.parse_args(argv)
+
+    if arguments.scenario == bool(arguments.data):
+        print("error: serve either RDF files or --scenario (exactly one)", file=sys.stderr)
+        return 2
+
+    if arguments.scenario:
+        scenario = build_resist_scenario(
+            n_persons=arguments.persons,
+            n_papers=arguments.papers,
+            seed=arguments.seed,
+        )
+        if arguments.dataset is not None:
+            try:
+                dataset = scenario.registry.get(URIRef(arguments.dataset))
+            except KeyError:
+                known = ", ".join(str(uri) for uri in scenario.registry.dataset_uris())
+                print(f"error: unknown dataset {arguments.dataset}; "
+                      f"scenario datasets: {known}", file=sys.stderr)
+                return 2
+            backend = EndpointBackend(dataset.endpoint)
+        else:
+            backend = FederationBackend(
+                scenario.service,
+                source_ontology=scenario.source_ontology,
+                source_dataset=scenario.rkb_dataset,
+                mode=arguments.mode,
+            )
+    else:
+        from .rdf import Graph
+
+        graph = Graph()
+        for path in arguments.data:
+            format_name = arguments.data_format
+            if format_name is None:
+                format_name = "ntriples" if path.endswith(".nt") else "turtle"
+            graph.add_all(parse_graph(_read_text(path), format=format_name))
+        placeholder = f"http://{arguments.host}:{arguments.port or 0}/sparql"
+        endpoint = LocalSparqlEndpoint(
+            URIRef(arguments.uri or placeholder), graph,
+            name=", ".join(arguments.data),
+        )
+        backend = EndpointBackend(endpoint)
+
+    server = SparqlHttpServer(
+        backend,
+        host=arguments.host,
+        port=arguments.port,
+        cache_size=arguments.cache_size,
+        quiet=not arguments.verbose,
+    )
+    print(f"Serving {backend.description}", file=sys.stderr)
+    print(f"SPARQL endpoint: {server.query_url}", flush=True)
+    print(f"Health: {server.url}/health — Metrics: {server.url}/metrics", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
     return 0
 
 

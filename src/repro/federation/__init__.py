@@ -2,11 +2,13 @@
 
 from .endpoint import (
     EndpointError,
+    EndpointStatistics,
     EndpointTimeout,
     EndpointUnavailable,
     LocalSparqlEndpoint,
     SparqlEndpoint,
 )
+from .http_endpoint import HttpSparqlEndpoint
 from .federator import (
     DatasetResult,
     FederatedQueryEngine,
@@ -16,16 +18,17 @@ from .federator import (
     recall,
 )
 from .policy import CircuitBreaker, CircuitState, ExecutionPolicy
-from .registry import DatasetRegistry, RegisteredDataset
+from .registry import DatasetRegistry, EndpointHealth, RegisteredDataset
 from .service import DatasetInfo, ExecutionResponse, MediatorService, TranslationResponse
 from .void import DatasetDescription, descriptions_from_graph, descriptions_to_graph
 
 __all__ = [
-    "SparqlEndpoint", "LocalSparqlEndpoint",
+    "SparqlEndpoint", "LocalSparqlEndpoint", "HttpSparqlEndpoint",
+    "EndpointStatistics",
     "EndpointError", "EndpointUnavailable", "EndpointTimeout",
     "ExecutionPolicy", "CircuitBreaker", "CircuitState",
     "DatasetDescription", "descriptions_to_graph", "descriptions_from_graph",
-    "DatasetRegistry", "RegisteredDataset",
+    "DatasetRegistry", "RegisteredDataset", "EndpointHealth",
     "FederatedQueryEngine", "FederatedResult", "DatasetResult",
     "recall", "precision", "f1_score",
     "MediatorService", "DatasetInfo", "TranslationResponse", "ExecutionResponse",

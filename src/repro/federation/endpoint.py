@@ -23,6 +23,7 @@ from ..sparql import AskResult, Query, QueryEvaluator, ResultSet, parse_query
 __all__ = [
     "SparqlEndpoint",
     "LocalSparqlEndpoint",
+    "EndpointStatistics",
     "EndpointError",
     "EndpointUnavailable",
     "EndpointTimeout",
@@ -62,16 +63,40 @@ class SparqlEndpoint:
 
 @dataclass
 class EndpointStatistics:
-    """Bookkeeping about the traffic an endpoint has served."""
+    """Bookkeeping about the traffic an endpoint has served.
+
+    ``injected_failures`` counts failures the endpoint itself produced
+    (failure injection on :class:`LocalSparqlEndpoint`, HTTP error bodies
+    on a remote endpoint); ``transport_failures`` counts attempts that
+    never produced an answer at all (connection refused, socket timeout) —
+    only the HTTP client increments it.
+    """
 
     select_queries: int = 0
     ask_queries: int = 0
     construct_queries: int = 0
     injected_failures: int = 0
+    transport_failures: int = 0
 
     @property
     def total_queries(self) -> int:
         return self.select_queries + self.ask_queries + self.construct_queries
+
+    @property
+    def total_failures(self) -> int:
+        return self.injected_failures + self.transport_failures
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (served by ``/metrics`` and ``health()``)."""
+        return {
+            "select_queries": self.select_queries,
+            "ask_queries": self.ask_queries,
+            "construct_queries": self.construct_queries,
+            "total_queries": self.total_queries,
+            "injected_failures": self.injected_failures,
+            "transport_failures": self.transport_failures,
+            "total_failures": self.total_failures,
+        }
 
 
 class LocalSparqlEndpoint(SparqlEndpoint):

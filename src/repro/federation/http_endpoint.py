@@ -1,0 +1,200 @@
+"""Remote SPARQL endpoints over HTTP (the client half of the protocol).
+
+:class:`HttpSparqlEndpoint` implements the :class:`SparqlEndpoint`
+interface against a W3C SPARQL 1.1 Protocol service using only stdlib
+``urllib``.  Transport and protocol failures are mapped onto the same
+exception vocabulary :class:`LocalSparqlEndpoint` raises —
+:class:`EndpointUnavailable` for refused connections, HTTP error statuses
+and malformed bodies, :class:`EndpointTimeout` for socket timeouts — so
+the federation layer's retry/backoff/circuit-breaker policies (PR 2)
+apply to remote endpoints unchanged.
+
+The client speaks the protocol's POST binding by default
+(``application/x-www-form-urlencoded`` with a ``query`` parameter, which
+has no URL-length ceiling) and can be switched to the GET binding.  SELECT
+and ASK responses are negotiated as SPARQL results JSON; CONSTRUCT
+responses as Turtle.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Optional, Tuple, Union
+
+from ..rdf import Graph, URIRef
+from ..sparql import AskResult, Query, ResultSet
+from ..sparql.formats import (
+    FormatError,
+    GRAPH_MEDIA_TYPES,
+    RESULT_MEDIA_TYPES,
+    parse_results,
+    read_graph,
+)
+from .endpoint import (
+    EndpointError,
+    EndpointStatistics,
+    EndpointTimeout,
+    EndpointUnavailable,
+    SparqlEndpoint,
+)
+
+__all__ = ["HttpSparqlEndpoint"]
+
+#: How much of an HTTP error body to quote in exception messages.
+_ERROR_SNIPPET = 200
+
+
+class HttpSparqlEndpoint(SparqlEndpoint):
+    """A SPARQL endpoint reached over HTTP.
+
+    Parameters
+    ----------
+    uri:
+        Identity of the endpoint (the value recorded in voiD profiles and
+        used by the registry's policies/breakers).
+    url:
+        The HTTP URL queries are sent to; defaults to ``str(uri)`` when the
+        identity already is the service URL.
+    name:
+        Human-readable label for logs and error messages.
+    timeout:
+        Socket timeout in seconds for each request (``None`` = the socket
+        default).  This is the transport-level guard; the federation
+        layer's :class:`ExecutionPolicy` timeout still applies on top.
+    method:
+        ``"post"`` (default) or ``"get"`` protocol binding.
+    result_format:
+        Results format requested for SELECT/ASK (``json`` or ``xml``).
+    graph_format:
+        RDF format requested for CONSTRUCT (``turtle`` or ``ntriples``).
+    """
+
+    def __init__(
+        self,
+        uri: Union[URIRef, str],
+        url: Optional[str] = None,
+        name: Optional[str] = None,
+        timeout: Optional[float] = None,
+        method: str = "post",
+        result_format: str = "json",
+        graph_format: str = "turtle",
+    ) -> None:
+        if method not in ("post", "get"):
+            raise ValueError(f"method must be 'post' or 'get', not {method!r}")
+        if result_format not in ("json", "xml"):
+            raise ValueError(f"result_format must be 'json' or 'xml', not {result_format!r}")
+        if graph_format not in GRAPH_MEDIA_TYPES:
+            raise ValueError(f"unsupported graph_format: {graph_format!r}")
+        self.uri = URIRef(str(uri))
+        self.url = url if url is not None else str(uri)
+        self.name = name or self.url
+        self.timeout = timeout
+        self.method = method
+        self.result_format = result_format
+        self.graph_format = graph_format
+        self.statistics = EndpointStatistics()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Query interface
+    # ------------------------------------------------------------------ #
+    def select(self, query: Union[Query, str]) -> ResultSet:
+        body = self._request(query, RESULT_MEDIA_TYPES[self.result_format], "select_queries")
+        result = self._parse_results(body)
+        if not isinstance(result, ResultSet):
+            raise EndpointError(f"endpoint {self.name} did not return SELECT results")
+        return result
+
+    def ask(self, query: Union[Query, str]) -> AskResult:
+        body = self._request(query, RESULT_MEDIA_TYPES[self.result_format], "ask_queries")
+        result = self._parse_results(body)
+        if not isinstance(result, AskResult):
+            raise EndpointError(f"endpoint {self.name} did not return an ASK result")
+        return result
+
+    def construct(self, query: Union[Query, str]) -> Graph:
+        body = self._request(query, GRAPH_MEDIA_TYPES[self.graph_format], "construct_queries")
+        try:
+            return read_graph(body, format=self.graph_format)
+        except Exception as exc:
+            self._count_failure("injected_failures")
+            raise EndpointError(
+                f"endpoint {self.name} returned an unparseable RDF body: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, query: Union[Query, str], accept: str, kind: str) -> str:
+        query_text = query.serialize() if isinstance(query, Query) else str(query)
+        with self._lock:
+            setattr(self.statistics, kind, getattr(self.statistics, kind) + 1)
+        url, data = self._encode(query_text)
+        request = urllib.request.Request(url, data=data, headers={"Accept": accept})
+        if data is not None:
+            request.add_header("Content-Type", "application/x-www-form-urlencoded")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            # The server answered, with an error status: the endpoint is
+            # reachable but refused or failed the query.
+            snippet = self._body_snippet(exc)
+            self._count_failure("injected_failures")
+            if exc.code == 504:
+                raise EndpointTimeout(
+                    f"endpoint {self.name} reported an upstream timeout (504): {snippet}"
+                ) from exc
+            raise EndpointUnavailable(
+                f"endpoint {self.name} answered HTTP {exc.code}: {snippet}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            self._count_failure("transport_failures")
+            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                raise EndpointTimeout(self._timeout_message()) from exc
+            raise EndpointUnavailable(
+                f"endpoint {self.name} is unreachable: {exc.reason}"
+            ) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            self._count_failure("transport_failures")
+            raise EndpointTimeout(self._timeout_message()) from exc
+
+    def _timeout_message(self) -> str:
+        budget = f" after {self.timeout:g}s" if self.timeout is not None else ""
+        return f"endpoint {self.name} timed out{budget}"
+
+    def _encode(self, query_text: str) -> Tuple[str, Optional[bytes]]:
+        """(url, body) for the configured protocol binding."""
+        encoded = urllib.parse.urlencode({"query": query_text})
+        if self.method == "get":
+            separator = "&" if "?" in self.url else "?"
+            return f"{self.url}{separator}{encoded}", None
+        return self.url, encoded.encode("utf-8")
+
+    def _parse_results(self, body: str) -> Union[ResultSet, AskResult]:
+        try:
+            return parse_results(body, format=self.result_format)
+        except FormatError as exc:
+            self._count_failure("injected_failures")
+            raise EndpointError(
+                f"endpoint {self.name} returned a malformed result document: {exc}"
+            ) from exc
+
+    def _count_failure(self, kind: str) -> None:
+        with self._lock:
+            setattr(self.statistics, kind, getattr(self.statistics, kind) + 1)
+
+    @staticmethod
+    def _body_snippet(error: urllib.error.HTTPError) -> str:
+        try:
+            body = error.read().decode("utf-8", errors="replace").strip()
+        except Exception:  # pragma: no cover - sockets can fail mid-read
+            return ""
+        return body[:_ERROR_SNIPPET]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpSparqlEndpoint {self.name} ({self.method.upper()} {self.url})>"

@@ -18,11 +18,47 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..rdf import Graph, URIRef
-from .endpoint import SparqlEndpoint
+from .endpoint import EndpointStatistics, SparqlEndpoint
 from .policy import CircuitBreaker, ExecutionPolicy
 from .void import DatasetDescription, descriptions_to_graph
 
-__all__ = ["RegisteredDataset", "DatasetRegistry"]
+__all__ = ["RegisteredDataset", "DatasetRegistry", "EndpointHealth"]
+
+
+class EndpointHealth(str):
+    """One dataset's health: breaker state plus endpoint statistics.
+
+    Subclasses ``str`` (the breaker state: ``closed``/``open``/
+    ``half-open``) so every existing ``health()[uri] == "closed"``
+    comparison keeps working, while ``/metrics`` and the federated CLI can
+    read query/failure counts off the same object.
+    """
+
+    state: str
+    consecutive_failures: int
+    statistics: Optional[EndpointStatistics]
+
+    def __new__(
+        cls,
+        state: str,
+        consecutive_failures: int = 0,
+        statistics: Optional[EndpointStatistics] = None,
+    ) -> "EndpointHealth":
+        self = super().__new__(cls, state)
+        self.state = str(state)
+        self.consecutive_failures = consecutive_failures
+        self.statistics = statistics
+        return self
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (what ``/health`` serves per dataset)."""
+        payload: dict = {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+        }
+        if self.statistics is not None:
+            payload["statistics"] = self.statistics.as_dict()
+        return payload
 
 
 @dataclass(frozen=True)
@@ -120,11 +156,24 @@ class DatasetRegistry:
                 self._breakers[uri] = breaker
             return breaker
 
-    def health(self) -> Dict[URIRef, str]:
-        """Breaker state per dataset (``closed``/``open``/``half-open``)."""
+    def health(self) -> Dict[URIRef, EndpointHealth]:
+        """Per-dataset health: breaker state enriched with endpoint statistics.
+
+        Values compare equal to their state string (``closed``/``open``/
+        ``half-open``) and additionally expose ``consecutive_failures`` and
+        the endpoint's :class:`EndpointStatistics` when it keeps any.
+        """
         with self._lock:
-            uris = sorted(self._datasets, key=str)
-        return {uri: self.breaker_for(uri).state for uri in uris}
+            snapshot = dict(self._datasets)
+        report: Dict[URIRef, EndpointHealth] = {}
+        for uri in sorted(snapshot, key=str):
+            breaker = self.breaker_for(uri)
+            report[uri] = EndpointHealth(
+                breaker.state,
+                consecutive_failures=breaker.consecutive_failures,
+                statistics=getattr(snapshot[uri].endpoint, "statistics", None),
+            )
+        return report
 
     def reset_breakers(self) -> None:
         """Forget all recorded endpoint failures."""

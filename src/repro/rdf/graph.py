@@ -113,9 +113,20 @@ class Graph:
         self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._stats = GraphStatistics()
+        self._version = 0
         self.namespace_manager = namespace_manager or NamespaceManager()
         if triples:
             self.add_all(triples)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every effective mutation.
+
+        The companion of :attr:`AlignmentStore.generation`: derived
+        structures (e.g. the HTTP server's response cache) key their
+        entries on it so stale answers cannot outlive a data change.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Identification
@@ -141,6 +152,7 @@ class Graph:
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._stats._record(s, p, o, +1)
+        self._version += 1
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, Tuple[Term, Term, Term]]]) -> "Graph":
@@ -167,6 +179,7 @@ class Graph:
         self._prune(self._pos, p, o, s)
         self._prune(self._osp, o, s, p)
         self._stats._record(s, p, o, -1)
+        self._version += 1
         return self
 
     def remove_pattern(
@@ -188,6 +201,7 @@ class Graph:
         self._pos.clear()
         self._osp.clear()
         self._stats._clear()
+        self._version += 1
 
     @staticmethod
     def _prune(index, a: Term, b: Term, c: Term) -> None:
@@ -506,6 +520,10 @@ class ReadOnlyGraphView:
     @property
     def stats(self) -> GraphStatistics:
         return self._graph.stats
+
+    @property
+    def version(self) -> int:
+        return self._graph.version
 
     def __contains__(self, triple) -> bool:
         return triple in self._graph

@@ -1,0 +1,12 @@
+"""``python -m repro.serve_main`` — module form of the ``repro-serve`` script.
+
+Lets the HTTP server be launched without installing the console scripts
+(CI smoke steps, subprocess tests): equivalent to running ``repro-serve``.
+"""
+
+import sys
+
+from .cli import main_serve
+
+if __name__ == "__main__":
+    sys.exit(main_serve())

@@ -1,0 +1,21 @@
+"""HTTP tier: publish endpoints and federations over the SPARQL Protocol.
+
+This package is the server half of the network subsystem (the client half
+is :class:`repro.federation.HttpSparqlEndpoint`): any
+:class:`~repro.server.backends.QueryBackend` — a single endpoint or a
+whole mediated federation — can be served over real sockets with
+:class:`SparqlHttpServer`, making the in-process reproduction deployable
+as the service topology of Figure 5.
+"""
+
+from .backends import BadQuery, EndpointBackend, FederationBackend, QueryBackend
+from .http import ResponseCache, SparqlHttpServer
+
+__all__ = [
+    "QueryBackend",
+    "EndpointBackend",
+    "FederationBackend",
+    "BadQuery",
+    "SparqlHttpServer",
+    "ResponseCache",
+]

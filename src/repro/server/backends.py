@@ -1,0 +1,193 @@
+"""Query backends the HTTP server can front.
+
+The SPARQL Protocol handler is transport only; *what* answers a query is a
+:class:`QueryBackend`:
+
+* :class:`EndpointBackend` — a single :class:`SparqlEndpoint` (local graph
+  or a further remote endpoint being proxied).  SELECT, ASK and CONSTRUCT
+  are all supported.
+* :class:`FederationBackend` — a :class:`FederatedQueryEngine` or whole
+  :class:`MediatorService`: every SELECT is mediated over the registered
+  datasets and the merged result set is returned.  This is the deployment
+  of Figure 5 — the mediator itself published as one SPARQL endpoint.
+
+Backends also supply the observability payloads (``/health``, ``/metrics``)
+and a *generation* number: responses may be cached until the generation
+changes (the federation backend ties it to ``AlignmentStore.generation``,
+so editing the alignment KB invalidates every cached rewrite-dependent
+response).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from ..rdf import Graph, URIRef
+from ..sparql import (
+    AskQuery,
+    AskResult,
+    ConstructQuery,
+    Query,
+    ResultSet,
+    SelectQuery,
+    parse_query,
+)
+from ..federation.endpoint import SparqlEndpoint
+from ..federation.federator import FederatedQueryEngine
+from ..federation.service import MediatorService
+
+__all__ = ["BadQuery", "QueryBackend", "EndpointBackend", "FederationBackend"]
+
+
+class BadQuery(ValueError):
+    """The request's query is unusable for this backend (HTTP 400)."""
+
+
+QueryResult = Union[ResultSet, AskResult, Graph]
+
+
+class QueryBackend:
+    """Abstract backend: executes query text, reports health and metrics."""
+
+    #: Human-readable description served in the service document.
+    description: str = "SPARQL endpoint"
+
+    def execute(self, query_text: str) -> QueryResult:
+        raise NotImplementedError
+
+    def health(self) -> Dict[str, object]:
+        """JSON-ready health payload; must contain a ``status`` key."""
+        return {"status": "ok"}
+
+    def metrics(self) -> Dict[str, object]:
+        """JSON-ready metrics payload (per-endpoint statistics)."""
+        return {}
+
+    @property
+    def generation(self) -> int:
+        """Cache epoch: cached responses are valid while this is stable."""
+        return 0
+
+    @staticmethod
+    def _parse(query_text: str) -> Query:
+        from ..sparql import SparqlParseError
+
+        try:
+            return parse_query(query_text)
+        except SparqlParseError as exc:
+            raise BadQuery(f"malformed query: {exc}") from exc
+
+
+class EndpointBackend(QueryBackend):
+    """Serve one :class:`SparqlEndpoint` (SELECT/ASK/CONSTRUCT)."""
+
+    def __init__(self, endpoint: SparqlEndpoint, description: Optional[str] = None) -> None:
+        self.endpoint = endpoint
+        self.description = description or f"SPARQL endpoint for {endpoint.uri}"
+
+    def execute(self, query_text: str) -> QueryResult:
+        query = self._parse(query_text)
+        if isinstance(query, SelectQuery):
+            return self.endpoint.select(query)
+        if isinstance(query, AskQuery):
+            return self.endpoint.ask(query)
+        if isinstance(query, ConstructQuery):
+            return self.endpoint.construct(query)
+        raise BadQuery(f"unsupported query form: {type(query).__name__}")
+
+    def health(self) -> Dict[str, object]:
+        available = bool(getattr(self.endpoint, "available", True))
+        payload: Dict[str, object] = {
+            "status": "ok" if available else "unavailable",
+            "endpoint": str(self.endpoint.uri),
+        }
+        triple_count = getattr(self.endpoint, "triple_count", None)
+        if callable(triple_count):
+            payload["triples"] = triple_count()
+        return payload
+
+    def metrics(self) -> Dict[str, object]:
+        statistics = getattr(self.endpoint, "statistics", None)
+        if statistics is None:
+            return {}
+        return {str(self.endpoint.uri): statistics.as_dict()}
+
+    @property
+    def generation(self) -> int:
+        # Tie the cache epoch to the served graph's mutation counter so a
+        # data change invalidates cached responses; endpoints without a
+        # graph view (remote proxies) fall back to the static epoch.
+        graph = getattr(self.endpoint, "graph", None)
+        return getattr(graph, "version", 0)
+
+
+class FederationBackend(QueryBackend):
+    """Serve a whole federation: every SELECT is mediated and merged.
+
+    Accepts either a :class:`FederatedQueryEngine` or a
+    :class:`MediatorService` (whose engine is used).  ``source_ontology`` /
+    ``source_dataset`` / ``mode`` / ``datasets`` are fixed at construction:
+    they describe *this* published endpoint's mediation setup, exactly like
+    the deployed mediator's configuration page.
+    """
+
+    def __init__(
+        self,
+        engine: Union[FederatedQueryEngine, MediatorService],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+        description: Optional[str] = None,
+    ) -> None:
+        if isinstance(engine, MediatorService):
+            engine = engine.federation
+        self.engine = engine
+        self.source_ontology = source_ontology
+        self.source_dataset = source_dataset
+        self.mode = mode
+        self.datasets = list(datasets) if datasets is not None else None
+        self.description = description or (
+            f"mediated federation over {len(self.engine.registry)} datasets"
+        )
+
+    def execute(self, query_text: str) -> QueryResult:
+        query = self._parse(query_text)
+        if not isinstance(query, SelectQuery):
+            raise BadQuery(
+                "the federated endpoint answers SELECT queries only "
+                f"(got {type(query).__name__})"
+            )
+        outcome = self.engine.execute(
+            query,
+            source_ontology=self.source_ontology,
+            source_dataset=self.source_dataset,
+            mode=self.mode,
+            datasets=self.datasets,
+        )
+        return outcome.merged()
+
+    def health(self) -> Dict[str, object]:
+        datasets = {
+            str(uri): entry.as_dict()
+            for uri, entry in self.engine.registry.health().items()
+        }
+        degraded = any(entry["state"] != "closed" for entry in datasets.values())
+        return {
+            "status": "degraded" if degraded else "ok",
+            "datasets": datasets,
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        for dataset in self.engine.registry:
+            statistics = getattr(dataset.endpoint, "statistics", None)
+            if statistics is not None:
+                payload[str(dataset.uri)] = statistics.as_dict()
+        return payload
+
+    @property
+    def generation(self) -> int:
+        # Merged answers depend on the alignment KB via the mediator's
+        # rewrites; bumping the store's generation invalidates the cache.
+        return self.engine.mediator.alignment_store.generation

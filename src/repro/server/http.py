@@ -1,0 +1,434 @@
+"""W3C SPARQL 1.1 Protocol server on the stdlib HTTP stack.
+
+:class:`SparqlHttpServer` publishes a :class:`QueryBackend` over real
+sockets using ``http.server.ThreadingHTTPServer`` — no runtime
+dependencies beyond the standard library.  The protocol surface:
+
+* ``GET /sparql?query=…`` — the protocol's query-via-GET binding,
+* ``POST /sparql`` — ``application/x-www-form-urlencoded`` (``query=``
+  parameter) or a raw ``application/sparql-query`` body,
+* content negotiation on ``Accept``: SELECT results as SPARQL JSON
+  (default), XML, CSV or TSV; ASK as JSON/XML; CONSTRUCT as Turtle or
+  N-Triples,
+* ``GET /health`` — backend health (circuit-breaker states for a
+  federation backend),
+* ``GET /metrics`` — per-endpoint :class:`EndpointStatistics` plus server
+  counters (requests, errors, cache hits/misses),
+* ``GET /`` — a small JSON service description.
+
+Successful query responses are cached in an LRU keyed by
+``(backend.generation, query text, format)``; the federation backend's
+generation is ``AlignmentStore.generation``, so editing the alignment KB
+invalidates every cached response whose rewrite could have changed.
+
+Error mapping mirrors the client side: unusable requests → 400, an
+unacceptable ``Accept`` → 406, unsupported media type → 415, backend
+endpoint failures → 503, backend timeouts → 504.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..federation.endpoint import EndpointError, EndpointTimeout, EndpointUnavailable
+from ..rdf import Graph
+from ..sparql import AskResult, ResultSet, TermSerializationError
+from ..sparql.formats import (
+    ASK_MEDIA_TYPES,
+    GRAPH_MEDIA_TYPES,
+    RESULT_MEDIA_TYPES,
+    negotiate,
+    negotiate_graph,
+    write_graph,
+    write_results,
+)
+from .backends import BadQuery, QueryBackend
+
+__all__ = ["SparqlHttpServer", "ResponseCache"]
+
+#: Upper bound for request bodies (1 MiB is generous for a SPARQL query).
+_MAX_BODY_BYTES = 1 << 20
+
+
+class ResponseCache:
+    """Thread-safe LRU of rendered protocol responses.
+
+    Keys embed the backend generation, so a generation bump makes every
+    older entry unreachable; the LRU then ages those entries out.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = max(0, max_entries)
+        self._entries: "OrderedDict[tuple, Tuple[str, bytes]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[Tuple[str, bytes]]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, content_type: str, body: bytes) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = (content_type, body)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+
+class _HttpError(Exception):
+    """Internal: abort request handling with a protocol error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _SparqlHttpd(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared server state."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    backend: QueryBackend
+    cache: ResponseCache
+    counters: Dict[str, int]
+    counters_lock: threading.Lock
+    quiet: bool
+
+    def handle_error(self, request, client_address) -> None:
+        # A client abandoning its socket mid-response (timeout, Ctrl-C) is
+        # normal operation for a server, not a stack-trace-worthy bug.
+        import sys
+
+        exc = sys.exception()
+        if isinstance(exc, (ConnectionError, BrokenPipeError, TimeoutError)):
+            return
+        if not self.quiet:  # pragma: no cover - diagnostic path
+            super().handle_error(request, client_address)
+
+
+class _SparqlRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-sparql/0.2"
+    server: _SparqlHttpd
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._count("requests")
+        parsed = urllib.parse.urlsplit(self.path)
+        try:
+            if parsed.path in ("/sparql", "/query"):
+                parameters = urllib.parse.parse_qs(parsed.query)
+                queries = parameters.get("query")
+                if not queries:
+                    raise _HttpError(400, "missing required 'query' parameter")
+                self._answer_query(queries[0])
+            elif parsed.path == "/health":
+                self._send_json(200, self._health_payload())
+            elif parsed.path == "/metrics":
+                self._send_json(200, self._metrics_payload())
+            elif parsed.path == "/":
+                self._send_json(200, self._service_payload())
+            else:
+                raise _HttpError(404, f"no such resource: {parsed.path}")
+        except _HttpError as error:
+            self._send_error(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._count("requests")
+        parsed = urllib.parse.urlsplit(self.path)
+        try:
+            if parsed.path not in ("/sparql", "/query"):
+                raise _HttpError(404, f"no such resource: {parsed.path}")
+            self._answer_query(self._read_query_body())
+        except _HttpError as error:
+            self._send_error(error)
+
+    # ------------------------------------------------------------------ #
+    # The protocol's query operation
+    # ------------------------------------------------------------------ #
+    def _read_query_body(self) -> str:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip().lower()
+        if content_type in ("", "application/x-www-form-urlencoded"):
+            parameters = urllib.parse.parse_qs(body)
+            queries = parameters.get("query")
+            if not queries:
+                raise _HttpError(400, "missing required 'query' parameter")
+            return queries[0]
+        if content_type == "application/sparql-query":
+            if not body.strip():
+                raise _HttpError(400, "empty query body")
+            return body
+        raise _HttpError(415, f"unsupported request media type: {content_type}")
+
+    def _answer_query(self, query_text: str) -> None:
+        backend = self.server.backend
+        accept = self.headers.get("Accept")
+        generation = backend.generation
+        self._count("queries")
+
+        # A cached response is only reusable when the *rendered* document
+        # would be identical, so the cache key needs the negotiated format.
+        # Negotiation needs the result kind (SELECT and CONSTRUCT accept
+        # different media types), which the already-rendered cache entry
+        # remembers: probe every format family before executing.
+        cached = self._cache_lookup(generation, query_text, accept)
+        if cached is not None:
+            content_type, body = cached
+            self._send(200, content_type, body)
+            return
+
+        # 5xx responses are counted once, in _send_error.
+        try:
+            result = backend.execute(query_text)
+        except BadQuery as exc:
+            raise _HttpError(400, str(exc)) from exc
+        except EndpointTimeout as exc:
+            raise _HttpError(504, str(exc)) from exc
+        except EndpointUnavailable as exc:
+            raise _HttpError(503, str(exc)) from exc
+        except EndpointError as exc:
+            # The backend reached its upstream but got garbage back
+            # (e.g. a proxied endpoint returning a malformed document).
+            raise _HttpError(502, str(exc)) from exc
+        except TermSerializationError as exc:
+            raise _HttpError(500, str(exc)) from exc
+        except Exception as exc:  # noqa: BLE001
+            # A server must answer even when the backend has a bug —
+            # dropping the socket would surface as a transport failure on
+            # the client and mis-train its circuit breaker.
+            raise _HttpError(500, f"internal error: {type(exc).__name__}: {exc}") from exc
+
+        format_name, content_type, text = self._render(result, accept)
+        body = text.encode("utf-8")
+        self.server.cache.put((generation, query_text, format_name), content_type, body)
+        self._send(200, content_type, body)
+
+    def _cache_lookup(
+        self, generation: int, query_text: str, accept: Optional[str]
+    ) -> Optional[Tuple[str, bytes]]:
+        for name in self._candidate_formats(accept):
+            entry = self.server.cache.get((generation, query_text, name))
+            if entry is not None:
+                return entry
+        return None
+
+    @staticmethod
+    def _candidate_formats(accept: Optional[str]) -> Tuple[str, ...]:
+        """Formats this Accept header could negotiate to, most specific first."""
+        candidates = []
+        result_format = negotiate(accept)
+        if result_format is not None:
+            candidates.append(result_format)
+        graph_format = negotiate_graph(accept)
+        if graph_format is not None:
+            candidates.append(graph_format)
+        return tuple(candidates)
+
+    def _render(self, result, accept: Optional[str]) -> Tuple[str, str, str]:
+        """(format name, content type, document) for a backend result."""
+        if isinstance(result, Graph):
+            format_name = negotiate_graph(accept)
+            if format_name is None:
+                raise _HttpError(406, self._not_acceptable(accept, GRAPH_MEDIA_TYPES))
+            return format_name, GRAPH_MEDIA_TYPES[format_name], write_graph(result, format_name)
+        if isinstance(result, AskResult):
+            format_name = negotiate(accept, allowed=tuple(ASK_MEDIA_TYPES))
+            if format_name is None:
+                raise _HttpError(406, self._not_acceptable(accept, ASK_MEDIA_TYPES))
+            return format_name, ASK_MEDIA_TYPES[format_name], write_results(result, format_name)
+        if isinstance(result, ResultSet):
+            format_name = negotiate(accept)
+            if format_name is None:
+                raise _HttpError(406, self._not_acceptable(accept, RESULT_MEDIA_TYPES))
+            return format_name, RESULT_MEDIA_TYPES[format_name], write_results(result, format_name)
+        raise _HttpError(500, f"backend produced an unservable result: {type(result).__name__}")
+
+    @staticmethod
+    def _not_acceptable(accept: Optional[str], supported: Dict[str, str]) -> str:
+        return (
+            f"no supported media type in Accept: {accept!r}; "
+            f"supported: {', '.join(sorted(supported.values()))}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observability resources
+    # ------------------------------------------------------------------ #
+    def _health_payload(self) -> Dict[str, object]:
+        payload = self.server.backend.health()
+        payload.setdefault("status", "ok")
+        return payload
+
+    def _metrics_payload(self) -> Dict[str, object]:
+        with self.server.counters_lock:
+            counters = dict(self.server.counters)
+        return {
+            "server": {**counters, "cache": self.server.cache.info()},
+            "endpoints": self.server.backend.metrics(),
+        }
+
+    def _service_payload(self) -> Dict[str, object]:
+        return {
+            "service": "repro SPARQL Protocol server",
+            "description": self.server.backend.description,
+            "query": "/sparql",
+            "health": "/health",
+            "metrics": "/metrics",
+            "result_formats": sorted(set(RESULT_MEDIA_TYPES.values())),
+            "graph_formats": sorted(set(GRAPH_MEDIA_TYPES.values())),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Response plumbing
+    # ------------------------------------------------------------------ #
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, "application/json", body)
+
+    def _send_error(self, error: _HttpError) -> None:
+        if error.status >= 500:
+            self._count("errors")
+        body = (error.message + "\n").encode("utf-8")
+        self.send_response(error.status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _count(self, key: str) -> None:
+        with self.server.counters_lock:
+            self.server.counters[key] = self.server.counters.get(key, 0) + 1
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+
+class SparqlHttpServer:
+    """Lifecycle wrapper: bind, serve in a background thread, stop.
+
+    >>> server = SparqlHttpServer(EndpointBackend(endpoint)).start()
+    >>> server.query_url
+    'http://127.0.0.1:49152/sparql'
+    >>> server.stop()
+
+    ``port=0`` binds an ephemeral port (the default — loopback federation
+    tests run many servers side by side).  Also usable as a context
+    manager, and :meth:`serve_forever` blocks for CLI use.
+    """
+
+    def __init__(
+        self,
+        backend: QueryBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 128,
+        quiet: bool = True,
+    ) -> None:
+        self.backend = backend
+        self._httpd = _SparqlHttpd((host, port), _SparqlRequestHandler)
+        self._httpd.backend = backend
+        self._httpd.cache = ResponseCache(cache_size)
+        self._httpd.counters = {"requests": 0, "queries": 0, "errors": 0}
+        self._httpd.counters_lock = threading.Lock()
+        self._httpd.quiet = quiet
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def query_url(self) -> str:
+        """The SPARQL Protocol query resource."""
+        return f"{self.url}/sparql"
+
+    @property
+    def cache(self) -> ResponseCache:
+        return self._httpd.cache
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SparqlHttpServer":
+        """Serve in a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        # The short poll interval keeps stop() prompt (shutdown() blocks
+        # until serve_forever notices the flag on its next poll).
+        self._thread = threading.Thread(
+            target=lambda: self._httpd.serve_forever(poll_interval=0.05),
+            name=f"sparql-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (blocks; Ctrl-C to stop)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "SparqlHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SparqlHttpServer {self.url} ({self.backend.description})>"

@@ -64,8 +64,17 @@ from .expressions import (
     evaluate_expression,
     expression_satisfied,
 )
+from .formats import (
+    ASK_MEDIA_TYPES,
+    FormatError,
+    GRAPH_MEDIA_TYPES,
+    RESULT_MEDIA_TYPES,
+    negotiate,
+    parse_results,
+    write_results,
+)
 from .parser import SparqlParseError, SparqlParser, parse_query
-from .results import AskResult, Binding, ResultSet
+from .results import AskResult, Binding, ResultSet, TermSerializationError
 from .serializer import serialize_expression, serialize_pattern_group, serialize_query
 from .tokenizer import SparqlLexError, SparqlToken, tokenize_sparql
 
@@ -92,7 +101,10 @@ __all__ = [
     "QueryPlanner", "QueryPlan", "CardinalityEstimator",
     "plan_query", "explain_query",
     # results
-    "Binding", "ResultSet", "AskResult",
+    "Binding", "ResultSet", "AskResult", "TermSerializationError",
+    # wire formats
+    "FormatError", "write_results", "parse_results", "negotiate",
+    "RESULT_MEDIA_TYPES", "ASK_MEDIA_TYPES", "GRAPH_MEDIA_TYPES",
     # serialisation
     "serialize_query", "serialize_expression", "serialize_pattern_group",
 ]

@@ -13,7 +13,18 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from ..rdf import BNode, Literal, Term, URIRef, Variable
 
-__all__ = ["Binding", "ResultSet", "AskResult"]
+__all__ = ["Binding", "ResultSet", "AskResult", "TermSerializationError"]
+
+
+class TermSerializationError(TypeError):
+    """A term cannot be represented in the SPARQL results formats.
+
+    Only URIs, blank nodes and literals may appear in protocol responses;
+    anything else (a :class:`~repro.rdf.Variable` leaking out of
+    evaluation, a foreign object smuggled into a binding) is a bug in the
+    producer, and silently emitting a made-up ``{"type": "unknown"}`` term
+    would hand malformed bindings to downstream consumers.
+    """
 
 
 class Binding(Mapping[Variable, Term]):
@@ -219,4 +230,6 @@ def _term_to_json(term: Term) -> Dict[str, str]:
         elif term.datatype is not None:
             payload["datatype"] = str(term.datatype)
         return payload
-    return {"type": "unknown", "value": str(term)}
+    raise TermSerializationError(
+        f"term {term!r} ({type(term).__name__}) cannot appear in a SPARQL result binding"
+    )

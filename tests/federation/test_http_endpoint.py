@@ -1,0 +1,160 @@
+"""HttpSparqlEndpoint: protocol bindings, failure mapping, policy integration."""
+
+import socket
+
+import pytest
+
+from repro.federation import (
+    EndpointError,
+    EndpointTimeout,
+    EndpointUnavailable,
+    HttpSparqlEndpoint,
+    LocalSparqlEndpoint,
+)
+from repro.rdf import URIRef
+from repro.server import EndpointBackend, SparqlHttpServer
+from repro.turtle import parse_graph
+
+DATA = """
+@prefix ex: <http://example.org/> .
+ex:a ex:knows ex:b .
+ex:b ex:knows ex:c .
+"""
+
+SELECT = "SELECT ?s ?o WHERE { ?s <http://example.org/knows> ?o }"
+ASK = "ASK { <http://example.org/a> <http://example.org/knows> <http://example.org/b> }"
+CONSTRUCT = (
+    "CONSTRUCT { ?o <http://example.org/knownBy> ?s } "
+    "WHERE { ?s <http://example.org/knows> ?o }"
+)
+
+
+@pytest.fixture()
+def local():
+    return LocalSparqlEndpoint(URIRef("http://example.org/dataset"), parse_graph(DATA))
+
+
+@pytest.fixture()
+def server(local):
+    with SparqlHttpServer(EndpointBackend(local)) as running:
+        yield running
+
+
+@pytest.fixture()
+def remote(server):
+    return HttpSparqlEndpoint(URIRef(server.query_url), timeout=5)
+
+
+class TestQueryForms:
+    def test_select_matches_local(self, local, remote):
+        over_http = remote.select(SELECT)
+        in_process = local.select(SELECT)
+        assert over_http.variables == in_process.variables
+        assert over_http.bindings == in_process.bindings
+
+    def test_ask(self, remote):
+        assert bool(remote.ask(ASK)) is True
+
+    def test_construct_matches_local(self, local, remote):
+        assert set(remote.construct(CONSTRUCT)) == set(local.construct(CONSTRUCT))
+
+    def test_get_binding(self, server, local):
+        remote = HttpSparqlEndpoint(URIRef(server.query_url), timeout=5, method="get")
+        assert remote.select(SELECT).bindings == local.select(SELECT).bindings
+
+    def test_xml_result_format(self, server, local):
+        remote = HttpSparqlEndpoint(URIRef(server.query_url), timeout=5, result_format="xml")
+        assert remote.select(SELECT).bindings == local.select(SELECT).bindings
+
+    def test_statistics_count_queries(self, remote):
+        remote.select(SELECT)
+        remote.ask(ASK)
+        remote.construct(CONSTRUCT)
+        assert remote.statistics.select_queries == 1
+        assert remote.statistics.ask_queries == 1
+        assert remote.statistics.construct_queries == 1
+        assert remote.statistics.total_queries == 3
+
+    def test_wrong_result_kind_raises(self, remote):
+        with pytest.raises(EndpointError):
+            remote.select(ASK)
+
+
+class TestFailureMapping:
+    def test_http_error_status_maps_to_unavailable(self, local, remote):
+        local.fail_next(1)
+        with pytest.raises(EndpointUnavailable) as excinfo:
+            remote.select(SELECT)
+        assert "HTTP 503" in str(excinfo.value)
+        assert remote.statistics.injected_failures == 1
+
+    def test_bad_query_maps_to_unavailable_with_status(self, remote):
+        with pytest.raises(EndpointUnavailable) as excinfo:
+            remote.select("SELECT WHERE {")
+        assert "HTTP 400" in str(excinfo.value)
+
+    def test_connection_refused_maps_to_unavailable(self):
+        # Bind-then-close guarantees a dead port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        dead = HttpSparqlEndpoint(URIRef(f"http://127.0.0.1:{port}/sparql"), timeout=2)
+        with pytest.raises(EndpointUnavailable):
+            dead.select(SELECT)
+        assert dead.statistics.transport_failures == 1
+
+    def test_slow_endpoint_maps_to_timeout(self, local, server):
+        local.latency = 1.0
+        impatient = HttpSparqlEndpoint(URIRef(server.query_url), timeout=0.1)
+        with pytest.raises(EndpointTimeout):
+            impatient.select(SELECT)
+        assert impatient.statistics.transport_failures == 1
+
+
+class TestPolicyIntegration:
+    """PR 2's retry/breaker machinery must drive remote endpoints unchanged."""
+
+    def test_retries_recover_from_injected_failures(self, local, server):
+        from repro.federation import DatasetRegistry, ExecutionPolicy, RegisteredDataset
+        from repro.federation.void import DatasetDescription
+
+        remote = HttpSparqlEndpoint(URIRef(server.query_url), timeout=5)
+        dataset_uri = URIRef("http://example.org/dataset")
+        registry = DatasetRegistry(
+            [RegisteredDataset(
+                DatasetDescription(uri=dataset_uri, endpoint_uri=remote.uri),
+                remote,
+            )],
+            default_policy=ExecutionPolicy(max_retries=2, backoff=0.0),
+        )
+        local.fail_next(2)
+        breaker = registry.breaker_for(dataset_uri)
+        policy = registry.policy_for(dataset_uri)
+
+        result = None
+        for attempt in range(policy.max_attempts):
+            if not breaker.allow():
+                break
+            try:
+                result = remote.select(SELECT)
+                breaker.record_success()
+                break
+            except EndpointUnavailable:
+                breaker.record_failure()
+        assert result is not None and len(result) == 2
+        assert breaker.state == "closed"
+
+    def test_repeated_remote_failures_trip_the_breaker(self, local, server):
+        from repro.federation import CircuitBreaker
+
+        remote = HttpSparqlEndpoint(URIRef(server.query_url), timeout=5)
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60)
+        local.fail_next(10)
+        for _ in range(3):
+            assert breaker.allow()
+            with pytest.raises(EndpointUnavailable):
+                remote.select(SELECT)
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()

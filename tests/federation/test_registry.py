@@ -85,3 +85,55 @@ class TestRegistry:
         dataset = registry.get(URIRef("http://kisti.org/void"))
         assert dataset.uri_pattern == r"http://kisti\.org/id/\S*"
         assert dataset.ontologies == (KISTI_ONT,)
+
+
+class TestEndpointHealth:
+    """health() carries statistics while staying string-comparable."""
+
+    def test_health_values_compare_as_state_strings(self, registry):
+        report = registry.health()
+        for value in report.values():
+            assert value == "closed"
+            assert str(value) == "closed"
+
+    def test_health_exposes_endpoint_statistics(self, registry):
+        uri = URIRef("http://kisti.org/void")
+        endpoint = registry.get(uri).endpoint
+        endpoint.select("SELECT ?s WHERE { ?s ?p ?o }")
+        report = registry.health()
+        assert report[uri].statistics is endpoint.statistics
+        assert report[uri].statistics.select_queries == 1
+        assert report[uri].consecutive_failures == 0
+
+    def test_health_as_dict_is_json_ready(self, registry):
+        import json
+
+        uri = URIRef("http://kisti.org/void")
+        payload = registry.health()[uri].as_dict()
+        assert payload["state"] == "closed"
+        assert payload["statistics"]["total_queries"] == 0
+        json.dumps(payload)  # must be serialisable as-is
+
+    def test_health_counts_breaker_failures(self, registry):
+        uri = URIRef("http://kisti.org/void")
+        breaker = registry.breaker_for(uri)
+        breaker.record_failure()
+        breaker.record_failure()
+        report = registry.health()
+        assert report[uri] == "closed"
+        assert report[uri].consecutive_failures == 2
+
+    def test_health_without_statistics_attribute(self):
+        from repro.federation import SparqlEndpoint
+
+        class Bare(SparqlEndpoint):
+            uri = URIRef("http://bare.org/sparql")
+
+        description = DatasetDescription(
+            uri=URIRef("http://bare.org/void"),
+            endpoint_uri=URIRef("http://bare.org/sparql"),
+            ontologies=(AKT_ONT,),
+        )
+        registry = DatasetRegistry([RegisteredDataset(description, Bare())])
+        report = registry.health()
+        assert report[URIRef("http://bare.org/void")].statistics is None

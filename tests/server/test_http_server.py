@@ -1,0 +1,314 @@
+"""The SPARQL Protocol server: bindings, negotiation, errors, cache, health."""
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.federation import EndpointTimeout, LocalSparqlEndpoint
+from repro.rdf import URIRef
+from repro.server import EndpointBackend, FederationBackend, QueryBackend, SparqlHttpServer
+from repro.sparql.formats import parse_results
+from repro.turtle import parse_graph
+
+DATA = """
+@prefix ex: <http://example.org/> .
+ex:a ex:knows ex:b .
+ex:b ex:knows ex:c .
+ex:a ex:name "Alice" .
+"""
+
+SELECT = "SELECT ?s ?o WHERE { ?s <http://example.org/knows> ?o }"
+ASK = "ASK { <http://example.org/a> <http://example.org/knows> <http://example.org/b> }"
+CONSTRUCT = (
+    "CONSTRUCT { ?s <http://example.org/linked> ?o } "
+    "WHERE { ?s <http://example.org/knows> ?o }"
+)
+
+
+@pytest.fixture()
+def endpoint():
+    return LocalSparqlEndpoint(URIRef("http://example.org/dataset"), parse_graph(DATA))
+
+
+@pytest.fixture()
+def server(endpoint):
+    with SparqlHttpServer(EndpointBackend(endpoint)) as running:
+        yield running
+
+
+def _get(server, query, accept=None, path="/sparql"):
+    url = f"{server.url}{path}?" + urllib.parse.urlencode({"query": query})
+    request = urllib.request.Request(url, headers={"Accept": accept} if accept else {})
+    with urllib.request.urlopen(request) as response:
+        return response.status, response.headers.get("Content-Type"), response.read().decode()
+
+
+def _post(server, body, content_type, accept=None):
+    headers = {"Content-Type": content_type}
+    if accept:
+        headers["Accept"] = accept
+    request = urllib.request.Request(
+        server.query_url, data=body.encode("utf-8"), headers=headers
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, response.headers.get("Content-Type"), response.read().decode()
+
+
+def _status_of(callable_):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    return excinfo.value.code
+
+
+class TestQueryBindings:
+    def test_get_binding_defaults_to_json(self, server):
+        status, content_type, body = _get(server, SELECT)
+        assert status == 200
+        assert content_type.startswith("application/sparql-results+json")
+        result = parse_results(body, "json")
+        assert len(result) == 2
+
+    def test_post_urlencoded(self, server):
+        body = urllib.parse.urlencode({"query": SELECT})
+        status, _, text = _post(server, body, "application/x-www-form-urlencoded")
+        assert status == 200
+        assert len(parse_results(text, "json")) == 2
+
+    def test_post_raw_sparql_query(self, server):
+        status, _, text = _post(server, SELECT, "application/sparql-query")
+        assert status == 200
+        assert len(parse_results(text, "json")) == 2
+
+    def test_ask_query(self, server):
+        status, _, body = _get(server, ASK)
+        assert status == 200
+        assert json.loads(body)["boolean"] is True
+
+    def test_construct_returns_turtle(self, server):
+        status, content_type, body = _get(server, CONSTRUCT)
+        assert status == 200
+        assert content_type.startswith("text/turtle")
+        graph = parse_graph(body)
+        assert len(graph) == 2
+
+    def test_construct_ntriples_negotiation(self, server):
+        status, content_type, body = _get(server, CONSTRUCT, accept="application/n-triples")
+        assert status == 200
+        assert content_type.startswith("application/n-triples")
+        assert len(parse_graph(body, format="ntriples")) == 2
+
+    def test_alternate_query_path(self, server):
+        status, _, _ = _get(server, SELECT, path="/query")
+        assert status == 200
+
+
+class TestContentNegotiation:
+    @pytest.mark.parametrize("accept,expected_type", [
+        ("application/sparql-results+xml", "application/sparql-results+xml"),
+        ("text/csv", "text/csv"),
+        ("text/tab-separated-values", "text/tab-separated-values"),
+        ("application/json", "application/sparql-results+json"),
+        ("*/*", "application/sparql-results+json"),
+    ])
+    def test_select_formats(self, server, accept, expected_type):
+        status, content_type, _ = _get(server, SELECT, accept=accept)
+        assert status == 200
+        assert content_type.startswith(expected_type)
+
+    def test_quality_weights(self, server):
+        accept = "text/csv;q=0.3, application/sparql-results+xml;q=0.9"
+        _, content_type, _ = _get(server, SELECT, accept=accept)
+        assert content_type.startswith("application/sparql-results+xml")
+
+    def test_unacceptable_select(self, server):
+        assert _status_of(lambda: _get(server, SELECT, accept="image/png")) == 406
+
+    def test_ask_rejects_csv(self, server):
+        assert _status_of(lambda: _get(server, ASK, accept="text/csv")) == 406
+
+
+class TestProtocolErrors:
+    def test_missing_query_parameter(self, server):
+        code = _status_of(lambda: urllib.request.urlopen(server.query_url + "?other=1"))
+        assert code == 400
+
+    def test_malformed_query(self, server):
+        assert _status_of(lambda: _get(server, "SELECT WHERE {")) == 400
+
+    def test_unknown_path(self, server):
+        code = _status_of(
+            lambda: urllib.request.urlopen(server.url + "/nope?query=SELECT")
+        )
+        assert code == 404
+
+    def test_unsupported_post_media_type(self, server):
+        assert _status_of(lambda: _post(server, SELECT, "text/plain")) == 415
+
+    def test_unavailable_endpoint_maps_to_503(self, endpoint, server):
+        endpoint.available = False
+        assert _status_of(lambda: _get(server, SELECT)) == 503
+
+    def test_injected_flake_maps_to_503(self, endpoint, server):
+        endpoint.fail_next(1)
+        assert _status_of(lambda: _get(server, SELECT)) == 503
+        status, _, _ = _get(server, SELECT)  # next attempt recovers
+        assert status == 200
+
+    def test_backend_timeout_maps_to_504(self):
+        class TimingOutBackend(QueryBackend):
+            def execute(self, query_text):
+                raise EndpointTimeout("upstream took too long")
+
+        with SparqlHttpServer(TimingOutBackend()) as server:
+            code = _status_of(
+                lambda: urllib.request.urlopen(
+                    server.query_url + "?" + urllib.parse.urlencode({"query": SELECT})
+                )
+            )
+        assert code == 504
+
+
+class TestObservability:
+    def test_service_description(self, server):
+        with urllib.request.urlopen(server.url + "/") as response:
+            payload = json.loads(response.read())
+        assert payload["query"] == "/sparql"
+        assert "application/sparql-results+json" in payload["result_formats"]
+
+    def test_health_reports_endpoint(self, server):
+        with urllib.request.urlopen(server.url + "/health") as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+        assert payload["endpoint"] == "http://example.org/dataset"
+        assert payload["triples"] == 3
+
+    def test_health_reflects_unavailability(self, endpoint, server):
+        endpoint.available = False
+        with urllib.request.urlopen(server.url + "/health") as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "unavailable"
+
+    def test_metrics_counts_queries_and_statistics(self, endpoint, server):
+        _get(server, SELECT)
+        _get(server, ASK)
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            payload = json.loads(response.read())
+        assert payload["server"]["queries"] == 2
+        endpoint_stats = payload["endpoints"]["http://example.org/dataset"]
+        assert endpoint_stats["select_queries"] == 1
+        assert endpoint_stats["ask_queries"] == 1
+
+
+class TestResponseCache:
+    def test_repeated_query_hits_the_cache(self, endpoint, server):
+        _get(server, SELECT)
+        before = endpoint.statistics.select_queries
+        status, _, _ = _get(server, SELECT)
+        assert status == 200
+        assert endpoint.statistics.select_queries == before  # served from cache
+        assert server.cache.info()["hits"] >= 1
+
+    def test_different_formats_are_cached_separately(self, endpoint, server):
+        _get(server, SELECT, accept="text/csv")
+        before = endpoint.statistics.select_queries
+        _get(server, SELECT, accept="application/sparql-results+xml")
+        assert endpoint.statistics.select_queries == before + 1
+
+    def test_cache_can_be_disabled(self, endpoint):
+        with SparqlHttpServer(EndpointBackend(endpoint), cache_size=0) as server:
+            _get(server, SELECT)
+            before = endpoint.statistics.select_queries
+            _get(server, SELECT)
+            assert endpoint.statistics.select_queries == before + 1
+
+
+class TestFederationBackendCacheInvalidation:
+    def test_alignment_kb_edit_invalidates_cached_responses(self):
+        from repro.datasets import build_resist_scenario
+        from repro.alignment import OntologyAlignment
+
+        scenario = build_resist_scenario(n_persons=8, n_papers=12, seed=5)
+        backend = FederationBackend(
+            scenario.service,
+            source_ontology=scenario.source_ontology,
+            source_dataset=scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        person = scenario.akt_person_uri(scenario.world.most_prolific_author())
+        query = (
+            "PREFIX akt:<http://www.aktors.org/ontology/portal#> "
+            f"SELECT DISTINCT ?a WHERE {{ ?paper akt:has-author <{person}> . "
+            "?paper akt:has-author ?a }"
+        )
+        with SparqlHttpServer(backend) as server:
+            _get(server, query)
+            generation = backend.generation
+            hits_before = server.cache.info()["hits"]
+            _get(server, query)
+            assert server.cache.info()["hits"] == hits_before + 1
+
+            # Editing the alignment KB bumps the store generation: the next
+            # request must miss the cache and recompute.
+            scenario.alignment_store.add(
+                OntologyAlignment(
+                    source_ontologies=[URIRef("http://example.org/ontology/src")],
+                    target_ontologies=[URIRef("http://example.org/ontology/dst")],
+                )
+            )
+            assert backend.generation != generation
+            misses_before = server.cache.info()["misses"]
+            _get(server, query)
+            assert server.cache.info()["misses"] > misses_before
+
+
+class TestReviewRegressions:
+    def test_bare_endpoint_error_maps_to_502_not_dropped_connection(self):
+        from repro.federation import EndpointError
+
+        class GarblingBackend(QueryBackend):
+            def execute(self, query_text):
+                raise EndpointError("upstream returned an unparseable document")
+
+        with SparqlHttpServer(GarblingBackend()) as server:
+            code = _status_of(
+                lambda: urllib.request.urlopen(
+                    server.query_url + "?" + urllib.parse.urlencode({"query": SELECT})
+                )
+            )
+        assert code == 502
+
+    def test_unexpected_backend_bug_still_answers_500(self):
+        class BuggyBackend(QueryBackend):
+            def execute(self, query_text):
+                raise RuntimeError("boom")
+
+        with SparqlHttpServer(BuggyBackend()) as server:
+            code = _status_of(
+                lambda: urllib.request.urlopen(
+                    server.query_url + "?" + urllib.parse.urlencode({"query": SELECT})
+                )
+            )
+        assert code == 500
+
+    def test_error_counter_counts_each_5xx_once(self, endpoint, server):
+        endpoint.fail_next(1)
+        assert _status_of(lambda: _get(server, SELECT)) == 503
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            payload = json.loads(response.read())
+        assert payload["server"]["errors"] == 1
+
+    def test_graph_mutation_invalidates_endpoint_backend_cache(self, endpoint, server):
+        from repro.rdf import Triple, URIRef as U
+
+        first = json.loads(_get(server, SELECT)[2])
+        assert len(first["results"]["bindings"]) == 2
+        # The response is cached; a data change must not serve it stale.
+        endpoint.load([Triple(
+            U("http://example.org/c"), U("http://example.org/knows"),
+            U("http://example.org/d"),
+        )])
+        second = json.loads(_get(server, SELECT)[2])
+        assert len(second["results"]["bindings"]) == 3

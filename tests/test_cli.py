@@ -129,3 +129,148 @@ class TestFederateCommand:
         assert exit_code == 0
         assert "Federated co-authors" in captured.out
         assert "recall" in captured.out
+
+    def test_demo_run_reports_endpoint_statistics(self, capsys):
+        exit_code = main_federate(["--persons", "15", "--papers", "30", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        # Per-endpoint EndpointStatistics surfaced uniformly via health().
+        assert "served" in captured.out
+        assert "queries" in captured.out
+
+    def test_format_json_puts_results_on_stdout_and_summary_on_stderr(self, capsys):
+        import json
+
+        exit_code = main_federate([
+            "--persons", "15", "--papers", "30", "--seed", "3",
+            "--format", "json",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["head"]["vars"] == ["a"]
+        assert payload["results"]["bindings"]
+        assert "Federated co-authors" in captured.err
+
+    def test_format_csv_is_parseable(self, capsys):
+        from repro.sparql import parse_results
+
+        exit_code = main_federate([
+            "--persons", "15", "--papers", "30", "--seed", "3",
+            "--format", "csv",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        result = parse_results(captured.out, "csv")
+        assert result.variables and len(result) > 0
+
+
+class TestQueryOutputFormats:
+    @pytest.fixture()
+    def data_and_query(self, tmp_path):
+        data = tmp_path / "data.ttl"
+        data.write_text("""
+            @prefix akt: <http://www.aktors.org/ontology/portal#> .
+            @prefix id: <http://southampton.rkbexplorer.com/id/> .
+            id:paper-1 akt:has-author id:person-02686 , id:person-2 .
+        """, encoding="utf-8")
+        query = tmp_path / "query.rq"
+        query.write_text(FIGURE_1_QUERY, encoding="utf-8")
+        return data, query
+
+    @pytest.mark.parametrize("format_name", ["json", "xml", "csv", "tsv"])
+    def test_query_formats_parse_back(self, capsys, data_and_query, format_name):
+        from repro.sparql import parse_results
+
+        data, query = data_and_query
+        exit_code = main_query([str(query), str(data), "--format", format_name])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        result = parse_results(captured.out, format_name)
+        assert len(result) == 1
+        assert result.variables[0].name == "a"
+
+    def test_query_table_is_default(self, capsys, data_and_query):
+        data, query = data_and_query
+        assert main_query([str(query), str(data)]) == 0
+        assert "?a" in capsys.readouterr().out
+
+    def test_ask_rejects_csv(self, capsys, data_and_query, tmp_path):
+        data, _ = data_and_query
+        ask = tmp_path / "ask.rq"
+        ask.write_text(
+            "PREFIX akt:<http://www.aktors.org/ontology/portal#> "
+            "ASK { ?p akt:has-author ?a }", encoding="utf-8")
+        assert main_query([str(ask), str(data), "--format", "csv"]) == 2
+        assert "json or xml" in capsys.readouterr().err
+
+    def test_data_format_flag(self, capsys, tmp_path):
+        data = tmp_path / "data.rdf"
+        data.write_text(
+            "<http://x.org/paper-1> <http://www.aktors.org/ontology/portal#has-author> "
+            "<http://southampton.rkbexplorer.com/id/person-02686> .\n", encoding="utf-8")
+        query = tmp_path / "query.rq"
+        query.write_text(FIGURE_1_QUERY, encoding="utf-8")
+        assert main_query([str(query), str(data), "--data-format", "ntriples"]) == 0
+
+
+class TestServeCommand:
+    def test_rejects_neither_data_nor_scenario(self, capsys):
+        from repro.cli import main_serve
+
+        assert main_serve([]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_rejects_both_data_and_scenario(self, capsys, tmp_path):
+        from repro.cli import main_serve
+
+        data = tmp_path / "data.ttl"
+        data.write_text("", encoding="utf-8")
+        assert main_serve([str(data), "--scenario"]) == 2
+
+    def test_serves_an_rdf_file_over_http(self, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys as _sys
+        import urllib.parse
+        import urllib.request
+        from pathlib import Path
+
+        data = tmp_path / "data.ttl"
+        data.write_text("""
+            @prefix ex: <http://example.org/> .
+            ex:a ex:knows ex:b .
+        """, encoding="utf-8")
+        source_dir = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(source_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [_sys.executable, "-m", "repro.serve_main", str(data), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env,
+        )
+        try:
+            endpoint_line = process.stdout.readline().strip()
+            assert endpoint_line.startswith("SPARQL endpoint: http://")
+            url = endpoint_line.split(": ", 1)[1]
+            query = "SELECT ?s WHERE { ?s <http://example.org/knows> ?o }"
+            with urllib.request.urlopen(
+                url + "?" + urllib.parse.urlencode({"query": query}), timeout=10
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload["results"]["bindings"] == [
+                {"s": {"type": "uri", "value": "http://example.org/a"}}
+            ]
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_unknown_scenario_dataset_is_a_friendly_error(self, capsys):
+        from repro.cli import main_serve
+
+        code = main_serve([
+            "--scenario", "--dataset", "http://typo.example/void",
+            "--persons", "8", "--papers", "12",
+        ])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
