@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+The CI perf job runs the benchmark suite with ``--benchmark-json=bench.json``
+and then::
+
+    python benchmarks/compare.py BENCH_BASELINE.json bench.json
+
+Exit status 1 means a *tracked hot path* regressed beyond the tolerance
+(default: 2x the baseline mean, overridable per invocation and per
+baseline file).  Benchmarks faster than ``min_seconds`` in both runs are
+ignored — micro-timings below that floor are scheduler noise, not signal.
+
+Baseline maintenance::
+
+    python benchmarks/compare.py BENCH_BASELINE.json bench.json --update
+
+refreshes the recorded means for the tracked benchmarks (and, for a brand
+new baseline, seeds the tracked set from ``--track`` glob patterns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+DEFAULT_TOLERANCE = 2.0
+#: Benchmarks whose mean is below this in both runs are never flagged.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def load_baseline(path: Path) -> dict:
+    if not path.exists():
+        return {
+            "tolerance": DEFAULT_TOLERANCE,
+            "min_seconds": DEFAULT_MIN_SECONDS,
+            "benchmarks": {},
+        }
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def load_run(path: Path) -> Dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    means: Dict[str, float] = {}
+    for entry in payload.get("benchmarks", []):
+        means[entry["name"]] = float(entry["stats"]["mean"])
+    return means
+
+
+def update_baseline(
+    baseline_path: Path,
+    current: Dict[str, float],
+    track: Optional[list],
+    tolerance: Optional[float],
+) -> int:
+    baseline = load_baseline(baseline_path)
+    tracked = set(baseline["benchmarks"])
+    if not tracked:
+        patterns = track or ["*"]
+        tracked = {
+            name for name in current
+            if any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+        }
+    missing = sorted(name for name in tracked if name not in current)
+    if missing:
+        print("error: tracked benchmarks absent from the run:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    baseline["benchmarks"] = {name: current[name] for name in sorted(tracked)}
+    if tolerance is not None:
+        baseline["tolerance"] = tolerance
+    baseline_path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"baseline updated: {len(tracked)} tracked benchmarks -> {baseline_path}")
+    return 0
+
+
+def compare(baseline_path: Path, run_path: Path, tolerance: Optional[float]) -> int:
+    baseline = load_baseline(baseline_path)
+    current = load_run(run_path)
+    effective_tolerance = tolerance or float(
+        baseline.get("tolerance", DEFAULT_TOLERANCE)
+    )
+    min_seconds = float(baseline.get("min_seconds", DEFAULT_MIN_SECONDS))
+
+    if not baseline["benchmarks"]:
+        print(f"error: {baseline_path} tracks no benchmarks; "
+              f"seed it with --update --track PATTERN", file=sys.stderr)
+        return 1
+
+    regressions = []
+    missing = []
+    width = max(len(name) for name in baseline["benchmarks"])
+    print(f"perf comparison vs {baseline_path} "
+          f"(tolerance {effective_tolerance:g}x, floor {min_seconds * 1000:g} ms)")
+    for name, recorded in sorted(baseline["benchmarks"].items()):
+        measured = current.get(name)
+        if measured is None:
+            missing.append(name)
+            print(f"  {name:<{width}}  MISSING from current run")
+            continue
+        ratio = measured / recorded if recorded > 0 else float("inf")
+        verdict = "ok"
+        if measured > max(recorded * effective_tolerance, min_seconds):
+            verdict = "REGRESSION"
+            regressions.append((name, recorded, measured, ratio))
+        print(f"  {name:<{width}}  {recorded * 1000:9.2f} ms -> "
+              f"{measured * 1000:9.2f} ms  ({ratio:5.2f}x)  {verdict}")
+
+    if missing:
+        print(f"\n{len(missing)} tracked benchmark(s) missing — "
+              "did a hot path get renamed without updating the baseline?",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} tracked hot path(s) regressed "
+              f"beyond {effective_tolerance:g}x:", file=sys.stderr)
+        for name, recorded, measured, ratio in regressions:
+            print(f"  {name}: {recorded * 1000:.2f} ms -> "
+                  f"{measured * 1000:.2f} ms ({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print("\nall tracked hot paths within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_BASELINE.json")
+    parser.add_argument("run", type=Path, help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="regression threshold as a multiple of the baseline mean")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from the run instead of comparing")
+    parser.add_argument("--track", nargs="*", default=None, metavar="GLOB",
+                        help="with --update on a fresh baseline: benchmark name "
+                             "patterns to track")
+    arguments = parser.parse_args(argv)
+    if arguments.update:
+        return update_baseline(arguments.baseline, load_run(arguments.run),
+                               arguments.track, arguments.tolerance)
+    return compare(arguments.baseline, arguments.run, arguments.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

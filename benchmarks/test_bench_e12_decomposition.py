@@ -1,0 +1,183 @@
+"""E12 — source selection and bound joins vs whole-query fan-out.
+
+Sweeps endpoint count × predicate selectivity over a synthetic federation
+and measures what the decomposer actually saves:
+
+* **endpoints contacted** — a predicate held by only ``k`` of ``n``
+  endpoints is, under fan-out, shipped to all ``n`` (each evaluates the
+  whole query, most return nothing); source selection contacts exactly the
+  ``k`` holders.
+* **rows shipped** — under a ``LIMIT`` the fan-out strategy retrieves up
+  to LIMIT rows *per endpoint* (the mediator then throws most away), while
+  the decomposer's streaming bound join stops pulling batches as soon as
+  the global LIMIT is satisfied.
+
+The sweep also reasserts result equality between the strategies on the
+unlimited workload (the differential suite covers E6/E7; this pins the
+synthetic E12 data), and reports the bound join's request overhead
+honestly — batches cost extra round trips, which is the price of not
+shipping full extensions.
+"""
+
+from repro.alignment import AlignmentStore
+from repro.coreference import SameAsService
+from repro.federation import (
+    DatasetDescription,
+    DatasetRegistry,
+    LocalSparqlEndpoint,
+    MediatorService,
+)
+from repro.rdf import Graph, Triple, URIRef
+
+from .conftest import report
+
+EX = "http://e12.org/"
+ONTOLOGY = URIRef(EX + "ontology")
+
+#: Papers per rare-predicate endpoint, and common values per paper.
+RARE_SUBJECTS = 10
+FANOUT_PER_SUBJECT = 20
+
+
+def _build(n_endpoints: int, rare_holders: int) -> MediatorService:
+    """``n_endpoints`` disjoint repositories; the first ``rare_holders``
+    also hold the ``rare`` predicate (subjects are endpoint-local)."""
+    registry = DatasetRegistry()
+    for index in range(n_endpoints):
+        graph = Graph()
+        for item in range(RARE_SUBJECTS):
+            subject = URIRef(f"{EX}e{index}-s{item}")
+            for value in range(FANOUT_PER_SUBJECT):
+                graph.add(Triple(
+                    subject, URIRef(EX + "common"),
+                    URIRef(f"{EX}e{index}-v{item}-{value}"),
+                ))
+            if index < rare_holders:
+                graph.add(Triple(
+                    subject, URIRef(EX + "rare"), URIRef(f"{EX}e{index}-w{item}")
+                ))
+        uri = URIRef(f"{EX}dataset-{index}")
+        registry.register_endpoint(
+            DatasetDescription(
+                uri=uri,
+                endpoint_uri=URIRef(f"{EX}dataset-{index}/sparql"),
+                ontologies=(ONTOLOGY,),
+            ),
+            LocalSparqlEndpoint(
+                URIRef(f"{EX}dataset-{index}/sparql"), graph,
+                name=f"endpoint-{index}",
+            ),
+        )
+    return MediatorService(AlignmentStore(), registry, SameAsService())
+
+
+RARE_QUERY = (
+    f"SELECT ?s ?w WHERE {{ ?s <{EX}rare> ?w }}"
+)
+JOIN_QUERY = (
+    f"SELECT ?s ?w ?v WHERE {{ ?s <{EX}rare> ?w . ?s <{EX}common> ?v }}"
+)
+
+
+def _multiset(outcome):
+    return sorted(
+        tuple((k, str(v)) for k, v in sorted(b.as_dict().items()))
+        for b in outcome.merged_bindings
+    )
+
+
+def test_bench_e12_source_selection_contacts_fewer_endpoints(benchmark):
+    """Selective predicate: decompose contacts the holders, fan-out everyone."""
+
+    def run_sweep():
+        rows = []
+        for n_endpoints in (2, 4, 8):
+            for rare_holders in sorted({1, n_endpoints // 2, n_endpoints}):
+                service = _build(n_endpoints, rare_holders)
+                fanout = service.federate(RARE_QUERY)
+                decomposed = service.federate(RARE_QUERY, strategy="decompose")
+                assert _multiset(decomposed) == _multiset(fanout)
+                rows.append((
+                    n_endpoints, rare_holders,
+                    fanout.endpoints_contacted, decomposed.endpoints_contacted,
+                    fanout.total_rows, decomposed.total_rows,
+                ))
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E12: endpoints contacted, fan-out vs decompose (selective predicate)",
+        rows,
+        headers=("endpoints", "holders", "contacted (fanout)",
+                 "contacted (decompose)", "rows (fanout)", "rows (decompose)"),
+    )
+    for n_endpoints, rare_holders, fan_contacted, dec_contacted, _, _ in rows:
+        assert fan_contacted == n_endpoints
+        assert dec_contacted == rare_holders
+        if n_endpoints >= 4 and rare_holders < n_endpoints:
+            assert dec_contacted < fan_contacted
+
+
+def test_bench_e12_bound_join_ships_fewer_rows_under_limit(benchmark):
+    """LIMIT workload: global streaming beats per-endpoint LIMIT shipping."""
+    limit = 100
+    batch = 10
+
+    def run_sweep():
+        rows = []
+        for n_endpoints, rare_holders in ((4, 4), (8, 4), (8, 8)):
+            service = _build(n_endpoints, rare_holders)
+            service.federation.bind_join_batch = batch
+            query = f"{JOIN_QUERY} LIMIT {limit}"
+            fanout = service.federate(query)
+            decomposed = service.federate(query, strategy="decompose")
+            unlimited = service.federate(JOIN_QUERY)
+            assert len(decomposed.merged()) == limit
+            # Every decomposed row is a true federation answer.
+            universe = set(_multiset(unlimited))
+            assert set(_multiset(decomposed)) <= universe
+            rows.append((
+                n_endpoints, rare_holders,
+                fanout.total_rows, decomposed.total_rows,
+                fanout.total_requests or len(fanout.per_dataset),
+                decomposed.total_requests,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        f"E12: rows shipped under LIMIT {limit} (bound-join batch {batch})",
+        rows,
+        headers=("endpoints", "holders", "rows (fanout)", "rows (decompose)",
+                 "requests (fanout)", "requests (decompose)"),
+    )
+    for n_endpoints, _, fan_rows, dec_rows, _, _ in rows:
+        if n_endpoints >= 4:
+            assert dec_rows < fan_rows
+
+
+def test_bench_e12_unlimited_join_parity_and_overhead(benchmark):
+    """Without LIMIT the bound join pays an intermediate-row overhead;
+    results stay identical.  Reported so the trade-off is visible."""
+
+    def run():
+        service = _build(4, 4)
+        fanout = service.federate(JOIN_QUERY)
+        decomposed = service.federate(JOIN_QUERY, strategy="decompose")
+        assert _multiset(decomposed) == _multiset(fanout)
+        return (
+            len(fanout.merged()),
+            fanout.total_rows, decomposed.total_rows,
+            decomposed.total_requests,
+        )
+
+    merged, fan_rows, dec_rows, dec_requests = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "E12: unlimited join — decompose ships the seed unit on top",
+        [(merged, fan_rows, dec_rows, dec_requests)],
+        headers=("merged rows", "rows (fanout)", "rows (decompose)",
+                 "requests (decompose)"),
+    )
+    assert dec_rows >= fan_rows  # the honest cost of mediator-side joins

@@ -17,7 +17,7 @@ from repro.alignment import (
     default_registry,
 )
 from repro.core import QueryRewriter
-from repro.rdf import Graph, Literal, Namespace, RDF, Triple, URIRef
+from repro.rdf import Graph, Literal, Namespace, RDF, Triple
 from repro.sparql import QueryEvaluator, parse_query
 
 from .conftest import report
@@ -120,7 +120,7 @@ def test_bench_e8_ablation_fresh_variable_renaming(benchmark, worked_example_ali
     """
     from repro.core import GraphPatternRewriter
     from repro.rdf import AKT, KISTI, KISTI_ID, Variable
-    from repro.sparql import Binding, match_bgp
+    from repro.sparql import match_bgp
 
     # Data: one paper, two authors through two CreatorInfo nodes.
     graph = Graph()

@@ -26,9 +26,8 @@ mechanism for unbounded variables.
 
 from __future__ import annotations
 
-import re
 from decimal import Decimal
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..rdf import ALIGN_FN, Literal, Term, URIRef, Variable, XSD, is_variable_like
 from ..coreference import SameAsService

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from ..rdf import Literal, RDF, Term, Triple, URIRef, Variable
+from ..rdf import RDF, Term, Triple, URIRef, Variable
 from .model import EntityAlignment, FunctionalDependency
 
 __all__ = [

@@ -17,10 +17,10 @@ variables and ground terms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from ..rdf import BNode, Literal, Term, Triple, URIRef, Variable, is_ground
+from ..rdf import BNode, Term, Triple, URIRef, Variable, is_ground
 
 __all__ = ["FunctionalDependency", "EntityAlignment", "OntologyAlignment", "AlignmentError"]
 

@@ -26,12 +26,11 @@ labels are prefixed so distinct rules never accidentally share a variable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from ..rdf import (
     BNode,
     Graph,
-    Literal,
     MAP,
     RDF,
     Term,

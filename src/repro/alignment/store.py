@@ -19,7 +19,7 @@ Selection therefore works on the context of validity:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..rdf import Graph, URIRef
 from .model import EntityAlignment, OntologyAlignment

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from ..rdf import Term, Triple, URIRef, Variable, is_ground
+from ..rdf import Term, URIRef, Variable
 from .functions import FunctionRegistry
 from .model import EntityAlignment, FunctionalDependency, OntologyAlignment
 

@@ -28,14 +28,13 @@ Experiment E5 measures exactly that contrast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..alignment import EntityAlignment, SAMEAS_FUNCTION
 from ..coreference import SameAsService
-from ..core import Substitution
-from ..rdf import Graph, Literal, Term, Triple, URIRef, Variable
+from ..rdf import Graph, Term, Triple, URIRef, Variable
 from ..sparql import Binding, match_bgp
 
 __all__ = ["MaterializationStatistics", "MaterializationIntegrator"]

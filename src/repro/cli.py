@@ -19,14 +19,14 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .alignment import AlignmentStore, default_registry, ontology_alignments_from_graph
+from .alignment import AlignmentStore
 from .coreference import SameAsService
 from .core import Mediator, TargetProfile
 from .datasets import build_resist_scenario
 from .federation import ExecutionPolicy, recall
-from .rdf import OWL, URIRef
+from .rdf import URIRef
 from .sparql import AskResult, QueryEvaluator, ResultSet, parse_query, write_results
 from .turtle import parse_graph
 
@@ -170,6 +170,18 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--format", choices=_OUTPUT_FORMATS, default="table",
                         help="print the merged result set in this format "
                              "(non-table formats move the run summary to stderr)")
+    parser.add_argument("--strategy", choices=["fanout", "decompose"], default="fanout",
+                        help="federated execution strategy: ship the whole query to "
+                             "every dataset (fanout) or run source selection, "
+                             "exclusive groups and bound joins (decompose)")
+    parser.add_argument("--ask-probes", action=argparse.BooleanOptionalAction, default=True,
+                        help="let source selection issue ASK probes for patterns the "
+                             "VoID statistics cannot settle")
+    parser.add_argument("--bind-join-batch", type=int, default=None, metavar="ROWS",
+                        help="left rows shipped per bound-join VALUES batch")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the federated plan (per-dataset sub-queries) "
+                             "instead of executing")
     arguments = parser.parse_args(argv)
 
     scenario = build_resist_scenario(
@@ -190,6 +202,9 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     engine = scenario.service.federation
     engine.parallel = arguments.parallel > 1
     engine.max_workers = max(1, arguments.parallel)
+    engine.ask_probes = arguments.ask_probes
+    if arguments.bind_join_batch is not None:
+        engine.bind_join_batch = max(1, arguments.bind_join_batch)
 
     person_key = scenario.world.most_prolific_author()
     person_uri = scenario.akt_person_uri(person_key)
@@ -201,6 +216,26 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
       FILTER (!(?a = <{person_uri}>))
     }}
     """
+    if arguments.explain:
+        if arguments.strategy == "decompose":
+            plan = engine.decompose_plan(
+                query,
+                source_ontology=scenario.source_ontology,
+                source_dataset=scenario.rkb_dataset,
+                mode="filter-aware",
+            )
+            print(plan.explain())
+        else:
+            for uri, text in scenario.service.explain(
+                query,
+                source_ontology=scenario.source_ontology,
+                source_dataset=scenario.rkb_dataset,
+                mode="filter-aware",
+            ).items():
+                print(f"=== {uri} ===")
+                print(text)
+        return 0
+
     # With a machine-readable --format the merged result set owns stdout
     # and the human-readable run summary moves to stderr.
     summary = sys.stdout if arguments.format == "table" else sys.stderr
@@ -213,6 +248,7 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
         source_ontology=scenario.source_ontology,
         source_dataset=scenario.rkb_dataset,
         mode="filter-aware",
+        strategy=arguments.strategy,
     )
     gold = scenario.gold_coauthor_uris(person_key)
     print(f"RKB-only co-authors:   {len(local.distinct_values('a')):3d} "
@@ -230,8 +266,12 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  {entry.dataset_uri}: {entry.row_count} rows ({status}{attempts}{served})",
               file=summary)
     mode = f"parallel x{engine.max_workers}" if engine.parallel else "sequential"
-    print(f"Fan-out: {mode}; wall-clock {federated.elapsed:.3f}s; "
+    print(f"Strategy: {federated.strategy} ({mode}); wall-clock {federated.elapsed:.3f}s; "
           f"endpoint attempts {federated.total_attempts}", file=summary)
+    if federated.strategy == "decompose":
+        print(f"Decomposition: {federated.endpoints_contacted} endpoints contacted, "
+              f"{federated.total_requests} requests, {federated.total_rows} rows shipped",
+              file=summary)
     if any(state != "closed" for state in health.values()):
         for uri, state in health.items():
             print(f"  breaker {uri}: {state}", file=summary)
@@ -279,6 +319,8 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--mode", choices=["bgp", "filter-aware", "algebra"],
                         default="filter-aware",
                         help="rewriting mode of the federation backend")
+    parser.add_argument("--strategy", choices=["fanout", "decompose"], default="fanout",
+                        help="execution strategy of the federation backend")
     parser.add_argument("--cache-size", type=int, default=128,
                         help="response cache entries (0 disables caching)")
     parser.add_argument("--persons", type=int, default=40)
@@ -313,6 +355,7 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
                 source_ontology=scenario.source_ontology,
                 source_dataset=scenario.rkb_dataset,
                 mode=arguments.mode,
+                strategy=arguments.strategy,
             )
     else:
         from .rdf import Graph

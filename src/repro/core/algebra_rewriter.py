@@ -17,28 +17,22 @@ compares.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..alignment import EntityAlignment, FunctionRegistry
 from ..coreference import SameAsService
-from ..rdf import Term, URIRef, Variable
 from ..sparql import (
     AlgebraBGP,
     AlgebraFilter,
     AlgebraNode,
-    AskQuery,
-    ConstructQuery,
     Query,
-    SelectQuery,
     algebra_to_group,
     translate_group,
-    translate_query,
 )
 from .filter_rewriter import translate_expression_terms
 from .rewriter import (
     FreshVariableGenerator,
     GraphPatternRewriter,
-    QueryRewriter,
     RewriteReport,
     clone_query,
     extend_prologue,

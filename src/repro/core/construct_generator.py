@@ -30,12 +30,12 @@ the rules right-to-left).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..alignment import EntityAlignment, SAMEAS_FUNCTION
+from ..alignment import EntityAlignment
 from ..coreference import SameAsService
-from ..rdf import BNode, Graph, Term, Triple, URIRef, Variable
+from ..rdf import BNode, Graph, Term, URIRef, Variable
 from ..sparql import ConstructQuery, GroupGraphPattern, Prologue, QueryEvaluator, TriplesBlock
 
 __all__ = [

@@ -22,22 +22,13 @@ This module implements the two complementary remedies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alignment import EntityAlignment, FunctionRegistry
 from ..coreference import SameAsService
-from ..rdf import Literal, Term, Triple, URIRef, Variable
-from ..sparql import (
-    BinaryExpression,
-    Expression,
-    Filter,
-    Query,
-    TermExpression,
-    TriplesBlock,
-    UnaryExpression,
-    VariableExpression,
-)
+from ..rdf import Literal, Term, URIRef, Variable
+from ..sparql import BinaryExpression, Expression, Query, TermExpression, VariableExpression
 from .rewriter import QueryRewriter, RewriteReport, clone_query
 
 __all__ = [

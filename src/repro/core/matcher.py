@@ -23,7 +23,7 @@ terms (``?a1 -> id:person-02686``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
 from ..rdf import Term, Triple, Variable, is_ground
 from ..alignment import EntityAlignment

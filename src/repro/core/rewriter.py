@@ -26,27 +26,10 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from ..alignment import (
-    EntityAlignment,
-    FunctionExecutionError,
-    FunctionNotFound,
-    FunctionRegistry,
-    FunctionalDependency,
-)
-from ..rdf import NamespaceManager, Term, Triple, URIRef, Variable, is_ground
-from ..sparql import (
-    AskQuery,
-    ConstructQuery,
-    Filter,
-    GroupGraphPattern,
-    OptionalPattern,
-    Prologue,
-    Query,
-    SelectQuery,
-    TriplesBlock,
-    UnionPattern,
-)
-from .matcher import MatchResult, Substitution, find_matches, match_alignment
+from ..alignment import EntityAlignment, FunctionExecutionError, FunctionNotFound, FunctionRegistry
+from ..rdf import Term, Triple, Variable
+from ..sparql import ConstructQuery, Prologue, Query
+from .matcher import MatchResult, Substitution, find_matches
 
 __all__ = [
     "RewriteError",

@@ -13,10 +13,10 @@ limits recall in practice).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
 
-from ..rdf import Graph, OWL, Triple, URIRef
+from ..rdf import Graph, URIRef
 from .service import SameAsService
 
 __all__ = ["CoReferenceSpec", "CoReferenceGenerator"]

@@ -23,7 +23,7 @@ import re
 import threading
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..rdf import Graph, OWL, Term, Triple, URIRef
+from ..rdf import Graph, OWL, Triple, URIRef
 from .unionfind import UnionFind
 
 __all__ = ["SameAsService", "CoReferenceError"]

@@ -8,8 +8,7 @@ mints URIs in the ``http://southampton.rkbexplorer.com/id/`` space, e.g.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Optional, Set
 
 from ..federation import DatasetDescription
 from ..rdf import AKT, Graph, Literal, RDF, RKB_ID, Triple, URIRef, XSD

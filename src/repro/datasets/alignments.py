@@ -19,7 +19,7 @@ the paper describes, and the counts match exactly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..alignment import (
     EntityAlignment,
@@ -28,17 +28,14 @@ from ..alignment import (
     SAMEAS_FUNCTION,
     class_alignment,
     class_to_intersection_alignment,
-    property_alignment,
-    property_chain_alignment,
 )
-from ..rdf import AKT, Literal, MAP, Namespace, Triple, URIRef, Variable
+from ..rdf import AKT, Literal, Namespace, Triple, URIRef, Variable
 from .ontologies import (
     AKT_ONTOLOGY_URI,
     AKT_TERMS,
     DBPEDIA_DATASET_URI,
     DBPEDIA_ONTOLOGY_URI,
     DBPEDIA_TERMS,
-    ECS_DATASET_URI,
     KISTI_DATASET_URI,
     KISTI_ONTOLOGY_URI,
     KISTI_TERMS,

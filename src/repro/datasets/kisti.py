@@ -10,7 +10,7 @@ URI space is ``http://kisti.rkbexplorer.com/id/`` with ``PER_...`` /
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from ..federation import DatasetDescription
 from ..rdf import Graph, KISTI_ID, Literal, RDF, Triple, URIRef, XSD

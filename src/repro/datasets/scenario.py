@@ -15,13 +15,13 @@ Section 3.4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Set
 
 from ..alignment import AlignmentStore
 from ..coreference import SameAsService
-from ..federation import DatasetRegistry, LocalSparqlEndpoint, MediatorService, RegisteredDataset
-from ..rdf import Graph, URIRef
+from ..federation import DatasetRegistry, LocalSparqlEndpoint, MediatorService
+from ..rdf import URIRef
 from .akt import AktDatasetBuilder
 from .alignments import akt_to_dbpedia_alignment, akt_to_kisti_alignment
 from .dbpedia import DBpediaDatasetBuilder

@@ -17,8 +17,8 @@ of a federated query can be measured against it (Experiment E6).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 __all__ = ["Person", "Paper", "Project", "Organization", "WorldModel"]
 

@@ -8,6 +8,16 @@ from .endpoint import (
     LocalSparqlEndpoint,
     SparqlEndpoint,
 )
+from .decompose import (
+    DEFAULT_BIND_JOIN_BATCH,
+    DecomposedPlan,
+    PatternSources,
+    QueryUnit,
+    SourceDecision,
+    SourceSelector,
+    decompose_query,
+    execute_decomposed,
+)
 from .http_endpoint import HttpSparqlEndpoint
 from .federator import (
     DatasetResult,
@@ -30,6 +40,9 @@ __all__ = [
     "DatasetDescription", "descriptions_to_graph", "descriptions_from_graph",
     "DatasetRegistry", "RegisteredDataset", "EndpointHealth",
     "FederatedQueryEngine", "FederatedResult", "DatasetResult",
+    "DecomposedPlan", "QueryUnit", "PatternSources", "SourceDecision",
+    "SourceSelector", "decompose_query", "execute_decomposed",
+    "DEFAULT_BIND_JOIN_BATCH",
     "recall", "precision", "f1_score",
     "MediatorService", "DatasetInfo", "TranslationResponse", "ExecutionResponse",
 ]

@@ -1,0 +1,990 @@
+"""Federated query decomposition: source selection, exclusive groups, bound joins.
+
+The fan-out strategy ships the *whole* rewritten query to *every*
+registered endpoint and merges the answers — fine for three datasets,
+wasteful at scale: every endpoint evaluates every pattern, including
+endpoints that provably hold nothing relevant.  This module implements the
+FedX-style alternative:
+
+1. **Source selection** — for every triple pattern of the source query,
+   decide per dataset whether the pattern's *translation* for that dataset
+   can match anything there.  The decision is answered from the dataset's
+   VoID vocabulary statistics (``void:propertyPartition`` /
+   ``void:classPartition``, refreshed from the graph's live
+   :class:`~repro.rdf.GraphStatistics` for in-process endpoints) and falls
+   back to an ``ASK`` probe for patterns the statistics cannot settle.
+   Decisions are cached per alignment-KB generation (a KB edit changes the
+   translations, hence the decisions).
+2. **Exclusive groups** — patterns whose sole relevant source coincides are
+   shipped to that dataset as *one* sub-query, so the endpoint evaluates
+   the group's joins locally.
+3. **Bound joins** — cross-source joins run at the mediator: the rows
+   produced so far are shipped to the next unit's sources in configurable
+   batches, injected as ``VALUES`` blocks, so endpoints only evaluate the
+   pattern against bindings that can still join (instead of shipping their
+   full extension).
+
+Decomposed execution preserves the fan-out semantics on the scenarios the
+experiments cover (per-dataset URI spaces, sameAs-linked replicas): the
+differential suite in ``tests/federation/test_decompose_differential.py``
+and the loopback variant pin ``--strategy decompose`` to the fan-out
+results on E6/E7, in-process and over HTTP.
+
+Supported query shape: SELECT whose WHERE clause is a basic graph pattern
+plus FILTERs (no OPTIONAL/UNION/nested groups, no blank nodes in patterns,
+no EXISTS in filters).  Anything else falls back to fan-out — the
+:class:`DecomposedPlan` records why.
+
+Solution modifiers are applied *globally* here (standard SPARQL
+semantics): ``LIMIT 10`` yields ten merged federation rows and stops
+pulling bound-join batches once they are found.  The fan-out strategy
+instead ships the modifiers to every endpoint and merges the per-endpoint
+slices, so the two strategies can legitimately differ on LIMIT/OFFSET
+queries; the differential guarantee covers modifier-free and
+ORDER-BY-only queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rdf import BNode, Graph, RDF, Triple, URIRef, Variable
+from ..sparql import (
+    AskQuery,
+    Binding,
+    Filter,
+    GroupGraphPattern,
+    InlineData,
+    Prologue,
+    Query,
+    SelectQuery,
+    TriplesBlock,
+)
+from ..sparql.ast import (
+    BinaryExpression,
+    ExistsExpression,
+    Expression,
+    FunctionCall,
+    UnaryExpression,
+)
+from ..sparql.evaluator import _order
+from ..sparql.expressions import expression_satisfied
+from .registry import RegisteredDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .federator import FederatedQueryEngine, FederatedResult
+
+__all__ = [
+    "DEFAULT_BIND_JOIN_BATCH",
+    "SourceDecision",
+    "PatternSources",
+    "QueryUnit",
+    "DecomposedPlan",
+    "SourceSelector",
+    "decompose_query",
+    "execute_decomposed",
+]
+
+#: Default number of left rows shipped per bound-join batch.
+DEFAULT_BIND_JOIN_BATCH = 32
+
+#: Filters are evaluated at the mediator against no graph at all; only
+#: EXISTS expressions would need one, and those force the fan-out fallback.
+_EMPTY_GRAPH = Graph()
+
+
+# --------------------------------------------------------------------------- #
+# Plan data model
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SourceDecision:
+    """Why one dataset is (ir)relevant for one source-level pattern."""
+
+    dataset_uri: URIRef
+    relevant: bool
+    reason: str
+    #: Cardinality estimate for the pattern on this dataset (for ordering).
+    estimate: float = 0.0
+
+
+@dataclass
+class PatternSources:
+    """Source-selection outcome for one source-level triple pattern."""
+
+    pattern: Triple
+    decisions: List[SourceDecision] = field(default_factory=list)
+
+    def relevant_uris(self) -> List[URIRef]:
+        return [d.dataset_uri for d in self.decisions if d.relevant]
+
+    def decision_for(self, uri: URIRef) -> Optional[SourceDecision]:
+        for decision in self.decisions:
+            if decision.dataset_uri == uri:
+                return decision
+        return None
+
+
+@dataclass
+class QueryUnit:
+    """One execution unit: a pattern group and the sources it runs on."""
+
+    patterns: List[Triple]
+    sources: List[URIRef]
+    exclusive: bool = False
+    #: Join variables shared with the rows produced by earlier units
+    #: (filled in once the join order is fixed).
+    join_variables: List[Variable] = field(default_factory=list)
+    estimate: float = 0.0
+    #: Rendered sub-query text per source (for EXPLAIN).
+    sub_queries: Dict[URIRef, str] = field(default_factory=dict)
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+
+@dataclass
+class DecomposedPlan:
+    """The decomposer's output: ordered units plus the selection evidence."""
+
+    units: List[QueryUnit] = field(default_factory=list)
+    pattern_sources: List[PatternSources] = field(default_factory=list)
+    #: Datasets excluded from the whole query, with the reason
+    #: (no relevant pattern, open breaker, translation failure).
+    skipped: Dict[URIRef, str] = field(default_factory=dict)
+    #: Set when some required pattern has no relevant source at all: the
+    #: result is provably empty and no endpoint is contacted.
+    empty_reason: Optional[str] = None
+    #: Set when the query shape forces the fan-out fallback.
+    fallback_reason: Optional[str] = None
+    bind_join_batch: int = DEFAULT_BIND_JOIN_BATCH
+    #: ASK probes issued during source selection.
+    probes: int = 0
+
+    @property
+    def decomposed(self) -> bool:
+        return self.fallback_reason is None
+
+    def explain(self) -> str:
+        """EXPLAIN-style rendering of the decomposed plan."""
+        lines = [f"decomposed federated plan (bind-join batch {self.bind_join_batch})"]
+        if self.fallback_reason is not None:
+            lines.append(f"  fallback to fan-out: {self.fallback_reason}")
+            return "\n".join(lines)
+        if self.empty_reason is not None:
+            lines.append(f"  empty result: {self.empty_reason}")
+            lines.append("  no endpoint is contacted")
+        for index, unit in enumerate(self.units):
+            kind = _unit_kind(unit)
+            if index == 0:
+                join = "seed scan"
+            elif unit.join_variables:
+                rendered = " ".join(f"?{v.name}" for v in unit.join_variables)
+                join = f"bound join on ({rendered})"
+            else:
+                join = "cross join"
+            lines.append(f"  unit {index + 1} [{kind}; {join}; est={unit.estimate:.1f}]")
+            for pattern in unit.patterns:
+                lines.append(f"    pattern {_pattern_text(pattern)}")
+            for uri in unit.sources:
+                lines.append(f"    source {uri}")
+                sub_query = unit.sub_queries.get(uri)
+                if sub_query:
+                    for sub_line in sub_query.strip().splitlines():
+                        lines.append(f"      | {sub_line}")
+        if self.skipped:
+            for uri in sorted(self.skipped, key=str):
+                lines.append(f"  skipped {uri}: {self.skipped[uri]}")
+        if self.probes:
+            lines.append(f"  ASK probes issued: {self.probes}")
+        return "\n".join(lines)
+
+
+def _pattern_text(pattern: Triple) -> str:
+    return " ".join(term.n3() for term in pattern)
+
+
+def _unit_kind(unit: QueryUnit) -> str:
+    """Human label for a unit: only multi-pattern sole-source units are
+    *groups* in the FedX sense; a lone pattern is just exclusive."""
+    if unit.exclusive and len(unit.patterns) > 1:
+        return "exclusive group"
+    if unit.exclusive:
+        return "exclusive pattern"
+    return "pattern"
+
+
+# --------------------------------------------------------------------------- #
+# Expression inspection (what the mediator can evaluate itself)
+# --------------------------------------------------------------------------- #
+def _expression_mediator_safe(expression: Expression) -> bool:
+    """Whether a FILTER can run at the mediator (no EXISTS subqueries)."""
+    if isinstance(expression, ExistsExpression):
+        return False
+    if isinstance(expression, BinaryExpression):
+        return _expression_mediator_safe(expression.left) and _expression_mediator_safe(
+            expression.right
+        )
+    if isinstance(expression, UnaryExpression):
+        return _expression_mediator_safe(expression.operand)
+    if isinstance(expression, FunctionCall):
+        return all(_expression_mediator_safe(arg) for arg in expression.arguments)
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Source selection
+# --------------------------------------------------------------------------- #
+class SourceSelector:
+    """Per-pattern, per-dataset relevance decisions.
+
+    Decisions are derived from (in order of preference)
+
+    1. the endpoint's live graph statistics (in-process endpoints),
+    2. the dataset's advertised VoID partitions (remote endpoints),
+    3. an ``ASK`` probe of the translated pattern (unknown vocabulary),
+       falling back to *broadcast* (assume relevant) when the probe itself
+       fails or times out — never losing answers to a flaky probe.
+
+    The cache is keyed by the alignment KB generation (translations change
+    with the KB) and, for in-process endpoints, the graph version (the
+    vocabulary changes with the data).
+    """
+
+    def __init__(
+        self,
+        engine: "FederatedQueryEngine",
+        ask_probes: bool = True,
+        probe_timeout: Optional[float] = 2.0,
+    ) -> None:
+        self._engine = engine
+        self.ask_probes = ask_probes
+        self.probe_timeout = probe_timeout
+        self._cache: Dict[tuple, SourceDecision] = {}
+        self._cache_generation: Optional[int] = None
+        #: Probe traffic of the most recent selection round, per dataset:
+        #: ``uri -> (requests, attempts, last_error)``.
+        self.probe_traffic: Dict[URIRef, List[int]] = {}
+        self.probes_issued = 0
+
+    # -- cache ----------------------------------------------------------- #
+    def _check_generation(self) -> None:
+        generation = self._engine.mediator.alignment_store.generation
+        if generation != self._cache_generation:
+            self._cache.clear()
+            self._cache_generation = generation
+
+    def _cache_key(
+        self,
+        pattern: Triple,
+        target: RegisteredDataset,
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+    ) -> tuple:
+        graph = getattr(target.endpoint, "graph", None)
+        version = getattr(graph, "version", -1)
+        return (
+            target.uri,
+            version,
+            _pattern_text(pattern),
+            source_ontology,
+            source_dataset == target.uri,
+            mode,
+            # A decision taken without probing ("broadcast") must not
+            # shadow the probed decision once probes are (re-)enabled.
+            self.ask_probes,
+        )
+
+    # -- vocabulary ------------------------------------------------------ #
+    @staticmethod
+    def _vocabulary(
+        target: RegisteredDataset,
+    ) -> Tuple[Optional[frozenset], Optional[frozenset]]:
+        """``(predicates, classes)`` the dataset can serve; ``None`` = unknown."""
+        graph = getattr(target.endpoint, "graph", None)
+        if graph is not None and hasattr(graph, "stats"):
+            stats = graph.stats
+            predicates = frozenset(
+                term for term in stats.predicate_counts if isinstance(term, URIRef)
+            )
+            classes = frozenset(
+                term for term in stats.class_counts if isinstance(term, URIRef)
+            )
+            return predicates, classes
+        description = target.description
+        if description.advertises_vocabulary:
+            predicates = description.predicates()
+            if RDF.type in predicates and not description.class_partitions:
+                classes: Optional[frozenset] = None
+            else:
+                classes = description.classes()
+            return predicates, classes
+        return None, None
+
+    @staticmethod
+    def _estimate(target: RegisteredDataset, patterns: Sequence[Triple]) -> float:
+        """Cardinality estimate for a translated pattern group on a dataset."""
+        graph = getattr(target.endpoint, "graph", None)
+        estimates: List[float] = []
+        for pattern in patterns:
+            if graph is not None and hasattr(graph, "cardinality"):
+                estimates.append(
+                    float(graph.cardinality(pattern.subject, pattern.predicate, pattern.object))
+                )
+            elif isinstance(pattern.predicate, URIRef):
+                advertised = target.description.predicate_count(pattern.predicate)
+                if advertised is not None:
+                    estimates.append(float(advertised))
+        if estimates:
+            return min(estimates)
+        if target.description.triple_count is not None:
+            return float(target.description.triple_count)
+        return 1000.0
+
+    # -- translation ----------------------------------------------------- #
+    def translate_patterns(
+        self,
+        patterns: Sequence[Triple],
+        target: RegisteredDataset,
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+    ) -> List[Triple]:
+        """The dataset-local form of a source pattern group."""
+        if source_dataset is not None and target.uri == source_dataset:
+            return list(patterns)
+        query = SelectQuery(
+            Prologue(), [], GroupGraphPattern([TriplesBlock(list(patterns))])
+        )
+        mediation = self._engine.mediator.translate(
+            query, target.uri, source_ontology, mode
+        )
+        return mediation.rewritten_query.all_triple_patterns()
+
+    # -- decisions ------------------------------------------------------- #
+    def decide(
+        self,
+        pattern: Triple,
+        target: RegisteredDataset,
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+    ) -> SourceDecision:
+        """Is ``pattern`` (translated for ``target``) answerable there?"""
+        self._check_generation()
+        key = self._cache_key(pattern, target, source_ontology, source_dataset, mode)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        decision = self._decide_uncached(
+            pattern, target, source_ontology, source_dataset, mode
+        )
+        self._cache[key] = decision
+        return decision
+
+    def _decide_uncached(
+        self,
+        pattern: Triple,
+        target: RegisteredDataset,
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+    ) -> SourceDecision:
+        try:
+            translated = self.translate_patterns(
+                [pattern], target, source_ontology, source_dataset, mode
+            )
+        except (KeyError, ValueError) as exc:
+            # Fan-out reports the same failure as a zero-row dataset error,
+            # so excluding the dataset preserves the merged result.
+            return SourceDecision(target.uri, False, f"translation failed: {exc}")
+
+        predicates, classes = self._vocabulary(target)
+        unknown: List[Triple] = []
+        for candidate in translated:
+            predicate = candidate.predicate
+            if isinstance(predicate, URIRef) and predicates is not None:
+                if predicate not in predicates:
+                    return SourceDecision(
+                        target.uri, False,
+                        f"vocabulary: {predicate.n3()} not in dataset",
+                    )
+                if (
+                    predicate == RDF.type
+                    and isinstance(candidate.object, URIRef)
+                    and classes is not None
+                    and candidate.object not in classes
+                ):
+                    return SourceDecision(
+                        target.uri, False,
+                        f"class: {candidate.object.n3()} not in dataset",
+                    )
+            elif isinstance(predicate, URIRef) and predicates is None:
+                unknown.append(candidate)
+            else:
+                # Variable predicate: statistics cannot refute it.
+                unknown.append(candidate)
+        estimate = self._estimate(target, translated)
+        if not unknown:
+            return SourceDecision(target.uri, True, "vocabulary", estimate)
+        if not self.ask_probes:
+            return SourceDecision(target.uri, True, "broadcast (probes disabled)", estimate)
+        return self._probe(target, translated, estimate)
+
+    def _probe(
+        self,
+        target: RegisteredDataset,
+        translated: Sequence[Triple],
+        estimate: float,
+    ) -> SourceDecision:
+        """ASK the endpoint whether the translated group matches anything.
+
+        Probes run under the dataset's policy and circuit breaker through
+        the engine's shared execution primitive; a probe that fails or
+        times out falls back to *broadcast* for the pattern (the endpoint
+        will be queried normally) rather than silently dropping answers.
+        """
+        probe = AskQuery(
+            Prologue(), GroupGraphPattern([TriplesBlock(list(translated))])
+        )
+        self.probes_issued += 1
+        traffic = self.probe_traffic.setdefault(target.uri, [0, 0])
+        traffic[0] += 1
+        result, attempts, error = self._engine.call_endpoint(
+            target, probe, kind="ask", timeout=self.probe_timeout
+        )
+        traffic[1] += attempts
+        if error is not None or result is None:
+            return SourceDecision(
+                target.uri, True, f"broadcast (probe failed: {error})", estimate
+            )
+        if bool(result):
+            return SourceDecision(target.uri, True, "ask-probe", estimate)
+        return SourceDecision(target.uri, False, "ask-probe: no match")
+
+
+# --------------------------------------------------------------------------- #
+# Decomposition
+# --------------------------------------------------------------------------- #
+def decompose_query(
+    engine: "FederatedQueryEngine",
+    query: Query,
+    targets: Sequence[RegisteredDataset],
+    source_ontology: Optional[URIRef] = None,
+    source_dataset: Optional[URIRef] = None,
+    mode: str = "bgp",
+    selector: Optional[SourceSelector] = None,
+    bind_join_batch: int = DEFAULT_BIND_JOIN_BATCH,
+    render_sub_queries: bool = True,
+) -> DecomposedPlan:
+    """Build the decomposed plan for ``query`` over ``targets``.
+
+    Never executes the query itself (ASK probes may contact endpoints when
+    the selector is configured for them).
+    """
+    plan = DecomposedPlan(bind_join_batch=bind_join_batch)
+    if selector is None:
+        selector = SourceSelector(engine)
+
+    patterns, filters, fallback = _supported_shape(query)
+    if fallback is not None:
+        plan.fallback_reason = fallback
+        return plan
+    del filters  # filters run at the mediator; nothing to plan for them.
+
+    # Probe traffic is attributed to the call that triggers the probes;
+    # whatever an earlier explain/plan left behind is not this call's.
+    selector.probe_traffic.clear()
+
+    usable: List[RegisteredDataset] = []
+    for target in targets:
+        state = engine.registry.breaker_for(target.uri).state
+        if state == "open":
+            plan.skipped[target.uri] = "circuit open"
+            continue
+        usable.append(target)
+
+    probes_before = selector.probes_issued
+    for pattern in patterns:
+        sources = PatternSources(pattern)
+        for target in usable:
+            sources.decisions.append(
+                selector.decide(pattern, target, source_ontology, source_dataset, mode)
+            )
+        plan.pattern_sources.append(sources)
+        if not sources.relevant_uris():
+            plan.empty_reason = (
+                f"pattern {_pattern_text(pattern)} matches no registered dataset"
+            )
+    plan.probes = selector.probes_issued - probes_before
+
+    for target in usable:
+        if not any(
+            sources.decision_for(target.uri) is not None
+            and sources.decision_for(target.uri).relevant  # type: ignore[union-attr]
+            for sources in plan.pattern_sources
+        ):
+            plan.skipped.setdefault(target.uri, "no relevant pattern")
+
+    if plan.empty_reason is not None:
+        return plan
+
+    targets_by_uri = {target.uri: target for target in usable}
+    units = _build_units(plan.pattern_sources)
+    plan.units = _order_units(units, targets_by_uri, plan.pattern_sources)
+
+    if render_sub_queries:
+        bound: Set[Variable] = set()
+        for unit in plan.units:
+            unit.join_variables = sorted(unit.variables() & bound, key=str)
+            bound |= unit.variables()
+            for uri in unit.sources:
+                try:
+                    executable = _unit_query(
+                        engine, unit, targets_by_uri[uri],
+                        source_ontology, source_dataset, mode, selector,
+                    )
+                except (KeyError, ValueError) as exc:
+                    unit.sub_queries[uri] = f"error: {exc}"
+                    continue
+                if unit.join_variables:
+                    marker = " ".join(f"?{v.name}" for v in unit.join_variables)
+                    executable.where.elements.insert(
+                        0,
+                        InlineData(list(unit.join_variables), []),
+                    )
+                    unit.sub_queries[uri] = executable.serialize().replace(
+                        f"VALUES ({marker}) {{\n  }}",
+                        f"VALUES ({marker}) {{ ...bound-join batch... }}",
+                    )
+                else:
+                    unit.sub_queries[uri] = executable.serialize()
+    return plan
+
+
+def _supported_shape(
+    query: Query,
+) -> Tuple[List[Triple], List[Filter], Optional[str]]:
+    """``(patterns, filters, fallback_reason)`` for the query's WHERE clause."""
+    if not isinstance(query, SelectQuery):
+        return [], [], f"unsupported query form: {type(query).__name__}"
+    patterns: List[Triple] = []
+    filters: List[Filter] = []
+    for element in query.where.elements:
+        if isinstance(element, TriplesBlock):
+            patterns.extend(element.patterns)
+        elif isinstance(element, Filter):
+            if not _expression_mediator_safe(element.expression):
+                return [], [], "FILTER contains EXISTS"
+            filters.append(element)
+        else:
+            return [], [], f"unsupported pattern element: {type(element).__name__}"
+    if not patterns:
+        return [], [], "query has no triple patterns"
+    for pattern in patterns:
+        if any(isinstance(term, BNode) for term in pattern):
+            return [], [], "blank nodes in patterns are query-scoped"
+    return patterns, filters, None
+
+
+def _build_units(pattern_sources: Sequence[PatternSources]) -> List[QueryUnit]:
+    """Group exclusive (single-source) patterns per dataset; rest stand alone."""
+    exclusive: Dict[URIRef, QueryUnit] = {}
+    units: List[QueryUnit] = []
+    for sources in pattern_sources:
+        relevant = sources.relevant_uris()
+        if len(relevant) == 1:
+            unit = exclusive.get(relevant[0])
+            if unit is None:
+                unit = QueryUnit([], [relevant[0]], exclusive=True)
+                exclusive[relevant[0]] = unit
+                units.append(unit)
+            unit.patterns.append(sources.pattern)
+        else:
+            units.append(QueryUnit([sources.pattern], list(relevant)))
+    return units
+
+
+def _order_units(
+    units: List[QueryUnit],
+    targets_by_uri: Dict[URIRef, RegisteredDataset],
+    pattern_sources: Sequence[PatternSources],
+) -> List[QueryUnit]:
+    """Greedy deterministic join order: cheapest first, stay connected."""
+    estimates: Dict[URIRef, Dict[str, float]] = {}
+    for sources in pattern_sources:
+        for decision in sources.decisions:
+            if decision.relevant:
+                estimates.setdefault(decision.dataset_uri, {})[
+                    _pattern_text(sources.pattern)
+                ] = decision.estimate
+
+    for unit in units:
+        total = 0.0
+        for uri in unit.sources:
+            per_pattern = [
+                estimates.get(uri, {}).get(_pattern_text(pattern), 1000.0)
+                for pattern in unit.patterns
+            ]
+            total += min(per_pattern) if per_pattern else 0.0
+        unit.estimate = total
+
+    def sort_key(unit: QueryUnit) -> tuple:
+        return (unit.estimate, " | ".join(sorted(_pattern_text(p) for p in unit.patterns)))
+
+    remaining = list(units)
+    ordered: List[QueryUnit] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        connected = [unit for unit in remaining if unit.variables() & bound]
+        pool = connected if connected else remaining
+        best = min(pool, key=sort_key)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+def _unit_query(
+    engine: "FederatedQueryEngine",
+    unit: QueryUnit,
+    target: RegisteredDataset,
+    source_ontology: Optional[URIRef],
+    source_dataset: Optional[URIRef],
+    mode: str,
+    selector: SourceSelector,
+) -> SelectQuery:
+    """The executable sub-query shipping ``unit`` to ``target``.
+
+    Projects the unit's *source-level* variables: variables introduced by
+    the translation (e.g. KISTI's CreatorInfo hop) are existential per
+    dataset and must not leak into the mediator-side join.
+    """
+    translated = selector.translate_patterns(
+        unit.patterns, target, source_ontology, source_dataset, mode
+    )
+    projection = sorted(unit.variables(), key=str)
+    return SelectQuery(
+        Prologue(),
+        projection,
+        GroupGraphPattern([TriplesBlock(list(translated))]),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+class _Traffic:
+    """Per-dataset accounting for decomposed execution."""
+
+    __slots__ = ("requests", "attempts", "rows", "errors")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.attempts = 0
+        self.rows = 0
+        self.errors: List[str] = []
+
+
+def execute_decomposed(
+    engine: "FederatedQueryEngine",
+    query: SelectQuery,
+    targets: Sequence[RegisteredDataset],
+    source_ontology: Optional[URIRef],
+    source_dataset: Optional[URIRef],
+    mode: str,
+    canonical_pattern: Optional[str],
+    selector: SourceSelector,
+    bind_join_batch: int = DEFAULT_BIND_JOIN_BATCH,
+) -> "FederatedResult":
+    """Execute ``query`` with the decompose strategy.
+
+    Falls back to the engine's fan-out path when the plan says so.  The
+    result carries the plan under :attr:`FederatedResult.decomposition`.
+    """
+    from .federator import DatasetResult, FederatedResult
+
+    started = time.perf_counter()
+    plan = decompose_query(
+        engine, query, targets, source_ontology, source_dataset, mode,
+        selector=selector, bind_join_batch=bind_join_batch,
+        render_sub_queries=False,
+    )
+    if not plan.decomposed:
+        outcome = engine.execute(
+            query,
+            source_ontology=source_ontology,
+            source_dataset=source_dataset,
+            mode=mode,
+            datasets=[target.uri for target in targets],
+            canonical_pattern=canonical_pattern,
+            strategy="fanout",
+        )
+        outcome.strategy = "decompose"
+        outcome.decomposition = plan
+        return outcome
+
+    traffic: Dict[URIRef, _Traffic] = {target.uri: _Traffic() for target in targets}
+    for uri, (requests, attempts) in selector.probe_traffic.items():
+        if uri in traffic:
+            entry = traffic[uri]
+            entry.requests += requests
+            entry.attempts += attempts
+    selector.probe_traffic.clear()
+
+    variables = engine._result_variables(query)
+    if canonical_pattern is None and source_dataset is not None:
+        if source_dataset in engine.registry:
+            canonical_pattern = engine.registry.get(source_dataset).uri_pattern
+
+    merged: List[Binding] = []
+    if plan.empty_reason is None:
+        targets_by_uri = {target.uri: target for target in targets}
+        executor = _PlanExecutor(
+            engine, plan, targets_by_uri, source_ontology, source_dataset,
+            mode, selector, traffic,
+        )
+        merged = _finalise(
+            executor.rows(), query, variables, canonical_pattern, engine
+        )
+
+    per_dataset: List[DatasetResult] = []
+    for target in targets:
+        entry = traffic[target.uri]
+        error = "; ".join(entry.errors) if entry.errors else None
+        rows_shipped: Optional[int] = entry.rows
+        if plan.skipped.get(target.uri) == "circuit open":
+            # Not being contacted because the breaker refuses is an outage,
+            # exactly as the fan-out strategy reports it — not a success.
+            error = error or f"circuit open for {target.uri}"
+            rows_shipped = None
+        per_dataset.append(
+            DatasetResult(
+                dataset_uri=target.uri,
+                mediation=None,
+                result=None,
+                error=error,
+                attempts=entry.attempts,
+                requests=entry.requests,
+                rows_shipped=rows_shipped,
+            )
+        )
+
+    outcome = FederatedResult(
+        variables=list(variables),
+        per_dataset=per_dataset,
+        merged_bindings=merged,
+        strategy="decompose",
+        decomposition=plan,
+    )
+    outcome.elapsed = time.perf_counter() - started
+    return outcome
+
+
+class _PlanExecutor:
+    """Streams the rows of a decomposed plan (joins run at the mediator)."""
+
+    def __init__(
+        self,
+        engine: "FederatedQueryEngine",
+        plan: DecomposedPlan,
+        targets_by_uri: Dict[URIRef, RegisteredDataset],
+        source_ontology: Optional[URIRef],
+        source_dataset: Optional[URIRef],
+        mode: str,
+        selector: SourceSelector,
+        traffic: Dict[URIRef, _Traffic],
+    ) -> None:
+        self._engine = engine
+        self._plan = plan
+        self._targets = targets_by_uri
+        self._source_ontology = source_ontology
+        self._source_dataset = source_dataset
+        self._mode = mode
+        self._selector = selector
+        self._traffic = traffic
+
+    # -- sub-query dispatch ------------------------------------------------ #
+    def _fetch(
+        self,
+        unit: QueryUnit,
+        target: RegisteredDataset,
+        inline: Optional[InlineData],
+    ) -> List[Binding]:
+        """Run one sub-query on one source, under its policy and breaker."""
+        entry = self._traffic[target.uri]
+        try:
+            executable = _unit_query(
+                self._engine, unit, target,
+                self._source_ontology, self._source_dataset, self._mode,
+                self._selector,
+            )
+        except (KeyError, ValueError) as exc:
+            entry.errors.append(str(exc))
+            return []
+        if inline is not None:
+            executable.where.elements.insert(0, inline)
+        entry.requests += 1
+        result, attempts, error = self._engine.call_endpoint(target, executable)
+        entry.attempts += attempts
+        if error is not None or result is None:
+            entry.errors.append(error or "endpoint returned nothing")
+            return []
+        entry.rows += len(result)
+        return list(result)
+
+    # -- join pipeline ----------------------------------------------------- #
+    def rows(self) -> Iterator[Binding]:
+        stream: Iterator[Binding] = iter((Binding(),))
+        bound: Set[Variable] = set()
+        for unit in self._plan.units:
+            unit.join_variables = sorted(unit.variables() & bound, key=str)
+            bound |= unit.variables()
+            stream = self._join_unit(unit, stream)
+        return stream
+
+    def _join_unit(
+        self, unit: QueryUnit, lefts: Iterator[Binding]
+    ) -> Iterator[Binding]:
+        if not unit.join_variables:
+            return self._cross_join(unit, lefts)
+        return self._bound_join(unit, lefts)
+
+    def _unit_rows(self, unit: QueryUnit, inline: Optional[InlineData]) -> List[Binding]:
+        """One round of a unit: every source answers, results in source order.
+
+        Sources are independent, so (like the fan-out path) they are
+        queried concurrently when the engine is parallel — a bound-join
+        batch over k high-latency endpoints costs one round trip, not k.
+        """
+        sources = unit.sources
+        if len(sources) > 1 and self._engine.parallel:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(len(sources), self._engine.max_workers),
+                thread_name_prefix="decompose",
+            ) as pool:
+                futures = [
+                    pool.submit(self._fetch, unit, self._targets[uri], inline)
+                    for uri in sources
+                ]
+                per_source = [future.result() for future in futures]
+        else:
+            per_source = [
+                self._fetch(unit, self._targets[uri], inline) for uri in sources
+            ]
+        rows: List[Binding] = []
+        for fetched in per_source:
+            rows.extend(fetched)
+        return rows
+
+    def _cross_join(
+        self, unit: QueryUnit, lefts: Iterator[Binding]
+    ) -> Iterator[Binding]:
+        """No shared variables: fetch the unit once, cross with the input."""
+        rows: Optional[List[Binding]] = None
+        for left in lefts:
+            if rows is None:
+                rows = self._unit_rows(unit, None)
+            for row in rows:
+                if left.compatible(row):
+                    yield left.merge(row)
+
+    def _bound_join(
+        self, unit: QueryUnit, lefts: Iterator[Binding]
+    ) -> Iterator[Binding]:
+        """Ship left rows in batches, injected as a VALUES block."""
+        batch_size = max(1, self._plan.bind_join_batch)
+        join_variables = unit.join_variables
+        while True:
+            batch: List[Binding] = []
+            for left in lefts:
+                batch.append(left)
+                if len(batch) >= batch_size:
+                    break
+            if not batch:
+                return
+            by_key: Dict[tuple, List[Binding]] = {}
+            for left in batch:
+                key = tuple(left.get_term(variable) for variable in join_variables)
+                by_key.setdefault(key, []).append(left)
+            inline = InlineData(
+                list(join_variables),
+                sorted(by_key, key=lambda key: tuple(str(term) for term in key)),
+            )
+            for row in self._unit_rows(unit, inline):
+                key = tuple(row.get_term(variable) for variable in join_variables)
+                for left in by_key.get(key, ()):
+                    yield left.merge(row)
+
+
+# --------------------------------------------------------------------------- #
+# Finalisation (canonicalise, FILTER, modifiers)
+# --------------------------------------------------------------------------- #
+def _finalise(
+    rows: Iterator[Binding],
+    query: SelectQuery,
+    variables: Sequence[Variable],
+    canonical_pattern: Optional[str],
+    engine: "FederatedQueryEngine",
+) -> List[Binding]:
+    """Canonicalise, filter, and apply the solution modifiers.
+
+    Mirrors the fan-out pipeline's observable behaviour: URIs are collapsed
+    onto their canonical representative *before* the source-level FILTERs
+    run (fan-out ships per-dataset translated filters instead; on
+    sameAs-complete scenarios the two agree), and the merged output is
+    always deduplicated, exactly like the fan-out merge.  Everything
+    streams unless ORDER BY forces materialisation, so LIMIT stops pulling
+    bound-join batches as soon as it is satisfied.
+    """
+    filters = [
+        element for element in query.where.elements if isinstance(element, Filter)
+    ]
+    modifiers = query.modifiers
+
+    def canonical() -> Iterator[Binding]:
+        for row in rows:
+            data = {}
+            for variable in row:
+                term = row.get_term(variable)
+                if isinstance(term, URIRef):
+                    term = engine._canonical_uri(term, canonical_pattern)
+                data[variable] = term
+            candidate = Binding(data)
+            if all(
+                expression_satisfied(f.expression, candidate, _EMPTY_GRAPH)
+                for f in filters
+            ):
+                yield candidate
+
+    stream: Iterator[Binding] = canonical()
+    if modifiers.order_by:
+        stream = iter(_order(list(stream), modifiers.order_by, _EMPTY_GRAPH))
+
+    def projected() -> Iterator[Binding]:
+        seen: Set[frozenset] = set()
+        for row in stream:
+            candidate = row.project(variables)
+            key = frozenset(candidate.as_dict().items())
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+    result: List[Binding] = []
+    offset = modifiers.offset or 0
+    skipped = 0
+    for row in projected():
+        if skipped < offset:
+            skipped += 1
+            continue
+        result.append(row)
+        if modifiers.limit is not None and len(result) >= modifiers.limit:
+            break
+    return result

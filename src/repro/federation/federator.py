@@ -47,7 +47,15 @@ _DEFAULT_MAX_WORKERS = 16
 
 @dataclass
 class DatasetResult:
-    """Result of running one (rewritten) query on one dataset."""
+    """Result of running one (rewritten) query on one dataset.
+
+    Under the fan-out strategy one entry describes one whole-query request
+    (``result`` holds the endpoint's rows).  Under the decompose strategy a
+    dataset may serve many sub-queries (exclusive groups, bound-join
+    batches, ASK probes); then ``requests``/``rows_shipped`` aggregate the
+    traffic and ``result`` stays ``None`` — the merged answer lives on the
+    :class:`FederatedResult`.
+    """
 
     dataset_uri: URIRef
     mediation: Optional[MediationResult]
@@ -57,13 +65,21 @@ class DatasetResult:
     attempts: int = 1
     #: Wall-clock seconds spent on this dataset (mediation + endpoint).
     elapsed: float = 0.0
+    #: Endpoint requests issued (decompose strategy; includes ASK probes).
+    requests: int = 0
+    #: Rows received from this endpoint across all sub-queries (decompose).
+    rows_shipped: Optional[int] = None
 
     @property
     def succeeded(self) -> bool:
-        return self.result is not None and self.error is None
+        if self.error is not None:
+            return False
+        return self.result is not None or self.rows_shipped is not None
 
     @property
     def row_count(self) -> int:
+        if self.rows_shipped is not None:
+            return self.rows_shipped
         return len(self.result) if self.result is not None else 0
 
 
@@ -76,6 +92,10 @@ class FederatedResult:
     merged_bindings: List[Binding] = field(default_factory=list)
     #: Wall-clock seconds for the whole fan-out + merge.
     elapsed: float = 0.0
+    #: Execution strategy that produced the result.
+    strategy: str = "fanout"
+    #: The decomposed plan, when ``strategy == "decompose"``.
+    decomposition: Optional["DecomposedPlan"] = None
 
     def merged(self) -> ResultSet:
         """The merged (co-reference-canonicalised, deduplicated) result set."""
@@ -100,6 +120,19 @@ class FederatedResult:
         """Endpoint attempts across the fan-out (retries included)."""
         return sum(entry.attempts for entry in self.per_dataset)
 
+    @property
+    def total_requests(self) -> int:
+        """Endpoint requests issued (sub-queries and probes; decompose)."""
+        return sum(entry.requests for entry in self.per_dataset)
+
+    @property
+    def endpoints_contacted(self) -> int:
+        """How many datasets actually received at least one request."""
+        return sum(
+            1 for entry in self.per_dataset
+            if entry.attempts > 0 or entry.requests > 0
+        )
+
 
 class FederatedQueryEngine:
     """Run a source query over every registered dataset through the mediator.
@@ -116,6 +149,17 @@ class FederatedQueryEngine:
         merged output is identical; per-call ``parallel=`` overrides.
     max_workers:
         Upper bound on concurrent endpoint requests.
+    strategy:
+        Default execution strategy: ``"fanout"`` ships the whole rewritten
+        query to every dataset; ``"decompose"`` runs per-pattern source
+        selection, exclusive groups and bound joins
+        (:mod:`repro.federation.decompose`).  Per-call ``strategy=``
+        overrides.
+    ask_probes / probe_timeout:
+        Whether source selection may issue ``ASK`` probes for patterns the
+        VoID statistics cannot settle, and the per-probe time budget.
+    bind_join_batch:
+        Left rows shipped per bound-join batch (decompose strategy).
     """
 
     def __init__(
@@ -125,12 +169,44 @@ class FederatedQueryEngine:
         sameas_service: Optional[SameAsService] = None,
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        strategy: str = "fanout",
+        ask_probes: bool = True,
+        probe_timeout: Optional[float] = 2.0,
+        bind_join_batch: Optional[int] = None,
     ) -> None:
+        from .decompose import DEFAULT_BIND_JOIN_BATCH
+
+        if strategy not in ("fanout", "decompose"):
+            raise ValueError(f"unknown federation strategy: {strategy!r}")
         self.mediator = mediator
         self.registry = registry
         self.sameas_service = sameas_service or mediator.sameas_service
         self.parallel = parallel
         self.max_workers = max_workers or _DEFAULT_MAX_WORKERS
+        self.strategy = strategy
+        self.ask_probes = ask_probes
+        self.probe_timeout = probe_timeout
+        self.bind_join_batch = bind_join_batch or DEFAULT_BIND_JOIN_BATCH
+        self._selector = None
+
+    @property
+    def source_selector(self):
+        """The engine's (lazily created) shared source selector.
+
+        Shared so relevance decisions are cached across queries; the cache
+        invalidates itself on alignment-KB generation changes and local
+        graph mutations.
+        """
+        if self._selector is None:
+            from .decompose import SourceSelector
+
+            self._selector = SourceSelector(
+                self, ask_probes=self.ask_probes, probe_timeout=self.probe_timeout
+            )
+        else:
+            self._selector.ask_probes = self.ask_probes
+            self._selector.probe_timeout = self.probe_timeout
+        return self._selector
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -144,6 +220,7 @@ class FederatedQueryEngine:
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
         parallel: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> FederatedResult:
         """Run ``query`` over the federation.
 
@@ -153,10 +230,24 @@ class FederatedQueryEngine:
         restricts the fan-out; ``canonical_pattern`` selects the URI space
         results are canonicalised into (defaults to the source dataset's
         pattern, falling back to plain deduplication).  ``parallel``
-        overrides the engine's default execution mode for this call.
+        overrides the engine's default execution mode for this call;
+        ``strategy`` overrides the engine's default execution strategy
+        (``"fanout"`` or ``"decompose"``).
         """
         if isinstance(query, str):
             query = parse_query(query)
+        effective_strategy = strategy or self.strategy
+        if effective_strategy == "decompose":
+            from .decompose import execute_decomposed
+
+            return execute_decomposed(
+                self, query, self._select_targets(datasets),
+                source_ontology, source_dataset, mode, canonical_pattern,
+                selector=self.source_selector,
+                bind_join_batch=self.bind_join_batch,
+            )
+        if effective_strategy != "fanout":
+            raise ValueError(f"unknown federation strategy: {effective_strategy!r}")
         started = time.perf_counter()
         targets = self._select_targets(datasets)
         variables = self._result_variables(query)
@@ -186,6 +277,7 @@ class FederatedQueryEngine:
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
         parallel: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> List[FederatedResult]:
         """Run a batch of queries over the federation (same order as input).
 
@@ -214,7 +306,7 @@ class FederatedQueryEngine:
                     continue
         return [
             self.execute(query, source_ontology, source_dataset, mode, datasets,
-                         canonical_pattern, parallel)
+                         canonical_pattern, parallel, strategy)
             for query in parsed
         ]
 
@@ -225,17 +317,27 @@ class FederatedQueryEngine:
         source_dataset: Optional[URIRef] = None,
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
+        strategy: Optional[str] = None,
     ) -> Dict[URIRef, str]:
         """Per-dataset EXPLAIN for a federated query, without executing it.
 
-        Each target receives exactly the query :meth:`execute` would send
-        it (the source dataset its original query, every other dataset the
-        mediated rewrite) and reports the physical plan its endpoint's
-        planner would run.  Endpoints that expose no ``explain`` (remote
-        transports) report the rewritten query text instead.
+        Under the fan-out strategy each target receives exactly the query
+        :meth:`execute` would send it (the source dataset its original
+        query, every other dataset the mediated rewrite) and reports the
+        physical plan its endpoint's planner would run; endpoints that
+        expose no ``explain`` (remote transports) report the rewritten
+        query text instead.  Under the decompose strategy each target
+        reports its slice of the decomposed plan — the sub-queries of the
+        units it serves (exclusive groups, bound-join fragments) or the
+        reason it is skipped.  ``ASK`` probes may contact endpoints when
+        source selection needs them.
         """
         if isinstance(query, str):
             query = parse_query(query)
+        if (strategy or self.strategy) == "decompose":
+            plan = self.decompose_plan(query, source_ontology, source_dataset,
+                                       mode, datasets)
+            return self._explain_decomposed(plan, datasets)
         plans: Dict[URIRef, str] = {}
         for target in self._select_targets(datasets):
             try:
@@ -252,6 +354,59 @@ class FederatedQueryEngine:
             except (EndpointError, KeyError, ValueError) as exc:
                 plans[target.uri] = f"error: {exc}"
         return plans
+
+    def decompose_plan(
+        self,
+        query: Union[Query, str],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+    ):
+        """The decomposed plan for ``query`` (source selection, units, joins).
+
+        Builds the plan without executing the query; ``ASK`` probes may
+        contact endpoints when the VoID statistics cannot settle a pattern
+        and the engine is configured for probing.
+        """
+        from .decompose import decompose_query
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        return decompose_query(
+            self, query, self._select_targets(datasets),
+            source_ontology, source_dataset, mode,
+            selector=self.source_selector,
+            bind_join_batch=self.bind_join_batch,
+        )
+
+    def _explain_decomposed(
+        self, plan, datasets: Optional[Sequence[URIRef]]
+    ) -> Dict[URIRef, str]:
+        """Slice a decomposed plan into the per-dataset EXPLAIN payloads."""
+        per_dataset: Dict[URIRef, str] = {}
+        for target in self._select_targets(datasets):
+            if plan.fallback_reason is not None:
+                per_dataset[target.uri] = f"fan-out fallback: {plan.fallback_reason}"
+                continue
+            if target.uri in plan.skipped:
+                per_dataset[target.uri] = f"skipped: {plan.skipped[target.uri]}"
+                continue
+            if plan.empty_reason is not None:
+                per_dataset[target.uri] = f"not contacted: {plan.empty_reason}"
+                continue
+            lines: List[str] = []
+            for index, unit in enumerate(plan.units):
+                if target.uri not in unit.sources:
+                    continue
+                from .decompose import _unit_kind
+
+                lines.append(f"unit {index + 1} [{_unit_kind(unit)}]")
+                sub_query = unit.sub_queries.get(target.uri)
+                if sub_query:
+                    lines.extend(f"  {line}" for line in sub_query.strip().splitlines())
+            per_dataset[target.uri] = "\n".join(lines) if lines else "no unit assigned"
+        return per_dataset
 
     def _select_targets(self, datasets: Optional[Sequence[URIRef]]) -> List[RegisteredDataset]:
         if datasets is None:
@@ -309,8 +464,6 @@ class FederatedQueryEngine:
     ) -> DatasetResult:
         """Rewrite for one dataset, then execute under its policy."""
         started = time.perf_counter()
-        policy = self.registry.policy_for(target.uri)
-        breaker = self.registry.breaker_for(target.uri)
         mediation: Optional[MediationResult] = None
         try:
             if source_dataset is not None and target.uri == source_dataset:
@@ -322,6 +475,31 @@ class FederatedQueryEngine:
             return DatasetResult(target.uri, mediation, None, error=str(exc),
                                  attempts=0, elapsed=time.perf_counter() - started)
 
+        result, attempts, last_error = self.call_endpoint(target, executable)
+        return DatasetResult(target.uri, mediation, result, error=last_error,
+                             attempts=attempts,
+                             elapsed=time.perf_counter() - started)
+
+    def call_endpoint(
+        self,
+        target: RegisteredDataset,
+        executable: Query,
+        kind: str = "select",
+        timeout: Optional[float] = None,
+    ) -> Tuple[Optional[ResultSet], int, Optional[str]]:
+        """One endpoint call governed by the dataset's policy and breaker.
+
+        Returns ``(result, attempts, error)`` with exactly one of
+        ``result``/``error`` set.  ``kind`` selects the endpoint operation
+        (``select`` or ``ask``); ``timeout`` overrides the policy's
+        per-attempt budget (used for cheap ASK probes).  This is the shared
+        execution primitive of both strategies: the fan-out path issues one
+        whole-query call per dataset, the decomposer issues many sub-query
+        and probe calls — all through the same resilience machinery.
+        """
+        policy = self.registry.policy_for(target.uri)
+        breaker = self.registry.breaker_for(target.uri)
+        effective_timeout = policy.timeout if timeout is None else timeout
         last_error: Optional[str] = None
         attempts = 0
         for attempt in range(policy.max_attempts):
@@ -330,11 +508,9 @@ class FederatedQueryEngine:
                 break
             attempts += 1
             try:
-                result = self._attempt(target, executable, policy.timeout)
+                result = self._attempt(target, executable, effective_timeout, kind)
                 breaker.record_success()
-                return DatasetResult(target.uri, mediation, result,
-                                     attempts=attempts,
-                                     elapsed=time.perf_counter() - started)
+                return result, attempts, None
             except (EndpointError, KeyError, ValueError) as exc:
                 breaker.record_failure()
                 last_error = str(exc)
@@ -348,30 +524,30 @@ class FederatedQueryEngine:
                 # breaker refusing forever), then propagate the bug.
                 breaker.record_failure()
                 raise
-        return DatasetResult(target.uri, mediation, None, error=last_error,
-                             attempts=attempts,
-                             elapsed=time.perf_counter() - started)
+        return None, attempts, last_error
 
     @staticmethod
     def _attempt(
         target: RegisteredDataset,
         executable: Query,
         timeout: Optional[float],
-    ) -> ResultSet:
+        kind: str = "select",
+    ):
         """One endpoint attempt, bounded by ``timeout`` seconds.
 
         Endpoints expose no cancellation, so the attempt runs on a daemon
         thread and is abandoned on timeout — exactly how an HTTP client
         would drop a socket while the server keeps computing.
         """
+        operation = getattr(target.endpoint, kind)
         if timeout is None:
-            return target.endpoint.select(executable)
+            return operation(executable)
         box: Dict[str, object] = {}
         done = threading.Event()
 
         def run() -> None:
             try:
-                box["result"] = target.endpoint.select(executable)
+                box["result"] = operation(executable)
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 box["error"] = exc
             finally:

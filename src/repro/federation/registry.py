@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..rdf import Graph, URIRef
 from .endpoint import EndpointStatistics, SparqlEndpoint
 from .policy import CircuitBreaker, ExecutionPolicy
-from .void import DatasetDescription, descriptions_to_graph
+from .void import DatasetDescription, descriptions_from_graph, descriptions_to_graph
 
 __all__ = ["RegisteredDataset", "DatasetRegistry", "EndpointHealth"]
 
@@ -128,6 +128,33 @@ class DatasetRegistry:
             self._policies.pop(uri, None)
             self._breakers.pop(uri, None)
 
+    def refresh_statistics(self, uri: Optional[URIRef] = None) -> int:
+        """Refresh voiD vocabulary statistics from the endpoints' live graphs.
+
+        For every dataset (or just ``uri``) whose endpoint exposes its graph
+        (:class:`LocalSparqlEndpoint` does; remote proxies do not), the
+        stored description's ``void:propertyPartition`` /
+        ``void:classPartition`` entries and triple count are rebuilt from
+        :attr:`repro.rdf.Graph.stats`.  Returns how many descriptions were
+        refreshed.  Endpoint health (policies, breakers) is untouched — the
+        data changed, not the endpoint.
+        """
+        refreshed = 0
+        with self._lock:
+            targets = [uri] if uri is not None else list(self._datasets)
+            for dataset_uri in targets:
+                dataset = self._datasets.get(dataset_uri)
+                if dataset is None:
+                    continue
+                graph = getattr(dataset.endpoint, "graph", None)
+                if graph is None or not hasattr(graph, "stats"):
+                    continue
+                self._datasets[dataset_uri] = RegisteredDataset(
+                    dataset.description.with_statistics(graph), dataset.endpoint
+                )
+                refreshed += 1
+        return refreshed
+
     # ------------------------------------------------------------------ #
     # Execution policies and endpoint health
     # ------------------------------------------------------------------ #
@@ -215,11 +242,39 @@ class DatasetRegistry:
         return [dataset for dataset in self if ontology in dataset.ontologies]
 
     # ------------------------------------------------------------------ #
-    # voiD KB export
+    # voiD KB export / import
     # ------------------------------------------------------------------ #
     def void_graph(self) -> Graph:
         """The voiD KB describing every registered dataset."""
         return descriptions_to_graph(dataset.description for dataset in self)
+
+    def load_void_graph(
+        self,
+        graph: Graph,
+        endpoint_factory: Optional[Callable[[DatasetDescription], SparqlEndpoint]] = None,
+    ) -> List[RegisteredDataset]:
+        """Register every dataset described in a voiD graph.
+
+        The read half of the voiD KB round trip: descriptions are parsed
+        with :func:`descriptions_from_graph` and each one is registered
+        with an endpoint built by ``endpoint_factory`` (default: an
+        :class:`~repro.federation.http_endpoint.HttpSparqlEndpoint` at the
+        description's ``void:sparqlEndpoint`` URL, which is what consuming
+        a remote federation's published voiD KB means in practice).
+        Returns the datasets registered, in description order.
+        """
+        if endpoint_factory is None:
+            from .http_endpoint import HttpSparqlEndpoint
+
+            def endpoint_factory(description: DatasetDescription) -> SparqlEndpoint:
+                return HttpSparqlEndpoint(description.endpoint_uri)
+
+        registered = []
+        for description in descriptions_from_graph(graph):
+            registered.append(
+                self.register_endpoint(description, endpoint_factory(description))
+            )
+        return registered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<DatasetRegistry {len(self)} datasets>"

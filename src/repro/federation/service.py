@@ -15,16 +15,16 @@ touching the core.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..alignment import AlignmentStore
 from ..coreference import SameAsService
 from ..core import MediationResult, Mediator, TargetProfile
 from ..rdf import Graph, URIRef
-from ..sparql import Query, ResultSet, parse_query
+from ..sparql import Query, parse_query
 from .federator import FederatedQueryEngine, FederatedResult
-from .registry import DatasetRegistry, RegisteredDataset
+from .registry import DatasetRegistry
 
 __all__ = ["DatasetInfo", "TranslationResponse", "ExecutionResponse", "MediatorService"]
 
@@ -72,6 +72,9 @@ class MediatorService:
         sameas_service: Optional[SameAsService] = None,
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        strategy: str = "fanout",
+        ask_probes: bool = True,
+        bind_join_batch: Optional[int] = None,
     ) -> None:
         self.alignment_store = alignment_store
         self.registry = registry
@@ -88,6 +91,8 @@ class MediatorService:
         self.federation = FederatedQueryEngine(
             self.mediator, registry, self.sameas_service,
             parallel=parallel, max_workers=max_workers,
+            strategy=strategy, ask_probes=ask_probes,
+            bind_join_batch=bind_join_batch,
         )
 
     # ------------------------------------------------------------------ #
@@ -162,6 +167,7 @@ class MediatorService:
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
         parallel: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> FederatedResult:
         """Run the query over every registered dataset and merge the results."""
         return self.federation.execute(
@@ -172,6 +178,7 @@ class MediatorService:
             datasets=datasets,
             canonical_pattern=canonical_pattern,
             parallel=parallel,
+            strategy=strategy,
         )
 
     def federate_many(
@@ -183,6 +190,7 @@ class MediatorService:
         datasets: Optional[Sequence[URIRef]] = None,
         canonical_pattern: Optional[str] = None,
         parallel: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> List[FederatedResult]:
         """Batch variant of :meth:`federate` (one result per input query).
 
@@ -198,6 +206,7 @@ class MediatorService:
             datasets=datasets,
             canonical_pattern=canonical_pattern,
             parallel=parallel,
+            strategy=strategy,
         )
 
     def explain(
@@ -207,6 +216,7 @@ class MediatorService:
         source_dataset: Optional[URIRef] = None,
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
+        strategy: Optional[str] = None,
     ) -> Dict[str, str]:
         """Per-dataset physical plans for a federated query (no execution)."""
         plans = self.federation.explain(
@@ -215,6 +225,7 @@ class MediatorService:
             source_dataset=source_dataset,
             mode=mode,
             datasets=datasets,
+            strategy=strategy,
         )
         return {str(uri): text for uri, text in plans.items()}
 

@@ -6,23 +6,34 @@ data set is uniquely identified within the system with an URI".
 :class:`DatasetDescription` is the in-memory form of one such description
 and converts to/from the voiD RDF encoding, so the registry can persist its
 knowledge base exactly as the paper's system does.
+
+Beyond the core profile (endpoint, vocabularies, URI space), a description
+may advertise the dataset's *vocabulary statistics* — per-predicate triple
+counts (``void:propertyPartition``) and per-class entity counts
+(``void:classPartition``).  These are what the federation decomposer's
+source selection consumes: a triple pattern whose ground predicate (or
+``rdf:type`` class) is absent from a dataset's partitions provably matches
+nothing there, so the endpoint need not be contacted at all.
+:meth:`DatasetDescription.with_statistics` derives the partitions from a
+graph's incrementally maintained :class:`~repro.rdf.GraphStatistics`, so
+republishing after a data change is O(distinct predicates + classes).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..rdf import (
     DC,
     Graph,
     Literal,
     RDF,
-    Term,
     Triple,
     URIRef,
     VOID,
     XSD,
+    fresh_bnode,
 )
 
 __all__ = ["DatasetDescription", "descriptions_to_graph", "descriptions_from_graph"]
@@ -51,6 +62,10 @@ class DatasetDescription:
         Human readable name (``dc:title``).
     triple_count:
         Advertised size (``void:triples``), informational.
+    property_partitions:
+        ``(predicate, triple count)`` pairs (``void:propertyPartition``).
+    class_partitions:
+        ``(class, entity count)`` pairs (``void:classPartition``).
     """
 
     uri: URIRef
@@ -59,6 +74,60 @@ class DatasetDescription:
     uri_pattern: Optional[str] = None
     title: Optional[str] = None
     triple_count: Optional[int] = None
+    property_partitions: Tuple[Tuple[URIRef, int], ...] = ()
+    class_partitions: Tuple[Tuple[URIRef, int], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def advertises_vocabulary(self) -> bool:
+        """Whether the description carries per-predicate partitions."""
+        return bool(self.property_partitions)
+
+    def predicates(self) -> FrozenSet[URIRef]:
+        """Predicates the dataset advertises (empty = not advertised)."""
+        return frozenset(predicate for predicate, _ in self.property_partitions)
+
+    def classes(self) -> FrozenSet[URIRef]:
+        """``rdf:type`` classes the dataset advertises."""
+        return frozenset(cls for cls, _ in self.class_partitions)
+
+    def predicate_count(self, predicate: URIRef) -> Optional[int]:
+        """Advertised triple count for ``predicate`` (``None`` = unknown)."""
+        for candidate, count in self.property_partitions:
+            if candidate == predicate:
+                return count
+        return None
+
+    def with_statistics(self, graph) -> "DatasetDescription":
+        """A copy whose partitions/size reflect ``graph``'s live statistics.
+
+        Reads the per-predicate and per-class counters the graph maintains
+        incrementally (:attr:`repro.rdf.Graph.stats`), so refreshing after
+        mutations never rescans the data.
+        """
+        stats = graph.stats
+        properties = tuple(
+            (predicate, count)
+            for predicate, count in sorted(
+                stats.predicate_counts.items(), key=lambda item: str(item[0])
+            )
+            if isinstance(predicate, URIRef)
+        )
+        classes = tuple(
+            (cls, count)
+            for cls, count in sorted(
+                stats.class_counts.items(), key=lambda item: str(item[0])
+            )
+            if isinstance(cls, URIRef)
+        )
+        return replace(
+            self,
+            triple_count=len(graph),
+            property_partitions=properties,
+            class_partitions=classes,
+        )
 
     # ------------------------------------------------------------------ #
     # RDF encoding
@@ -79,6 +148,16 @@ class DatasetDescription:
             triples.append(
                 Triple(self.uri, VOID.triples, Literal(self.triple_count, datatype=XSD.integer))
             )
+        for predicate, count in self.property_partitions:
+            partition = fresh_bnode("pp")
+            triples.append(Triple(self.uri, VOID.propertyPartition, partition))
+            triples.append(Triple(partition, VOID.property, predicate))
+            triples.append(Triple(partition, VOID.triples, Literal(count, datatype=XSD.integer)))
+        for cls, count in self.class_partitions:
+            partition = fresh_bnode("cp")
+            triples.append(Triple(self.uri, VOID.classPartition, partition))
+            triples.append(Triple(partition, VOID["class"], cls))
+            triples.append(Triple(partition, VOID.entities, Literal(count, datatype=XSD.integer)))
         return triples
 
     @classmethod
@@ -108,7 +187,32 @@ class DatasetDescription:
             uri_pattern=pattern_term.lexical if isinstance(pattern_term, Literal) else None,
             title=title_term.lexical if isinstance(title_term, Literal) else None,
             triple_count=triple_count,
+            property_partitions=cls._read_partitions(
+                graph, uri, VOID.propertyPartition, VOID.property, VOID.triples
+            ),
+            class_partitions=cls._read_partitions(
+                graph, uri, VOID.classPartition, VOID["class"], VOID.entities
+            ),
         )
+
+    @staticmethod
+    def _read_partitions(
+        graph: Graph,
+        uri: URIRef,
+        link: URIRef,
+        key_property: URIRef,
+        count_property: URIRef,
+    ) -> Tuple[Tuple[URIRef, int], ...]:
+        """Read ``(key, count)`` partition pairs hanging off ``link``."""
+        partitions: Dict[URIRef, int] = {}
+        for node in graph.objects(uri, link):
+            key = graph.value(node, key_property, None)
+            if not isinstance(key, URIRef):
+                continue
+            count_term = graph.value(node, count_property, None)
+            count = count_term.to_python() if isinstance(count_term, Literal) else None
+            partitions[key] = count if isinstance(count, int) else 0
+        return tuple(sorted(partitions.items(), key=lambda item: str(item[0])))
 
 
 def descriptions_to_graph(descriptions: Iterable[DatasetDescription]) -> Graph:

@@ -11,10 +11,10 @@ the original system).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
 
 from .namespace import NamespaceManager, RDF
-from .terms import BNode, Literal, Term, URIRef, Variable
+from .terms import BNode, Term, URIRef, Variable
 from .triple import Triple
 
 __all__ = ["Graph", "GraphStatistics", "ReadOnlyGraphView"]

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from .graph import Graph
 from .namespace import RDF
-from .terms import BNode, Term, URIRef, fresh_bnode
+from .terms import Term, URIRef, fresh_bnode
 from .triple import Triple
 
 __all__ = ["reify", "dereify", "dereify_all", "is_statement_node", "ReificationError"]

@@ -139,6 +139,7 @@ class FederationBackend(QueryBackend):
         mode: str = "bgp",
         datasets: Optional[Sequence[URIRef]] = None,
         description: Optional[str] = None,
+        strategy: Optional[str] = None,
     ) -> None:
         if isinstance(engine, MediatorService):
             engine = engine.federation
@@ -147,8 +148,10 @@ class FederationBackend(QueryBackend):
         self.source_dataset = source_dataset
         self.mode = mode
         self.datasets = list(datasets) if datasets is not None else None
+        self.strategy = strategy
         self.description = description or (
             f"mediated federation over {len(self.engine.registry)} datasets"
+            + (f" (strategy {strategy})" if strategy else "")
         )
 
     def execute(self, query_text: str) -> QueryResult:
@@ -164,6 +167,7 @@ class FederationBackend(QueryBackend):
             source_dataset=self.source_dataset,
             mode=self.mode,
             datasets=self.datasets,
+            strategy=self.strategy,
         )
         return outcome.merged()
 

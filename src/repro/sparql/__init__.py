@@ -16,6 +16,7 @@ from .ast import (
     Filter,
     FunctionCall,
     GroupGraphPattern,
+    InlineData,
     OptionalPattern,
     OrderCondition,
     Prologue,
@@ -38,6 +39,7 @@ from .algebra import (
     AlgebraOrderBy,
     AlgebraProject,
     AlgebraSlice,
+    AlgebraTable,
     AlgebraUnion,
     algebra_to_group,
     to_sexpr,
@@ -86,11 +88,13 @@ __all__ = [
     "Query", "SelectQuery", "AskQuery", "ConstructQuery",
     "Prologue", "SolutionModifiers", "OrderCondition",
     "GroupGraphPattern", "TriplesBlock", "Filter", "OptionalPattern", "UnionPattern",
+    "InlineData",
     "Expression", "TermExpression", "VariableExpression", "BinaryExpression",
     "UnaryExpression", "FunctionCall", "ExistsExpression",
     # algebra
     "AlgebraNode", "AlgebraBGP", "AlgebraJoin", "AlgebraLeftJoin", "AlgebraUnion",
     "AlgebraFilter", "AlgebraProject", "AlgebraDistinct", "AlgebraOrderBy", "AlgebraSlice",
+    "AlgebraTable",
     "translate_query", "translate_group", "algebra_to_group", "to_sexpr",
     # evaluation
     "QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp",

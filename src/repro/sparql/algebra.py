@@ -25,11 +25,10 @@ from typing import Callable, Iterator, List, Optional, Sequence
 
 from ..rdf import Triple, Variable
 from .ast import (
-    AskQuery,
-    ConstructQuery,
     Expression,
     Filter,
     GroupGraphPattern,
+    InlineData,
     OptionalPattern,
     OrderCondition,
     Query,
@@ -42,7 +41,7 @@ from .serializer import serialize_expression
 __all__ = [
     "AlgebraNode", "AlgebraBGP", "AlgebraJoin", "AlgebraLeftJoin",
     "AlgebraUnion", "AlgebraFilter", "AlgebraProject", "AlgebraDistinct",
-    "AlgebraOrderBy", "AlgebraSlice",
+    "AlgebraOrderBy", "AlgebraSlice", "AlgebraTable",
     "translate_query", "translate_group", "algebra_to_group", "to_sexpr",
 ]
 
@@ -90,6 +89,20 @@ class AlgebraBGP(AlgebraNode):
         for pattern in self.patterns:
             result |= pattern.variables()
         return result
+
+
+@dataclass
+class AlgebraTable(AlgebraNode):
+    """An inline solution table (the algebra form of a ``VALUES`` block).
+
+    ``rows`` are tuples aligned with ``columns``; ``None`` is ``UNDEF``.
+    """
+
+    columns: List[Variable] = field(default_factory=list)
+    rows: List[tuple] = field(default_factory=list)
+
+    def variables(self) -> set[Variable]:
+        return set(self.columns)
 
 
 @dataclass
@@ -253,6 +266,8 @@ def translate_group(group: GroupGraphPattern) -> AlgebraNode:
 def _translate_element(element) -> AlgebraNode:
     if isinstance(element, TriplesBlock):
         return AlgebraBGP(list(element.patterns))
+    if isinstance(element, InlineData):
+        return AlgebraTable(list(element.columns), list(element.rows))
     if isinstance(element, GroupGraphPattern):
         return translate_group(element)
     if isinstance(element, OptionalPattern):
@@ -296,6 +311,9 @@ def _emit(node: AlgebraNode, group: GroupGraphPattern) -> None:
         if node.patterns:
             group.add(TriplesBlock(list(node.patterns)))
         return
+    if isinstance(node, AlgebraTable):
+        group.add(InlineData(list(node.columns), list(node.rows)))
+        return
     if isinstance(node, AlgebraJoin):
         _emit(node.left, group)
         _emit(node.right, group)
@@ -330,6 +348,9 @@ def to_sexpr(node: AlgebraNode, indent: int = 0) -> str:
     if isinstance(node, AlgebraBGP):
         triples = " ".join(f"({t.subject.n3()} {t.predicate.n3()} {t.object.n3()})" for t in node.patterns)
         return f"{pad}(bgp {triples})"
+    if isinstance(node, AlgebraTable):
+        variables = " ".join(f"?{v.name}" for v in node.columns)
+        return f"{pad}(table ({variables}) {len(node.rows)} rows)"
     if isinstance(node, AlgebraJoin):
         return f"{pad}(join\n{to_sexpr(node.left, indent + 1)}\n{to_sexpr(node.right, indent + 1)})"
     if isinstance(node, AlgebraLeftJoin):

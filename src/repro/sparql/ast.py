@@ -27,7 +27,7 @@ __all__ = [
     "UnaryExpression", "FunctionCall", "ExistsExpression",
     # patterns
     "PatternElement", "TriplesBlock", "Filter", "OptionalPattern",
-    "UnionPattern", "GroupGraphPattern", "GraphPattern",
+    "UnionPattern", "InlineData", "GroupGraphPattern", "GraphPattern",
     # query forms
     "Prologue", "OrderCondition", "SolutionModifiers",
     "Query", "SelectQuery", "AskQuery", "ConstructQuery",
@@ -217,6 +217,60 @@ class UnionPattern(PatternElement):
         for alternative in self.alternatives:
             result |= alternative.variables()
         return result
+
+
+class InlineData(PatternElement):
+    """A ``VALUES`` block: an inline table of solution bindings.
+
+    ``columns`` lists the variables; each row is a tuple of terms aligned
+    with ``columns``, with ``None`` standing for ``UNDEF``.  The block
+    joins with the rest of its group exactly like a table of precomputed
+    solutions — this is what the federation layer's *bound joins* ship to
+    remote endpoints so they only evaluate a pattern against the bindings
+    already produced by earlier join steps.
+    """
+
+    def __init__(
+        self,
+        columns: Iterable[Variable],
+        rows: Iterable[Sequence[Optional[Term]]] = (),
+    ) -> None:
+        self.columns: List[Variable] = list(columns)
+        self.rows: List[tuple] = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"VALUES row width {len(row)} does not match "
+                    f"{len(self.columns)} variables"
+                )
+
+    def add_row(self, row: Sequence[Optional[Term]]) -> "InlineData":
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"VALUES row width {len(row)} does not match "
+                f"{len(self.columns)} variables"
+            )
+        self.rows.append(tuple(row))
+        return self
+
+    def variables(self) -> set[Variable]:
+        return set(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InlineData)
+            and self.columns == other.columns
+            and self.rows == other.rows
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - blocks are mutable
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InlineData({self.columns!r}, {len(self.rows)} rows)"
 
 
 class GroupGraphPattern(PatternElement):

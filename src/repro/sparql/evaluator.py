@@ -25,6 +25,7 @@ from .ast import (
     ConstructQuery,
     Filter,
     GroupGraphPattern,
+    InlineData,
     OptionalPattern,
     Query,
     SelectQuery,
@@ -233,6 +234,18 @@ def _apply_element(element, solutions: List[Binding], graph) -> List[Binding]:
         for solution in solutions:
             for alternative in element.alternatives:
                 result.extend(evaluate_group(alternative, graph, initial=solution))
+        return result
+    if isinstance(element, InlineData):
+        result = []
+        for solution in solutions:
+            for row in element.rows:
+                extension = Binding({
+                    variable: term
+                    for variable, term in zip(element.columns, row)
+                    if term is not None
+                })
+                if solution.compatible(extension):
+                    result.append(solution.merge(extension))
         return result
     raise TypeError(f"unsupported pattern element: {element!r}")
 

@@ -43,6 +43,7 @@ from .ast import (
     Filter,
     FunctionCall,
     GroupGraphPattern,
+    InlineData,
     OptionalPattern,
     OrderCondition,
     Prologue,
@@ -55,7 +56,7 @@ from .ast import (
     UnionPattern,
     VariableExpression,
 )
-from .tokenizer import SparqlLexError, SparqlToken, tokenize_sparql
+from .tokenizer import SparqlToken, tokenize_sparql
 
 __all__ = ["SparqlParser", "SparqlParseError", "parse_query"]
 
@@ -228,6 +229,10 @@ class _ParserState:
                 self._next()
                 group.add(OptionalPattern(self._parse_group_graph_pattern()))
                 current_block = None
+            elif token.kind == "KEYWORD" and token.value == "VALUES":
+                self._next()
+                group.add(self._parse_inline_data())
+                current_block = None
             elif token.kind == "LBRACE":
                 nested = self._parse_group_graph_pattern()
                 alternatives = [nested]
@@ -263,6 +268,61 @@ class _ParserState:
         if token.kind in ("IRIREF", "PNAME"):
             return self._parse_function_call()
         raise SparqlParseError("FILTER requires a bracketted expression or function call", token)
+
+    # ------------------------------------------------------------------ #
+    # Inline data (VALUES)
+    # ------------------------------------------------------------------ #
+    def _parse_inline_data(self) -> InlineData:
+        """``VALUES ?x { ... }`` or ``VALUES (?x ?y) { (...) ... }``."""
+        token = self._peek()
+        if token.kind == "VAR":
+            self._next()
+            data = InlineData([Variable(token.value)])
+            self._expect("LBRACE")
+            while self._peek().kind != "RBRACE":
+                data.add_row((self._parse_data_value(),))
+            self._expect("RBRACE")
+            return data
+        self._expect("LPAREN")
+        columns: List[Variable] = []
+        while self._peek().kind == "VAR":
+            columns.append(Variable(self._next().value))
+        self._expect("RPAREN")
+        data = InlineData(columns)
+        self._expect("LBRACE")
+        while self._peek().kind != "RBRACE":
+            self._expect("LPAREN")
+            row: List[Optional[Term]] = []
+            while self._peek().kind != "RPAREN":
+                row.append(self._parse_data_value())
+            self._expect("RPAREN")
+            try:
+                data.add_row(row)
+            except ValueError as exc:
+                raise SparqlParseError(str(exc), self._peek()) from exc
+        self._expect("RBRACE")
+        return data
+
+    def _parse_data_value(self) -> Optional[Term]:
+        """One VALUES cell: an IRI, a literal, or ``UNDEF`` (``None``)."""
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value == "UNDEF":
+            self._next()
+            return None
+        if token.kind == "IRIREF":
+            self._next()
+            return self._resolve_iri(token)
+        if token.kind == "PNAME":
+            self._next()
+            return self._expand_pname(token)
+        if token.kind in ("STRING", "INTEGER", "DECIMAL", "DOUBLE"):
+            return self._parse_literal()
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self._next()
+            return Literal(token.value.lower(), datatype=XSD.boolean)
+        raise SparqlParseError(
+            f"unexpected token in VALUES data: {token.value!r}", token
+        )
 
     # ------------------------------------------------------------------ #
     # Triple patterns

@@ -52,6 +52,7 @@ from .algebra import (
     AlgebraOrderBy,
     AlgebraProject,
     AlgebraSlice,
+    AlgebraTable,
     AlgebraUnion,
     translate_group,
     translate_query,
@@ -71,6 +72,7 @@ __all__ = [
     "CardinalityEstimator",
     "PhysicalOperator",
     "BGPScanOp",
+    "TableOp",
     "PipelineJoinOp",
     "HashJoinOp",
     "LeftJoinOp",
@@ -201,6 +203,14 @@ def certain_variables(node: AlgebraNode) -> Set[Variable]:
         for pattern in node.patterns:
             result |= _binding_variables(pattern)
         return result
+    if isinstance(node, AlgebraTable):
+        # A variable is certainly bound when no row leaves it UNDEF (an
+        # empty table produces no solutions, so the claim is vacuous).
+        return {
+            variable
+            for index, variable in enumerate(node.columns)
+            if all(row[index] is not None for row in node.rows)
+        }
     if isinstance(node, AlgebraJoin):
         return certain_variables(node.left) | certain_variables(node.right)
     if isinstance(node, AlgebraLeftJoin):
@@ -220,6 +230,8 @@ def possible_variables(node: AlgebraNode) -> Set[Variable]:
     """Variables bound in *some* solution the node can produce."""
     if isinstance(node, AlgebraBGP):
         return certain_variables(node)
+    if isinstance(node, AlgebraTable):
+        return set(node.columns)
     if isinstance(node, (AlgebraJoin, AlgebraLeftJoin, AlgebraUnion)):
         return possible_variables(node.left) | possible_variables(node.right)
     if isinstance(node, AlgebraFilter):
@@ -332,6 +344,33 @@ class BGPScanOp(PhysicalOperator):
         for expr in self.tail_filters:
             lines.append(f"{pad}filter {serialize_expression(expr)}")
         return lines
+
+
+class TableOp(PhysicalOperator):
+    """An inline solution table (VALUES): joins each input binding with
+    every compatible table row."""
+
+    def __init__(self, columns: Sequence[Variable], rows: Sequence[tuple]) -> None:
+        self.columns = list(columns)
+        self._rows = [
+            Binding({
+                variable: term
+                for variable, term in zip(self.columns, row)
+                if term is not None
+            })
+            for row in rows
+        ]
+        self.est = float(len(self._rows))
+
+    def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
+        for binding in bindings:
+            for row in self._rows:
+                if binding.compatible(row):
+                    yield binding.merge(row)
+
+    def describe(self) -> str:
+        rendered = " ".join(f"?{variable.name}" for variable in self.columns)
+        return f"Table ({rendered}) {len(self._rows)} rows"
 
 
 class PipelineJoinOp(PhysicalOperator):
@@ -630,6 +669,15 @@ class QueryPlanner:
             return self._compile(node.child, certain, possible, pending + [node.expression])
         if isinstance(node, AlgebraBGP):
             return self._compile_bgp(node, certain, possible, pending)
+        if isinstance(node, AlgebraTable):
+            table_certain = frozenset(certain_variables(node))
+            table_possible = frozenset(node.columns)
+            op: PhysicalOperator = TableOp(node.columns, node.rows)
+            if pending:
+                # FILTERs run at their original position, after the join
+                # with the inline table.
+                op = FilterOp(pending, op, self._graph)
+            return op, certain | table_certain, possible | table_possible
         if isinstance(node, AlgebraJoin):
             return self._compile_join(node, certain, possible, pending)
         if isinstance(node, AlgebraLeftJoin):

@@ -22,6 +22,7 @@ from .ast import (
     Filter,
     FunctionCall,
     GroupGraphPattern,
+    InlineData,
     OptionalPattern,
     Query,
     SelectQuery,
@@ -121,7 +122,6 @@ class _Writer:
     # -- patterns ------------------------------------------------------------- #
     def group(self, group: GroupGraphPattern, indent: int = 0) -> str:
         pad = "  " * indent
-        inner_pad = "  " * (indent + 1)
         lines: List[str] = [pad + "{"]
         for element in group.elements:
             lines.extend(self._element(element, indent + 1))
@@ -140,9 +140,24 @@ class _Writer:
         if isinstance(element, UnionPattern):
             parts = [self.group(alternative, indent).lstrip() for alternative in element.alternatives]
             return [pad + (" UNION ".join(parts))]
+        if isinstance(element, InlineData):
+            return self._inline_data(element, indent)
         if isinstance(element, GroupGraphPattern):
             return [self.group(element, indent)]
         raise TypeError(f"unsupported pattern element: {element!r}")
+
+    def _inline_data(self, data: InlineData, indent: int) -> List[str]:
+        pad = "  " * indent
+        header = " ".join(f"?{variable.name}" for variable in data.columns)
+        lines = [f"{pad}VALUES ({header}) {{"]
+        cell_pad = "  " * (indent + 1)
+        for row in data.rows:
+            cells = " ".join(
+                "UNDEF" if term is None else self.term(term) for term in row
+            )
+            lines.append(f"{cell_pad}({cells})")
+        lines.append(f"{pad}}}")
+        return lines
 
     def triple(self, pattern) -> str:
         return (

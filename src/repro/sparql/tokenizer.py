@@ -43,7 +43,7 @@ class SparqlToken:
 KEYWORDS = {
     "SELECT", "CONSTRUCT", "ASK", "DESCRIBE", "WHERE", "FILTER", "OPTIONAL",
     "UNION", "PREFIX", "BASE", "DISTINCT", "REDUCED", "ORDER", "BY", "ASC",
-    "DESC", "LIMIT", "OFFSET", "FROM", "NAMED", "GRAPH", "A",
+    "DESC", "LIMIT", "OFFSET", "FROM", "NAMED", "GRAPH", "A", "VALUES", "UNDEF",
     "BOUND", "REGEX", "STR", "LANG", "LANGMATCHES", "DATATYPE", "ISURI",
     "ISIRI", "ISLITERAL", "ISBLANK", "SAMETERM", "TRUE", "FALSE", "NOT", "IN",
 }

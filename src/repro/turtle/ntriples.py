@@ -11,7 +11,7 @@ from __future__ import annotations
 import re
 from typing import Iterable, Iterator, List
 
-from ..rdf import BNode, Graph, Literal, Triple, URIRef, XSD
+from ..rdf import BNode, Graph, Literal, Triple, URIRef
 
 __all__ = ["parse_ntriples", "serialize_ntriples", "NTriplesError"]
 

@@ -14,7 +14,7 @@ paper's listings:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..rdf import (
     BNode,
@@ -28,7 +28,7 @@ from ..rdf import (
     XSD,
     fresh_bnode,
 )
-from .lexer import Token, TurtleLexError, tokenize
+from .lexer import Token, tokenize
 from .ntriples import unescape
 
 __all__ = ["TurtleParser", "TurtleParseError", "parse_turtle"]

@@ -21,7 +21,7 @@ from repro.datasets import (
     akt_to_kisti_alignment,
 )
 from repro.alignment import default_registry
-from repro.rdf import AKT, KISTI, KISTI_ID, Literal, RDF, RKB_ID, Triple, URIRef, Variable
+from repro.rdf import AKT, KISTI, KISTI_ID, Literal, RKB_ID, Triple, URIRef, Variable
 
 
 class TestInvertEntityAlignment:

@@ -7,9 +7,7 @@ from repro.alignment import (
     AlignmentGraphReader,
     AlignmentGraphWriter,
     EntityAlignment,
-    FunctionalDependency,
     OntologyAlignment,
-    SAMEAS_FUNCTION,
     alignments_from_graph,
     alignments_from_turtle,
     alignments_to_graph,

@@ -13,7 +13,6 @@ from repro.alignment import (
     validate_entity_alignment,
     validate_ontology_alignment,
 )
-from repro.coreference import SameAsService
 from repro.rdf import AKT, KISTI, Literal, Triple, URIRef, Variable
 
 AKT_ONT = URIRef("http://www.aktors.org/ontology/portal#")

@@ -1,7 +1,7 @@
 """Unit tests for the algebra-level rewriter (the Section 4 proposal)."""
 
 from repro.core import AlgebraQueryRewriter, FreshVariableGenerator, QueryRewriter
-from repro.rdf import AKT, KISTI, KISTI_ID, Variable
+from repro.rdf import KISTI, KISTI_ID, Variable
 from repro.sparql import (
     AlgebraBGP,
     AlgebraFilter,

@@ -1,6 +1,5 @@
 """Unit tests for CONSTRUCT-query generation from alignments (data translation)."""
 
-import pytest
 
 from repro.alignment import class_alignment, property_alignment
 from repro.core import (
@@ -9,8 +8,8 @@ from repro.core import (
     construct_query_for_alignment,
     translate_graph_uris,
 )
-from repro.datasets import KISTI_URI_PATTERN, RKB_URI_PATTERN, akt_to_kisti_alignment
-from repro.rdf import AKT, Graph, KISTI, Literal, RDF, RKB_ID, KISTI_ID, Triple, URIRef, Variable
+from repro.datasets import KISTI_URI_PATTERN, akt_to_kisti_alignment
+from repro.rdf import AKT, Graph, KISTI, Literal, RDF, RKB_ID, KISTI_ID, Triple, Variable
 from repro.sparql import ConstructQuery, QueryEvaluator
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the FILTER-aware rewriting extension (Section 4)."""
 
-import pytest
 
 from repro.core import (
     EqualityConstraint,
@@ -10,7 +9,7 @@ from repro.core import (
     promote_equality_constraints,
     translate_expression_terms,
 )
-from repro.rdf import AKT, KISTI, KISTI_ID, RKB_ID, URIRef, Variable
+from repro.rdf import KISTI, KISTI_ID, RKB_ID, Variable
 from repro.sparql import parse_query, serialize_expression
 
 from ..conftest import FIGURE_1_QUERY, FIGURE_6_QUERY, KISTI_PERSON_URI, KISTI_URI_PATTERN

@@ -9,7 +9,7 @@ the linear rewriter's output.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.alignment import EntityAlignment, default_registry
+from repro.alignment import EntityAlignment
 from repro.alignment.levels import class_alignment, property_alignment
 from repro.core import CompiledRuleSet, GraphPatternRewriter, QueryRewriter, find_matches
 from repro.core.index import PatternIndex

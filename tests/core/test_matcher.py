@@ -1,6 +1,6 @@
 """Unit tests for the matching function of Section 3.3.1."""
 
-from repro.alignment import class_alignment, property_alignment
+from repro.alignment import property_alignment
 from repro.core import (
     Substitution,
     find_matches,

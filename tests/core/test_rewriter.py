@@ -3,13 +3,10 @@
 import pytest
 
 from repro.alignment import (
-    EntityAlignment,
-    FunctionalDependency,
     FunctionRegistry,
     SAMEAS_FUNCTION,
     class_alignment,
     class_to_intersection_alignment,
-    default_registry,
     property_alignment,
 )
 from repro.core import (
@@ -20,10 +17,10 @@ from repro.core import (
     instantiate_functions,
     match_alignment,
 )
-from repro.rdf import AKT, KISTI, KISTI_ID, Literal, RDF, RKB_ID, Triple, URIRef, Variable
+from repro.rdf import AKT, KISTI, RDF, RKB_ID, Triple, Variable
 from repro.sparql import parse_query
 
-from ..conftest import FIGURE_1_QUERY, KISTI_PERSON_URI, KISTI_URI_PATTERN
+from ..conftest import FIGURE_1_QUERY, KISTI_PERSON_URI
 
 
 class TestFreshVariableGenerator:

@@ -17,7 +17,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.alignment import default_registry, property_alignment
 from repro.core import GraphPatternRewriter
-from repro.rdf import Namespace, Triple, URIRef, Variable
+from repro.rdf import Namespace, Triple, Variable
 
 SRC = Namespace("http://example.org/source#")
 TGT = Namespace("http://example.org/target#")

@@ -15,7 +15,6 @@ Hypothesis generates random source graphs and queries over a fixed
 vocabulary; the property must hold for all of them.
 """
 
-import string
 
 from hypothesis import given, settings, strategies as st
 
@@ -27,7 +26,7 @@ from repro.alignment import (
     property_chain_alignment,
 )
 from repro.core import DataTranslator, QueryRewriter
-from repro.rdf import Graph, Literal, Namespace, RDF, Triple, URIRef, Variable
+from repro.rdf import Graph, Literal, Namespace, RDF, Triple, Variable
 from repro.sparql import GroupGraphPattern, Prologue, QueryEvaluator, SelectQuery, TriplesBlock
 
 SRC = Namespace("http://example.org/src#")

@@ -1,7 +1,6 @@
 """Unit tests for the end-to-end integration scenario builder."""
 
 from repro.datasets import build_resist_scenario
-from repro.rdf import URIRef
 
 
 class TestScenario:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.federation import EndpointError, EndpointUnavailable, LocalSparqlEndpoint
 from repro.rdf import Graph, Literal, RDF, Triple, URIRef
-from repro.sparql import AskResult, ResultSet
+from repro.sparql import ResultSet
 
 EX = "http://ex.org/"
 

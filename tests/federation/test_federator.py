@@ -4,7 +4,6 @@ import pytest
 
 from repro.federation import f1_score, precision, recall
 
-from ..conftest import FIGURE_1_QUERY
 
 
 class TestMetrics:

@@ -137,3 +137,91 @@ class TestEndpointHealth:
         registry = DatasetRegistry([RegisteredDataset(description, Bare())])
         report = registry.health()
         assert report[URIRef("http://bare.org/void")].statistics is None
+
+
+class TestVoidRoundTrip:
+    """Regression: the voiD KB must be a *consumable* export, not write-only.
+
+    ``void_graph()`` (write) and ``load_void_graph()`` (read, via
+    ``descriptions_from_graph``) must round-trip every description —
+    including the vocabulary partitions that source selection depends on.
+    """
+
+    def test_descriptions_round_trip_through_void_graph(self, registry):
+        graph = registry.void_graph()
+        restored = DatasetRegistry()
+        loaded = restored.load_void_graph(
+            graph,
+            endpoint_factory=lambda d: LocalSparqlEndpoint(d.endpoint_uri, Graph()),
+        )
+        assert len(loaded) == len(registry)
+        for dataset in registry:
+            assert restored.get(dataset.uri).description == dataset.description
+
+    def test_round_trip_preserves_vocabulary_partitions(self):
+        registry = DatasetRegistry()
+        data = Graph()
+        subject = URIRef("http://stats.org/id/x")
+        data.add((subject, URIRef("http://stats.org/p"), URIRef("http://stats.org/o")))
+        data.add((subject, RDF.type, URIRef("http://stats.org/Thing")))
+        description = DatasetDescription(
+            uri=URIRef("http://stats.org/void"),
+            endpoint_uri=URIRef("http://stats.org/sparql"),
+        )
+        registry.register_endpoint(
+            description, LocalSparqlEndpoint(description.endpoint_uri, data)
+        )
+        assert registry.refresh_statistics() == 1
+        refreshed = registry.get(description.uri).description
+        assert refreshed.advertises_vocabulary
+        assert URIRef("http://stats.org/p") in refreshed.predicates()
+        assert URIRef("http://stats.org/Thing") in refreshed.classes()
+        assert refreshed.triple_count == 2
+
+        restored = DatasetRegistry()
+        restored.load_void_graph(
+            registry.void_graph(),
+            endpoint_factory=lambda d: LocalSparqlEndpoint(d.endpoint_uri, Graph()),
+        )
+        assert restored.get(description.uri).description == refreshed
+
+    def test_refresh_statistics_tracks_mutations(self):
+        registry = DatasetRegistry()
+        data = Graph()
+        description = DatasetDescription(
+            uri=URIRef("http://stats.org/void"),
+            endpoint_uri=URIRef("http://stats.org/sparql"),
+        )
+        endpoint = LocalSparqlEndpoint(description.endpoint_uri, data)
+        registry.register_endpoint(description, endpoint)
+        registry.refresh_statistics()
+        assert not registry.get(description.uri).description.advertises_vocabulary
+        endpoint.load([
+            (URIRef("http://stats.org/id/x"), URIRef("http://stats.org/p"),
+             URIRef("http://stats.org/o")),
+        ])
+        registry.refresh_statistics()
+        assert URIRef("http://stats.org/p") in \
+            registry.get(description.uri).description.predicates()
+
+    def test_refresh_preserves_breaker_state(self):
+        registry = DatasetRegistry()
+        description = DatasetDescription(
+            uri=URIRef("http://stats.org/void"),
+            endpoint_uri=URIRef("http://stats.org/sparql"),
+        )
+        registry.register_endpoint(
+            description, LocalSparqlEndpoint(description.endpoint_uri, Graph())
+        )
+        registry.breaker_for(description.uri).record_failure()
+        registry.refresh_statistics()
+        assert registry.breaker_for(description.uri).consecutive_failures == 1
+
+    def test_default_factory_builds_http_clients(self, registry):
+        from repro.federation import HttpSparqlEndpoint
+
+        restored = DatasetRegistry()
+        restored.load_void_graph(registry.void_graph())
+        for dataset in restored:
+            assert isinstance(dataset.endpoint, HttpSparqlEndpoint)
+            assert dataset.endpoint.url == str(dataset.description.endpoint_uri)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.alignment import AlignmentStore
 from repro.baselines import IdentityFederation, MaterializationIntegrator
-from repro.coreference import SameAsService
 from repro.datasets import (
     RKB_URI_PATTERN,
     akt_to_kisti_alignment,

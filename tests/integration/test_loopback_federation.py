@@ -115,6 +115,92 @@ class TestE6LoopbackEquivalence:
         assert over_http.successful_datasets() == in_process.successful_datasets()
 
 
+class TestDecomposeLoopbackEquivalence:
+    """``--strategy decompose`` over real sockets ≡ fan-out, E6/E7 scenarios.
+
+    The HTTP endpoints expose no graph, so source selection either consults
+    the advertised VoID partitions (when the descriptions carry them) or
+    falls back to ASK probes over the wire; bound-join batches travel as
+    ``VALUES`` blocks and are re-parsed by the servers.
+    """
+
+    def _multiset(self, outcome):
+        return sorted(
+            tuple((k, str(v)) for k, v in sorted(b.as_dict().items()))
+            for b in outcome.merged_bindings
+        )
+
+    def test_decomposed_over_http_matches_in_process_fanout(self, scenario, loopback):
+        _, http_service = loopback
+        for person_key in _subjects(scenario):
+            query = _coauthor_query(scenario, person_key)
+            in_process = _federate(scenario, scenario.service, query)
+            over_http = http_service.federate(
+                query,
+                source_ontology=scenario.source_ontology,
+                source_dataset=scenario.rkb_dataset,
+                mode="filter-aware",
+                strategy="decompose",
+            )
+            assert self._multiset(over_http) == self._multiset(in_process)
+
+    def test_probes_travel_over_the_wire(self, scenario, loopback):
+        http_registry, http_service = loopback
+        # The loopback descriptions advertise no partitions, so the KISTI
+        # translation of the AKT pattern needs an ASK probe per dataset.
+        plan = http_service.federation.decompose_plan(
+            _coauthor_query(scenario, _subjects(scenario)[0]),
+            source_ontology=scenario.source_ontology,
+            source_dataset=scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        assert plan.probes > 0
+        probed = [
+            dataset for dataset in http_registry
+            if dataset.endpoint.statistics.ask_queries > 0
+        ]
+        assert probed
+
+    def test_advertised_void_partitions_avoid_probes(self, scenario):
+        """Publishing the statistics makes remote selection probe-free."""
+        scenario.registry.refresh_statistics()
+        servers, datasets = [], []
+        for dataset in scenario.registry:
+            server = SparqlHttpServer(EndpointBackend(dataset.endpoint)).start()
+            servers.append(server)
+            datasets.append(
+                RegisteredDataset(
+                    dataset.description,  # now carries the partitions
+                    HttpSparqlEndpoint(dataset.uri, url=server.query_url, timeout=10),
+                )
+            )
+        try:
+            registry = DatasetRegistry(datasets)
+            service = MediatorService(
+                scenario.alignment_store, registry, scenario.sameas_service
+            )
+            query = _coauthor_query(scenario, _subjects(scenario)[0])
+            plan = service.federation.decompose_plan(
+                query,
+                source_ontology=scenario.source_ontology,
+                source_dataset=scenario.rkb_dataset,
+                mode="filter-aware",
+            )
+            assert plan.probes == 0
+            over_http = service.federate(
+                query,
+                source_ontology=scenario.source_ontology,
+                source_dataset=scenario.rkb_dataset,
+                mode="filter-aware",
+                strategy="decompose",
+            )
+            in_process = _federate(scenario, scenario.service, query)
+            assert self._multiset(over_http) == self._multiset(in_process)
+        finally:
+            for server in servers:
+                server.stop()
+
+
 class TestE7LoopbackResilience:
     def test_partial_failure_merges_identically(self, scenario, loopback):
         """A dataset failing over HTTP degrades exactly like a local failure."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Graph, Literal, RDF, Triple, URIRef, Variable, XSD
+from repro.rdf import Graph, Literal, RDF, Triple, URIRef, Variable
 from repro.sparql import AskResult, Binding, QueryEvaluator, ResultSet, match_bgp, parse_query
 
 EX = "http://ex.org/"

@@ -7,7 +7,6 @@ from repro.sparql import (
     Binding,
     ExpressionError,
     effective_boolean_value,
-    evaluate_expression,
     expression_satisfied,
     parse_query,
 )

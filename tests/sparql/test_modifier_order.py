@@ -9,7 +9,7 @@ a pre-deduplication row.
 
 import pytest
 
-from repro.rdf import Graph, Literal, Triple, URIRef, Variable
+from repro.rdf import Graph, Literal, Triple, URIRef
 from repro.sparql import QueryEvaluator, parse_query
 from repro.sparql.ast import ConstructQuery
 

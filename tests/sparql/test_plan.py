@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rdf import Graph, Literal, RDF, Triple, URIRef, Variable
+from repro.rdf import Graph, Literal, Triple, URIRef, Variable
 from repro.sparql import (
     QueryEvaluator,
     explain_query,

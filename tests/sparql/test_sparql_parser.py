@@ -7,7 +7,6 @@ from repro.sparql import (
     AskQuery,
     BinaryExpression,
     ConstructQuery,
-    Filter,
     FunctionCall,
     OptionalPattern,
     SelectQuery,

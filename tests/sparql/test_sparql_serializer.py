@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Graph, Literal, RDF, Triple, URIRef
+from repro.rdf import Graph, Literal, Triple, URIRef
 from repro.sparql import QueryEvaluator, parse_query, serialize_query
 
 from ..conftest import FIGURE_1_QUERY, FIGURE_6_QUERY

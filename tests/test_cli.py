@@ -2,14 +2,9 @@
 
 import pytest
 
-from repro.alignment import AlignmentStore, ontology_alignment_to_graph
+from repro.alignment import ontology_alignment_to_graph
 from repro.cli import main_federate, main_query, main_rewrite
-from repro.datasets import (
-    KISTI_DATASET_URI,
-    KISTI_URI_PATTERN,
-    akt_to_kisti_alignment,
-    build_resist_scenario,
-)
+from repro.datasets import KISTI_DATASET_URI, KISTI_URI_PATTERN, akt_to_kisti_alignment
 from repro.turtle import serialize_turtle
 
 from .conftest import FIGURE_1_QUERY

@@ -9,7 +9,7 @@ import string
 
 from hypothesis import given, settings, strategies as st
 
-from repro.rdf import BNode, Graph, Literal, Triple, URIRef, XSD, isomorphic
+from repro.rdf import BNode, Graph, Literal, Triple, URIRef, isomorphic
 from repro.turtle import parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle
 
 _NAMES = st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=8)
