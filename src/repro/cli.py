@@ -27,7 +27,7 @@ from .core import Mediator, TargetProfile
 from .datasets import build_resist_scenario
 from .federation import ExecutionPolicy, recall
 from .rdf import URIRef
-from .sparql import AskResult, QueryEvaluator, ResultSet, parse_query, write_results
+from .sparql import ENGINES, AskResult, QueryEvaluator, ResultSet, parse_query, write_results
 from .turtle import parse_graph
 
 __all__ = ["main_rewrite", "main_query", "main_federate", "main_serve"]
@@ -116,18 +116,29 @@ def main_query(argv: Optional[Sequence[str]] = None) -> int:
                              "or the human-readable table)")
     parser.add_argument("--explain", action="store_true",
                         help="print the physical query plan instead of executing")
-    parser.add_argument("--engine", choices=["planner", "naive"], default="planner",
-                        help="evaluation engine (the naive path is the reference)")
+    parser.add_argument("--analyze", action="store_true",
+                        help="execute the query and print the EXPLAIN ANALYZE report "
+                             "(per-operator rows, batches and wall time)")
+    parser.add_argument("--engine", choices=list(ENGINES), default="planner",
+                        help="evaluation engine: the cost-based planner or the "
+                             "syntax-ordered naive path (both on the batched "
+                             "executor), or the reference/streaming oracles")
     arguments = parser.parse_args(argv)
 
     format_name = arguments.data_format
     if format_name is None:
         format_name = "ntriples" if arguments.data.endswith(".nt") else "turtle"
     graph = parse_graph(_read_text(arguments.data), format=format_name)
-    evaluator = QueryEvaluator(graph, use_planner=arguments.engine == "planner")
+    evaluator = QueryEvaluator(graph, engine=arguments.engine)
     query = parse_query(_read_text(arguments.query))
     if arguments.explain:
         print(evaluator.explain(query))
+        return 0
+    if arguments.analyze:
+        # The reference/streaming oracles analyze through their batched
+        # equivalent (see QueryEvaluator.analyze).
+        _, event = evaluator.analyze(query)
+        print(event.render())
         return 0
     result = evaluator.evaluate(query)
     if isinstance(result, ResultSet):
@@ -182,6 +193,9 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--explain", action="store_true",
                         help="print the federated plan (per-dataset sub-queries) "
                              "instead of executing")
+    parser.add_argument("--analyze", action="store_true",
+                        help="print the EXPLAIN ANALYZE report of the federated run "
+                             "(operator timings, endpoints contacted, rows shipped)")
     arguments = parser.parse_args(argv)
 
     scenario = build_resist_scenario(
@@ -243,13 +257,23 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     print(f"Query subject: {person_uri}", file=summary)
 
     local = scenario.endpoint(scenario.rkb_dataset).select(query)
-    federated = scenario.service.federate(
-        query,
-        source_ontology=scenario.source_ontology,
-        source_dataset=scenario.rkb_dataset,
-        mode="filter-aware",
-        strategy=arguments.strategy,
-    )
+    run_event = None
+    if arguments.analyze:
+        federated, run_event = scenario.service.analyze(
+            query,
+            source_ontology=scenario.source_ontology,
+            source_dataset=scenario.rkb_dataset,
+            mode="filter-aware",
+            strategy=arguments.strategy,
+        )
+    else:
+        federated = scenario.service.federate(
+            query,
+            source_ontology=scenario.source_ontology,
+            source_dataset=scenario.rkb_dataset,
+            mode="filter-aware",
+            strategy=arguments.strategy,
+        )
     gold = scenario.gold_coauthor_uris(person_key)
     print(f"RKB-only co-authors:   {len(local.distinct_values('a')):3d} "
           f"(recall {recall(local.distinct_values('a'), gold):.2f})", file=summary)
@@ -275,6 +299,8 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     if any(state != "closed" for state in health.values()):
         for uri, state in health.items():
             print(f"  breaker {uri}: {state}", file=summary)
+    if run_event is not None:
+        print(run_event.render(), file=summary)
     if arguments.format != "table":
         print(write_results(federated.merged(), arguments.format), end="")
     return 0

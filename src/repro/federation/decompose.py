@@ -50,7 +50,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..rdf import BNode, Graph, RDF, Triple, URIRef, Variable
+from ..rdf import BNode, Graph, RDF, TermDictionary, Triple, URIRef, Variable
 from ..sparql import (
     AskQuery,
     Binding,
@@ -69,8 +69,22 @@ from ..sparql.ast import (
     FunctionCall,
     UnaryExpression,
 )
-from ..sparql.evaluator import _order
-from ..sparql.expressions import expression_satisfied
+from ..sparql.exec import (
+    UNBOUND,
+    Batch,
+    ExecContext,
+    QueryRunEvent,
+    Schema,
+    VecBindJoinOp,
+    VecDistinctOp,
+    VecFilterOp,
+    VecOperator,
+    VecOrderByOp,
+    VecProjectOp,
+    VecSliceOp,
+    extend_schema,
+    seed_batches,
+)
 from .registry import RegisteredDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -743,15 +757,15 @@ def execute_decomposed(
             canonical_pattern = engine.registry.get(source_dataset).uri_pattern
 
     merged: List[Binding] = []
+    run_event: Optional[QueryRunEvent] = None
     if plan.empty_reason is None:
         targets_by_uri = {target.uri: target for target in targets}
         executor = _PlanExecutor(
             engine, plan, targets_by_uri, source_ontology, source_dataset,
             mode, selector, traffic,
         )
-        merged = _finalise(
-            executor.rows(), query, variables, canonical_pattern, engine
-        )
+        merged = executor.execute(query, variables, canonical_pattern)
+        run_event = executor.run_event(query)
 
     per_dataset: List[DatasetResult] = []
     for target in targets:
@@ -783,11 +797,202 @@ def execute_decomposed(
         decomposition=plan,
     )
     outcome.elapsed = time.perf_counter() - started
+    if run_event is not None:
+        run_event.elapsed = outcome.elapsed
+        outcome.run_event = run_event
     return outcome
 
 
+class _VecUnitOp(VecOperator):
+    """One decomposed unit as a batched operator at the mediator.
+
+    With join variables, left rows are shipped to the unit's sources in
+    ``bind_join_batch``-row ``VALUES`` blocks and merged back by interned
+    key tuples; without them the unit is fetched once per execution and
+    cross-joined.  Fetched terms are interned into the mediator's own term
+    dictionary, so the merge is integer-tuple work like every other join.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        in_schema: Schema,
+        unit: QueryUnit,
+        executor: "_PlanExecutor",
+    ) -> None:
+        super().__init__(ctx)
+        self.unit = unit
+        self._executor = executor
+        self.in_schema = in_schema
+        #: Matches the projection order of :func:`_unit_query`.
+        self._unit_vars = sorted(unit.variables(), key=str)
+        self.schema = extend_schema(in_schema, self._unit_vars)
+        self._join_vars = list(unit.join_variables)
+        self._appended = [
+            variable for variable in self._unit_vars if variable not in set(in_schema)
+        ]
+        in_positions = {v: i for i, v in enumerate(in_schema)}
+        self._key_cols = [in_positions[v] for v in self._join_vars]
+        self.est = unit.estimate
+        self._cross_cache: Optional[List[tuple]] = None
+
+    def reset(self) -> None:
+        self._cross_cache = None
+        super().reset()
+
+    def _intern_fetched(self, fetched: Sequence[Binding]) -> List[tuple]:
+        """``(key ids, appended ids)`` per fetched row."""
+        intern = self.ctx.dictionary.intern
+        rows = []
+        for row in fetched:
+            key = tuple(
+                intern(term) if (term := row.get_term(v)) is not None else UNBOUND
+                for v in self._join_vars
+            )
+            appended = tuple(
+                intern(term) if (term := row.get_term(v)) is not None else UNBOUND
+                for v in self._appended
+            )
+            rows.append((key, appended))
+        return rows
+
+    def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
+        if not self._join_vars:
+            yield from self._cross_join(batches)
+            return
+        yield from self._bound_join(batches)
+
+    def _cross_join(self, batches: Iterator[Batch]) -> Iterator[Batch]:
+        """No shared variables: fetch the unit once, cross with the input."""
+        schema = self.schema
+        for batch in batches:
+            if not batch.rows:
+                yield Batch(schema, [])
+                continue
+            if self._cross_cache is None:
+                fetched = self._executor._unit_rows(self.unit, None)
+                self._cross_cache = [
+                    appended for _, appended in self._intern_fetched(fetched)
+                ]
+            out = [
+                row + appended
+                for row in batch.rows
+                for appended in self._cross_cache
+            ]
+            yield Batch(schema, out)
+
+    def _bound_join(self, batches: Iterator[Batch]) -> Iterator[Batch]:
+        """Ship left rows in batches, injected as a VALUES block."""
+        batch_size = max(1, self._executor.bind_join_batch)
+        terms = self.ctx.dictionary.terms
+        join_vars = self._join_vars
+        key_cols = self._key_cols
+        schema = self.schema
+
+        def flush(chunk: List[tuple]) -> Batch:
+            by_key: Dict[tuple, List[tuple]] = {}
+            for row in chunk:
+                key = tuple(row[index] for index in key_cols)
+                by_key.setdefault(key, []).append(row)
+            decoded = {
+                key: tuple(terms[value] if value else None for value in key)
+                for key in by_key
+            }
+            inline = InlineData(
+                list(join_vars),
+                sorted(
+                    decoded.values(),
+                    key=lambda key: tuple(str(term) for term in key),
+                ),
+            )
+            out: List[tuple] = []
+            for fetched_key, appended in self._intern_fetched(
+                self._executor._unit_rows(self.unit, inline)
+            ):
+                for left in by_key.get(fetched_key, ()):
+                    out.append(left + appended)
+            return Batch(schema, out)
+
+        chunk: List[tuple] = []
+        for batch in batches:
+            for row in batch.rows:
+                chunk.append(row)
+                if len(chunk) >= batch_size:
+                    yield flush(chunk)
+                    chunk = []
+        if chunk:
+            yield flush(chunk)
+
+    def describe(self) -> str:
+        kind = _unit_kind(self.unit)
+        if self._join_vars:
+            rendered = " ".join(f"?{v.name}" for v in self._join_vars)
+            join = f"bound join on ({rendered})"
+        else:
+            join = "cross join" if self.in_schema else "seed scan"
+        sources = ", ".join(str(uri) for uri in self.unit.sources)
+        return f"Unit [{kind}; {join}; est={self.est:.1f}] <- {sources}"
+
+
+class _VecCanonicalOp(VecOperator):
+    """Collapse URIs onto their canonical representative (id -> id cache)."""
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        child: VecOperator,
+        engine: "FederatedQueryEngine",
+        canonical_pattern: Optional[str],
+    ) -> None:
+        super().__init__(ctx)
+        self._child = child
+        self._engine = engine
+        self._pattern = canonical_pattern
+        self.schema = child.schema
+        self.est = child.est
+        self._cache: Dict[int, int] = {}
+
+    def _canonical(self, value: int) -> int:
+        mapped = self._cache.get(value)
+        if mapped is None:
+            term = self.ctx.dictionary.terms[value]
+            if isinstance(term, URIRef):
+                mapped = self.ctx.dictionary.intern(
+                    self._engine._canonical_uri(term, self._pattern)
+                )
+            else:
+                mapped = value
+            self._cache[value] = mapped
+        return mapped
+
+    def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
+        canonical = self._canonical
+        schema = self.schema
+        for batch in self._child.execute(batches):
+            rows = [
+                tuple(canonical(value) if value else UNBOUND for value in row)
+                for row in batch.rows
+            ]
+            yield Batch(schema, rows)
+
+    def children(self) -> Sequence[VecOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return "Canonicalise URIs"
+
+
 class _PlanExecutor:
-    """Streams the rows of a decomposed plan (joins run at the mediator)."""
+    """Executes a decomposed plan on the batched operator layer.
+
+    The mediator-side pipeline — unit joins, URI canonicalisation, the
+    source-level FILTERs and the solution modifiers — is the same operator
+    set the local engines use (:mod:`repro.sparql.exec`), running over a
+    mediator-private term dictionary against no graph at all.  The
+    observable behaviour mirrors the fan-out pipeline: canonicalise before
+    filtering, always deduplicate the projected rows, and stop pulling
+    bound-join batches once LIMIT is satisfied.
+    """
 
     def __init__(
         self,
@@ -808,6 +1013,10 @@ class _PlanExecutor:
         self._mode = mode
         self._selector = selector
         self._traffic = traffic
+        self.bind_join_batch = plan.bind_join_batch
+        self.root: Optional[VecOperator] = None
+        self.ctx: Optional[ExecContext] = None
+        self._elapsed = 0.0
 
     # -- sub-query dispatch ------------------------------------------------ #
     def _fetch(
@@ -838,23 +1047,6 @@ class _PlanExecutor:
         entry.rows += len(result)
         return list(result)
 
-    # -- join pipeline ----------------------------------------------------- #
-    def rows(self) -> Iterator[Binding]:
-        stream: Iterator[Binding] = iter((Binding(),))
-        bound: Set[Variable] = set()
-        for unit in self._plan.units:
-            unit.join_variables = sorted(unit.variables() & bound, key=str)
-            bound |= unit.variables()
-            stream = self._join_unit(unit, stream)
-        return stream
-
-    def _join_unit(
-        self, unit: QueryUnit, lefts: Iterator[Binding]
-    ) -> Iterator[Binding]:
-        if not unit.join_variables:
-            return self._cross_join(unit, lefts)
-        return self._bound_join(unit, lefts)
-
     def _unit_rows(self, unit: QueryUnit, inline: Optional[InlineData]) -> List[Binding]:
         """One round of a unit: every source answers, results in source order.
 
@@ -884,107 +1076,86 @@ class _PlanExecutor:
             rows.extend(fetched)
         return rows
 
-    def _cross_join(
-        self, unit: QueryUnit, lefts: Iterator[Binding]
-    ) -> Iterator[Binding]:
-        """No shared variables: fetch the unit once, cross with the input."""
-        rows: Optional[List[Binding]] = None
-        for left in lefts:
-            if rows is None:
-                rows = self._unit_rows(unit, None)
-            for row in rows:
-                if left.compatible(row):
-                    yield left.merge(row)
+    # -- pipeline compilation ---------------------------------------------- #
+    def compile(
+        self,
+        query: SelectQuery,
+        variables: Sequence[Variable],
+        canonical_pattern: Optional[str],
+    ) -> VecOperator:
+        """Build the mediator pipeline: units -> canonicalise -> FILTER ->
+        ORDER BY -> project -> DISTINCT -> OFFSET/LIMIT."""
+        ctx = ExecContext(_EMPTY_GRAPH, dictionary=TermDictionary())
+        root: Optional[VecOperator] = None
+        schema: Schema = ()
+        bound: Set[Variable] = set()
+        for unit in self._plan.units:
+            unit.join_variables = sorted(unit.variables() & bound, key=str)
+            bound |= unit.variables()
+            op = _VecUnitOp(ctx, schema, unit, self)
+            root = op if root is None else VecBindJoinOp(ctx, root, op)
+            schema = op.schema
+        if root is None:  # pragma: no cover - plans always carry units
+            raise ValueError("decomposed plan has no units to execute")
+        root = _VecCanonicalOp(ctx, root, self._engine, canonical_pattern)
+        filters = [
+            element.expression
+            for element in query.where.elements
+            if isinstance(element, Filter)
+        ]
+        if filters:
+            root = VecFilterOp(ctx, root, filters, graph=_EMPTY_GRAPH)
+        modifiers = query.modifiers
+        if modifiers.order_by:
+            root = VecOrderByOp(ctx, root, modifiers.order_by, graph=_EMPTY_GRAPH)
+        root = VecProjectOp(ctx, root, list(variables))
+        root = VecDistinctOp(ctx, root)
+        if modifiers.offset or modifiers.limit is not None:
+            root = VecSliceOp(ctx, root, modifiers.offset, modifiers.limit)
+        self.root = root
+        self.ctx = ctx
+        return root
 
-    def _bound_join(
-        self, unit: QueryUnit, lefts: Iterator[Binding]
-    ) -> Iterator[Binding]:
-        """Ship left rows in batches, injected as a VALUES block."""
-        batch_size = max(1, self._plan.bind_join_batch)
-        join_variables = unit.join_variables
-        while True:
-            batch: List[Binding] = []
-            for left in lefts:
-                batch.append(left)
-                if len(batch) >= batch_size:
-                    break
-            if not batch:
-                return
-            by_key: Dict[tuple, List[Binding]] = {}
-            for left in batch:
-                key = tuple(left.get_term(variable) for variable in join_variables)
-                by_key.setdefault(key, []).append(left)
-            inline = InlineData(
-                list(join_variables),
-                sorted(by_key, key=lambda key: tuple(str(term) for term in key)),
-            )
-            for row in self._unit_rows(unit, inline):
-                key = tuple(row.get_term(variable) for variable in join_variables)
-                for left in by_key.get(key, ()):
-                    yield left.merge(row)
+    # -- execution ----------------------------------------------------------- #
+    def execute(
+        self,
+        query: SelectQuery,
+        variables: Sequence[Variable],
+        canonical_pattern: Optional[str],
+    ) -> List[Binding]:
+        root = self.compile(query, variables, canonical_pattern)
+        ctx = self.ctx
+        assert ctx is not None
+        root.reset()
+        started = time.perf_counter()
+        merged: List[Binding] = []
+        for batch in root.execute(seed_batches()):
+            for row in batch.rows:
+                merged.append(ctx.decode_binding(batch.schema, row))
+        self._elapsed = time.perf_counter() - started
+        return merged
 
-
-# --------------------------------------------------------------------------- #
-# Finalisation (canonicalise, FILTER, modifiers)
-# --------------------------------------------------------------------------- #
-def _finalise(
-    rows: Iterator[Binding],
-    query: SelectQuery,
-    variables: Sequence[Variable],
-    canonical_pattern: Optional[str],
-    engine: "FederatedQueryEngine",
-) -> List[Binding]:
-    """Canonicalise, filter, and apply the solution modifiers.
-
-    Mirrors the fan-out pipeline's observable behaviour: URIs are collapsed
-    onto their canonical representative *before* the source-level FILTERs
-    run (fan-out ships per-dataset translated filters instead; on
-    sameAs-complete scenarios the two agree), and the merged output is
-    always deduplicated, exactly like the fan-out merge.  Everything
-    streams unless ORDER BY forces materialisation, so LIMIT stops pulling
-    bound-join batches as soon as it is satisfied.
-    """
-    filters = [
-        element for element in query.where.elements if isinstance(element, Filter)
-    ]
-    modifiers = query.modifiers
-
-    def canonical() -> Iterator[Binding]:
-        for row in rows:
-            data = {}
-            for variable in row:
-                term = row.get_term(variable)
-                if isinstance(term, URIRef):
-                    term = engine._canonical_uri(term, canonical_pattern)
-                data[variable] = term
-            candidate = Binding(data)
-            if all(
-                expression_satisfied(f.expression, candidate, _EMPTY_GRAPH)
-                for f in filters
-            ):
-                yield candidate
-
-    stream: Iterator[Binding] = canonical()
-    if modifiers.order_by:
-        stream = iter(_order(list(stream), modifiers.order_by, _EMPTY_GRAPH))
-
-    def projected() -> Iterator[Binding]:
-        seen: Set[frozenset] = set()
-        for row in stream:
-            candidate = row.project(variables)
-            key = frozenset(candidate.as_dict().items())
-            if key not in seen:
-                seen.add(key)
-                yield candidate
-
-    result: List[Binding] = []
-    offset = modifiers.offset or 0
-    skipped = 0
-    for row in projected():
-        if skipped < offset:
-            skipped += 1
-            continue
-        result.append(row)
-        if modifiers.limit is not None and len(result) >= modifiers.limit:
-            break
-    return result
+    def run_event(self, query: SelectQuery) -> QueryRunEvent:
+        """The federation run event of the most recent :meth:`execute`."""
+        endpoints = [
+            {
+                "dataset": str(uri),
+                "requests": entry.requests,
+                "attempts": entry.attempts,
+                "rows_shipped": entry.rows,
+                "errors": list(entry.errors),
+            }
+            for uri, entry in sorted(self._traffic.items(), key=lambda kv: str(kv[0]))
+        ]
+        root = self.root
+        return QueryRunEvent(
+            query=query.serialize() if hasattr(query, "serialize") else str(query),
+            engine="decompose",
+            elapsed=self._elapsed,
+            rows=root.metrics.rows_out if root is not None else 0,
+            operators=root.operator_stats() if root is not None else [],
+            adaptivity=list(self.ctx.decisions) if self.ctx is not None else [],
+            endpoints=endpoints,
+            rows_shipped=sum(entry.rows for entry in self._traffic.values()),
+            plan="\n".join(root.report_lines(0)) if root is not None else "",
+        )

@@ -18,7 +18,15 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..rdf import Graph, ReadOnlyGraphView, Triple, URIRef
-from ..sparql import AskResult, Query, QueryEvaluator, ResultSet, parse_query
+from ..sparql import (
+    AskQuery,
+    AskResult,
+    ConstructQuery,
+    Query,
+    QueryEvaluator,
+    ResultSet,
+    parse_query,
+)
 
 __all__ = [
     "SparqlEndpoint",
@@ -231,6 +239,23 @@ class LocalSparqlEndpoint(SparqlEndpoint):
         planning never touches the data, only the statistics.
         """
         return self._evaluator.explain(self._coerce(query))
+
+    def analyze(self, query: Union[Query, str]):
+        """EXPLAIN ANALYZE: evaluate ``query`` and return ``(result, event)``.
+
+        The event carries per-operator rows/batches/wall-time from the
+        batched executor (see :meth:`repro.sparql.QueryEvaluator.analyze`).
+        Counted as endpoint traffic like a normal query of the same form.
+        """
+        coerced = self._coerce(query)
+        if isinstance(coerced, AskQuery):
+            kind = "ask_queries"
+        elif isinstance(coerced, ConstructQuery):
+            kind = "construct_queries"
+        else:
+            kind = "select_queries"
+        self._simulate(kind)
+        return self._evaluator.analyze(coerced)
 
     @staticmethod
     def _coerce(query: Union[Query, str]) -> Query:

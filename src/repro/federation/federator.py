@@ -96,6 +96,9 @@ class FederatedResult:
     strategy: str = "fanout"
     #: The decomposed plan, when ``strategy == "decompose"``.
     decomposition: Optional["DecomposedPlan"] = None
+    #: Per-query run event (operator timings, endpoints contacted, rows
+    #: shipped) when the strategy executed on the batched operator layer.
+    run_event: Optional["QueryRunEvent"] = None
 
     def merged(self) -> ResultSet:
         """The merged (co-reference-canonicalised, deduplicated) result set."""
@@ -267,6 +270,45 @@ class FederatedQueryEngine:
         )
         outcome.elapsed = time.perf_counter() - started
         return outcome
+
+    def analyze(
+        self,
+        query: Union[Query, str],
+        **kwargs,
+    ) -> Tuple[FederatedResult, "QueryRunEvent"]:
+        """EXPLAIN ANALYZE for a federated query: ``(result, event)``.
+
+        Accepts the same keyword arguments as :meth:`execute`.  Under the
+        decompose strategy the event carries the mediator pipeline's
+        per-operator metrics; under fan-out it summarises the per-dataset
+        traffic (requests, attempts, rows shipped).
+        """
+        from ..sparql.exec import QueryRunEvent
+
+        query_text = query if isinstance(query, str) else query.serialize()
+        outcome = self.execute(query, **kwargs)
+        event = outcome.run_event
+        if event is None:
+            event = QueryRunEvent(
+                query=query_text,
+                engine=f"federate-{outcome.strategy}",
+                elapsed=outcome.elapsed,
+                rows=len(outcome.merged_bindings),
+                endpoints=[
+                    {
+                        "dataset": str(entry.dataset_uri),
+                        "requests": entry.requests or entry.attempts,
+                        "attempts": entry.attempts,
+                        "rows_shipped": entry.row_count,
+                        "errors": [entry.error] if entry.error else [],
+                    }
+                    for entry in outcome.per_dataset
+                ],
+                rows_shipped=outcome.total_rows,
+            )
+            outcome.run_event = event
+        event.query = query_text
+        return outcome, event
 
     def execute_many(
         self,

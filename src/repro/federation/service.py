@@ -209,6 +209,34 @@ class MediatorService:
             strategy=strategy,
         )
 
+    def analyze(
+        self,
+        query: Union[Query, str],
+        source_ontology: Optional[URIRef] = None,
+        source_dataset: Optional[URIRef] = None,
+        mode: str = "bgp",
+        datasets: Optional[Sequence[URIRef]] = None,
+        canonical_pattern: Optional[str] = None,
+        parallel: Optional[bool] = None,
+        strategy: Optional[str] = None,
+    ):
+        """EXPLAIN ANALYZE for a federated query: ``(result, event)``.
+
+        Same routing as :meth:`federate`; the event carries per-operator
+        metrics (decompose) or per-dataset traffic (fan-out) — see
+        :meth:`repro.federation.FederatedQueryEngine.analyze`.
+        """
+        return self.federation.analyze(
+            query,
+            source_ontology=source_ontology,
+            source_dataset=source_dataset,
+            mode=mode,
+            datasets=datasets,
+            canonical_pattern=canonical_pattern,
+            parallel=parallel,
+            strategy=strategy,
+        )
+
     def explain(
         self,
         query: Union[Query, str],

@@ -41,7 +41,7 @@ from .namespace import (
     VOID,
     XSD_NS,
 )
-from .graph import Graph, GraphStatistics, ReadOnlyGraphView
+from .graph import Graph, GraphStatistics, ReadOnlyGraphView, TermDictionary, UNBOUND_ID
 from .dataset import Dataset
 from .reification import ReificationError, dereify, dereify_all, is_statement_node, reify
 from .collections import CollectionError, build_list, is_list_node, read_list
@@ -59,6 +59,7 @@ __all__ = [
     "AKT", "KISTI", "DBPO", "MAP", "ALIGN_FN", "RKB_ID", "KISTI_ID", "DBPEDIA_RES",
     # graph/dataset
     "Graph", "GraphStatistics", "ReadOnlyGraphView", "Dataset",
+    "TermDictionary", "UNBOUND_ID",
     # reification / collections
     "reify", "dereify", "dereify_all", "is_statement_node", "ReificationError",
     "build_list", "read_list", "is_list_node", "CollectionError",

@@ -17,9 +17,65 @@ from .namespace import NamespaceManager, RDF
 from .terms import BNode, Term, URIRef, Variable
 from .triple import Triple
 
-__all__ = ["Graph", "GraphStatistics", "ReadOnlyGraphView"]
+__all__ = ["Graph", "GraphStatistics", "ReadOnlyGraphView", "TermDictionary", "UNBOUND_ID"]
 
 _Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+#: Reserved dictionary id meaning "no term bound here".  Kept falsy on
+#: purpose: executor hot loops test ``if term_id:`` instead of comparing.
+UNBOUND_ID = 0
+
+
+class TermDictionary:
+    """Bidirectional term <-> integer interning table.
+
+    The batched executor (:mod:`repro.sparql.exec`) represents solution
+    rows as fixed-width tuples of integers; this dictionary assigns those
+    integers.  Each :class:`Graph` owns one dictionary (ids are meaningless
+    across graphs), ids are assigned lazily on first use and stay stable
+    for the lifetime of the graph — a term is never re-interned to a new
+    id, so row tuples survive graph mutations.
+
+    Id ``0`` (:data:`UNBOUND_ID`) is reserved for "unbound" and never
+    assigned to a term.
+    """
+
+    __slots__ = ("_terms", "_ids")
+
+    def __init__(self) -> None:
+        self._terms: list = [None]
+        self._ids: Dict[Term, int] = {}
+
+    def intern(self, term: Term) -> int:
+        """The id for ``term``, assigning a fresh one on first sight."""
+        term_id = self._ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._terms.append(term)
+            self._ids[term] = term_id
+        return term_id
+
+    def lookup(self, term: Term) -> int:
+        """The id for ``term`` without interning (``UNBOUND_ID`` if unseen)."""
+        return self._ids.get(term, UNBOUND_ID)
+
+    def decode(self, term_id: int) -> Term:
+        """The term behind ``term_id`` (raises for the unbound id)."""
+        term = self._terms[term_id]
+        if term is None:
+            raise KeyError(f"term id {term_id} decodes to no term")
+        return term
+
+    @property
+    def terms(self) -> list:
+        """The id-indexed decode table (index 0 is the unbound slot)."""
+        return self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TermDictionary {len(self)} terms>"
 
 
 class GraphStatistics:
@@ -112,7 +168,14 @@ class Graph:
         self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        # Id-level mirrors of the permutation indexes, keyed by dictionary
+        # ids.  The batched executor scans these (:meth:`triples_ids`) so its
+        # join loops never hash terms or construct Triple objects.
+        self._id_spo: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._id_pos: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._id_osp: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
         self._stats = GraphStatistics()
+        self._dictionary = TermDictionary()
         self._version = 0
         self.namespace_manager = namespace_manager or NamespaceManager()
         if triples:
@@ -151,6 +214,11 @@ class Graph:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
+        intern = self._dictionary.intern
+        si, pi, oi = intern(s), intern(p), intern(o)
+        self._id_spo[si][pi].add(oi)
+        self._id_pos[pi][oi].add(si)
+        self._id_osp[oi][si].add(pi)
         self._stats._record(s, p, o, +1)
         self._version += 1
         return self
@@ -178,6 +246,11 @@ class Graph:
         self._prune(self._spo, s, p, o)
         self._prune(self._pos, p, o, s)
         self._prune(self._osp, o, s, p)
+        lookup = self._dictionary.lookup
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        self._prune(self._id_spo, si, pi, oi)
+        self._prune(self._id_pos, pi, oi, si)
+        self._prune(self._id_osp, oi, si, pi)
         self._stats._record(s, p, o, -1)
         self._version += 1
         return self
@@ -200,11 +273,16 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._id_spo.clear()
+        self._id_pos.clear()
+        self._id_osp.clear()
         self._stats._clear()
         self._version += 1
 
     @staticmethod
-    def _prune(index, a: Term, b: Term, c: Term) -> None:
+    def _prune(index, a, b, c) -> None:
+        """Drop ``c`` from ``index[a][b]``, pruning emptied levels (keys are
+        terms in the term indexes, dictionary ids in the id indexes)."""
         bucket = index[a][b]
         bucket.discard(c)
         if not bucket:
@@ -286,6 +364,55 @@ class Graph:
             return
         yield from self._triples
 
+    def triples_ids(
+        self, s: int = UNBOUND_ID, p: int = UNBOUND_ID, o: int = UNBOUND_ID
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(s, p, o)`` dictionary-id triples matching an id pattern.
+
+        :data:`UNBOUND_ID` (0) acts as the wildcard.  This is the batched
+        executor's scan entry point: ids come from (and go back into) this
+        graph's :attr:`dictionary`, so the executor's join loops stay in
+        integer space — no term hashing, no :class:`Triple` construction.
+        A non-zero id that never occurs in the asserted position simply
+        matches nothing (the id indexes only contain asserted triples, so
+        e.g. a literal id used as subject finds an empty bucket).
+        """
+        if s and p and o:
+            if o in self._id_spo.get(s, {}).get(p, ()):
+                yield (s, p, o)
+            return
+        if s and p:
+            for oi in self._id_spo.get(s, {}).get(p, ()):
+                yield (s, p, oi)
+            return
+        if p and o:
+            for si in self._id_pos.get(p, {}).get(o, ()):
+                yield (si, p, o)
+            return
+        if s and o:
+            for pi in self._id_osp.get(o, {}).get(s, ()):
+                yield (s, pi, o)
+            return
+        if s:
+            for pi, objects in self._id_spo.get(s, {}).items():
+                for oi in objects:
+                    yield (s, pi, oi)
+            return
+        if p:
+            for oi, subjects in self._id_pos.get(p, {}).items():
+                for si in subjects:
+                    yield (si, p, oi)
+            return
+        if o:
+            for si, predicates in self._id_osp.get(o, {}).items():
+                for pi in predicates:
+                    yield (si, pi, o)
+            return
+        for s_term, by_predicate in self._id_spo.items():
+            for p_term, objects in by_predicate.items():
+                for o_term in objects:
+                    yield (s_term, p_term, o_term)
+
     @staticmethod
     def _normalize(term: Optional[Term]) -> Optional[Term]:
         """Variables behave as wildcards when used in graph-level matching."""
@@ -309,6 +436,16 @@ class Graph:
     def stats(self) -> GraphStatistics:
         """Live, incrementally maintained cardinality statistics."""
         return self._stats
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """This graph's term-interning dictionary (see :class:`TermDictionary`).
+
+        Ids are lazily assigned by the batched executor; removing a triple
+        does not retire ids (they are tiny and stay valid for row tuples
+        held by in-flight queries).
+        """
+        return self._dictionary
 
     def cardinality(
         self,
@@ -514,12 +651,19 @@ class ReadOnlyGraphView:
     def match_pattern(self, pattern: Triple) -> Iterator[Triple]:
         return self._graph.match_pattern(pattern)
 
+    def triples_ids(self, s=UNBOUND_ID, p=UNBOUND_ID, o=UNBOUND_ID):
+        return self._graph.triples_ids(s, p, o)
+
     def cardinality(self, subject=None, predicate=None, obj=None) -> int:
         return self._graph.cardinality(subject, predicate, obj)
 
     @property
     def stats(self) -> GraphStatistics:
         return self._graph.stats
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._graph.dictionary
 
     @property
     def version(self) -> int:

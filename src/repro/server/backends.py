@@ -55,6 +55,14 @@ class QueryBackend:
     def execute(self, query_text: str) -> QueryResult:
         raise NotImplementedError
 
+    def analyze(self, query_text: str):
+        """EXPLAIN ANALYZE: ``(result, run event)`` for ``query_text``.
+
+        Backends whose underlying engine has no batched instrumentation
+        raise :class:`BadQuery` (HTTP 400 at the protocol layer).
+        """
+        raise BadQuery("this backend does not support EXPLAIN ANALYZE")
+
     def health(self) -> Dict[str, object]:
         """JSON-ready health payload; must contain a ``status`` key."""
         return {"status": "ok"}
@@ -94,6 +102,13 @@ class EndpointBackend(QueryBackend):
         if isinstance(query, ConstructQuery):
             return self.endpoint.construct(query)
         raise BadQuery(f"unsupported query form: {type(query).__name__}")
+
+    def analyze(self, query_text: str):
+        query = self._parse(query_text)
+        analyze = getattr(self.endpoint, "analyze", None)
+        if analyze is None:
+            raise BadQuery("this endpoint does not support EXPLAIN ANALYZE")
+        return analyze(query)
 
     def health(self) -> Dict[str, object]:
         available = bool(getattr(self.endpoint, "available", True))
@@ -170,6 +185,23 @@ class FederationBackend(QueryBackend):
             strategy=self.strategy,
         )
         return outcome.merged()
+
+    def analyze(self, query_text: str):
+        query = self._parse(query_text)
+        if not isinstance(query, SelectQuery):
+            raise BadQuery(
+                "the federated endpoint answers SELECT queries only "
+                f"(got {type(query).__name__})"
+            )
+        outcome, event = self.engine.analyze(
+            query,
+            source_ontology=self.source_ontology,
+            source_dataset=self.source_dataset,
+            mode=self.mode,
+            datasets=self.datasets,
+            strategy=self.strategy,
+        )
+        return outcome.merged(), event
 
     def health(self) -> Dict[str, object]:
         datasets = {

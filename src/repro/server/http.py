@@ -10,6 +10,9 @@ dependencies beyond the standard library.  The protocol surface:
 * content negotiation on ``Accept``: SELECT results as SPARQL JSON
   (default), XML, CSV or TSV; ASK as JSON/XML; CONSTRUCT as Turtle or
   N-Triples,
+* ``GET``/``POST /analyze`` — EXPLAIN ANALYZE: executes the query and
+  returns the structured run event (per-operator rows/batches/timings,
+  endpoints contacted) as JSON, never cached,
 * ``GET /health`` — backend health (circuit-breaker states for a
   federation backend),
 * ``GET /metrics`` — per-endpoint :class:`EndpointStatistics` plus server
@@ -152,6 +155,12 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
                 if not queries:
                     raise _HttpError(400, "missing required 'query' parameter")
                 self._answer_query(queries[0])
+            elif parsed.path == "/analyze":
+                parameters = urllib.parse.parse_qs(parsed.query)
+                queries = parameters.get("query")
+                if not queries:
+                    raise _HttpError(400, "missing required 'query' parameter")
+                self._answer_analyze(queries[0])
             elif parsed.path == "/health":
                 self._send_json(200, self._health_payload())
             elif parsed.path == "/metrics":
@@ -167,9 +176,12 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         self._count("requests")
         parsed = urllib.parse.urlsplit(self.path)
         try:
-            if parsed.path not in ("/sparql", "/query"):
+            if parsed.path == "/analyze":
+                self._answer_analyze(self._read_query_body())
+            elif parsed.path in ("/sparql", "/query"):
+                self._answer_query(self._read_query_body())
+            else:
                 raise _HttpError(404, f"no such resource: {parsed.path}")
-            self._answer_query(self._read_query_body())
         except _HttpError as error:
             self._send_error(error)
 
@@ -236,6 +248,37 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         body = text.encode("utf-8")
         self.server.cache.put((generation, query_text, format_name), content_type, body)
         self._send(200, content_type, body)
+
+    def _answer_analyze(self, query_text: str) -> None:
+        """EXPLAIN ANALYZE resource: executes, returns the run event as JSON.
+
+        Never cached — the whole point is fresh per-operator timings.
+        """
+        backend = self.server.backend
+        self._count("queries")
+        try:
+            result, event = backend.analyze(query_text)
+        except BadQuery as exc:
+            raise _HttpError(400, str(exc)) from exc
+        except EndpointTimeout as exc:
+            raise _HttpError(504, str(exc)) from exc
+        except EndpointUnavailable as exc:
+            raise _HttpError(503, str(exc)) from exc
+        except EndpointError as exc:
+            raise _HttpError(502, str(exc)) from exc
+        except Exception as exc:  # noqa: BLE001
+            raise _HttpError(500, f"internal error: {type(exc).__name__}: {exc}") from exc
+        payload: Dict[str, object] = {
+            "event": event.to_json_dict(),
+            "report": event.render(),
+        }
+        if isinstance(result, ResultSet):
+            payload["rows"] = len(result)
+        elif isinstance(result, AskResult):
+            payload["boolean"] = bool(result)
+        elif isinstance(result, Graph):
+            payload["triples"] = len(result)
+        self._send_json(200, payload)
 
     def _cache_lookup(
         self, generation: int, query_text: str, accept: Optional[str]
@@ -305,6 +348,7 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             "service": "repro SPARQL Protocol server",
             "description": self.server.backend.description,
             "query": "/sparql",
+            "analyze": "/analyze",
             "health": "/health",
             "metrics": "/metrics",
             "result_formats": sorted(set(RESULT_MEDIA_TYPES.values())),

@@ -47,11 +47,19 @@ from .algebra import (
     translate_query,
 )
 from .evaluator import (
+    ENGINES,
     QueryEvaluator,
     evaluate_group,
     evaluate_query,
     match_bgp,
     ordered_bgp_patterns,
+)
+from .exec import (
+    RUN_EVENTS_ENV,
+    ExecConfig,
+    QueryRunEvent,
+    compile_naive_query,
+    compile_planner_query,
 )
 from .plan import (
     CardinalityEstimator,
@@ -97,8 +105,11 @@ __all__ = [
     "AlgebraTable",
     "translate_query", "translate_group", "algebra_to_group", "to_sexpr",
     # evaluation
-    "QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp",
+    "ENGINES", "QueryEvaluator", "evaluate_query", "evaluate_group", "match_bgp",
     "ordered_bgp_patterns",
+    # batched execution core
+    "ExecConfig", "QueryRunEvent", "RUN_EVENTS_ENV",
+    "compile_planner_query", "compile_naive_query",
     "ExpressionError", "evaluate_expression", "expression_satisfied",
     "effective_boolean_value",
     # planning

@@ -37,6 +37,7 @@ from .parser import parse_query
 from .results import AskResult, Binding, ResultSet
 
 __all__ = [
+    "ENGINES",
     "QueryEvaluator",
     "evaluate_query",
     "evaluate_group",
@@ -253,19 +254,49 @@ def _apply_element(element, solutions: List[Binding], graph) -> List[Binding]:
 # --------------------------------------------------------------------------- #
 # Query forms and modifiers
 # --------------------------------------------------------------------------- #
+#: Engines accepted by :class:`QueryEvaluator`.
+#:
+#: * ``planner`` — cost-based plan, batched (vectorized) execution
+#: * ``naive`` — bottom-up group semantics, batched execution
+#: * ``reference`` — the original dict-at-a-time bottom-up evaluator
+#: * ``streaming`` — the original one-binding-at-a-time physical operators
+#:
+#: ``planner``/``naive`` share one operator layer (:mod:`repro.sparql.exec`);
+#: ``reference``/``streaming`` are kept as independently-implemented oracles
+#: for the differential tests.
+ENGINES = ("planner", "naive", "reference", "streaming")
+
+
 class QueryEvaluator:
     """Evaluate parsed queries (or query text) against a graph.
 
-    By default queries run through the cost-based planner
-    (:mod:`repro.sparql.plan`): statistics-ordered index scans, pushed-down
-    FILTERs and streaming modifiers with early termination.  Pass
-    ``use_planner=False`` to force the naive bottom-up reference path —
-    the differential tests execute both and require identical solutions.
+    By default queries run through the cost-based planner compiled onto the
+    batched execution core (:mod:`repro.sparql.exec`): statistics-ordered
+    index scans, pushed-down FILTERs, adaptive join reordering and
+    early-terminating modifiers.  Pass ``use_planner=False`` (or
+    ``engine="naive"``) for bottom-up group semantics on the same core, or
+    pick the pre-refactor oracles with ``engine="reference"`` /
+    ``engine="streaming"`` — the differential tests execute all engines and
+    require identical solution multisets.
     """
 
-    def __init__(self, graph: Graph, use_planner: bool = True) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        use_planner: bool = True,
+        engine: Optional[str] = None,
+        exec_config=None,
+    ) -> None:
         self._graph = graph
-        self.use_planner = use_planner
+        if engine is None:
+            engine = "planner" if use_planner else "naive"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+            )
+        self.engine = engine
+        self.use_planner = engine in ("planner", "streaming")
+        self._exec_config = exec_config
 
     @property
     def graph(self) -> Graph:
@@ -289,6 +320,33 @@ class QueryEvaluator:
 
         return explain_query(query, self._graph)
 
+    def analyze(self, query: Union[Query, str]):
+        """EXPLAIN ANALYZE: evaluate ``query`` and return ``(result, event)``.
+
+        The event is a :class:`repro.sparql.exec.QueryRunEvent` with
+        per-operator rows/batches/wall-time and any adaptivity decisions;
+        ``event.render()`` gives the human-readable report.  The reference
+        and streaming oracles have no batched instrumentation, so they
+        analyze through their batched equivalent (naive / planner).
+        """
+        text = query if isinstance(query, str) else None
+        if isinstance(query, str):
+            query = parse_query(query)
+        plan = self._compile(query)
+        if isinstance(query, SelectQuery):
+            rows = list(plan.bindings())
+            result: Union[ResultSet, AskResult, Graph] = ResultSet(
+                query.effective_projection(), rows
+            )
+        elif isinstance(query, AskQuery):
+            result = AskResult(plan.first_binding() is not None)
+        elif isinstance(query, ConstructQuery):
+            result = _construct_graph(query, plan.bindings())
+        else:
+            raise TypeError(f"unsupported query form: {type(query).__name__}")
+        event = plan.run_event(text)
+        return result, event
+
     def select(self, query: Union[SelectQuery, str]) -> ResultSet:
         """Evaluate a SELECT query (convenience wrapper with type checking)."""
         result = self.evaluate(query)
@@ -296,22 +354,45 @@ class QueryEvaluator:
             raise TypeError("query did not produce a SELECT result")
         return result
 
+    # -- batched compilation --------------------------------------------------- #
+    def _compile(self, query: Query):
+        """Compile ``query`` onto the batched execution core."""
+        from .exec import compile_naive_query, compile_planner_query
+
+        if self.engine in ("planner", "streaming"):
+            return compile_planner_query(query, self._graph, self._exec_config)
+        return compile_naive_query(query, self._graph, self._exec_config)
+
+    def _finish(self, plan, query: Query) -> None:
+        """Per-query run-event emission (opt-in via ``REPRO_RUN_EVENTS``)."""
+        import os
+
+        from .exec import RUN_EVENTS_ENV, maybe_emit_event
+
+        if os.environ.get(RUN_EVENTS_ENV):
+            maybe_emit_event(plan.run_event())
+
     # -- SELECT -------------------------------------------------------------- #
     def _evaluate_select(self, query: SelectQuery) -> ResultSet:
         projection = query.effective_projection()
-        if self.use_planner:
+        if self.engine == "streaming":
             from .plan import plan_query
 
             return ResultSet(projection, plan_query(query, self._graph).execute())
-        solutions = evaluate_group(query.where, self._graph)
+        if self.engine == "reference":
+            solutions = evaluate_group(query.where, self._graph)
 
-        def project(solution: Binding) -> Binding:
-            return solution.project(
-                [v for v in projection if not v.name.startswith(BNODE_ANCHOR_PREFIX)]
-            )
+            def project(solution: Binding) -> Binding:
+                return solution.project(
+                    [v for v in projection if not v.name.startswith(BNODE_ANCHOR_PREFIX)]
+                )
 
-        solutions = self._apply_modifiers(query, solutions, project)
-        return ResultSet(projection, solutions)
+            solutions = self._apply_modifiers(query, solutions, project)
+            return ResultSet(projection, solutions)
+        plan = self._compile(query)
+        result = ResultSet(projection, plan.bindings())
+        self._finish(plan, query)
+        return result
 
     def _apply_modifiers(
         self,
@@ -343,33 +424,50 @@ class QueryEvaluator:
 
     # -- ASK ------------------------------------------------------------------ #
     def _evaluate_ask(self, query: AskQuery) -> AskResult:
-        if self.use_planner:
+        if self.engine == "streaming":
             from .plan import plan_query
 
             # Streaming pays off most here: stop at the first solution.
             first = next(plan_query(query, self._graph).execute(), None)
             return AskResult(first is not None)
-        solutions = evaluate_group(query.where, self._graph)
-        return AskResult(bool(solutions))
+        if self.engine == "reference":
+            solutions = evaluate_group(query.where, self._graph)
+            return AskResult(bool(solutions))
+        # Batched engines stop at the first solution too: the scan chain
+        # emits tiny initial batches, so only a handful of index lookups run.
+        plan = self._compile(query)
+        result = AskResult(plan.first_binding() is not None)
+        self._finish(plan, query)
+        return result
 
     # -- CONSTRUCT ------------------------------------------------------------ #
     def _evaluate_construct(self, query: ConstructQuery) -> Graph:
-        if self.use_planner:
+        if self.engine == "streaming":
             from .plan import plan_query
 
             solutions: Iterable[Binding] = plan_query(query, self._graph).execute()
-        else:
+        elif self.engine == "reference":
             solutions = self._apply_modifiers(
                 query, evaluate_group(query.where, self._graph)
             )
-        output = Graph(namespace_manager=query.prologue.namespace_manager.copy())
-        for solution in solutions:
-            bnode_map: dict = {}
-            for pattern in query.template:
-                instantiated = _instantiate_template(pattern, solution, bnode_map)
-                if instantiated is not None:
-                    output.add(instantiated)
-        return output
+        else:
+            plan = self._compile(query)
+            output = _construct_graph(query, plan.bindings())
+            self._finish(plan, query)
+            return output
+        return _construct_graph(query, solutions)
+
+
+def _construct_graph(query: ConstructQuery, solutions: Iterable[Binding]) -> Graph:
+    """Instantiate a CONSTRUCT template once per solution."""
+    output = Graph(namespace_manager=query.prologue.namespace_manager.copy())
+    for solution in solutions:
+        bnode_map: dict = {}
+        for pattern in query.template:
+            instantiated = _instantiate_template(pattern, solution, bnode_map)
+            if instantiated is not None:
+                output.add(instantiated)
+    return output
 
 
 def _instantiate_template(pattern: Triple, solution: Binding, bnode_map: dict) -> Optional[Triple]:

@@ -312,3 +312,71 @@ class TestReviewRegressions:
         )])
         second = json.loads(_get(server, SELECT)[2])
         assert len(second["results"]["bindings"]) == 3
+
+
+class TestAnalyzeRoute:
+    """GET/POST /analyze: EXPLAIN ANALYZE over the wire."""
+
+    def test_get_returns_event_report_and_rows(self, server):
+        status, content_type, body = _get(server, SELECT, path="/analyze")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["rows"] == 2
+        assert payload["event"]["engine"] == "planner"
+        assert payload["event"]["operators"]
+        assert "EXPLAIN ANALYZE" in payload["report"]
+
+    def test_post_urlencoded(self, server):
+        body = urllib.parse.urlencode({"query": ASK}).encode()
+        request = urllib.request.Request(
+            server.url + "/analyze", data=body,
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read())
+        assert payload["boolean"] is True
+
+    def test_construct_reports_triples(self, server):
+        _, _, body = _get(server, CONSTRUCT, path="/analyze")
+        payload = json.loads(body)
+        assert payload["triples"] == 2
+
+    def test_malformed_query_maps_to_400(self, server):
+        assert _status_of(lambda: _get(server, "SELEKT", path="/analyze")) == 400
+
+    def test_analyze_is_never_cached(self, endpoint, server):
+        _get(server, SELECT, path="/analyze")
+        before = endpoint.statistics.select_queries
+        _get(server, SELECT, path="/analyze")
+        # A second analyze must re-execute: timings are per-run.
+        assert endpoint.statistics.select_queries == before + 1
+
+    def test_service_document_advertises_analyze(self, server):
+        with urllib.request.urlopen(server.url + "/") as response:
+            payload = json.loads(response.read())
+        assert payload["analyze"] == "/analyze"
+
+    def test_federation_backend_analyze(self):
+        from repro.datasets import build_resist_scenario
+
+        scenario = build_resist_scenario(n_persons=8, n_papers=12, seed=5)
+        backend = FederationBackend(
+            scenario.service,
+            source_ontology=scenario.source_ontology,
+            source_dataset=scenario.rkb_dataset,
+            mode="filter-aware",
+            strategy="decompose",
+        )
+        person = scenario.akt_person_uri(scenario.world.most_prolific_author())
+        query = (
+            "PREFIX akt:<http://www.aktors.org/ontology/portal#> "
+            f"SELECT DISTINCT ?a WHERE {{ ?paper akt:has-author <{person}> . "
+            "?paper akt:has-author ?a }"
+        )
+        with SparqlHttpServer(backend) as server:
+            _, _, body = _get(server, query, path="/analyze")
+        payload = json.loads(body)
+        assert payload["event"]["engine"] == "decompose"
+        assert payload["event"]["endpoints"]
+        assert payload["rows"] >= 1

@@ -7,9 +7,10 @@ fixture next to it:
 * ``<name>.expected.ttl`` for CONSTRUCT queries (compared up to blank-node
   isomorphism).
 
-Every case executes through BOTH evaluation paths — the naive bottom-up
-reference evaluator and the cost-based planner — and each must match the
-fixture.  The queried data is ``data/default.ttl`` unless the case ships a
+Every case executes through EVERY evaluation engine — the batched naive
+and planner paths plus the dict-at-a-time reference evaluator and the
+legacy streaming planner operators — and each must match the fixture.
+The queried data is ``data/default.ttl`` unless the case ships a
 ``<name>.data.ttl`` override.
 
 SELECT fixtures carry the solutions as ``{variable: n3-text}`` rows.
@@ -31,16 +32,13 @@ import pytest
 
 from repro.rdf import Graph
 from repro.rdf.isomorphism import isomorphic
-from repro.sparql import AskResult, QueryEvaluator, ResultSet, parse_query
+from repro.sparql import ENGINES, AskResult, QueryEvaluator, ResultSet, parse_query
 from repro.turtle import parse_graph
 
 CASES_DIR = Path(__file__).parent / "cases"
 DEFAULT_DATA = Path(__file__).parent / "data" / "default.ttl"
 
 CASE_NAMES = sorted(path.stem for path in CASES_DIR.glob("*.rq"))
-
-#: Both execution paths; every case must pass through each.
-ENGINES = ("naive", "planner")
 
 
 def _load_case_graph(name: str) -> Graph:
@@ -113,7 +111,7 @@ def _check(result, expected) -> None:
 def test_conformance_case(name: str, engine: str) -> None:
     graph = _load_case_graph(name)
     query = parse_query((CASES_DIR / f"{name}.rq").read_text(encoding="utf-8"))
-    evaluator = QueryEvaluator(graph, use_planner=engine == "planner")
+    evaluator = QueryEvaluator(graph, engine=engine)
     _check(evaluator.evaluate(query), _expected_fixture(name))
 
 

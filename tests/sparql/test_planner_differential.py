@@ -1,10 +1,13 @@
-"""Differential property test: planner output == naive evaluator output.
+"""Differential property test: every engine == the reference evaluator.
 
 Random small graphs are queried with random BGP / OPTIONAL / UNION /
-FILTER combinations through both evaluation paths; the solution multisets
-must be identical.  This is the regression net for join reordering, hash
-vs. bind join selection and filter pushdown: any transformation that drops,
-duplicates or invents a solution shows up as a multiset mismatch.
+FILTER combinations through every evaluation engine — the batched
+planner and naive paths, the legacy streaming planner operators, and
+the dict-at-a-time reference evaluator as the oracle; the solution
+multisets must be identical across all of them.  This is the regression
+net for the vectorized executor, join reordering, hash vs. bind join
+selection and filter pushdown: any transformation that drops, duplicates
+or invents a solution shows up as a multiset mismatch.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.rdf import Graph, Literal, Triple, URIRef, Variable
 from repro.sparql import (
+    ENGINES,
     BinaryExpression,
     Filter,
     FunctionCall,
@@ -93,30 +97,34 @@ def _solution_multiset(result):
     return Counter(frozenset(binding.as_dict().items()) for binding in result.bindings)
 
 
+def _assert_engines_agree(graph, query):
+    oracle = QueryEvaluator(graph, engine="reference").select(query)
+    expected = _solution_multiset(oracle)
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        got = QueryEvaluator(graph, engine=engine).select(query)
+        assert _solution_multiset(got) == expected, f"engine {engine} diverged"
+
+
 @settings(max_examples=120, deadline=None)
 @given(st.lists(data_triples, max_size=20), group_patterns())
-def test_planner_matches_naive_evaluator(triples, where):
+def test_engines_match_reference_evaluator(triples, where):
     graph = Graph()
     for s, p, o in triples:
         graph.add(Triple(s, p, o))
     query = SelectQuery(Prologue(), [], where)
 
-    naive = QueryEvaluator(graph, use_planner=False).select(query)
-    planned = QueryEvaluator(graph, use_planner=True).select(query)
-
-    assert _solution_multiset(planned) == _solution_multiset(naive)
+    _assert_engines_agree(graph, query)
 
 
 @settings(max_examples=60, deadline=None)
 @given(st.lists(data_triples, max_size=20), group_patterns())
-def test_planner_distinct_matches_naive_evaluator(triples, where):
+def test_engines_distinct_matches_reference_evaluator(triples, where):
     graph = Graph()
     for s, p, o in triples:
         graph.add(Triple(s, p, o))
     query = SelectQuery(Prologue(), [], where)
     query.modifiers.distinct = True
 
-    naive = QueryEvaluator(graph, use_planner=False).select(query)
-    planned = QueryEvaluator(graph, use_planner=True).select(query)
-
-    assert _solution_multiset(planned) == _solution_multiset(naive)
+    _assert_engines_agree(graph, query)
