@@ -37,7 +37,7 @@ import fnmatch
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Optional
+
 
 DEFAULT_TOLERANCE = 2.0
 #: Benchmarks whose mean is below this in both runs are never flagged.
@@ -62,7 +62,7 @@ def load_baseline(path: Path) -> dict:
     try:
         baseline = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise CompareError(f"{path} is not valid JSON: {exc}")
+        raise CompareError(f"{path} is not valid JSON: {exc}") from exc
     if not isinstance(baseline, dict) or not isinstance(baseline.get("benchmarks"), dict):
         raise CompareError(
             f"{path} is not a baseline file: expected a JSON object with a "
@@ -71,22 +71,22 @@ def load_baseline(path: Path) -> dict:
     return baseline
 
 
-def load_run(path: Path) -> Dict[str, float]:
+def load_run(path: Path) -> dict[str, float]:
     """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise CompareError(f"{path} is not valid JSON: {exc}")
-    means: Dict[str, float] = {}
+        raise CompareError(f"{path} is not valid JSON: {exc}") from exc
+    means: dict[str, float] = {}
     for index, entry in enumerate(payload.get("benchmarks", [])):
         try:
             means[entry["name"]] = float(entry["stats"]["mean"])
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError) as exc:
             raise CompareError(
                 f"{path}: benchmark entry #{index} lacks the expected "
                 f"name/stats.mean shape — is this really a pytest-benchmark "
                 f"--benchmark-json file?"
-            )
+            ) from exc
     return means
 
 
@@ -102,7 +102,7 @@ def load_events(path: Path) -> list:
         try:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise CompareError(f"{path}:{number}: not valid JSON: {exc}")
+            raise CompareError(f"{path}:{number}: not valid JSON: {exc}") from exc
         if not isinstance(event, dict) or "engine" not in event:
             raise CompareError(
                 f"{path}:{number}: not a run event — expected a JSON object "
@@ -117,10 +117,10 @@ def load_events(path: Path) -> list:
 def summarize_events(path: Path, top: int = 12) -> None:
     """Print the per-operator time attribution digest for a run-events file."""
     events = load_events(path)
-    per_engine: Dict[str, int] = {}
-    operator_seconds: Dict[str, float] = {}
-    operator_rows: Dict[str, int] = {}
-    endpoint_rows: Dict[str, int] = {}
+    per_engine: dict[str, int] = {}
+    operator_seconds: dict[str, float] = {}
+    operator_rows: dict[str, int] = {}
+    endpoint_rows: dict[str, int] = {}
     total_elapsed = 0.0
     total_rows = 0
     reorders = 0
@@ -162,9 +162,9 @@ def summarize_events(path: Path, top: int = 12) -> None:
 
 def update_baseline(
     baseline_path: Path,
-    current: Dict[str, float],
-    track: Optional[list],
-    tolerance: Optional[float],
+    current: dict[str, float],
+    track: list | None,
+    tolerance: float | None,
 ) -> int:
     baseline = load_baseline(baseline_path)
     tracked = set(baseline["benchmarks"])
@@ -190,7 +190,7 @@ def update_baseline(
     return 0
 
 
-def compare(baseline_path: Path, run_path: Path, tolerance: Optional[float]) -> int:
+def compare(baseline_path: Path, run_path: Path, tolerance: float | None) -> int:
     baseline = load_baseline(baseline_path)
     current = load_run(run_path)
     effective_tolerance = tolerance or float(

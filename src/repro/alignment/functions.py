@@ -27,7 +27,7 @@ mechanism for unbounded variables.
 from __future__ import annotations
 
 from decimal import Decimal
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from ..rdf import ALIGN_FN, Literal, Term, URIRef, Variable, XSD, is_variable_like
 from ..coreference import SameAsService
@@ -78,7 +78,7 @@ class FunctionRegistry:
     """URI-keyed registry of data-manipulation functions."""
 
     def __init__(self) -> None:
-        self._functions: Dict[URIRef, TransformFunction] = {}
+        self._functions: dict[URIRef, TransformFunction] = {}
         self._generation = 0
 
     @property
@@ -120,7 +120,7 @@ class FunctionRegistry:
         except Exception as exc:  # pragma: no cover - defensive wrapper
             raise FunctionExecutionError(f"function {uri} failed: {exc}") from exc
 
-    def registered_functions(self) -> List[URIRef]:
+    def registered_functions(self) -> list[URIRef]:
         return sorted(self._functions, key=str)
 
     def __len__(self) -> int:
@@ -245,7 +245,7 @@ def _text(term: Term) -> str:
     return str(term)
 
 
-def default_registry(sameas_service: Optional[SameAsService] = None) -> FunctionRegistry:
+def default_registry(sameas_service: SameAsService | None = None) -> FunctionRegistry:
     """A registry with every built-in function installed.
 
     ``sameas`` is only available when a co-reference service is supplied

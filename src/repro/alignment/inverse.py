@@ -23,7 +23,7 @@ ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+
 
 from ..rdf import Literal, URIRef
 from .functions import SAMEAS_FUNCTION
@@ -43,7 +43,7 @@ class AlignmentInversionError(ValueError):
 
 def invert_entity_alignment(
     alignment: EntityAlignment,
-    source_uri_pattern: Optional[str] = None,
+    source_uri_pattern: str | None = None,
 ) -> EntityAlignment:
     """Return the target→source version of a single-triple alignment.
 
@@ -67,7 +67,7 @@ def invert_entity_alignment(
     new_lhs = alignment.rhs[0]
     new_rhs = [alignment.lhs]
 
-    inverted_dependencies: List[FunctionalDependency] = []
+    inverted_dependencies: list[FunctionalDependency] = []
     for dependency in alignment.functional_dependencies:
         variable_parameters = [p for p in dependency.parameters if not isinstance(p, (URIRef, Literal))]
         if not variable_parameters:
@@ -98,8 +98,8 @@ def invert_entity_alignment(
 class InversionReport:
     """Outcome of inverting a whole ontology alignment."""
 
-    inverted: List[EntityAlignment] = field(default_factory=list)
-    skipped: List[Tuple[EntityAlignment, str]] = field(default_factory=list)
+    inverted: list[EntityAlignment] = field(default_factory=list)
+    skipped: list[tuple[EntityAlignment, str]] = field(default_factory=list)
 
     @property
     def inverted_count(self) -> int:
@@ -112,9 +112,9 @@ class InversionReport:
 
 def invert_ontology_alignment(
     alignment: OntologyAlignment,
-    source_dataset: Optional[URIRef] = None,
-    source_uri_pattern: Optional[str] = None,
-) -> Tuple[OntologyAlignment, InversionReport]:
+    source_dataset: URIRef | None = None,
+    source_uri_pattern: str | None = None,
+) -> tuple[OntologyAlignment, InversionReport]:
     """Invert an OA rule-by-rule (skipping non-invertible entity alignments).
 
     The context of validity is swapped: the original target ontologies

@@ -19,7 +19,7 @@ by Experiment E8 and the alignment statistics of the store.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..rdf import RDF, Term, Triple, URIRef, Variable
 from .model import EntityAlignment, FunctionalDependency
@@ -38,7 +38,7 @@ _Y = Variable("y")
 
 
 def class_alignment(source_class: URIRef, target_class: URIRef,
-                    identifier: Optional[URIRef] = None) -> EntityAlignment:
+                    identifier: URIRef | None = None) -> EntityAlignment:
     """Level-0 class correspondence ``C1 -> C2``.
 
     Encodes ``forall x (Triple(x, rdf:type, C1) -> Triple(x, rdf:type, C2))``.
@@ -51,7 +51,7 @@ def class_alignment(source_class: URIRef, target_class: URIRef,
 
 
 def property_alignment(source_property: URIRef, target_property: URIRef,
-                       identifier: Optional[URIRef] = None,
+                       identifier: URIRef | None = None,
                        functional_dependencies: Sequence[FunctionalDependency] = ()) -> EntityAlignment:
     """Level-0 property correspondence ``P1 -> P2``.
 
@@ -69,7 +69,7 @@ def property_alignment(source_property: URIRef, target_property: URIRef,
 
 def class_to_intersection_alignment(source_class: URIRef,
                                     target_classes: Iterable[URIRef],
-                                    identifier: Optional[URIRef] = None) -> EntityAlignment:
+                                    identifier: URIRef | None = None) -> EntityAlignment:
     """Level-1 correspondence mapping a class to an intersection of classes.
 
     The paper's example: ``wine1:Burgundy -> wine2:Wine AND
@@ -87,7 +87,7 @@ def class_to_intersection_alignment(source_class: URIRef,
 
 def class_to_value_partition_alignment(source_class: URIRef, target_class: URIRef,
                                        partition_property: URIRef, partition_value: Term,
-                                       identifier: Optional[URIRef] = None) -> EntityAlignment:
+                                       identifier: URIRef | None = None) -> EntityAlignment:
     """Level-2 correspondence translating a class into a value partition.
 
     The paper's example: ``O1:WhiteWine -> O2:Wine with O2:has_color "White"``.
@@ -104,7 +104,7 @@ def class_to_value_partition_alignment(source_class: URIRef, target_class: URIRe
 
 def property_chain_alignment(source_property: URIRef,
                              chain: Sequence[URIRef],
-                             identifier: Optional[URIRef] = None,
+                             identifier: URIRef | None = None,
                              functional_dependencies: Sequence[FunctionalDependency] = ()) -> EntityAlignment:
     """Level-2 correspondence expanding a property into a chain of properties.
 
@@ -115,7 +115,7 @@ def property_chain_alignment(source_property: URIRef,
     if not chain:
         raise ValueError("the property chain must contain at least one property")
     subject = _X
-    rhs: List[Triple] = []
+    rhs: list[Triple] = []
     current: Term = subject
     for index, property_uri in enumerate(chain):
         is_last = index == len(chain) - 1

@@ -18,7 +18,7 @@ variables and ground terms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 from ..rdf import BNode, Term, Triple, URIRef, Variable, is_ground
 
@@ -51,9 +51,9 @@ class FunctionalDependency:
 
     variable: Variable
     function: URIRef
-    parameters: Tuple[Term, ...]
+    parameters: tuple[Term, ...]
 
-    def __init__(self, variable: Union[Variable, BNode], function: URIRef,
+    def __init__(self, variable: Variable | BNode, function: URIRef,
                  parameters: Sequence[Term]) -> None:
         normalised_variable = _normalise_term(variable)
         if not isinstance(normalised_variable, Variable):
@@ -68,7 +68,7 @@ class FunctionalDependency:
             self, "parameters", tuple(_normalise_term(parameter) for parameter in parameters)
         )
 
-    def parameter_variables(self) -> Set[Variable]:
+    def parameter_variables(self) -> set[Variable]:
         """The variables among the parameters."""
         return {parameter for parameter in self.parameters if isinstance(parameter, Variable)}
 
@@ -101,11 +101,11 @@ class EntityAlignment:
         lhs: Triple,
         rhs: Iterable[Triple],
         functional_dependencies: Iterable[FunctionalDependency] = (),
-        identifier: Optional[URIRef] = None,
+        identifier: URIRef | None = None,
     ) -> None:
         self.lhs: Triple = _normalise_triple(lhs)
-        self.rhs: List[Triple] = [_normalise_triple(pattern) for pattern in rhs]
-        self.functional_dependencies: List[FunctionalDependency] = list(functional_dependencies)
+        self.rhs: list[Triple] = [_normalise_triple(pattern) for pattern in rhs]
+        self.functional_dependencies: list[FunctionalDependency] = list(functional_dependencies)
         self.identifier = identifier
         self._validate()
 
@@ -132,18 +132,18 @@ class EntityAlignment:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    def lhs_variables(self) -> Set[Variable]:
+    def lhs_variables(self) -> set[Variable]:
         """Variables of the head (universally quantified in the paper's reading)."""
         return self.lhs.variables()
 
-    def rhs_variables(self) -> Set[Variable]:
+    def rhs_variables(self) -> set[Variable]:
         """Variables of the body (existentially quantified unless shared)."""
-        variables: Set[Variable] = set()
+        variables: set[Variable] = set()
         for pattern in self.rhs:
             variables |= pattern.variables()
         return variables
 
-    def fresh_rhs_variables(self) -> Set[Variable]:
+    def fresh_rhs_variables(self) -> set[Variable]:
         """RHS variables that occur neither in the LHS nor as FD targets.
 
         These are the variables Algorithm 1 step 4 binds to new fresh
@@ -152,18 +152,18 @@ class EntityAlignment:
         produced = {dependency.variable for dependency in self.functional_dependencies}
         return self.rhs_variables() - self.lhs_variables() - produced
 
-    def functional_dependency_for(self, variable: Variable) -> Optional[FunctionalDependency]:
+    def functional_dependency_for(self, variable: Variable) -> FunctionalDependency | None:
         """The FD whose target is ``variable``, if any (paper's ``getFD``)."""
         for dependency in self.functional_dependencies:
             if dependency.variable == variable:
                 return dependency
         return None
 
-    def source_properties(self) -> Set[URIRef]:
+    def source_properties(self) -> set[URIRef]:
         """URIs used in the LHS (for indexing alignments by source vocabulary)."""
         return {term for term in self.lhs if isinstance(term, URIRef)}
 
-    def target_properties(self) -> Set[URIRef]:
+    def target_properties(self) -> set[URIRef]:
         """URIs used in the RHS."""
         return {
             term
@@ -217,12 +217,12 @@ class OntologyAlignment:
         target_ontologies: Iterable[URIRef] = (),
         target_datasets: Iterable[URIRef] = (),
         entity_alignments: Iterable[EntityAlignment] = (),
-        identifier: Optional[URIRef] = None,
+        identifier: URIRef | None = None,
     ) -> None:
-        self.source_ontologies: FrozenSet[URIRef] = frozenset(source_ontologies)
-        self.target_ontologies: FrozenSet[URIRef] = frozenset(target_ontologies)
-        self.target_datasets: FrozenSet[URIRef] = frozenset(target_datasets)
-        self.entity_alignments: List[EntityAlignment] = list(entity_alignments)
+        self.source_ontologies: frozenset[URIRef] = frozenset(source_ontologies)
+        self.target_ontologies: frozenset[URIRef] = frozenset(target_ontologies)
+        self.target_datasets: frozenset[URIRef] = frozenset(target_datasets)
+        self.entity_alignments: list[EntityAlignment] = list(entity_alignments)
         self.identifier = identifier
         if not self.source_ontologies:
             raise AlignmentError("an ontology alignment requires at least one source ontology")
@@ -259,7 +259,7 @@ class OntologyAlignment:
     # ------------------------------------------------------------------ #
     # Content
     # ------------------------------------------------------------------ #
-    def add(self, entity_alignment: EntityAlignment) -> "OntologyAlignment":
+    def add(self, entity_alignment: EntityAlignment) -> OntologyAlignment:
         self.entity_alignments.append(entity_alignment)
         return self
 

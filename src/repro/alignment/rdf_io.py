@@ -26,7 +26,7 @@ labels are prefixed so distinct rules never accidentally share a variable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from collections.abc import Iterable
 
 from ..rdf import (
     BNode,
@@ -74,7 +74,7 @@ HAS_ENTITY_ALIGNMENT_PROPERTY = MAP.hasEntityAlignment
 class AlignmentGraphWriter:
     """Serialise alignments into an RDF graph using the paper's encoding."""
 
-    def __init__(self, graph: Optional[Graph] = None) -> None:
+    def __init__(self, graph: Graph | None = None) -> None:
         self.graph = graph if graph is not None else Graph()
         self._alignment_counter = 0
 
@@ -147,7 +147,7 @@ class AlignmentGraphReader:
         self.graph = graph
 
     # -- entity alignments ---------------------------------------------------- #
-    def entity_alignment_nodes(self) -> List[Term]:
+    def entity_alignment_nodes(self) -> list[Term]:
         return sorted(
             self.graph.subjects(RDF.type, ENTITY_ALIGNMENT_CLASS), key=lambda t: t.sort_key()
         )
@@ -169,7 +169,7 @@ class AlignmentGraphReader:
         identifier = node if isinstance(node, URIRef) else None
         return EntityAlignment(lhs, rhs, dependencies, identifier=identifier)
 
-    def read_all_entity_alignments(self) -> List[EntityAlignment]:
+    def read_all_entity_alignments(self) -> list[EntityAlignment]:
         return [self.read_entity_alignment(node) for node in self.entity_alignment_nodes()]
 
     def _read_pattern(self, node: Term) -> Triple:
@@ -209,7 +209,7 @@ class AlignmentGraphReader:
         return term
 
     # -- ontology alignments --------------------------------------------------- #
-    def ontology_alignment_nodes(self) -> List[Term]:
+    def ontology_alignment_nodes(self) -> list[Term]:
         return sorted(
             self.graph.subjects(RDF.type, ONTOLOGY_ALIGNMENT_CLASS), key=lambda t: t.sort_key()
         )
@@ -233,7 +233,7 @@ class AlignmentGraphReader:
             identifier=identifier,
         )
 
-    def read_all_ontology_alignments(self) -> List[OntologyAlignment]:
+    def read_all_ontology_alignments(self) -> list[OntologyAlignment]:
         return [self.read_ontology_alignment(node) for node in self.ontology_alignment_nodes()]
 
 
@@ -248,7 +248,7 @@ def alignments_to_graph(alignments: Iterable[EntityAlignment]) -> Graph:
     return writer.graph
 
 
-def alignments_from_graph(graph: Graph) -> List[EntityAlignment]:
+def alignments_from_graph(graph: Graph) -> list[EntityAlignment]:
     """Read every entity alignment described in ``graph``."""
     return AlignmentGraphReader(graph).read_all_entity_alignments()
 
@@ -260,7 +260,7 @@ def ontology_alignment_to_graph(alignment: OntologyAlignment) -> Graph:
     return writer.graph
 
 
-def ontology_alignments_from_graph(graph: Graph) -> List[OntologyAlignment]:
+def ontology_alignments_from_graph(graph: Graph) -> list[OntologyAlignment]:
     """Read every ontology alignment described in ``graph``."""
     return AlignmentGraphReader(graph).read_all_ontology_alignments()
 
@@ -270,6 +270,6 @@ def alignments_to_turtle(alignments: Iterable[EntityAlignment]) -> str:
     return serialize_turtle(alignments_to_graph(alignments))
 
 
-def alignments_from_turtle(text: str) -> List[EntityAlignment]:
+def alignments_from_turtle(text: str) -> list[EntityAlignment]:
     """Parse a Turtle document containing entity alignment descriptions."""
     return alignments_from_graph(parse_turtle(text))

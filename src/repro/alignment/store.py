@@ -19,7 +19,7 @@ Selection therefore works on the context of validity:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set
+from collections.abc import Iterable
 
 from ..rdf import Graph, URIRef
 from .model import EntityAlignment, OntologyAlignment
@@ -32,7 +32,7 @@ class AlignmentStore:
     """In-memory registry of ontology alignments with context-aware lookup."""
 
     def __init__(self, alignments: Iterable[OntologyAlignment] = ()) -> None:
-        self._alignments: List[OntologyAlignment] = []
+        self._alignments: list[OntologyAlignment] = []
         self._generation = 0
         for alignment in alignments:
             self.add(alignment)
@@ -50,7 +50,7 @@ class AlignmentStore:
     # ------------------------------------------------------------------ #
     # Population
     # ------------------------------------------------------------------ #
-    def add(self, alignment: OntologyAlignment) -> "AlignmentStore":
+    def add(self, alignment: OntologyAlignment) -> AlignmentStore:
         """Register an ontology alignment."""
         self._alignments.append(alignment)
         self._generation += 1
@@ -76,16 +76,16 @@ class AlignmentStore:
     # ------------------------------------------------------------------ #
     # Selection
     # ------------------------------------------------------------------ #
-    def ontology_alignments(self) -> List[OntologyAlignment]:
+    def ontology_alignments(self) -> list[OntologyAlignment]:
         """Every registered ontology alignment."""
         return list(self._alignments)
 
     def for_target_dataset(
         self,
         dataset: URIRef,
-        source_ontology: Optional[URIRef] = None,
+        source_ontology: URIRef | None = None,
         dataset_ontologies: Iterable[URIRef] = (),
-    ) -> List[OntologyAlignment]:
+    ) -> list[OntologyAlignment]:
         """Ontology alignments relevant for rewriting towards ``dataset``.
 
         Dataset-specific alignments (``TD`` contains the dataset) are
@@ -94,8 +94,8 @@ class AlignmentStore:
         alignments not covering it are filtered out.
         """
         dataset_ontologies = set(dataset_ontologies)
-        specific: List[OntologyAlignment] = []
-        reusable: List[OntologyAlignment] = []
+        specific: list[OntologyAlignment] = []
+        reusable: list[OntologyAlignment] = []
         for alignment in self._alignments:
             if source_ontology is not None and not alignment.applies_to_source(source_ontology):
                 continue
@@ -106,8 +106,8 @@ class AlignmentStore:
         return specific + reusable
 
     def for_target_ontology(
-        self, ontology: URIRef, source_ontology: Optional[URIRef] = None
-    ) -> List[OntologyAlignment]:
+        self, ontology: URIRef, source_ontology: URIRef | None = None
+    ) -> list[OntologyAlignment]:
         """Ontology alignments whose target ontologies include ``ontology``."""
         result = []
         for alignment in self._alignments:
@@ -119,11 +119,11 @@ class AlignmentStore:
 
     def entity_alignments_for(
         self,
-        dataset: Optional[URIRef] = None,
-        target_ontology: Optional[URIRef] = None,
-        source_ontology: Optional[URIRef] = None,
+        dataset: URIRef | None = None,
+        target_ontology: URIRef | None = None,
+        source_ontology: URIRef | None = None,
         dataset_ontologies: Iterable[URIRef] = (),
-    ) -> List[EntityAlignment]:
+    ) -> list[EntityAlignment]:
         """The union of entity alignments relevant for a rewriting task.
 
         This is the set Algorithm 1 receives: "the union of the entity
@@ -131,7 +131,7 @@ class AlignmentStore:
         Duplicate rules (same LHS/RHS/FD) are removed while preserving
         order.
         """
-        selected: List[OntologyAlignment] = []
+        selected: list[OntologyAlignment] = []
         if dataset is not None:
             selected.extend(
                 self.for_target_dataset(dataset, source_ontology, dataset_ontologies)
@@ -144,7 +144,7 @@ class AlignmentStore:
                 for alignment in self._alignments
                 if source_ontology is None or alignment.applies_to_source(source_ontology)
             ]
-        merged: List[EntityAlignment] = []
+        merged: list[EntityAlignment] = []
         seen = set()
         for ontology_alignment in selected:
             for entity_alignment in ontology_alignment.entity_alignments:
@@ -162,7 +162,7 @@ class AlignmentStore:
         """Total number of entity alignments across all OAs."""
         return sum(len(alignment) for alignment in self._alignments)
 
-    def counts_by_pair(self) -> Dict[tuple, int]:
+    def counts_by_pair(self) -> dict[tuple, int]:
         """Entity-alignment counts keyed by (source ontologies, target).
 
         The *target* component is the target datasets when present, else
@@ -170,7 +170,7 @@ class AlignmentStore:
         alignments between ECS data set and DBpedia" and "24 alignments
         between AKT data and KISTI data set".
         """
-        counts: Dict[tuple, int] = defaultdict(int)
+        counts: dict[tuple, int] = defaultdict(int)
         for alignment in self._alignments:
             target = alignment.target_datasets or alignment.target_ontologies
             key = (
@@ -180,16 +180,16 @@ class AlignmentStore:
             counts[key] += len(alignment)
         return dict(counts)
 
-    def source_ontologies(self) -> Set[URIRef]:
+    def source_ontologies(self) -> set[URIRef]:
         """All source ontologies covered by the KB."""
-        result: Set[URIRef] = set()
+        result: set[URIRef] = set()
         for alignment in self._alignments:
             result |= alignment.source_ontologies
         return result
 
-    def target_datasets(self) -> Set[URIRef]:
+    def target_datasets(self) -> set[URIRef]:
         """All target datasets covered by the KB."""
-        result: Set[URIRef] = set()
+        result: set[URIRef] = set()
         for alignment in self._alignments:
             result |= alignment.target_datasets
         return result

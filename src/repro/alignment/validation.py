@@ -15,7 +15,7 @@ this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from collections.abc import Iterable
 
 from ..rdf import Term, URIRef, Variable
 from .functions import FunctionRegistry
@@ -46,8 +46,8 @@ class ValidationIssue:
 
 def validate_entity_alignment(
     alignment: EntityAlignment,
-    registry: Optional[FunctionRegistry] = None,
-) -> List[ValidationIssue]:
+    registry: FunctionRegistry | None = None,
+) -> list[ValidationIssue]:
     """Lint an entity alignment.
 
     Errors:
@@ -68,7 +68,7 @@ def validate_entity_alignment(
     * an FD target that also occurs in the LHS (the function would
       overwrite a matched binding).
     """
-    issues: List[ValidationIssue] = []
+    issues: list[ValidationIssue] = []
     lhs_variables = alignment.lhs_variables()
     rhs_variables = alignment.rhs_variables()
 
@@ -129,10 +129,10 @@ def validate_entity_alignment(
 
 def validate_ontology_alignment(
     alignment: OntologyAlignment,
-    registry: Optional[FunctionRegistry] = None,
-) -> List[ValidationIssue]:
+    registry: FunctionRegistry | None = None,
+) -> list[ValidationIssue]:
     """Lint an ontology alignment and every entity alignment it contains."""
-    issues: List[ValidationIssue] = []
+    issues: list[ValidationIssue] = []
     if not alignment.entity_alignments:
         issues.append(ValidationIssue("warning", "ontology alignment contains no entity alignments"))
     if alignment.target_datasets and alignment.target_ontologies:
@@ -158,8 +158,8 @@ def validate_ontology_alignment(
     return issues
 
 
-def _duplicate_heads(alignments: Iterable[EntityAlignment]) -> List[URIRef]:
-    seen: Dict[URIRef, int] = {}
+def _duplicate_heads(alignments: Iterable[EntityAlignment]) -> list[URIRef]:
+    seen: dict[URIRef, int] = {}
     for alignment in alignments:
         predicate = alignment.lhs.predicate
         if isinstance(predicate, URIRef):
@@ -177,7 +177,7 @@ def rename_variables(alignment: EntityAlignment, prefix: str = "v") -> EntityAli
     functional dependencies, so two alignments that differ only in variable
     names map to identical canonical forms.
     """
-    mapping: Dict[Variable, Variable] = {}
+    mapping: dict[Variable, Variable] = {}
 
     def canonical(term: Term) -> Term:
         if isinstance(term, Variable):

@@ -11,7 +11,7 @@ baseline exists so Experiments E5/E6 can quantify the gap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 from ..federation import DatasetRegistry, EndpointError
 from ..rdf import URIRef, Variable
@@ -24,15 +24,15 @@ __all__ = ["IdentityBaselineResult", "IdentityFederation"]
 class IdentityBaselineResult:
     """Per-dataset and merged results of the no-rewriting baseline."""
 
-    variables: List[Variable]
-    per_dataset_rows: Dict[URIRef, int] = field(default_factory=dict)
-    errors: Dict[URIRef, str] = field(default_factory=dict)
-    merged_bindings: List[Binding] = field(default_factory=list)
+    variables: list[Variable]
+    per_dataset_rows: dict[URIRef, int] = field(default_factory=dict)
+    errors: dict[URIRef, str] = field(default_factory=dict)
+    merged_bindings: list[Binding] = field(default_factory=list)
 
     def merged(self) -> ResultSet:
         return ResultSet(self.variables, self.merged_bindings)
 
-    def distinct_values(self, variable: Union[Variable, str]) -> set:
+    def distinct_values(self, variable: Variable | str) -> set:
         return self.merged().distinct_values(variable)
 
 
@@ -44,8 +44,8 @@ class IdentityFederation:
 
     def execute(
         self,
-        query: Union[Query, str],
-        datasets: Optional[Sequence[URIRef]] = None,
+        query: Query | str,
+        datasets: Sequence[URIRef] | None = None,
     ) -> IdentityBaselineResult:
         if isinstance(query, str):
             query = parse_query(query)

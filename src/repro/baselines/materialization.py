@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..alignment import EntityAlignment, SAMEAS_FUNCTION
 from ..coreference import SameAsService
@@ -57,8 +57,8 @@ class MaterializationIntegrator:
     def __init__(
         self,
         alignments: Sequence[EntityAlignment],
-        sameas_service: Optional[SameAsService] = None,
-        source_uri_pattern: Optional[str] = None,
+        sameas_service: SameAsService | None = None,
+        source_uri_pattern: str | None = None,
     ) -> None:
         self.alignments = list(alignments)
         self.sameas_service = sameas_service or SameAsService()
@@ -67,7 +67,7 @@ class MaterializationIntegrator:
     # ------------------------------------------------------------------ #
     # Integration
     # ------------------------------------------------------------------ #
-    def integrate(self, graphs: Iterable[Graph]) -> Tuple[Graph, MaterializationStatistics]:
+    def integrate(self, graphs: Iterable[Graph]) -> tuple[Graph, MaterializationStatistics]:
         """Derive a source-vocabulary graph from the given target graphs."""
         statistics = MaterializationStatistics()
         start = perf_counter()
@@ -99,14 +99,14 @@ class MaterializationIntegrator:
                 derived += 1
         return derived
 
-    def _invertible_dependencies(self, alignment: EntityAlignment) -> Dict[Variable, Variable]:
+    def _invertible_dependencies(self, alignment: EntityAlignment) -> dict[Variable, Variable]:
         """Map RHS-side FD targets back to the LHS variable they determine.
 
         Only ``sameas`` dependencies of the shape ``?rhs = sameas(?lhs, re)``
         are invertible: knowing the RHS value, the LHS value is the
         equivalent URI in the source URI space.
         """
-        inverse: Dict[Variable, Variable] = {}
+        inverse: dict[Variable, Variable] = {}
         for dependency in alignment.functional_dependencies:
             if dependency.function != SAMEAS_FUNCTION:
                 continue
@@ -121,10 +121,10 @@ class MaterializationIntegrator:
         self,
         alignment: EntityAlignment,
         binding: Binding,
-        inverse_fd: Dict[Variable, Variable],
+        inverse_fd: dict[Variable, Variable],
         statistics: MaterializationStatistics,
-    ) -> Optional[Triple]:
-        values: Dict[Variable, Term] = {}
+    ) -> Triple | None:
+        values: dict[Variable, Term] = {}
         # Direct bindings for LHS variables shared with the RHS.
         for variable in alignment.lhs_variables():
             term = binding.get_term(variable)

@@ -12,6 +12,9 @@ Four entry points (installed as console scripts by ``pyproject.toml``):
   scenario and print per-dataset and merged result counts.
 * ``repro-serve`` — publish an RDF file or the built-in mediated
   federation as a W3C SPARQL Protocol endpoint over HTTP.
+* ``repro-lint`` — run the static query analyzer over a batch of SPARQL
+  files and print the diagnostics (text or JSON); exits non-zero when
+  any file has error-severity findings.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from .alignment import AlignmentStore
 from .coreference import SameAsService
@@ -28,9 +31,12 @@ from .datasets import build_resist_scenario
 from .federation import ExecutionPolicy, recall
 from .rdf import URIRef
 from .sparql import ENGINES, AskResult, QueryEvaluator, ResultSet, parse_query, write_results
+from .sparql.analysis import QueryAnalysisError, analyze_query
+from .sparql.parser import SparqlParseError
+from .sparql.tokenizer import SparqlLexError
 from .turtle import parse_graph
 
-__all__ = ["main_rewrite", "main_query", "main_federate", "main_serve"]
+__all__ = ["main_rewrite", "main_query", "main_federate", "main_serve", "main_lint"]
 
 #: Output format choices shared by ``repro-query`` and ``repro-federate``.
 _OUTPUT_FORMATS = ["table", "json", "xml", "csv", "tsv"]
@@ -43,7 +49,7 @@ def _read_text(path: str) -> str:
 # --------------------------------------------------------------------------- #
 # repro-rewrite
 # --------------------------------------------------------------------------- #
-def main_rewrite(argv: Optional[Sequence[str]] = None) -> int:
+def main_rewrite(argv: Sequence[str] | None = None) -> int:
     """Rewrite a query using an alignment KB and (optionally) a sameAs file."""
     parser = argparse.ArgumentParser(
         prog="repro-rewrite",
@@ -85,7 +91,7 @@ def main_rewrite(argv: Optional[Sequence[str]] = None) -> int:
         source_ontology,
         mode=arguments.mode,
     )
-    for path, result in zip(arguments.query, results):
+    for path, result in zip(arguments.query, results, strict=True):
         if len(results) > 1:
             print(f"# --- {path} ---")
         print(result.query_text)
@@ -101,7 +107,7 @@ def main_rewrite(argv: Optional[Sequence[str]] = None) -> int:
 # --------------------------------------------------------------------------- #
 # repro-query
 # --------------------------------------------------------------------------- #
-def main_query(argv: Optional[Sequence[str]] = None) -> int:
+def main_query(argv: Sequence[str] | None = None) -> int:
     """Evaluate a query over a local RDF file and print the results."""
     parser = argparse.ArgumentParser(
         prog="repro-query",
@@ -123,24 +129,43 @@ def main_query(argv: Optional[Sequence[str]] = None) -> int:
                         help="evaluation engine: the cost-based planner or the "
                              "syntax-ordered naive path (both on the batched "
                              "executor), or the reference/streaming oracles")
+    parser.add_argument("--lint", action="store_true",
+                        help="print the static analyzer's diagnostics instead of "
+                             "executing (exit 1 on error-severity findings)")
+    parser.add_argument("--strict", action="store_true",
+                        help="refuse to execute a query with error-severity "
+                             "diagnostics (with --lint: warnings also fail)")
     arguments = parser.parse_args(argv)
 
     format_name = arguments.data_format
     if format_name is None:
         format_name = "ntriples" if arguments.data.endswith(".nt") else "turtle"
     graph = parse_graph(_read_text(arguments.data), format=format_name)
-    evaluator = QueryEvaluator(graph, engine=arguments.engine)
+    evaluator = QueryEvaluator(graph, engine=arguments.engine, strict=arguments.strict)
     query = parse_query(_read_text(arguments.query))
+    if arguments.lint:
+        analysis = analyze_query(query, graph)
+        for diagnostic in analysis.diagnostics:
+            print(diagnostic.render(arguments.query))
+        failed = analysis.has_errors or (arguments.strict and analysis.warnings)
+        return 1 if failed else 0
     if arguments.explain:
         print(evaluator.explain(query))
         return 0
-    if arguments.analyze:
-        # The reference/streaming oracles analyze through their batched
-        # equivalent (see QueryEvaluator.analyze).
-        _, event = evaluator.analyze(query)
-        print(event.render())
-        return 0
-    result = evaluator.evaluate(query)
+    try:
+        if arguments.analyze:
+            # The reference/streaming oracles analyze through their batched
+            # equivalent (see QueryEvaluator.analyze).
+            _, event = evaluator.analyze(query)
+            print(event.render())
+            return 0
+        result = evaluator.evaluate(query)
+    except QueryAnalysisError as error:
+        for diagnostic in error.diagnostics:
+            print(diagnostic.render(arguments.query), file=sys.stderr)
+        return 1
+    for diagnostic in getattr(result, "diagnostics", []):
+        print(f"# {diagnostic.render(arguments.query)}", file=sys.stderr)
     if isinstance(result, ResultSet):
         print(write_results(result, arguments.format), end="")
         print(f"# {len(result)} rows", file=sys.stderr)
@@ -158,7 +183,7 @@ def main_query(argv: Optional[Sequence[str]] = None) -> int:
 # --------------------------------------------------------------------------- #
 # repro-federate
 # --------------------------------------------------------------------------- #
-def main_federate(argv: Optional[Sequence[str]] = None) -> int:
+def main_federate(argv: Sequence[str] | None = None) -> int:
     """Run the built-in federation demo (synthetic ReSIST scenario)."""
     parser = argparse.ArgumentParser(
         prog="repro-federate",
@@ -196,6 +221,9 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--analyze", action="store_true",
                         help="print the EXPLAIN ANALYZE report of the federated run "
                              "(operator timings, endpoints contacted, rows shipped)")
+    parser.add_argument("--lint", action="store_true",
+                        help="print the static local + federation diagnostics for the "
+                             "demo query instead of executing (exit 1 on errors)")
     arguments = parser.parse_args(argv)
 
     scenario = build_resist_scenario(
@@ -230,6 +258,19 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
       FILTER (!(?a = <{person_uri}>))
     }}
     """
+    if arguments.lint:
+        diagnostics = engine.lint(
+            query,
+            source_ontology=scenario.source_ontology,
+            source_dataset=scenario.rkb_dataset,
+            mode="filter-aware",
+        )
+        for diagnostic in diagnostics:
+            print(diagnostic.render("demo-query"))
+        if not diagnostics:
+            print("no diagnostics", file=sys.stderr)
+        return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
     if arguments.explain:
         if arguments.strategy == "decompose":
             plan = engine.decompose_plan(
@@ -307,9 +348,83 @@ def main_federate(argv: Optional[Sequence[str]] = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro-lint
+# --------------------------------------------------------------------------- #
+def main_lint(argv: Sequence[str] | None = None) -> int:
+    """Run the static query analyzer over a batch of SPARQL files.
+
+    Prints one diagnostic per line (``file:line:col: severity[CODE]
+    message``) or a JSON report with ``--format json``.  Parse failures
+    are reported as error-severity ``PARSE`` findings.  The exit status
+    is 1 when any file has error-severity findings (with ``--strict``,
+    warnings also fail), 0 otherwise — suitable as a CI gate.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically analyze SPARQL query files and print diagnostics.",
+    )
+    parser.add_argument("query", nargs="+", help="path(s) to SPARQL query files")
+    parser.add_argument("--data", default=None, metavar="FILE",
+                        help="optional RDF file (Turtle or N-Triples); enables the "
+                             "statistics-aware checks (cartesian product sizing)")
+    parser.add_argument("--data-format", choices=["turtle", "ntriples"], default=None,
+                        help="RDF syntax of --data (guessed from the extension)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="diagnostic output format")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures too")
+    arguments = parser.parse_args(argv)
+
+    graph = None
+    if arguments.data:
+        format_name = arguments.data_format
+        if format_name is None:
+            format_name = "ntriples" if arguments.data.endswith(".nt") else "turtle"
+        graph = parse_graph(_read_text(arguments.data), format=format_name)
+
+    import json
+
+    failed = False
+    report = []
+    for path in arguments.query:
+        text = _read_text(path)
+        try:
+            query = parse_query(text)
+        except (SparqlLexError, SparqlParseError) as error:
+            line = getattr(error, "line", None) or 1
+            column = getattr(error, "column", None) or 1
+            failed = True
+            if arguments.format == "json":
+                report.append({
+                    "file": path,
+                    "diagnostics": [{
+                        "code": "PARSE",
+                        "severity": "error",
+                        "message": str(error),
+                        "span": {"line": line, "column": column,
+                                 "end_line": line, "end_column": column + 1},
+                    }],
+                })
+            else:
+                print(f"{path}:{line}:{column}: error[PARSE] {error}")
+            continue
+        analysis = analyze_query(query, graph)
+        if analysis.has_errors or (arguments.strict and analysis.warnings):
+            failed = True
+        if arguments.format == "json":
+            report.append({"file": path, "diagnostics": analysis.to_json_list()})
+        else:
+            for diagnostic in analysis.diagnostics:
+                print(diagnostic.render(path))
+    if arguments.format == "json":
+        print(json.dumps(report, indent=2))
+    return 1 if failed else 0
+
+
+# --------------------------------------------------------------------------- #
 # repro-serve
 # --------------------------------------------------------------------------- #
-def main_serve(argv: Optional[Sequence[str]] = None) -> int:
+def main_serve(argv: Sequence[str] | None = None) -> int:
     """Publish a SPARQL endpoint over HTTP (the W3C SPARQL Protocol).
 
     Two modes:
@@ -347,6 +462,9 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
                         help="rewriting mode of the federation backend")
     parser.add_argument("--strategy", choices=["fanout", "decompose"], default="fanout",
                         help="execution strategy of the federation backend")
+    parser.add_argument("--strict", action="store_true",
+                        help="refuse queries with error-severity static-analysis "
+                             "diagnostics (HTTP 400 with a structured JSON body)")
     parser.add_argument("--cache-size", type=int, default=128,
                         help="response cache entries (0 disables caching)")
     parser.add_argument("--persons", type=int, default=40)
@@ -374,7 +492,7 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: unknown dataset {arguments.dataset}; "
                       f"scenario datasets: {known}", file=sys.stderr)
                 return 2
-            backend = EndpointBackend(dataset.endpoint)
+            backend = EndpointBackend(dataset.endpoint, strict=arguments.strict)
         else:
             backend = FederationBackend(
                 scenario.service,
@@ -382,6 +500,7 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
                 source_dataset=scenario.rkb_dataset,
                 mode=arguments.mode,
                 strategy=arguments.strategy,
+                strict=arguments.strict,
             )
     else:
         from .rdf import Graph
@@ -397,7 +516,7 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
             URIRef(arguments.uri or placeholder), graph,
             name=", ".join(arguments.data),
         )
-        backend = EndpointBackend(endpoint)
+        backend = EndpointBackend(endpoint, strict=arguments.strict)
 
     server = SparqlHttpServer(
         backend,

@@ -17,7 +17,7 @@ compares.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..alignment import EntityAlignment, FunctionRegistry
 from ..coreference import SameAsService
@@ -48,9 +48,9 @@ class AlgebraQueryRewriter:
         self,
         alignments: Sequence[EntityAlignment],
         registry: FunctionRegistry,
-        sameas_service: Optional[SameAsService] = None,
-        target_uri_pattern: Optional[str] = None,
-        extra_prefixes: Optional[Dict[str, str]] = None,
+        sameas_service: SameAsService | None = None,
+        target_uri_pattern: str | None = None,
+        extra_prefixes: dict[str, str] | None = None,
         strict: bool = False,
         use_index: bool = True,
     ) -> None:
@@ -64,11 +64,11 @@ class AlgebraQueryRewriter:
     # ------------------------------------------------------------------ #
     def rewrite_algebra(
         self, node: AlgebraNode, fresh: FreshVariableGenerator
-    ) -> Tuple[AlgebraNode, RewriteReport]:
+    ) -> tuple[AlgebraNode, RewriteReport]:
         """Rewrite an algebra tree bottom-up; returns (new tree, report)."""
         report = RewriteReport()
 
-        def transform(current: AlgebraNode) -> Optional[AlgebraNode]:
+        def transform(current: AlgebraNode) -> AlgebraNode | None:
             if isinstance(current, AlgebraBGP):
                 new_patterns, block_report = self._pattern_rewriter.rewrite_bgp(
                     current.patterns, fresh
@@ -85,7 +85,7 @@ class AlgebraQueryRewriter:
 
         return node.transform(transform), report
 
-    def rewrite(self, query: Query) -> Tuple[Query, RewriteReport]:
+    def rewrite(self, query: Query) -> tuple[Query, RewriteReport]:
         """Rewrite a query via its algebra form.
 
         The WHERE clause is replaced by the group reconstructed from the

@@ -31,7 +31,7 @@ the rules right-to-left).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..alignment import EntityAlignment
 from ..coreference import SameAsService
@@ -55,7 +55,7 @@ class GeneratedConstruct:
     query: ConstructQuery
     #: Variables whose value should be post-processed with the alignment's
     #: functional dependencies (e.g. mapped through owl:sameAs).
-    deferred_variables: Tuple[Variable, ...] = ()
+    deferred_variables: tuple[Variable, ...] = ()
 
     @property
     def query_text(self) -> str:
@@ -64,7 +64,7 @@ class GeneratedConstruct:
 
 def construct_query_for_alignment(
     alignment: EntityAlignment,
-    prefixes: Optional[Dict[str, str]] = None,
+    prefixes: dict[str, str] | None = None,
 ) -> GeneratedConstruct:
     """Compile one entity alignment into a data-translation CONSTRUCT query.
 
@@ -81,8 +81,8 @@ def construct_query_for_alignment(
 
     # Map FD-produced variables onto the variable they are computed from,
     # when that variable occurs in the LHS (the sameas(?x, re) shape).
-    aliases: Dict[Variable, Variable] = {}
-    deferred: List[Variable] = []
+    aliases: dict[Variable, Variable] = {}
+    deferred: list[Variable] = []
     lhs_variables = alignment.lhs_variables()
     for dependency in alignment.functional_dependencies:
         source_variables = [p for p in dependency.parameters if isinstance(p, Variable)]
@@ -115,8 +115,8 @@ def construct_query_for_alignment(
 
 def construct_queries_for_alignments(
     alignments: Iterable[EntityAlignment],
-    prefixes: Optional[Dict[str, str]] = None,
-) -> List[GeneratedConstruct]:
+    prefixes: dict[str, str] | None = None,
+) -> list[GeneratedConstruct]:
     """Compile every alignment of a KB into its CONSTRUCT query."""
     return [construct_query_for_alignment(alignment, prefixes) for alignment in alignments]
 
@@ -154,9 +154,9 @@ class DataTranslator:
     def __init__(
         self,
         alignments: Sequence[EntityAlignment],
-        sameas_service: Optional[SameAsService] = None,
-        target_uri_pattern: Optional[str] = None,
-        prefixes: Optional[Dict[str, str]] = None,
+        sameas_service: SameAsService | None = None,
+        target_uri_pattern: str | None = None,
+        prefixes: dict[str, str] | None = None,
     ) -> None:
         self.generated = construct_queries_for_alignments(alignments, prefixes)
         self.sameas_service = sameas_service
@@ -174,6 +174,6 @@ class DataTranslator:
             output = translate_graph_uris(output, self.sameas_service, self.target_uri_pattern)
         return output
 
-    def query_texts(self) -> List[str]:
+    def query_texts(self) -> list[str]:
         """The generated CONSTRUCT queries as SPARQL text (for inspection)."""
         return [generated.query_text for generated in self.generated]

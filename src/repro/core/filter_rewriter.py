@@ -23,7 +23,7 @@ This module implements the two complementary remedies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..alignment import EntityAlignment, FunctionRegistry
 from ..coreference import SameAsService
@@ -48,7 +48,7 @@ class EqualityConstraint:
     term: Term
 
 
-def extract_equality_constraints(expression: Expression) -> List[EqualityConstraint]:
+def extract_equality_constraints(expression: Expression) -> list[EqualityConstraint]:
     """Collect ``?v = ground`` constraints that hold in every solution.
 
     Only *positive conjunctive* positions are considered: conjuncts of
@@ -56,7 +56,7 @@ def extract_equality_constraints(expression: Expression) -> List[EqualityConstra
     disjunction or comparison operators are ignored because they do not
     necessarily hold for every solution.
     """
-    constraints: List[EqualityConstraint] = []
+    constraints: list[EqualityConstraint] = []
     for conjunct in _conjuncts(expression):
         constraint = _as_equality(conjunct)
         if constraint is not None:
@@ -64,13 +64,13 @@ def extract_equality_constraints(expression: Expression) -> List[EqualityConstra
     return constraints
 
 
-def _conjuncts(expression: Expression) -> List[Expression]:
+def _conjuncts(expression: Expression) -> list[Expression]:
     if isinstance(expression, BinaryExpression) and expression.operator == "&&":
         return _conjuncts(expression.left) + _conjuncts(expression.right)
     return [expression]
 
 
-def _as_equality(expression: Expression) -> Optional[EqualityConstraint]:
+def _as_equality(expression: Expression) -> EqualityConstraint | None:
     if not isinstance(expression, BinaryExpression) or expression.operator != "=":
         return None
     left, right = expression.left, expression.right
@@ -84,7 +84,7 @@ def _as_equality(expression: Expression) -> Optional[EqualityConstraint]:
     return EqualityConstraint(variable, term)
 
 
-def _expression_variable(expression: Expression) -> Optional[Variable]:
+def _expression_variable(expression: Expression) -> Variable | None:
     if isinstance(expression, VariableExpression):
         return expression.variable
     if isinstance(expression, TermExpression) and isinstance(expression.term, Variable):
@@ -92,13 +92,13 @@ def _expression_variable(expression: Expression) -> Optional[Variable]:
     return None
 
 
-def _expression_ground_term(expression: Expression) -> Optional[Term]:
+def _expression_ground_term(expression: Expression) -> Term | None:
     if isinstance(expression, TermExpression) and isinstance(expression.term, (URIRef, Literal)):
         return expression.term
     return None
 
 
-def promote_equality_constraints(query: Query) -> Tuple[Query, List[EqualityConstraint]]:
+def promote_equality_constraints(query: Query) -> tuple[Query, list[EqualityConstraint]]:
     """Return a copy of ``query`` with FILTER equalities folded into the BGPs.
 
     For every triple pattern mentioning a constrained variable, a
@@ -110,13 +110,13 @@ def promote_equality_constraints(query: Query) -> Tuple[Query, List[EqualityCons
     dependencies that only fire on ground URIs.
     """
     promoted = clone_query(query)
-    constraints: List[EqualityConstraint] = []
+    constraints: list[EqualityConstraint] = []
     for filter_element in promoted.filters():
         constraints.extend(extract_equality_constraints(filter_element.expression))
     if not constraints:
         return promoted, []
 
-    replacement: Dict[Variable, Term] = {}
+    replacement: dict[Variable, Term] = {}
     for constraint in constraints:
         # The first constraint on a variable wins; contradictory constraints
         # would make the query unsatisfiable anyway.
@@ -174,7 +174,7 @@ class FilterAwareQueryRewriter:
         registry: FunctionRegistry,
         sameas_service: SameAsService,
         target_uri_pattern: str,
-        extra_prefixes: Optional[Dict[str, str]] = None,
+        extra_prefixes: dict[str, str] | None = None,
         strict: bool = False,
         use_index: bool = True,
     ) -> None:
@@ -185,7 +185,7 @@ class FilterAwareQueryRewriter:
         self._service = sameas_service
         self._target_uri_pattern = target_uri_pattern
 
-    def rewrite(self, query: Query) -> Tuple[Query, RewriteReport, List[EqualityConstraint]]:
+    def rewrite(self, query: Query) -> tuple[Query, RewriteReport, list[EqualityConstraint]]:
         """Rewrite ``query``; returns (query, report, promoted constraints)."""
         promoted, constraints = promote_equality_constraints(query)
         rewritten, report = self._base_rewriter.rewrite(promoted)

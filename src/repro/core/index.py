@@ -37,7 +37,7 @@ term matches only the identical query term.  Consequently:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable
 
 from ..alignment import (
     EntityAlignment,
@@ -72,11 +72,11 @@ class CompiledRule:
     def __init__(self, alignment: EntityAlignment, order: int) -> None:
         self.alignment = alignment
         self.order = order
-        self.lhs_terms: Tuple[Term, Term, Term] = alignment.lhs.as_tuple()
+        self.lhs_terms: tuple[Term, Term, Term] = alignment.lhs.as_tuple()
         self.lhs_variables = frozenset(alignment.lhs_variables())
-        self.rhs: Tuple[Triple, ...] = tuple(alignment.rhs)
+        self.rhs: tuple[Triple, ...] = tuple(alignment.rhs)
         # (target variable, function URI, parameters, is-variable flags)
-        self.fd_plans: Tuple[Tuple[Variable, Term, Tuple[Term, ...], Tuple[bool, ...]], ...] = tuple(
+        self.fd_plans: tuple[tuple[Variable, Term, tuple[Term, ...], tuple[bool, ...]], ...] = tuple(
             (
                 dependency.variable,
                 dependency.function,
@@ -87,14 +87,14 @@ class CompiledRule:
         )
 
     # ------------------------------------------------------------------ #
-    def match(self, query_triple: Triple) -> Optional[Substitution]:
+    def match(self, query_triple: Triple) -> Substitution | None:
         """Match the head against ``query_triple`` (= ``match_triple``).
 
         Inlines the three-position loop of the reference implementation
         without building intermediate :class:`Substitution` objects.
         """
-        bindings: Dict[Variable, Term] = {}
-        for lhs_term, query_term in zip(self.lhs_terms, query_triple):
+        bindings: dict[Variable, Term] = {}
+        for lhs_term, query_term in zip(self.lhs_terms, query_triple, strict=True):
             if isinstance(lhs_term, Variable):
                 existing = bindings.get(lhs_term)
                 if existing is None:
@@ -110,7 +110,7 @@ class CompiledRule:
         substitution: Substitution,
         registry: FunctionRegistry,
         strict: bool = False,
-    ) -> Tuple[Substitution, int]:
+    ) -> tuple[Substitution, int]:
         """Algorithm 2 over the pre-computed dependency plans.
 
         Behaviourally identical to
@@ -121,18 +121,18 @@ class CompiledRule:
 
         calls = 0
         for variable, function, parameters, is_variable in self.fd_plans:
-            resolved: List[Term] = [
+            resolved: list[Term] = [
                 substitution.apply_to_term(parameter) if parameter_is_variable else parameter
-                for parameter, parameter_is_variable in zip(parameters, is_variable)
+                for parameter, parameter_is_variable in zip(parameters, is_variable, strict=True)
             ]
             try:
                 result = registry.call(function, resolved)
                 calls += 1
-            except FunctionNotFound:
+            except FunctionNotFound as exc:
                 if strict:
                     raise RewriteError(
                         f"functional dependency references unknown function {function}"
-                    )
+                    ) from exc
                 continue
             except FunctionExecutionError as exc:
                 if strict:
@@ -158,10 +158,10 @@ class PatternIndex:
     """
 
     def __init__(self, rules: Iterable[CompiledRule] = ()) -> None:
-        self._by_predicate: Dict[Term, List[CompiledRule]] = {}
-        self._type_by_class: Dict[Term, List[CompiledRule]] = {}
-        self._type_variable_class: List[CompiledRule] = []
-        self._variable_predicate: List[CompiledRule] = []
+        self._by_predicate: dict[Term, list[CompiledRule]] = {}
+        self._type_by_class: dict[Term, list[CompiledRule]] = {}
+        self._type_variable_class: list[CompiledRule] = []
+        self._variable_predicate: list[CompiledRule] = []
         self._size = 0
         for rule in rules:
             self.add(rule)
@@ -186,7 +186,7 @@ class PatternIndex:
         return self._size
 
     # ------------------------------------------------------------------ #
-    def candidates(self, query_triple: Triple) -> List[CompiledRule]:
+    def candidates(self, query_triple: Triple) -> list[CompiledRule]:
         """Rules whose head could match ``query_triple``, in KB order.
 
         This is a strict superset of the rules that *do* match (the full
@@ -216,11 +216,11 @@ class PatternIndex:
         if len(non_empty) == 1:
             # Copy so callers can never mutate a live index bucket.
             return list(non_empty[0])
-        merged: List[CompiledRule] = [rule for bucket in non_empty for rule in bucket]
+        merged: list[CompiledRule] = [rule for bucket in non_empty for rule in bucket]
         merged.sort(key=lambda rule: rule.order)
         return merged
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         """Bucket occupancy (used by benchmark reports)."""
         return {
             "predicate_buckets": len(self._by_predicate),
@@ -240,14 +240,14 @@ class CompiledRuleSet:
     """
 
     def __init__(self, alignments: Iterable[EntityAlignment] = ()) -> None:
-        self.alignments: List[EntityAlignment] = []
-        self.rules: List[CompiledRule] = []
+        self.alignments: list[EntityAlignment] = []
+        self.rules: list[CompiledRule] = []
         self.index = PatternIndex()
         for alignment in alignments:
             self.add(alignment)
 
     # ------------------------------------------------------------------ #
-    def add(self, alignment: EntityAlignment) -> "CompiledRuleSet":
+    def add(self, alignment: EntityAlignment) -> CompiledRuleSet:
         """Compile and index one more alignment (appended in KB order)."""
         rule = CompiledRule(alignment, len(self.rules))
         self.alignments.append(alignment)
@@ -262,9 +262,9 @@ class CompiledRuleSet:
         return iter(self.alignments)
 
     # ------------------------------------------------------------------ #
-    def find_matches(self, query_triple: Triple) -> List[MatchResult]:
+    def find_matches(self, query_triple: Triple) -> list[MatchResult]:
         """All matching alignments, in KB order (indexed twin of the scan)."""
-        results: List[MatchResult] = []
+        results: list[MatchResult] = []
         for rule in self.index.candidates(query_triple):
             substitution = rule.match(query_triple)
             if substitution is not None:
@@ -276,7 +276,7 @@ class CompiledRuleSet:
 
     def first_match(
         self, query_triple: Triple
-    ) -> Tuple[Optional[MatchResult], Optional[CompiledRule]]:
+    ) -> tuple[MatchResult | None, CompiledRule | None]:
         """The first matching rule in KB order, or ``(None, None)``.
 
         Algorithm 1 only ever uses the first match, so the rewriter's hot

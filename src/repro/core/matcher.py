@@ -23,7 +23,7 @@ terms (``?a1 -> id:person-02686``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+from collections.abc import Iterable, Iterator, Mapping
 
 from ..rdf import Term, Triple, Variable, is_ground
 from ..alignment import EntityAlignment
@@ -42,8 +42,8 @@ class Substitution(Mapping[Variable, Term]):
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: Optional[Mapping[Variable, Term]] = None) -> None:
-        self._data: Dict[Variable, Term] = dict(data) if data else {}
+    def __init__(self, data: Mapping[Variable, Term] | None = None) -> None:
+        self._data: dict[Variable, Term] = dict(data) if data else {}
 
     # -- Mapping protocol --------------------------------------------------- #
     def __getitem__(self, key: Variable) -> Term:
@@ -56,13 +56,13 @@ class Substitution(Mapping[Variable, Term]):
         return len(self._data)
 
     # -- construction -------------------------------------------------------- #
-    def bind(self, variable: Variable, term: Term) -> "Substitution":
+    def bind(self, variable: Variable, term: Term) -> Substitution:
         """Extend with one pair, returning a new substitution."""
         data = dict(self._data)
         data[variable] = term
         return Substitution(data)
 
-    def merge(self, other: "Substitution") -> Optional["Substitution"]:
+    def merge(self, other: Substitution) -> Substitution | None:
         """Union of two substitutions, or ``None`` when they disagree."""
         data = dict(self._data)
         for variable, term in other._data.items():
@@ -91,7 +91,7 @@ class Substitution(Mapping[Variable, Term]):
     def bound_variables(self) -> set[Variable]:
         return set(self._data)
 
-    def as_dict(self) -> Dict[Variable, Term]:
+    def as_dict(self) -> dict[Variable, Term]:
         return dict(self._data)
 
     def __eq__(self, other: object) -> bool:
@@ -123,12 +123,12 @@ class MatchResult:
     substitution: Substitution
     triple: Triple
 
-    def rhs_instantiated(self) -> List[Triple]:
+    def rhs_instantiated(self) -> list[Triple]:
         """The RHS patterns under the match substitution (no fresh renaming)."""
         return [self.substitution.apply_to_triple(pattern) for pattern in self.alignment.rhs]
 
 
-def match_node(lhs_term: Term, query_term: Term) -> Optional[Substitution]:
+def match_node(lhs_term: Term, query_term: Term) -> Substitution | None:
     """Match one alignment-head node against one query-pattern node."""
     if isinstance(lhs_term, Variable):
         return Substitution({lhs_term: query_term})
@@ -137,7 +137,7 @@ def match_node(lhs_term: Term, query_term: Term) -> Optional[Substitution]:
     return None
 
 
-def match_triple(lhs: Triple, query_triple: Triple) -> Optional[Substitution]:
+def match_triple(lhs: Triple, query_triple: Triple) -> Substitution | None:
     """Match an alignment head (single triple) against a query triple pattern.
 
     Returns the combined substitution, or ``None`` when any position fails
@@ -145,7 +145,7 @@ def match_triple(lhs: Triple, query_triple: Triple) -> Optional[Substitution]:
     values (e.g. head ``<?x p ?x>`` against ``<a p b>``).
     """
     substitution = Substitution()
-    for lhs_term, query_term in zip(lhs, query_triple):
+    for lhs_term, query_term in zip(lhs, query_triple, strict=True):
         node_substitution = match_node(lhs_term, query_term)
         if node_substitution is None:
             return None
@@ -156,7 +156,7 @@ def match_triple(lhs: Triple, query_triple: Triple) -> Optional[Substitution]:
     return substitution
 
 
-def match_alignment(alignment: EntityAlignment, query_triple: Triple) -> Optional[MatchResult]:
+def match_alignment(alignment: EntityAlignment, query_triple: Triple) -> MatchResult | None:
     """Match one entity alignment against one query triple pattern."""
     substitution = match_triple(alignment.lhs, query_triple)
     if substitution is None:
@@ -166,14 +166,14 @@ def match_alignment(alignment: EntityAlignment, query_triple: Triple) -> Optiona
 
 def find_matches(
     alignments: Iterable[EntityAlignment], query_triple: Triple
-) -> List[MatchResult]:
+) -> list[MatchResult]:
     """All alignments whose head matches ``query_triple`` (in KB order).
 
     Algorithm 1 uses the *first* match; exposing the full list lets the
     validation layer warn about ambiguous alignment KBs and lets the
     exhaustive-rewriting extension explore alternatives.
     """
-    matches: List[MatchResult] = []
+    matches: list[MatchResult] = []
     for alignment in alignments:
         result = match_alignment(alignment, query_triple)
         if result is not None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 from ..alignment import AlignmentStore, EntityAlignment, FunctionRegistry, default_registry
 from ..coreference import SameAsService
@@ -66,11 +66,11 @@ class TargetProfile:
     """
 
     dataset: URIRef
-    ontologies: Tuple[URIRef, ...] = ()
-    uri_pattern: Optional[str] = None
-    prefixes: Tuple[Tuple[str, str], ...] = ()
+    ontologies: tuple[URIRef, ...] = ()
+    uri_pattern: str | None = None
+    prefixes: tuple[tuple[str, str], ...] = ()
 
-    def prefix_dict(self) -> Dict[str, str]:
+    def prefix_dict(self) -> dict[str, str]:
         return dict(self.prefixes)
 
 
@@ -112,22 +112,22 @@ class Mediator:
     def __init__(
         self,
         alignment_store: AlignmentStore,
-        sameas_service: Optional[SameAsService] = None,
-        registry: Optional[FunctionRegistry] = None,
+        sameas_service: SameAsService | None = None,
+        registry: FunctionRegistry | None = None,
         targets: Iterable[TargetProfile] = (),
     ) -> None:
         self.alignment_store = alignment_store
         self.sameas_service = sameas_service or SameAsService()
         self.registry = registry if registry is not None else default_registry(self.sameas_service)
-        self._targets: Dict[URIRef, TargetProfile] = {}
+        self._targets: dict[URIRef, TargetProfile] = {}
         # Compiled rule sets shared across modes, keyed by selection context;
         # rewrite results keyed additionally by normalized query text.  Both
         # caches are only valid for one alignment-KB generation.  The lock
         # makes cache reads/writes safe under the federation layer's
         # concurrent fan-out (rewrites themselves run outside the lock).
         self._cache_lock = threading.RLock()
-        self._ruleset_cache: Dict[Tuple, CompiledRuleSet] = {}
-        self._result_cache: "OrderedDict[Tuple, Tuple[Query, RewriteReport, int]]" = OrderedDict()
+        self._ruleset_cache: dict[tuple, CompiledRuleSet] = {}
+        self._result_cache: OrderedDict[tuple, tuple[Query, RewriteReport, int]] = OrderedDict()
         self._cache_generation = self._current_generation()
         self._cache_hits = 0
         self._cache_misses = 0
@@ -152,7 +152,7 @@ class Mediator:
             raise KeyError(f"unknown target dataset: {dataset}")
         return self._targets[dataset]
 
-    def targets(self) -> List[TargetProfile]:
+    def targets(self) -> list[TargetProfile]:
         return [self._targets[key] for key in sorted(self._targets, key=str)]
 
     # ------------------------------------------------------------------ #
@@ -161,8 +161,8 @@ class Mediator:
     def select_alignments(
         self,
         target: TargetProfile,
-        source_ontology: Optional[URIRef] = None,
-    ) -> List[EntityAlignment]:
+        source_ontology: URIRef | None = None,
+    ) -> list[EntityAlignment]:
         """The union of entity alignments relevant for ``target``."""
         return self.alignment_store.entity_alignments_for(
             dataset=target.dataset,
@@ -173,7 +173,7 @@ class Mediator:
     def compiled_ruleset(
         self,
         target: TargetProfile,
-        source_ontology: Optional[URIRef] = None,
+        source_ontology: URIRef | None = None,
     ) -> CompiledRuleSet:
         """The indexed rule set for ``target``, compiled once per KB generation.
 
@@ -200,9 +200,9 @@ class Mediator:
 
     def translate(
         self,
-        query: Union[Query, str],
+        query: Query | str,
         target_dataset: URIRef,
-        source_ontology: Optional[URIRef] = None,
+        source_ontology: URIRef | None = None,
         mode: str = "bgp",
         strict: bool = False,
     ) -> MediationResult:
@@ -293,12 +293,12 @@ class Mediator:
 
     def rewrite_many(
         self,
-        queries: Sequence[Union[Query, str]],
+        queries: Sequence[Query | str],
         target_dataset: URIRef,
-        source_ontology: Optional[URIRef] = None,
+        source_ontology: URIRef | None = None,
         mode: str = "bgp",
         strict: bool = False,
-    ) -> List[MediationResult]:
+    ) -> list[MediationResult]:
         """Rewrite a batch of queries for one target (same order as input).
 
         The relevant alignments are selected and compiled once for the
@@ -315,18 +315,18 @@ class Mediator:
 
     def translate_for_all_targets(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-    ) -> Dict[URIRef, MediationResult]:
+        datasets: Sequence[URIRef] | None = None,
+    ) -> dict[URIRef, MediationResult]:
         """Rewrite ``query`` once per registered target (federation fan-out).
 
         ``datasets`` restricts the fan-out to a subset of the registered
         targets.
         """
         selected = self.targets() if datasets is None else [self.target(uri) for uri in datasets]
-        results: Dict[URIRef, MediationResult] = {}
+        results: dict[URIRef, MediationResult] = {}
         for target in selected:
             results[target.dataset] = self.translate(
                 query, target.dataset, source_ontology, mode
@@ -341,7 +341,7 @@ class Mediator:
         """Maximum number of rewrite results retained (LRU-evicted beyond)."""
         return _RESULT_CACHE_LIMIT
 
-    def cache_info(self) -> Dict[str, object]:
+    def cache_info(self) -> dict[str, object]:
         """Hit/miss counters and current cache occupancy (for monitoring)."""
         with self._cache_lock:
             return {
@@ -352,7 +352,7 @@ class Mediator:
                 "generation": self._cache_generation,
             }
 
-    def _current_generation(self) -> Tuple[int, int, int]:
+    def _current_generation(self) -> tuple[int, int, int]:
         """Combined version of everything rewrite output depends on.
 
         Alignment-KB mutations change which rules fire; sameas-store

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 from ..alignment import EntityAlignment, FunctionExecutionError, FunctionNotFound, FunctionRegistry
 from ..rdf import Term, Triple, Variable
@@ -58,7 +58,7 @@ class FreshVariableGenerator:
     """
 
     def __init__(self, reserved: Iterable[Variable] = (), prefix: str = "new") -> None:
-        self._reserved: Set[str] = {variable.name for variable in reserved}
+        self._reserved: set[str] = {variable.name for variable in reserved}
         self._prefix = prefix
         self._counter = 0
 
@@ -81,9 +81,9 @@ class TripleRewrite:
     """Trace entry: how one input triple pattern was handled."""
 
     original: Triple
-    produced: List[Triple]
-    alignment: Optional[EntityAlignment] = None
-    substitution: Optional[Substitution] = None
+    produced: list[Triple]
+    alignment: EntityAlignment | None = None
+    substitution: Substitution | None = None
 
     @property
     def matched(self) -> bool:
@@ -95,7 +95,7 @@ class TripleRewrite:
 class RewriteReport:
     """Summary of one BGP / query rewriting run."""
 
-    rewrites: List[TripleRewrite] = field(default_factory=list)
+    rewrites: list[TripleRewrite] = field(default_factory=list)
     function_calls: int = 0
 
     @property
@@ -114,15 +114,15 @@ class RewriteReport:
     def output_size(self) -> int:
         return sum(len(rewrite.produced) for rewrite in self.rewrites)
 
-    def alignments_used(self) -> List[EntityAlignment]:
+    def alignments_used(self) -> list[EntityAlignment]:
         """Distinct alignments that fired, in order of first use."""
-        seen: List[EntityAlignment] = []
+        seen: list[EntityAlignment] = []
         for rewrite in self.rewrites:
             if rewrite.alignment is not None and rewrite.alignment not in seen:
                 seen.append(rewrite.alignment)
         return seen
 
-    def merge(self, other: "RewriteReport") -> None:
+    def merge(self, other: RewriteReport) -> None:
         """Fold another report (e.g. from a different BGP) into this one."""
         self.rewrites.extend(other.rewrites)
         self.function_calls += other.function_calls
@@ -135,7 +135,7 @@ def instantiate_functions(
     match: MatchResult,
     registry: FunctionRegistry,
     strict: bool = False,
-) -> Tuple[Substitution, int]:
+) -> tuple[Substitution, int]:
     """Execute the functional dependencies of a matched rule (Algorithm 2).
 
     For every RHS variable carrying a functional dependency, the parameters
@@ -155,7 +155,7 @@ def instantiate_functions(
     calls = 0
 
     for dependency in alignment.functional_dependencies:
-        parameters: List[Term] = []
+        parameters: list[Term] = []
         for parameter in dependency.parameters:
             if isinstance(parameter, Variable):
                 parameters.append(substitution.apply_to_term(parameter))
@@ -164,11 +164,11 @@ def instantiate_functions(
         try:
             result = registry.call(dependency.function, parameters)
             calls += 1
-        except FunctionNotFound:
+        except FunctionNotFound as exc:
             if strict:
                 raise RewriteError(
                     f"functional dependency references unknown function {dependency.function}"
-                )
+                ) from exc
             continue
         except FunctionExecutionError as exc:
             if strict:
@@ -204,14 +204,14 @@ class GraphPatternRewriter:
 
     def __init__(
         self,
-        alignments: Union[Sequence[EntityAlignment], "CompiledRuleSet"],
-        registry: Optional[FunctionRegistry] = None,
+        alignments: Sequence[EntityAlignment] | CompiledRuleSet,
+        registry: FunctionRegistry | None = None,
         strict: bool = False,
         use_index: bool = True,
     ) -> None:
         from .index import CompiledRuleSet
 
-        self._ruleset: Optional[CompiledRuleSet]
+        self._ruleset: CompiledRuleSet | None
         if isinstance(alignments, CompiledRuleSet):
             # Shared ruleset: reference its (append-only) list, no copy.
             self._ruleset = alignments if use_index else None
@@ -223,7 +223,7 @@ class GraphPatternRewriter:
         self.strict = strict
 
     @property
-    def alignments(self) -> List[EntityAlignment]:
+    def alignments(self) -> list[EntityAlignment]:
         """Snapshot of the rule set (compiled once at construction).
 
         Returns a copy: the rules consulted during rewriting are fixed
@@ -250,15 +250,15 @@ class GraphPatternRewriter:
             substitution, _calls = rule.instantiate_functions(
                 match.substitution, self.registry, self.strict
             )
-            lhs_variables: Union[frozenset, Set[Variable]] = rule.lhs_variables
+            lhs_variables: frozenset | set[Variable] = rule.lhs_variables
         else:
             substitution, _calls = instantiate_functions(match, self.registry, self.strict)
             lhs_variables = match.alignment.lhs_variables()
 
         # Step 4: bind all remaining free RHS variables to new variables so
         # the same alignment can be reused without over-constraining.
-        produced: List[Triple] = []
-        local_fresh: Dict[Variable, Variable] = {}
+        produced: list[Triple] = []
+        local_fresh: dict[Variable, Variable] = {}
 
         def resolve(term: Term) -> Term:
             if not isinstance(term, Variable):
@@ -287,21 +287,21 @@ class GraphPatternRewriter:
     def rewrite_bgp(
         self,
         patterns: Sequence[Triple],
-        fresh: Optional[FreshVariableGenerator] = None,
-    ) -> Tuple[List[Triple], RewriteReport]:
+        fresh: FreshVariableGenerator | None = None,
+    ) -> tuple[list[Triple], RewriteReport]:
         """Rewrite a Basic Graph Pattern (Algorithm 1).
 
         Returns the rewritten pattern list and a :class:`RewriteReport`
         tracing every decision.
         """
         if fresh is None:
-            reserved: Set[Variable] = set()
+            reserved: set[Variable] = set()
             for pattern in patterns:
                 reserved |= pattern.variables()
             fresh = FreshVariableGenerator(reserved)
 
         report = RewriteReport()
-        result: List[Triple] = []
+        result: list[Triple] = []
         for pattern in patterns:
             rewrite = self.rewrite_triple(pattern, fresh)
             substitution = rewrite.substitution
@@ -332,24 +332,24 @@ class QueryRewriter:
 
     def __init__(
         self,
-        alignments: Union[Sequence[EntityAlignment], "CompiledRuleSet"],
-        registry: Optional[FunctionRegistry] = None,
+        alignments: Sequence[EntityAlignment] | CompiledRuleSet,
+        registry: FunctionRegistry | None = None,
         strict: bool = False,
-        extra_prefixes: Optional[Dict[str, str]] = None,
+        extra_prefixes: dict[str, str] | None = None,
         use_index: bool = True,
     ) -> None:
         self._pattern_rewriter = GraphPatternRewriter(alignments, registry, strict, use_index)
         self._extra_prefixes = dict(extra_prefixes or {})
 
     @property
-    def alignments(self) -> List[EntityAlignment]:
+    def alignments(self) -> list[EntityAlignment]:
         return self._pattern_rewriter.alignments
 
     @property
     def registry(self) -> FunctionRegistry:
         return self._pattern_rewriter.registry
 
-    def rewrite(self, query: Query) -> Tuple[Query, RewriteReport]:
+    def rewrite(self, query: Query) -> tuple[Query, RewriteReport]:
         """Return the rewritten query (a new object) and the rewrite report."""
         rewritten = clone_query(query)
         fresh = FreshVariableGenerator(rewritten.variables())
@@ -384,13 +384,13 @@ class QueryRewriter:
 def extend_prologue(
     prologue: Prologue,
     report: RewriteReport,
-    extra_prefixes: Optional[Dict[str, str]] = None,
+    extra_prefixes: dict[str, str] | None = None,
 ) -> None:
     """Bind prefixes for the target vocabulary so output stays compact."""
     for prefix, namespace in (extra_prefixes or {}).items():
         prologue.namespace_manager.bind(prefix, namespace, replace=False)
     # Derive prefixes from the vocabularies introduced by fired rules.
-    used_namespaces: Set[str] = set()
+    used_namespaces: set[str] = set()
     for alignment in report.alignments_used():
         for uri in alignment.target_properties():
             used_namespaces.add(uri.namespace_split()[0])

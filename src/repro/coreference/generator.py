@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from collections.abc import Callable, Sequence
 
 from ..rdf import Graph, URIRef
 from .service import SameAsService
@@ -54,10 +54,10 @@ class CoReferenceGenerator:
     coverage: float = 1.0
     seed: int = 7
 
-    def bundles_for(self, kind: str, count: int) -> List[List[URIRef]]:
+    def bundles_for(self, kind: str, count: int) -> list[list[URIRef]]:
         """URIs bundles for ``count`` entities of ``kind`` (one per entity)."""
         rng = random.Random((self.seed, kind, count).__hash__())
-        bundles: List[List[URIRef]] = []
+        bundles: list[list[URIRef]] = []
         for index in range(count):
             if rng.random() > self.coverage:
                 continue
@@ -75,13 +75,13 @@ class CoReferenceGenerator:
             service.add_bundle(bundle)
         return len(bundles)
 
-    def build_service(self, counts: Dict[str, int]) -> SameAsService:
+    def build_service(self, counts: dict[str, int]) -> SameAsService:
         """Create a fresh service with bundles for every entity kind."""
         service = SameAsService()
         for kind, count in counts.items():
             self.populate(service, kind, count)
         return service
 
-    def sameas_graph(self, counts: Dict[str, int]) -> Graph:
+    def sameas_graph(self, counts: dict[str, int]) -> Graph:
         """The owl:sameAs graph corresponding to :meth:`build_service`."""
         return self.build_service(counts).to_graph()

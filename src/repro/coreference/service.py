@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
 
 from ..rdf import Graph, OWL, Triple, URIRef
 from .unionfind import UnionFind
@@ -36,14 +36,14 @@ class CoReferenceError(KeyError):
 class SameAsService:
     """An in-memory co-reference (owl:sameAs) bundle store."""
 
-    def __init__(self, pairs: Iterable[Tuple[URIRef, URIRef]] = ()) -> None:
+    def __init__(self, pairs: Iterable[tuple[URIRef, URIRef]] = ()) -> None:
         self._bundles: UnionFind[URIRef] = UnionFind()
         self._lookups = 0
         self._generation = 0
         # Lookup patterns repeat endlessly (one per target dataset), so
         # compile each once; guarded together with the counters because the
         # federation layer calls into the service from worker threads.
-        self._patterns: Dict[str, "re.Pattern[str]"] = {}
+        self._patterns: dict[str, re.Pattern[str]] = {}
         self._lock = threading.RLock()
         for left, right in pairs:
             self.add_equivalence(left, right)
@@ -104,7 +104,7 @@ class SameAsService:
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
-    def equivalence_class(self, uri: URIRef) -> Set[URIRef]:
+    def equivalence_class(self, uri: URIRef) -> set[URIRef]:
         """The bundle ``[uri]`` (always contains ``uri`` itself)."""
         return set(self._bundles.members(uri)) | {uri}
 
@@ -112,7 +112,7 @@ class SameAsService:
         """True when the two URIs are known to co-refer."""
         return left == right or self._bundles.connected(left, right)
 
-    def lookup(self, uri: URIRef, pattern: str) -> Optional[URIRef]:
+    def lookup(self, uri: URIRef, pattern: str) -> URIRef | None:
         """The equivalent of ``uri`` whose string matches ``pattern``.
 
         ``pattern`` is a regular expression anchored at the start of the
@@ -133,7 +133,7 @@ class SameAsService:
             return None
         return sorted(candidates, key=str)[0]
 
-    def _compiled(self, pattern: str) -> "re.Pattern[str]":
+    def _compiled(self, pattern: str) -> re.Pattern[str]:
         """The compiled form of ``pattern``, cached per service instance."""
         compiled = self._patterns.get(pattern)
         if compiled is None:
@@ -163,7 +163,7 @@ class SameAsService:
     # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
-    def bundles(self) -> List[Set[URIRef]]:
+    def bundles(self) -> list[set[URIRef]]:
         """All equivalence classes with at least one member."""
         return self._bundles.classes()
 
@@ -178,7 +178,7 @@ class SameAsService:
         """Number of :meth:`lookup` calls served (experiment bookkeeping)."""
         return self._lookups
 
-    def statistics(self) -> Dict[str, float]:
+    def statistics(self) -> dict[str, float]:
         """Summary statistics of the bundle store."""
         bundles = self.bundles()
         sizes = [len(bundle) for bundle in bundles] or [0]

@@ -17,7 +17,8 @@ threads at once:
 from __future__ import annotations
 
 import threading
-from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, TypeVar
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Generic, TypeVar
 
 __all__ = ["UnionFind"]
 
@@ -28,10 +29,10 @@ class UnionFind(Generic[T]):
     """Thread-safe union-find over arbitrary hashable items."""
 
     def __init__(self, items: Iterable[T] = ()) -> None:
-        self._parent: Dict[T, T] = {}
-        self._rank: Dict[T, int] = {}
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
         #: root → set of all items in that class, kept exact by union().
-        self._members: Dict[T, Set[T]] = {}
+        self._members: dict[T, set[T]] = {}
         self._lock = threading.RLock()
         for item in items:
             self.add(item)
@@ -92,14 +93,14 @@ class UnionFind(Generic[T]):
                 return False
             return self._find(left) == self._find(right)
 
-    def members(self, item: T) -> Set[T]:
+    def members(self, item: T) -> set[T]:
         """Every item in the same class as ``item`` (including itself)."""
         with self._lock:
             if item not in self._parent:
                 return {item}
             return set(self._members[self._find(item)])
 
-    def classes(self) -> List[Set[T]]:
+    def classes(self) -> list[set[T]]:
         """All equivalence classes as a list of sets."""
         with self._lock:
             return [set(members) for members in self._members.values()]

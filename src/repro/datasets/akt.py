@@ -8,7 +8,6 @@ mints URIs in the ``http://southampton.rkbexplorer.com/id/`` space, e.g.
 
 from __future__ import annotations
 
-from typing import Optional, Set
 
 from ..federation import DatasetDescription
 from ..rdf import AKT, Graph, Literal, RDF, RKB_ID, Triple, URIRef, XSD
@@ -47,8 +46,8 @@ class AktDatasetBuilder:
         self.world = world
         self.coverage = coverage
         self.seed = seed
-        self.covered_paper_keys: Set[int] = self._sample_papers()
-        self.covered_person_keys: Set[int] = self._covered_persons()
+        self.covered_paper_keys: set[int] = self._sample_papers()
+        self.covered_person_keys: set[int] = self._covered_persons()
 
     # ------------------------------------------------------------------ #
     # URI minting (also used by the co-reference generator)
@@ -82,7 +81,7 @@ class AktDatasetBuilder:
     # ------------------------------------------------------------------ #
     # Coverage
     # ------------------------------------------------------------------ #
-    def _sample_papers(self) -> Set[int]:
+    def _sample_papers(self) -> set[int]:
         import random
 
         if self.coverage >= 1.0:
@@ -91,8 +90,8 @@ class AktDatasetBuilder:
         count = max(1, int(len(self.world.papers) * self.coverage))
         return set(rng.sample([paper.key for paper in self.world.papers], count))
 
-    def _covered_persons(self) -> Set[int]:
-        persons: Set[int] = set()
+    def _covered_persons(self) -> set[int]:
+        persons: set[int] = set()
         for paper in self.world.papers:
             if paper.key in self.covered_paper_keys:
                 persons.update(paper.author_keys)
@@ -178,7 +177,7 @@ class AktDatasetBuilder:
     # ------------------------------------------------------------------ #
     # voiD description
     # ------------------------------------------------------------------ #
-    def description(self, triple_count: Optional[int] = None) -> DatasetDescription:
+    def description(self, triple_count: int | None = None) -> DatasetDescription:
         return DatasetDescription(
             uri=self.dataset_uri,
             endpoint_uri=self.endpoint_uri,

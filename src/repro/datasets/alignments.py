@@ -19,7 +19,6 @@ the paper describes, and the counts match exactly.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..alignment import (
     EntityAlignment,
@@ -100,7 +99,7 @@ def _literal_property_alignment(source_property: URIRef, target_property: URIRef
 
 
 def has_author_chain_alignment(uri_pattern: str = KISTI_URI_PATTERN,
-                               identifier: Optional[URIRef] = None) -> EntityAlignment:
+                               identifier: URIRef | None = None) -> EntityAlignment:
     """The worked example's alignment (Figure 2 / the Turtle listing).
 
     ``<?p1 akt:has-author ?a1>`` rewrites to the KISTI CreatorInfo chain
@@ -158,7 +157,7 @@ _AKT_KISTI_PROPERTY_PAIRS = [
 
 def akt_to_kisti_alignment(uri_pattern: str = KISTI_URI_PATTERN) -> OntologyAlignment:
     """The 24-entity-alignment OA from the AKT ontology to the KISTI dataset."""
-    alignments: List[EntityAlignment] = []
+    alignments: list[EntityAlignment] = []
 
     for index, (source, target) in enumerate(_AKT_KISTI_CLASS_PAIRS):
         alignments.append(
@@ -244,7 +243,7 @@ _AKT_DBPEDIA_PROPERTY_PAIRS = [
 
 def akt_to_dbpedia_alignment(uri_pattern: str = DBPEDIA_URI_PATTERN) -> OntologyAlignment:
     """The 42-entity-alignment OA from the ECS/AKT data to DBpedia."""
-    alignments: List[EntityAlignment] = []
+    alignments: list[EntityAlignment] = []
 
     for index, (source, target) in enumerate(_AKT_DBPEDIA_CLASS_PAIRS):
         alignments.append(

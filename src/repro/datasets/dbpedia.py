@@ -11,7 +11,7 @@ non-zero in Experiment E6.
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+
 
 from ..federation import DatasetDescription
 from ..rdf import DBPEDIA_RES, FOAF, Graph, Literal, RDF, Triple, URIRef, XSD
@@ -39,8 +39,8 @@ class DBpediaDatasetBuilder:
         self.world = world
         self.coverage = coverage
         self.seed = seed
-        self.covered_paper_keys: Set[int] = self._sample_papers()
-        self.covered_person_keys: Set[int] = self._covered_persons()
+        self.covered_paper_keys: set[int] = self._sample_papers()
+        self.covered_person_keys: set[int] = self._covered_persons()
 
     # ------------------------------------------------------------------ #
     # URI minting
@@ -74,15 +74,15 @@ class DBpediaDatasetBuilder:
     # ------------------------------------------------------------------ #
     # Coverage
     # ------------------------------------------------------------------ #
-    def _sample_papers(self) -> Set[int]:
+    def _sample_papers(self) -> set[int]:
         if self.coverage >= 1.0:
             return {paper.key for paper in self.world.papers}
         rng = random.Random(f"{self.seed}-dbpedia-papers")
         count = max(1, int(len(self.world.papers) * self.coverage))
         return set(rng.sample([paper.key for paper in self.world.papers], count))
 
-    def _covered_persons(self) -> Set[int]:
-        persons: Set[int] = set()
+    def _covered_persons(self) -> set[int]:
+        persons: set[int] = set()
         for paper in self.world.papers:
             if paper.key in self.covered_paper_keys:
                 persons.update(paper.author_keys)
@@ -150,7 +150,7 @@ class DBpediaDatasetBuilder:
                                      self.person_uri(member_key)))
 
     # ------------------------------------------------------------------ #
-    def description(self, triple_count: Optional[int] = None) -> DatasetDescription:
+    def description(self, triple_count: int | None = None) -> DatasetDescription:
         return DatasetDescription(
             uri=self.dataset_uri,
             endpoint_uri=self.endpoint_uri,

@@ -10,7 +10,7 @@ URI space is ``http://kisti.rkbexplorer.com/id/`` with ``PER_...`` /
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+
 
 from ..federation import DatasetDescription
 from ..rdf import Graph, KISTI_ID, Literal, RDF, Triple, URIRef, XSD
@@ -43,8 +43,8 @@ class KistiDatasetBuilder:
         self.world = world
         self.coverage = coverage
         self.seed = seed
-        self.covered_paper_keys: Set[int] = self._sample_papers()
-        self.covered_person_keys: Set[int] = self._covered_persons()
+        self.covered_paper_keys: set[int] = self._sample_papers()
+        self.covered_person_keys: set[int] = self._covered_persons()
 
     # ------------------------------------------------------------------ #
     # URI minting (the identifiers of Section 3.3.2: kid:PER_000...105047)
@@ -81,15 +81,15 @@ class KistiDatasetBuilder:
     # ------------------------------------------------------------------ #
     # Coverage
     # ------------------------------------------------------------------ #
-    def _sample_papers(self) -> Set[int]:
+    def _sample_papers(self) -> set[int]:
         if self.coverage >= 1.0:
             return {paper.key for paper in self.world.papers}
         rng = random.Random(f"{self.seed}-kisti-papers")
         count = max(1, int(len(self.world.papers) * self.coverage))
         return set(rng.sample([paper.key for paper in self.world.papers], count))
 
-    def _covered_persons(self) -> Set[int]:
-        persons: Set[int] = set()
+    def _covered_persons(self) -> set[int]:
+        persons: set[int] = set()
         for paper in self.world.papers:
             if paper.key in self.covered_paper_keys:
                 persons.update(paper.author_keys)
@@ -173,7 +173,7 @@ class KistiDatasetBuilder:
                                  self.paper_uri(cited)))
 
     # ------------------------------------------------------------------ #
-    def description(self, triple_count: Optional[int] = None) -> DatasetDescription:
+    def description(self, triple_count: int | None = None) -> DatasetDescription:
         return DatasetDescription(
             uri=self.dataset_uri,
             endpoint_uri=self.endpoint_uri,

@@ -18,7 +18,6 @@ their URIs).
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..rdf import AKT, DBPO, FOAF, Graph, KISTI, Literal, Namespace, OWL, RDF, RDFS, Triple, URIRef
 
@@ -45,12 +44,12 @@ DBPEDIA_DATASET_URI = URIRef("http://dbpedia.org/void")
 class _Vocabulary:
     """A small helper grouping the classes and properties of a vocabulary."""
 
-    def __init__(self, namespace: Namespace, classes: List[str], properties: List[str]) -> None:
+    def __init__(self, namespace: Namespace, classes: list[str], properties: list[str]) -> None:
         self.namespace = namespace
         self.class_names = list(classes)
         self.property_names = list(properties)
-        self.classes: Dict[str, URIRef] = {name: namespace[name] for name in classes}
-        self.properties: Dict[str, URIRef] = {name: namespace[name] for name in properties}
+        self.classes: dict[str, URIRef] = {name: namespace[name] for name in classes}
+        self.properties: dict[str, URIRef] = {name: namespace[name] for name in properties}
 
     def __getitem__(self, name: str) -> URIRef:
         if name in self.classes:
@@ -59,7 +58,7 @@ class _Vocabulary:
             return self.properties[name]
         raise KeyError(name)
 
-    def all_terms(self) -> List[URIRef]:
+    def all_terms(self) -> list[URIRef]:
         return list(self.classes.values()) + list(self.properties.values())
 
     def to_graph(self, ontology_uri: URIRef) -> Graph:

@@ -16,7 +16,7 @@ Section 3.4:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+
 
 from ..alignment import AlignmentStore
 from ..coreference import SameAsService
@@ -62,7 +62,7 @@ class IntegrationScenario:
         assert isinstance(endpoint, LocalSparqlEndpoint)
         return endpoint
 
-    def dataset_sizes(self) -> Dict[str, int]:
+    def dataset_sizes(self) -> dict[str, int]:
         """Triple counts per dataset (the voiD ``void:triples`` values)."""
         return {
             str(dataset.uri): dataset.endpoint.triple_count()  # type: ignore[attr-defined]
@@ -70,7 +70,7 @@ class IntegrationScenario:
         }
 
     # -- gold standard helpers ------------------------------------------------ #
-    def gold_coauthor_uris(self, person_key: int) -> Set[URIRef]:
+    def gold_coauthor_uris(self, person_key: int) -> set[URIRef]:
         """RKB URIs of the true co-authors of ``person_key`` (world-level truth)."""
         return {
             self.akt_builder.person_uri(key)

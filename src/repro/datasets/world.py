@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+
 
 __all__ = ["Person", "Paper", "Project", "Organization", "WorldModel"]
 
@@ -75,7 +75,7 @@ class Paper:
     key: int
     title: str
     year: int
-    author_keys: Tuple[int, ...]
+    author_keys: tuple[int, ...]
     venue: str
     pages: str
     kind: str  # "article", "proceedings", "book", "thesis"
@@ -87,7 +87,7 @@ class Project:
 
     key: int
     name: str
-    member_keys: Tuple[int, ...]
+    member_keys: tuple[int, ...]
     leader_key: int
     start_year: int
     end_year: int
@@ -120,7 +120,7 @@ class WorldModel:
         self.seed = seed
         rng = random.Random(seed)
 
-        self.persons: List[Person] = [
+        self.persons: list[Person] = [
             Person(
                 key=index,
                 given_name=_GIVEN_NAMES[index % len(_GIVEN_NAMES)],
@@ -131,17 +131,17 @@ class WorldModel:
             for index in range(n_persons)
         ]
 
-        self.organizations: List[Organization] = [
+        self.organizations: list[Organization] = [
             Organization(key=index, name=_ORG_NAMES[index % len(_ORG_NAMES)])
             for index in range(min(n_organizations, max(1, n_organizations)))
         ]
 
-        self.affiliations: Dict[int, int] = {
+        self.affiliations: dict[int, int] = {
             person.key: rng.randrange(len(self.organizations)) for person in self.persons
         }
 
         kinds = ["article", "article", "article", "proceedings", "proceedings", "book", "thesis"]
-        self.papers: List[Paper] = []
+        self.papers: list[Paper] = []
         for index in range(n_papers):
             team_size = rng.randint(1, min(5, n_persons))
             authors = tuple(sorted(rng.sample(range(n_persons), team_size)))
@@ -160,7 +160,7 @@ class WorldModel:
                 )
             )
 
-        self.projects: List[Project] = []
+        self.projects: list[Project] = []
         for index in range(n_projects):
             member_count = rng.randint(2, min(8, n_persons))
             members = tuple(sorted(rng.sample(range(n_persons), member_count)))
@@ -176,7 +176,7 @@ class WorldModel:
                 )
             )
 
-        self.citations: List[Tuple[int, int]] = []
+        self.citations: list[tuple[int, int]] = []
         for paper in self.papers:
             n_citations = rng.randint(0, 3)
             candidates = [other.key for other in self.papers if other.key != paper.key]
@@ -187,20 +187,20 @@ class WorldModel:
     # ------------------------------------------------------------------ #
     # Gold-standard queries over the world (used by experiments)
     # ------------------------------------------------------------------ #
-    def coauthors_of(self, person_key: int) -> Set[int]:
+    def coauthors_of(self, person_key: int) -> set[int]:
         """The true set of co-authors of ``person_key`` (excluding the person)."""
-        coauthors: Set[int] = set()
+        coauthors: set[int] = set()
         for paper in self.papers:
             if person_key in paper.author_keys:
                 coauthors.update(paper.author_keys)
         coauthors.discard(person_key)
         return coauthors
 
-    def papers_of(self, person_key: int) -> Set[int]:
+    def papers_of(self, person_key: int) -> set[int]:
         """Keys of the papers authored by ``person_key``."""
         return {paper.key for paper in self.papers if person_key in paper.author_keys}
 
-    def papers_in_year(self, year: int) -> Set[int]:
+    def papers_in_year(self, year: int) -> set[int]:
         """Keys of the papers published in ``year``."""
         return {paper.key for paper in self.papers if paper.year == year}
 
@@ -209,7 +209,7 @@ class WorldModel:
         counts = {person.key: len(self.papers_of(person.key)) for person in self.persons}
         return min(sorted(counts), key=lambda key: (-counts[key], key))
 
-    def statistics(self) -> Dict[str, int]:
+    def statistics(self) -> dict[str, int]:
         return {
             "persons": len(self.persons),
             "papers": len(self.papers),

@@ -48,7 +48,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from ..rdf import BNode, Graph, RDF, TermDictionary, Triple, URIRef, Variable
 from ..sparql import (
@@ -128,12 +129,12 @@ class PatternSources:
     """Source-selection outcome for one source-level triple pattern."""
 
     pattern: Triple
-    decisions: List[SourceDecision] = field(default_factory=list)
+    decisions: list[SourceDecision] = field(default_factory=list)
 
-    def relevant_uris(self) -> List[URIRef]:
+    def relevant_uris(self) -> list[URIRef]:
         return [d.dataset_uri for d in self.decisions if d.relevant]
 
-    def decision_for(self, uri: URIRef) -> Optional[SourceDecision]:
+    def decision_for(self, uri: URIRef) -> SourceDecision | None:
         for decision in self.decisions:
             if decision.dataset_uri == uri:
                 return decision
@@ -144,18 +145,18 @@ class PatternSources:
 class QueryUnit:
     """One execution unit: a pattern group and the sources it runs on."""
 
-    patterns: List[Triple]
-    sources: List[URIRef]
+    patterns: list[Triple]
+    sources: list[URIRef]
     exclusive: bool = False
     #: Join variables shared with the rows produced by earlier units
     #: (filled in once the join order is fixed).
-    join_variables: List[Variable] = field(default_factory=list)
+    join_variables: list[Variable] = field(default_factory=list)
     estimate: float = 0.0
     #: Rendered sub-query text per source (for EXPLAIN).
-    sub_queries: Dict[URIRef, str] = field(default_factory=dict)
+    sub_queries: dict[URIRef, str] = field(default_factory=dict)
 
-    def variables(self) -> Set[Variable]:
-        result: Set[Variable] = set()
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
         for pattern in self.patterns:
             result |= pattern.variables()
         return result
@@ -165,19 +166,22 @@ class QueryUnit:
 class DecomposedPlan:
     """The decomposer's output: ordered units plus the selection evidence."""
 
-    units: List[QueryUnit] = field(default_factory=list)
-    pattern_sources: List[PatternSources] = field(default_factory=list)
+    units: list[QueryUnit] = field(default_factory=list)
+    pattern_sources: list[PatternSources] = field(default_factory=list)
     #: Datasets excluded from the whole query, with the reason
     #: (no relevant pattern, open breaker, translation failure).
-    skipped: Dict[URIRef, str] = field(default_factory=dict)
+    skipped: dict[URIRef, str] = field(default_factory=dict)
     #: Set when some required pattern has no relevant source at all: the
     #: result is provably empty and no endpoint is contacted.
-    empty_reason: Optional[str] = None
+    empty_reason: str | None = None
     #: Set when the query shape forces the fan-out fallback.
-    fallback_reason: Optional[str] = None
+    fallback_reason: str | None = None
     bind_join_batch: int = DEFAULT_BIND_JOIN_BATCH
     #: ASK probes issued during source selection.
     probes: int = 0
+    #: Static-analysis diagnostics (local analyzer + federation analyzer),
+    #: surfaced before any endpoint sees the query.
+    diagnostics: list = field(default_factory=list)
 
     @property
     def decomposed(self) -> bool:
@@ -271,18 +275,18 @@ class SourceSelector:
 
     def __init__(
         self,
-        engine: "FederatedQueryEngine",
+        engine: FederatedQueryEngine,
         ask_probes: bool = True,
-        probe_timeout: Optional[float] = 2.0,
+        probe_timeout: float | None = 2.0,
     ) -> None:
         self._engine = engine
         self.ask_probes = ask_probes
         self.probe_timeout = probe_timeout
-        self._cache: Dict[tuple, SourceDecision] = {}
-        self._cache_generation: Optional[int] = None
+        self._cache: dict[tuple, SourceDecision] = {}
+        self._cache_generation: int | None = None
         #: Probe traffic of the most recent selection round, per dataset:
         #: ``uri -> (requests, attempts, last_error)``.
-        self.probe_traffic: Dict[URIRef, List[int]] = {}
+        self.probe_traffic: dict[URIRef, list[int]] = {}
         self.probes_issued = 0
 
     # -- cache ----------------------------------------------------------- #
@@ -296,8 +300,8 @@ class SourceSelector:
         self,
         pattern: Triple,
         target: RegisteredDataset,
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
     ) -> tuple:
         graph = getattr(target.endpoint, "graph", None)
@@ -318,7 +322,7 @@ class SourceSelector:
     @staticmethod
     def _vocabulary(
         target: RegisteredDataset,
-    ) -> Tuple[Optional[frozenset], Optional[frozenset]]:
+    ) -> tuple[frozenset | None, frozenset | None]:
         """``(predicates, classes)`` the dataset can serve; ``None`` = unknown."""
         graph = getattr(target.endpoint, "graph", None)
         if graph is not None and hasattr(graph, "stats"):
@@ -334,7 +338,7 @@ class SourceSelector:
         if description.advertises_vocabulary:
             predicates = description.predicates()
             if RDF.type in predicates and not description.class_partitions:
-                classes: Optional[frozenset] = None
+                classes: frozenset | None = None
             else:
                 classes = description.classes()
             return predicates, classes
@@ -344,7 +348,7 @@ class SourceSelector:
     def _estimate(target: RegisteredDataset, patterns: Sequence[Triple]) -> float:
         """Cardinality estimate for a translated pattern group on a dataset."""
         graph = getattr(target.endpoint, "graph", None)
-        estimates: List[float] = []
+        estimates: list[float] = []
         for pattern in patterns:
             if graph is not None and hasattr(graph, "cardinality"):
                 estimates.append(
@@ -365,10 +369,10 @@ class SourceSelector:
         self,
         patterns: Sequence[Triple],
         target: RegisteredDataset,
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
-    ) -> List[Triple]:
+    ) -> list[Triple]:
         """The dataset-local form of a source pattern group."""
         if source_dataset is not None and target.uri == source_dataset:
             return list(patterns)
@@ -385,8 +389,8 @@ class SourceSelector:
         self,
         pattern: Triple,
         target: RegisteredDataset,
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
     ) -> SourceDecision:
         """Is ``pattern`` (translated for ``target``) answerable there?"""
@@ -405,8 +409,8 @@ class SourceSelector:
         self,
         pattern: Triple,
         target: RegisteredDataset,
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
     ) -> SourceDecision:
         try:
@@ -419,7 +423,7 @@ class SourceSelector:
             return SourceDecision(target.uri, False, f"translation failed: {exc}")
 
         predicates, classes = self._vocabulary(target)
-        unknown: List[Triple] = []
+        unknown: list[Triple] = []
         for candidate in translated:
             predicate = candidate.predicate
             if isinstance(predicate, URIRef) and predicates is not None:
@@ -486,13 +490,13 @@ class SourceSelector:
 # Decomposition
 # --------------------------------------------------------------------------- #
 def decompose_query(
-    engine: "FederatedQueryEngine",
+    engine: FederatedQueryEngine,
     query: Query,
     targets: Sequence[RegisteredDataset],
-    source_ontology: Optional[URIRef] = None,
-    source_dataset: Optional[URIRef] = None,
+    source_ontology: URIRef | None = None,
+    source_dataset: URIRef | None = None,
     mode: str = "bgp",
-    selector: Optional[SourceSelector] = None,
+    selector: SourceSelector | None = None,
     bind_join_batch: int = DEFAULT_BIND_JOIN_BATCH,
     render_sub_queries: bool = True,
 ) -> DecomposedPlan:
@@ -501,21 +505,26 @@ def decompose_query(
     Never executes the query itself (ASK probes may contact endpoints when
     the selector is configured for them).
     """
+    from ..sparql.analysis import analyze_federation, analyze_query
+
     plan = DecomposedPlan(bind_join_batch=bind_join_batch)
     if selector is None:
         selector = SourceSelector(engine)
 
-    patterns, filters, fallback = _supported_shape(query)
-    if fallback is not None:
-        plan.fallback_reason = fallback
+    # Local static analysis first: a query the analyzer proves empty
+    # (unsatisfiable FILTER, empty VALUES, ...) never reaches source
+    # selection — zero ASK probes, zero endpoint requests.
+    local = analyze_query(query)
+    plan.diagnostics = list(local.diagnostics)
+    if local.provably_empty:
+        plan.empty_reason = local.empty_reason
         return plan
-    del filters  # filters run at the mediator; nothing to plan for them.
 
     # Probe traffic is attributed to the call that triggers the probes;
     # whatever an earlier explain/plan left behind is not this call's.
     selector.probe_traffic.clear()
 
-    usable: List[RegisteredDataset] = []
+    usable: list[RegisteredDataset] = []
     for target in targets:
         state = engine.registry.breaker_for(target.uri).state
         if state == "open":
@@ -523,19 +532,16 @@ def decompose_query(
             continue
         usable.append(target)
 
-    probes_before = selector.probes_issued
-    for pattern in patterns:
-        sources = PatternSources(pattern)
-        for target in usable:
-            sources.decisions.append(
-                selector.decide(pattern, target, source_ontology, source_dataset, mode)
-            )
-        plan.pattern_sources.append(sources)
-        if not sources.relevant_uris():
-            plan.empty_reason = (
-                f"pattern {_pattern_text(pattern)} matches no registered dataset"
-            )
-    plan.probes = selector.probes_issued - probes_before
+    federation = analyze_federation(
+        query, selector, usable, source_ontology, source_dataset, mode
+    )
+    plan.diagnostics.extend(federation.diagnostics)
+    plan.pattern_sources = federation.pattern_sources
+    plan.probes = federation.probes
+    if federation.fallback_reason is not None:
+        plan.fallback_reason = federation.fallback_reason
+        return plan
+    plan.empty_reason = federation.empty_reason
 
     for target in usable:
         if not any(
@@ -553,7 +559,7 @@ def decompose_query(
     plan.units = _order_units(units, targets_by_uri, plan.pattern_sources)
 
     if render_sub_queries:
-        bound: Set[Variable] = set()
+        bound: set[Variable] = set()
         for unit in plan.units:
             unit.join_variables = sorted(unit.variables() & bound, key=str)
             bound |= unit.variables()
@@ -583,12 +589,12 @@ def decompose_query(
 
 def _supported_shape(
     query: Query,
-) -> Tuple[List[Triple], List[Filter], Optional[str]]:
+) -> tuple[list[Triple], list[Filter], str | None]:
     """``(patterns, filters, fallback_reason)`` for the query's WHERE clause."""
     if not isinstance(query, SelectQuery):
         return [], [], f"unsupported query form: {type(query).__name__}"
-    patterns: List[Triple] = []
-    filters: List[Filter] = []
+    patterns: list[Triple] = []
+    filters: list[Filter] = []
     for element in query.where.elements:
         if isinstance(element, TriplesBlock):
             patterns.extend(element.patterns)
@@ -606,10 +612,10 @@ def _supported_shape(
     return patterns, filters, None
 
 
-def _build_units(pattern_sources: Sequence[PatternSources]) -> List[QueryUnit]:
+def _build_units(pattern_sources: Sequence[PatternSources]) -> list[QueryUnit]:
     """Group exclusive (single-source) patterns per dataset; rest stand alone."""
-    exclusive: Dict[URIRef, QueryUnit] = {}
-    units: List[QueryUnit] = []
+    exclusive: dict[URIRef, QueryUnit] = {}
+    units: list[QueryUnit] = []
     for sources in pattern_sources:
         relevant = sources.relevant_uris()
         if len(relevant) == 1:
@@ -625,12 +631,12 @@ def _build_units(pattern_sources: Sequence[PatternSources]) -> List[QueryUnit]:
 
 
 def _order_units(
-    units: List[QueryUnit],
-    targets_by_uri: Dict[URIRef, RegisteredDataset],
+    units: list[QueryUnit],
+    targets_by_uri: dict[URIRef, RegisteredDataset],
     pattern_sources: Sequence[PatternSources],
-) -> List[QueryUnit]:
+) -> list[QueryUnit]:
     """Greedy deterministic join order: cheapest first, stay connected."""
-    estimates: Dict[URIRef, Dict[str, float]] = {}
+    estimates: dict[URIRef, dict[str, float]] = {}
     for sources in pattern_sources:
         for decision in sources.decisions:
             if decision.relevant:
@@ -652,8 +658,8 @@ def _order_units(
         return (unit.estimate, " | ".join(sorted(_pattern_text(p) for p in unit.patterns)))
 
     remaining = list(units)
-    ordered: List[QueryUnit] = []
-    bound: Set[Variable] = set()
+    ordered: list[QueryUnit] = []
+    bound: set[Variable] = set()
     while remaining:
         connected = [unit for unit in remaining if unit.variables() & bound]
         pool = connected if connected else remaining
@@ -665,11 +671,11 @@ def _order_units(
 
 
 def _unit_query(
-    engine: "FederatedQueryEngine",
+    engine: FederatedQueryEngine,
     unit: QueryUnit,
     target: RegisteredDataset,
-    source_ontology: Optional[URIRef],
-    source_dataset: Optional[URIRef],
+    source_ontology: URIRef | None,
+    source_dataset: URIRef | None,
     mode: str,
     selector: SourceSelector,
 ) -> SelectQuery:
@@ -702,20 +708,20 @@ class _Traffic:
         self.requests = 0
         self.attempts = 0
         self.rows = 0
-        self.errors: List[str] = []
+        self.errors: list[str] = []
 
 
 def execute_decomposed(
-    engine: "FederatedQueryEngine",
+    engine: FederatedQueryEngine,
     query: SelectQuery,
     targets: Sequence[RegisteredDataset],
-    source_ontology: Optional[URIRef],
-    source_dataset: Optional[URIRef],
+    source_ontology: URIRef | None,
+    source_dataset: URIRef | None,
     mode: str,
-    canonical_pattern: Optional[str],
+    canonical_pattern: str | None,
     selector: SourceSelector,
     bind_join_batch: int = DEFAULT_BIND_JOIN_BATCH,
-) -> "FederatedResult":
+) -> FederatedResult:
     """Execute ``query`` with the decompose strategy.
 
     Falls back to the engine's fan-out path when the plan says so.  The
@@ -743,7 +749,7 @@ def execute_decomposed(
         outcome.decomposition = plan
         return outcome
 
-    traffic: Dict[URIRef, _Traffic] = {target.uri: _Traffic() for target in targets}
+    traffic: dict[URIRef, _Traffic] = {target.uri: _Traffic() for target in targets}
     for uri, (requests, attempts) in selector.probe_traffic.items():
         if uri in traffic:
             entry = traffic[uri]
@@ -756,8 +762,8 @@ def execute_decomposed(
         if source_dataset in engine.registry:
             canonical_pattern = engine.registry.get(source_dataset).uri_pattern
 
-    merged: List[Binding] = []
-    run_event: Optional[QueryRunEvent] = None
+    merged: list[Binding] = []
+    run_event: QueryRunEvent | None = None
     if plan.empty_reason is None:
         targets_by_uri = {target.uri: target for target in targets}
         executor = _PlanExecutor(
@@ -767,11 +773,11 @@ def execute_decomposed(
         merged = executor.execute(query, variables, canonical_pattern)
         run_event = executor.run_event(query)
 
-    per_dataset: List[DatasetResult] = []
+    per_dataset: list[DatasetResult] = []
     for target in targets:
         entry = traffic[target.uri]
         error = "; ".join(entry.errors) if entry.errors else None
-        rows_shipped: Optional[int] = entry.rows
+        rows_shipped: int | None = entry.rows
         if plan.skipped.get(target.uri) == "circuit open":
             # Not being contacted because the breaker refuses is an outage,
             # exactly as the fan-out strategy reports it — not a success.
@@ -818,7 +824,7 @@ class _VecUnitOp(VecOperator):
         ctx: ExecContext,
         in_schema: Schema,
         unit: QueryUnit,
-        executor: "_PlanExecutor",
+        executor: _PlanExecutor,
     ) -> None:
         super().__init__(ctx)
         self.unit = unit
@@ -834,13 +840,13 @@ class _VecUnitOp(VecOperator):
         in_positions = {v: i for i, v in enumerate(in_schema)}
         self._key_cols = [in_positions[v] for v in self._join_vars]
         self.est = unit.estimate
-        self._cross_cache: Optional[List[tuple]] = None
+        self._cross_cache: list[tuple] | None = None
 
     def reset(self) -> None:
         self._cross_cache = None
         super().reset()
 
-    def _intern_fetched(self, fetched: Sequence[Binding]) -> List[tuple]:
+    def _intern_fetched(self, fetched: Sequence[Binding]) -> list[tuple]:
         """``(key ids, appended ids)`` per fetched row."""
         intern = self.ctx.dictionary.intern
         rows = []
@@ -889,8 +895,8 @@ class _VecUnitOp(VecOperator):
         key_cols = self._key_cols
         schema = self.schema
 
-        def flush(chunk: List[tuple]) -> Batch:
-            by_key: Dict[tuple, List[tuple]] = {}
+        def flush(chunk: list[tuple]) -> Batch:
+            by_key: dict[tuple, list[tuple]] = {}
             for row in chunk:
                 key = tuple(row[index] for index in key_cols)
                 by_key.setdefault(key, []).append(row)
@@ -905,7 +911,7 @@ class _VecUnitOp(VecOperator):
                     key=lambda key: tuple(str(term) for term in key),
                 ),
             )
-            out: List[tuple] = []
+            out: list[tuple] = []
             for fetched_key, appended in self._intern_fetched(
                 self._executor._unit_rows(self.unit, inline)
             ):
@@ -913,7 +919,7 @@ class _VecUnitOp(VecOperator):
                     out.append(left + appended)
             return Batch(schema, out)
 
-        chunk: List[tuple] = []
+        chunk: list[tuple] = []
         for batch in batches:
             for row in batch.rows:
                 chunk.append(row)
@@ -941,8 +947,8 @@ class _VecCanonicalOp(VecOperator):
         self,
         ctx: ExecContext,
         child: VecOperator,
-        engine: "FederatedQueryEngine",
-        canonical_pattern: Optional[str],
+        engine: FederatedQueryEngine,
+        canonical_pattern: str | None,
     ) -> None:
         super().__init__(ctx)
         self._child = child
@@ -950,7 +956,7 @@ class _VecCanonicalOp(VecOperator):
         self._pattern = canonical_pattern
         self.schema = child.schema
         self.est = child.est
-        self._cache: Dict[int, int] = {}
+        self._cache: dict[int, int] = {}
 
     def _canonical(self, value: int) -> int:
         mapped = self._cache.get(value)
@@ -996,14 +1002,14 @@ class _PlanExecutor:
 
     def __init__(
         self,
-        engine: "FederatedQueryEngine",
+        engine: FederatedQueryEngine,
         plan: DecomposedPlan,
-        targets_by_uri: Dict[URIRef, RegisteredDataset],
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        targets_by_uri: dict[URIRef, RegisteredDataset],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
         selector: SourceSelector,
-        traffic: Dict[URIRef, _Traffic],
+        traffic: dict[URIRef, _Traffic],
     ) -> None:
         self._engine = engine
         self._plan = plan
@@ -1014,8 +1020,8 @@ class _PlanExecutor:
         self._selector = selector
         self._traffic = traffic
         self.bind_join_batch = plan.bind_join_batch
-        self.root: Optional[VecOperator] = None
-        self.ctx: Optional[ExecContext] = None
+        self.root: VecOperator | None = None
+        self.ctx: ExecContext | None = None
         self._elapsed = 0.0
 
     # -- sub-query dispatch ------------------------------------------------ #
@@ -1023,8 +1029,8 @@ class _PlanExecutor:
         self,
         unit: QueryUnit,
         target: RegisteredDataset,
-        inline: Optional[InlineData],
-    ) -> List[Binding]:
+        inline: InlineData | None,
+    ) -> list[Binding]:
         """Run one sub-query on one source, under its policy and breaker."""
         entry = self._traffic[target.uri]
         try:
@@ -1047,7 +1053,7 @@ class _PlanExecutor:
         entry.rows += len(result)
         return list(result)
 
-    def _unit_rows(self, unit: QueryUnit, inline: Optional[InlineData]) -> List[Binding]:
+    def _unit_rows(self, unit: QueryUnit, inline: InlineData | None) -> list[Binding]:
         """One round of a unit: every source answers, results in source order.
 
         Sources are independent, so (like the fan-out path) they are
@@ -1071,7 +1077,7 @@ class _PlanExecutor:
             per_source = [
                 self._fetch(unit, self._targets[uri], inline) for uri in sources
             ]
-        rows: List[Binding] = []
+        rows: list[Binding] = []
         for fetched in per_source:
             rows.extend(fetched)
         return rows
@@ -1081,14 +1087,14 @@ class _PlanExecutor:
         self,
         query: SelectQuery,
         variables: Sequence[Variable],
-        canonical_pattern: Optional[str],
+        canonical_pattern: str | None,
     ) -> VecOperator:
         """Build the mediator pipeline: units -> canonicalise -> FILTER ->
         ORDER BY -> project -> DISTINCT -> OFFSET/LIMIT."""
         ctx = ExecContext(_EMPTY_GRAPH, dictionary=TermDictionary())
-        root: Optional[VecOperator] = None
+        root: VecOperator | None = None
         schema: Schema = ()
-        bound: Set[Variable] = set()
+        bound: set[Variable] = set()
         for unit in self._plan.units:
             unit.join_variables = sorted(unit.variables() & bound, key=str)
             bound |= unit.variables()
@@ -1121,14 +1127,14 @@ class _PlanExecutor:
         self,
         query: SelectQuery,
         variables: Sequence[Variable],
-        canonical_pattern: Optional[str],
-    ) -> List[Binding]:
+        canonical_pattern: str | None,
+    ) -> list[Binding]:
         root = self.compile(query, variables, canonical_pattern)
         ctx = self.ctx
         assert ctx is not None
         root.reset()
         started = time.perf_counter()
-        merged: List[Binding] = []
+        merged: list[Binding] = []
         for batch in root.execute(seed_batches()):
             for row in batch.rows:
                 merged.append(ctx.decode_binding(batch.schema, row))

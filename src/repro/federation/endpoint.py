@@ -15,7 +15,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from collections.abc import Iterable
 
 from ..rdf import Graph, ReadOnlyGraphView, Triple, URIRef
 from ..sparql import (
@@ -56,15 +56,15 @@ class SparqlEndpoint:
     #: URI identifying the endpoint (the value stored in the voiD profile).
     uri: URIRef
 
-    def select(self, query: Union[Query, str]) -> ResultSet:
+    def select(self, query: Query | str) -> ResultSet:
         """Run a SELECT query and return its result set."""
         raise NotImplementedError
 
-    def ask(self, query: Union[Query, str]) -> AskResult:
+    def ask(self, query: Query | str) -> AskResult:
         """Run an ASK query."""
         raise NotImplementedError
 
-    def construct(self, query: Union[Query, str]) -> Graph:
+    def construct(self, query: Query | str) -> Graph:
         """Run a CONSTRUCT query."""
         raise NotImplementedError
 
@@ -138,7 +138,7 @@ class LocalSparqlEndpoint(SparqlEndpoint):
         self,
         uri: URIRef,
         graph: Graph,
-        name: Optional[str] = None,
+        name: str | None = None,
         available: bool = True,
         latency: float = 0.0,
         failure_rate: float = 0.0,
@@ -171,7 +171,7 @@ class LocalSparqlEndpoint(SparqlEndpoint):
     def triple_count(self) -> int:
         return len(self._graph)
 
-    def load(self, triples: Iterable[Triple]) -> "LocalSparqlEndpoint":
+    def load(self, triples: Iterable[Triple]) -> LocalSparqlEndpoint:
         """Bulk-load triples (used by the scenario builders)."""
         self._graph.add_all(triples)
         return self
@@ -179,7 +179,7 @@ class LocalSparqlEndpoint(SparqlEndpoint):
     # ------------------------------------------------------------------ #
     # Failure injection
     # ------------------------------------------------------------------ #
-    def fail_next(self, count: int = 1) -> "LocalSparqlEndpoint":
+    def fail_next(self, count: int = 1) -> LocalSparqlEndpoint:
         """Make the next ``count`` queries fail deterministically.
 
         Used to test bounded retries: ``fail_next(2)`` plus a policy with
@@ -211,28 +211,28 @@ class LocalSparqlEndpoint(SparqlEndpoint):
     # ------------------------------------------------------------------ #
     # Query interface
     # ------------------------------------------------------------------ #
-    def select(self, query: Union[Query, str]) -> ResultSet:
+    def select(self, query: Query | str) -> ResultSet:
         self._simulate("select_queries")
         result = self._evaluator.evaluate(self._coerce(query))
         if not isinstance(result, ResultSet):
             raise EndpointError("query did not produce SELECT results")
         return result
 
-    def ask(self, query: Union[Query, str]) -> AskResult:
+    def ask(self, query: Query | str) -> AskResult:
         self._simulate("ask_queries")
         result = self._evaluator.evaluate(self._coerce(query))
         if not isinstance(result, AskResult):
             raise EndpointError("query did not produce an ASK result")
         return result
 
-    def construct(self, query: Union[Query, str]) -> Graph:
+    def construct(self, query: Query | str) -> Graph:
         self._simulate("construct_queries")
         result = self._evaluator.evaluate(self._coerce(query))
         if not isinstance(result, Graph):
             raise EndpointError("query did not produce a CONSTRUCT graph")
         return result
 
-    def explain(self, query: Union[Query, str]) -> str:
+    def explain(self, query: Query | str) -> str:
         """The endpoint evaluator's EXPLAIN plan for ``query`` (no execution).
 
         Not counted as endpoint traffic and exempt from failure injection —
@@ -240,7 +240,7 @@ class LocalSparqlEndpoint(SparqlEndpoint):
         """
         return self._evaluator.explain(self._coerce(query))
 
-    def analyze(self, query: Union[Query, str]):
+    def analyze(self, query: Query | str):
         """EXPLAIN ANALYZE: evaluate ``query`` and return ``(result, event)``.
 
         The event carries per-operator rows/batches/wall-time from the
@@ -258,7 +258,7 @@ class LocalSparqlEndpoint(SparqlEndpoint):
         return self._evaluator.analyze(coerced)
 
     @staticmethod
-    def _coerce(query: Union[Query, str]) -> Query:
+    def _coerce(query: Query | str) -> Query:
         if isinstance(query, str):
             return parse_query(query)
         return query

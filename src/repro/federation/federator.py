@@ -29,7 +29,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 from ..coreference import SameAsService
 from ..core import MediationResult, Mediator
@@ -58,9 +58,9 @@ class DatasetResult:
     """
 
     dataset_uri: URIRef
-    mediation: Optional[MediationResult]
-    result: Optional[ResultSet]
-    error: Optional[str] = None
+    mediation: MediationResult | None
+    result: ResultSet | None
+    error: str | None = None
     #: Endpoint attempts made (> 1 when the policy retried).
     attempts: int = 1
     #: Wall-clock seconds spent on this dataset (mediation + endpoint).
@@ -68,7 +68,7 @@ class DatasetResult:
     #: Endpoint requests issued (decompose strategy; includes ASK probes).
     requests: int = 0
     #: Rows received from this endpoint across all sub-queries (decompose).
-    rows_shipped: Optional[int] = None
+    rows_shipped: int | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -87,30 +87,30 @@ class DatasetResult:
 class FederatedResult:
     """Merged outcome of a federated query."""
 
-    variables: List[Variable]
-    per_dataset: List[DatasetResult] = field(default_factory=list)
-    merged_bindings: List[Binding] = field(default_factory=list)
+    variables: list[Variable]
+    per_dataset: list[DatasetResult] = field(default_factory=list)
+    merged_bindings: list[Binding] = field(default_factory=list)
     #: Wall-clock seconds for the whole fan-out + merge.
     elapsed: float = 0.0
     #: Execution strategy that produced the result.
     strategy: str = "fanout"
     #: The decomposed plan, when ``strategy == "decompose"``.
-    decomposition: Optional["DecomposedPlan"] = None
+    decomposition: DecomposedPlan | None = None
     #: Per-query run event (operator timings, endpoints contacted, rows
     #: shipped) when the strategy executed on the batched operator layer.
-    run_event: Optional["QueryRunEvent"] = None
+    run_event: QueryRunEvent | None = None
 
     def merged(self) -> ResultSet:
         """The merged (co-reference-canonicalised, deduplicated) result set."""
         return ResultSet(self.variables, self.merged_bindings)
 
-    def distinct_values(self, variable: Union[Variable, str]) -> Set[Term]:
+    def distinct_values(self, variable: Variable | str) -> set[Term]:
         return self.merged().distinct_values(variable)
 
-    def successful_datasets(self) -> List[URIRef]:
+    def successful_datasets(self) -> list[URIRef]:
         return [entry.dataset_uri for entry in self.per_dataset if entry.succeeded]
 
-    def failed_datasets(self) -> List[URIRef]:
+    def failed_datasets(self) -> list[URIRef]:
         return [entry.dataset_uri for entry in self.per_dataset if not entry.succeeded]
 
     @property
@@ -135,6 +135,18 @@ class FederatedResult:
             1 for entry in self.per_dataset
             if entry.attempts > 0 or entry.requests > 0
         )
+
+    @property
+    def diagnostics(self) -> list:
+        """Static-analysis diagnostics surfaced while planning.
+
+        Populated under the decompose strategy (the plan runs the local
+        and federation analyzers before contacting any endpoint); empty
+        for plain fan-out.
+        """
+        if self.decomposition is not None:
+            return self.decomposition.diagnostics
+        return []
 
 
 class FederatedQueryEngine:
@@ -169,13 +181,13 @@ class FederatedQueryEngine:
         self,
         mediator: Mediator,
         registry: DatasetRegistry,
-        sameas_service: Optional[SameAsService] = None,
+        sameas_service: SameAsService | None = None,
         parallel: bool = True,
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
         strategy: str = "fanout",
         ask_probes: bool = True,
-        probe_timeout: Optional[float] = 2.0,
-        bind_join_batch: Optional[int] = None,
+        probe_timeout: float | None = 2.0,
+        bind_join_batch: int | None = None,
     ) -> None:
         from .decompose import DEFAULT_BIND_JOIN_BATCH
 
@@ -216,14 +228,14 @@ class FederatedQueryEngine:
     # ------------------------------------------------------------------ #
     def execute(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        canonical_pattern: Optional[str] = None,
-        parallel: Optional[bool] = None,
-        strategy: Optional[str] = None,
+        datasets: Sequence[URIRef] | None = None,
+        canonical_pattern: str | None = None,
+        parallel: bool | None = None,
+        strategy: str | None = None,
     ) -> FederatedResult:
         """Run ``query`` over the federation.
 
@@ -273,9 +285,9 @@ class FederatedQueryEngine:
 
     def analyze(
         self,
-        query: Union[Query, str],
+        query: Query | str,
         **kwargs,
-    ) -> Tuple[FederatedResult, "QueryRunEvent"]:
+    ) -> tuple[FederatedResult, QueryRunEvent]:
         """EXPLAIN ANALYZE for a federated query: ``(result, event)``.
 
         Accepts the same keyword arguments as :meth:`execute`.  Under the
@@ -310,17 +322,53 @@ class FederatedQueryEngine:
         event.query = query_text
         return outcome, event
 
+    def lint(
+        self,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
+        mode: str = "bgp",
+        datasets: Sequence[URIRef] | None = None,
+    ) -> list:
+        """Static diagnostics for ``query`` without executing it.
+
+        Runs the local analyzer and — unless the query is already provably
+        empty — the federation analyzer over the registered (breaker-closed)
+        datasets.  Source selection may issue ASK probes when the engine is
+        configured for them, but the query itself never reaches an endpoint.
+        Returns :class:`repro.sparql.analysis.Diagnostic` objects.
+        """
+        from ..sparql.analysis import analyze_federation, analyze_query
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        local = analyze_query(query)
+        diagnostics = list(local.diagnostics)
+        if local.provably_empty:
+            return diagnostics
+        usable = [
+            target
+            for target in self._select_targets(datasets)
+            if self.registry.breaker_for(target.uri).state != "open"
+        ]
+        federation = analyze_federation(
+            query, self.source_selector, usable,
+            source_ontology, source_dataset, mode, analysis=local,
+        )
+        diagnostics.extend(federation.diagnostics)
+        return diagnostics
+
     def execute_many(
         self,
-        queries: Sequence[Union[Query, str]],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        queries: Sequence[Query | str],
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        canonical_pattern: Optional[str] = None,
-        parallel: Optional[bool] = None,
-        strategy: Optional[str] = None,
-    ) -> List[FederatedResult]:
+        datasets: Sequence[URIRef] | None = None,
+        canonical_pattern: str | None = None,
+        parallel: bool | None = None,
+        strategy: str | None = None,
+    ) -> list[FederatedResult]:
         """Run a batch of queries over the federation (same order as input).
 
         The mediator's :meth:`~repro.core.Mediator.rewrite_many` batch API
@@ -329,7 +377,7 @@ class FederatedQueryEngine:
         (query, target) pair; the per-query :meth:`execute` calls then
         replay the cached rewrites.
         """
-        parsed: List[Query] = [
+        parsed: list[Query] = [
             parse_query(query) if isinstance(query, str) else query for query in queries
         ]
         warm_targets = [
@@ -354,13 +402,13 @@ class FederatedQueryEngine:
 
     def explain(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        strategy: Optional[str] = None,
-    ) -> Dict[URIRef, str]:
+        datasets: Sequence[URIRef] | None = None,
+        strategy: str | None = None,
+    ) -> dict[URIRef, str]:
         """Per-dataset EXPLAIN for a federated query, without executing it.
 
         Under the fan-out strategy each target receives exactly the query
@@ -380,7 +428,7 @@ class FederatedQueryEngine:
             plan = self.decompose_plan(query, source_ontology, source_dataset,
                                        mode, datasets)
             return self._explain_decomposed(plan, datasets)
-        plans: Dict[URIRef, str] = {}
+        plans: dict[URIRef, str] = {}
         for target in self._select_targets(datasets):
             try:
                 if source_dataset is not None and target.uri == source_dataset:
@@ -399,11 +447,11 @@ class FederatedQueryEngine:
 
     def decompose_plan(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
+        datasets: Sequence[URIRef] | None = None,
     ):
         """The decomposed plan for ``query`` (source selection, units, joins).
 
@@ -423,10 +471,10 @@ class FederatedQueryEngine:
         )
 
     def _explain_decomposed(
-        self, plan, datasets: Optional[Sequence[URIRef]]
-    ) -> Dict[URIRef, str]:
+        self, plan, datasets: Sequence[URIRef] | None
+    ) -> dict[URIRef, str]:
         """Slice a decomposed plan into the per-dataset EXPLAIN payloads."""
-        per_dataset: Dict[URIRef, str] = {}
+        per_dataset: dict[URIRef, str] = {}
         for target in self._select_targets(datasets):
             if plan.fallback_reason is not None:
                 per_dataset[target.uri] = f"fan-out fallback: {plan.fallback_reason}"
@@ -437,7 +485,7 @@ class FederatedQueryEngine:
             if plan.empty_reason is not None:
                 per_dataset[target.uri] = f"not contacted: {plan.empty_reason}"
                 continue
-            lines: List[str] = []
+            lines: list[str] = []
             for index, unit in enumerate(plan.units):
                 if target.uri not in unit.sources:
                     continue
@@ -450,13 +498,13 @@ class FederatedQueryEngine:
             per_dataset[target.uri] = "\n".join(lines) if lines else "no unit assigned"
         return per_dataset
 
-    def _select_targets(self, datasets: Optional[Sequence[URIRef]]) -> List[RegisteredDataset]:
+    def _select_targets(self, datasets: Sequence[URIRef] | None) -> list[RegisteredDataset]:
         if datasets is None:
             return self.registry.datasets()
         return [self.registry.get(uri) for uri in datasets]
 
     @staticmethod
-    def _result_variables(query: Query) -> List[Variable]:
+    def _result_variables(query: Query) -> list[Variable]:
         projection = getattr(query, "projection", None)
         if projection:
             return list(projection)
@@ -469,18 +517,18 @@ class FederatedQueryEngine:
         self,
         query: Query,
         targets: Sequence[RegisteredDataset],
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
         parallel: bool,
-    ) -> List[DatasetResult]:
+    ) -> list[DatasetResult]:
         """One :class:`DatasetResult` per target, in target order."""
         if not parallel or len(targets) <= 1:
             return [
                 self._run_on_dataset(query, target, source_ontology, source_dataset, mode)
                 for target in targets
             ]
-        results: List[Optional[DatasetResult]] = [None] * len(targets)
+        results: list[DatasetResult | None] = [None] * len(targets)
         with ThreadPoolExecutor(
             max_workers=min(len(targets), self.max_workers),
             thread_name_prefix="federate",
@@ -500,13 +548,13 @@ class FederatedQueryEngine:
         self,
         query: Query,
         target: RegisteredDataset,
-        source_ontology: Optional[URIRef],
-        source_dataset: Optional[URIRef],
+        source_ontology: URIRef | None,
+        source_dataset: URIRef | None,
         mode: str,
     ) -> DatasetResult:
         """Rewrite for one dataset, then execute under its policy."""
         started = time.perf_counter()
-        mediation: Optional[MediationResult] = None
+        mediation: MediationResult | None = None
         try:
             if source_dataset is not None and target.uri == source_dataset:
                 executable: Query = query
@@ -527,8 +575,8 @@ class FederatedQueryEngine:
         target: RegisteredDataset,
         executable: Query,
         kind: str = "select",
-        timeout: Optional[float] = None,
-    ) -> Tuple[Optional[ResultSet], int, Optional[str]]:
+        timeout: float | None = None,
+    ) -> tuple[ResultSet | None, int, str | None]:
         """One endpoint call governed by the dataset's policy and breaker.
 
         Returns ``(result, attempts, error)`` with exactly one of
@@ -542,7 +590,7 @@ class FederatedQueryEngine:
         policy = self.registry.policy_for(target.uri)
         breaker = self.registry.breaker_for(target.uri)
         effective_timeout = policy.timeout if timeout is None else timeout
-        last_error: Optional[str] = None
+        last_error: str | None = None
         attempts = 0
         for attempt in range(policy.max_attempts):
             if not breaker.allow():
@@ -572,7 +620,7 @@ class FederatedQueryEngine:
     def _attempt(
         target: RegisteredDataset,
         executable: Query,
-        timeout: Optional[float],
+        timeout: float | None,
         kind: str = "select",
     ):
         """One endpoint attempt, bounded by ``timeout`` seconds.
@@ -584,7 +632,7 @@ class FederatedQueryEngine:
         operation = getattr(target.endpoint, kind)
         if timeout is None:
             return operation(executable)
-        box: Dict[str, object] = {}
+        box: dict[str, object] = {}
         done = threading.Event()
 
         def run() -> None:
@@ -612,10 +660,10 @@ class FederatedQueryEngine:
         self,
         result_sets: Iterable[ResultSet],
         variables: Sequence[Variable],
-        canonical_pattern: Optional[str],
-    ) -> List[Binding]:
-        merged: List[Binding] = []
-        seen: Set[frozenset] = set()
+        canonical_pattern: str | None,
+    ) -> list[Binding]:
+        merged: list[Binding] = []
+        seen: set[frozenset] = set()
         for result_set in result_sets:
             for binding in result_set:
                 canonical = self._canonicalise(binding, variables, canonical_pattern)
@@ -629,9 +677,9 @@ class FederatedQueryEngine:
         self,
         binding: Binding,
         variables: Sequence[Variable],
-        canonical_pattern: Optional[str],
+        canonical_pattern: str | None,
     ) -> Binding:
-        data: Dict[Variable, Term] = {}
+        data: dict[Variable, Term] = {}
         for variable in variables:
             term = binding.get_term(variable)
             if term is None:
@@ -641,7 +689,7 @@ class FederatedQueryEngine:
             data[variable] = term
         return Binding(data)
 
-    def _canonical_uri(self, uri: URIRef, canonical_pattern: Optional[str]) -> URIRef:
+    def _canonical_uri(self, uri: URIRef, canonical_pattern: str | None) -> URIRef:
         if canonical_pattern:
             translated = self.sameas_service.lookup(uri, canonical_pattern)
             if translated is not None:
@@ -655,21 +703,21 @@ class FederatedQueryEngine:
 # --------------------------------------------------------------------------- #
 # Evaluation metrics
 # --------------------------------------------------------------------------- #
-def recall(retrieved: Set, relevant: Set) -> float:
+def recall(retrieved: set, relevant: set) -> float:
     """|retrieved ∩ relevant| / |relevant| (1.0 when nothing is relevant)."""
     if not relevant:
         return 1.0
     return len(set(retrieved) & set(relevant)) / len(set(relevant))
 
 
-def precision(retrieved: Set, relevant: Set) -> float:
+def precision(retrieved: set, relevant: set) -> float:
     """|retrieved ∩ relevant| / |retrieved| (1.0 when nothing is retrieved)."""
     if not retrieved:
         return 1.0
     return len(set(retrieved) & set(relevant)) / len(set(retrieved))
 
 
-def f1_score(retrieved: Set, relevant: Set) -> float:
+def f1_score(retrieved: set, relevant: set) -> float:
     """Harmonic mean of precision and recall."""
     p = precision(retrieved, relevant)
     r = recall(retrieved, relevant)

@@ -23,7 +23,7 @@ import threading
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Optional, Tuple, Union
+
 
 from ..rdf import Graph, URIRef
 from ..sparql import AskResult, Query, ResultSet
@@ -75,10 +75,10 @@ class HttpSparqlEndpoint(SparqlEndpoint):
 
     def __init__(
         self,
-        uri: Union[URIRef, str],
-        url: Optional[str] = None,
-        name: Optional[str] = None,
-        timeout: Optional[float] = None,
+        uri: URIRef | str,
+        url: str | None = None,
+        name: str | None = None,
+        timeout: float | None = None,
         method: str = "post",
         result_format: str = "json",
         graph_format: str = "turtle",
@@ -102,21 +102,21 @@ class HttpSparqlEndpoint(SparqlEndpoint):
     # ------------------------------------------------------------------ #
     # Query interface
     # ------------------------------------------------------------------ #
-    def select(self, query: Union[Query, str]) -> ResultSet:
+    def select(self, query: Query | str) -> ResultSet:
         body = self._request(query, RESULT_MEDIA_TYPES[self.result_format], "select_queries")
         result = self._parse_results(body)
         if not isinstance(result, ResultSet):
             raise EndpointError(f"endpoint {self.name} did not return SELECT results")
         return result
 
-    def ask(self, query: Union[Query, str]) -> AskResult:
+    def ask(self, query: Query | str) -> AskResult:
         body = self._request(query, RESULT_MEDIA_TYPES[self.result_format], "ask_queries")
         result = self._parse_results(body)
         if not isinstance(result, AskResult):
             raise EndpointError(f"endpoint {self.name} did not return an ASK result")
         return result
 
-    def construct(self, query: Union[Query, str]) -> Graph:
+    def construct(self, query: Query | str) -> Graph:
         body = self._request(query, GRAPH_MEDIA_TYPES[self.graph_format], "construct_queries")
         try:
             return read_graph(body, format=self.graph_format)
@@ -129,7 +129,7 @@ class HttpSparqlEndpoint(SparqlEndpoint):
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _request(self, query: Union[Query, str], accept: str, kind: str) -> str:
+    def _request(self, query: Query | str, accept: str, kind: str) -> str:
         query_text = query.serialize() if isinstance(query, Query) else str(query)
         with self._lock:
             setattr(self.statistics, kind, getattr(self.statistics, kind) + 1)
@@ -167,7 +167,7 @@ class HttpSparqlEndpoint(SparqlEndpoint):
         budget = f" after {self.timeout:g}s" if self.timeout is not None else ""
         return f"endpoint {self.name} timed out{budget}"
 
-    def _encode(self, query_text: str) -> Tuple[str, Optional[bytes]]:
+    def _encode(self, query_text: str) -> tuple[str, bytes | None]:
         """(url, body) for the configured protocol binding."""
         encoded = urllib.parse.urlencode({"query": query_text})
         if self.method == "get":
@@ -175,7 +175,7 @@ class HttpSparqlEndpoint(SparqlEndpoint):
             return f"{self.url}{separator}{encoded}", None
         return self.url, encoded.encode("utf-8")
 
-    def _parse_results(self, body: str) -> Union[ResultSet, AskResult]:
+    def _parse_results(self, body: str) -> ResultSet | AskResult:
         try:
             return parse_results(body, format=self.result_format)
         except FormatError as exc:

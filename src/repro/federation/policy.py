@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 __all__ = ["ExecutionPolicy", "CircuitBreaker", "CircuitState"]
 
@@ -59,7 +59,7 @@ class ExecutionPolicy:
         Seconds the breaker stays open before letting a probe through.
     """
 
-    timeout: Optional[float] = None
+    timeout: float | None = None
     max_retries: int = 0
     backoff: float = 0.05
     backoff_factor: float = 2.0
@@ -102,7 +102,7 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
-        self._opened_at: Optional[float] = None
+        self._opened_at: float | None = None
         self._probe_in_flight = False
 
     # ------------------------------------------------------------------ #

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from collections.abc import Callable, Iterable, Iterator
 
 from ..rdf import Graph, URIRef
 from .endpoint import EndpointStatistics, SparqlEndpoint
@@ -36,14 +36,14 @@ class EndpointHealth(str):
 
     state: str
     consecutive_failures: int
-    statistics: Optional[EndpointStatistics]
+    statistics: EndpointStatistics | None
 
     def __new__(
         cls,
         state: str,
         consecutive_failures: int = 0,
-        statistics: Optional[EndpointStatistics] = None,
-    ) -> "EndpointHealth":
+        statistics: EndpointStatistics | None = None,
+    ) -> EndpointHealth:
         self = super().__new__(cls, state)
         self.state = str(state)
         self.consecutive_failures = consecutive_failures
@@ -77,7 +77,7 @@ class RegisteredDataset:
         return self.description.ontologies
 
     @property
-    def uri_pattern(self) -> Optional[str]:
+    def uri_pattern(self) -> str | None:
         return self.description.uri_pattern
 
 
@@ -92,12 +92,12 @@ class DatasetRegistry:
     def __init__(
         self,
         datasets: Iterable[RegisteredDataset] = (),
-        default_policy: Optional[ExecutionPolicy] = None,
+        default_policy: ExecutionPolicy | None = None,
     ) -> None:
-        self._datasets: Dict[URIRef, RegisteredDataset] = {}
+        self._datasets: dict[URIRef, RegisteredDataset] = {}
         self.default_policy = default_policy or ExecutionPolicy()
-        self._policies: Dict[URIRef, ExecutionPolicy] = {}
-        self._breakers: Dict[URIRef, CircuitBreaker] = {}
+        self._policies: dict[URIRef, ExecutionPolicy] = {}
+        self._breakers: dict[URIRef, CircuitBreaker] = {}
         self._lock = threading.RLock()
         for dataset in datasets:
             self.register(dataset)
@@ -105,7 +105,7 @@ class DatasetRegistry:
     # ------------------------------------------------------------------ #
     # Registration
     # ------------------------------------------------------------------ #
-    def register(self, dataset: RegisteredDataset) -> "DatasetRegistry":
+    def register(self, dataset: RegisteredDataset) -> DatasetRegistry:
         """Add (or replace) a dataset."""
         with self._lock:
             self._datasets[dataset.uri] = dataset
@@ -128,7 +128,7 @@ class DatasetRegistry:
             self._policies.pop(uri, None)
             self._breakers.pop(uri, None)
 
-    def refresh_statistics(self, uri: Optional[URIRef] = None) -> int:
+    def refresh_statistics(self, uri: URIRef | None = None) -> int:
         """Refresh voiD vocabulary statistics from the endpoints' live graphs.
 
         For every dataset (or just ``uri``) whose endpoint exposes its graph
@@ -183,7 +183,7 @@ class DatasetRegistry:
                 self._breakers[uri] = breaker
             return breaker
 
-    def health(self) -> Dict[URIRef, EndpointHealth]:
+    def health(self) -> dict[URIRef, EndpointHealth]:
         """Per-dataset health: breaker state enriched with endpoint statistics.
 
         Values compare equal to their state string (``closed``/``open``/
@@ -192,7 +192,7 @@ class DatasetRegistry:
         """
         with self._lock:
             snapshot = dict(self._datasets)
-        report: Dict[URIRef, EndpointHealth] = {}
+        report: dict[URIRef, EndpointHealth] = {}
         for uri in sorted(snapshot, key=str):
             breaker = self.breaker_for(uri)
             report[uri] = EndpointHealth(
@@ -231,13 +231,13 @@ class DatasetRegistry:
                 raise KeyError(f"unknown dataset: {uri}")
             return self._datasets[uri]
 
-    def datasets(self) -> List[RegisteredDataset]:
+    def datasets(self) -> list[RegisteredDataset]:
         return list(iter(self))
 
-    def dataset_uris(self) -> List[URIRef]:
+    def dataset_uris(self) -> list[URIRef]:
         return [dataset.uri for dataset in self]
 
-    def using_ontology(self, ontology: URIRef) -> List[RegisteredDataset]:
+    def using_ontology(self, ontology: URIRef) -> list[RegisteredDataset]:
         """Datasets whose voiD description lists ``ontology`` as a vocabulary."""
         return [dataset for dataset in self if ontology in dataset.ontologies]
 
@@ -251,8 +251,8 @@ class DatasetRegistry:
     def load_void_graph(
         self,
         graph: Graph,
-        endpoint_factory: Optional[Callable[[DatasetDescription], SparqlEndpoint]] = None,
-    ) -> List[RegisteredDataset]:
+        endpoint_factory: Callable[[DatasetDescription], SparqlEndpoint] | None = None,
+    ) -> list[RegisteredDataset]:
         """Register every dataset described in a voiD graph.
 
         The read half of the voiD KB round trip: descriptions are parsed

@@ -16,7 +16,7 @@ touching the core.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 from ..alignment import AlignmentStore
 from ..coreference import SameAsService
@@ -34,9 +34,9 @@ class DatasetInfo:
     """What the UI shows in its dataset drop-down."""
 
     uri: str
-    title: Optional[str]
+    title: str | None
     endpoint: str
-    ontologies: List[str]
+    ontologies: list[str]
     triple_count: int
 
 
@@ -59,7 +59,7 @@ class ExecutionResponse:
 
     translation: TranslationResponse
     row_count: int
-    rows: List[Dict[str, str]]
+    rows: list[dict[str, str]]
 
 
 class MediatorService:
@@ -69,12 +69,12 @@ class MediatorService:
         self,
         alignment_store: AlignmentStore,
         registry: DatasetRegistry,
-        sameas_service: Optional[SameAsService] = None,
+        sameas_service: SameAsService | None = None,
         parallel: bool = True,
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
         strategy: str = "fanout",
         ask_probes: bool = True,
-        bind_join_batch: Optional[int] = None,
+        bind_join_batch: int | None = None,
     ) -> None:
         self.alignment_store = alignment_store
         self.registry = registry
@@ -109,7 +109,7 @@ class MediatorService:
     # ------------------------------------------------------------------ #
     # Operations offered by the UI / REST API
     # ------------------------------------------------------------------ #
-    def list_datasets(self) -> List[DatasetInfo]:
+    def list_datasets(self) -> list[DatasetInfo]:
         """Datasets available as rewriting/execution targets."""
         infos = []
         for dataset in self.registry:
@@ -128,9 +128,9 @@ class MediatorService:
 
     def translate(
         self,
-        query: Union[Query, str],
+        query: Query | str,
         target_dataset: URIRef,
-        source_ontology: Optional[URIRef] = None,
+        source_ontology: URIRef | None = None,
         mode: str = "bgp",
     ) -> TranslationResponse:
         """Rewrite ``query`` for ``target_dataset`` (the UI's main button)."""
@@ -141,9 +141,9 @@ class MediatorService:
 
     def translate_and_run(
         self,
-        query: Union[Query, str],
+        query: Query | str,
         target_dataset: URIRef,
-        source_ontology: Optional[URIRef] = None,
+        source_ontology: URIRef | None = None,
         mode: str = "bgp",
     ) -> ExecutionResponse:
         """Rewrite and execute on the target's endpoint (the UI's second button)."""
@@ -160,14 +160,14 @@ class MediatorService:
 
     def federate(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        canonical_pattern: Optional[str] = None,
-        parallel: Optional[bool] = None,
-        strategy: Optional[str] = None,
+        datasets: Sequence[URIRef] | None = None,
+        canonical_pattern: str | None = None,
+        parallel: bool | None = None,
+        strategy: str | None = None,
     ) -> FederatedResult:
         """Run the query over every registered dataset and merge the results."""
         return self.federation.execute(
@@ -183,15 +183,15 @@ class MediatorService:
 
     def federate_many(
         self,
-        queries: Sequence[Union[Query, str]],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        queries: Sequence[Query | str],
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        canonical_pattern: Optional[str] = None,
-        parallel: Optional[bool] = None,
-        strategy: Optional[str] = None,
-    ) -> List[FederatedResult]:
+        datasets: Sequence[URIRef] | None = None,
+        canonical_pattern: str | None = None,
+        parallel: bool | None = None,
+        strategy: str | None = None,
+    ) -> list[FederatedResult]:
         """Batch variant of :meth:`federate` (one result per input query).
 
         Translations are batched through the mediator's ``rewrite_many``
@@ -211,14 +211,14 @@ class MediatorService:
 
     def analyze(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        canonical_pattern: Optional[str] = None,
-        parallel: Optional[bool] = None,
-        strategy: Optional[str] = None,
+        datasets: Sequence[URIRef] | None = None,
+        canonical_pattern: str | None = None,
+        parallel: bool | None = None,
+        strategy: str | None = None,
     ):
         """EXPLAIN ANALYZE for a federated query: ``(result, event)``.
 
@@ -239,13 +239,13 @@ class MediatorService:
 
     def explain(
         self,
-        query: Union[Query, str],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        query: Query | str,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        strategy: Optional[str] = None,
-    ) -> Dict[str, str]:
+        datasets: Sequence[URIRef] | None = None,
+        strategy: str | None = None,
+    ) -> dict[str, str]:
         """Per-dataset physical plans for a federated query (no execution)."""
         plans = self.federation.explain(
             query,

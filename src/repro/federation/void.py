@@ -22,7 +22,7 @@ republishing after a data change is O(distinct predicates + classes).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from ..rdf import (
     DC,
@@ -70,12 +70,12 @@ class DatasetDescription:
 
     uri: URIRef
     endpoint_uri: URIRef
-    ontologies: Tuple[URIRef, ...] = ()
-    uri_pattern: Optional[str] = None
-    title: Optional[str] = None
-    triple_count: Optional[int] = None
-    property_partitions: Tuple[Tuple[URIRef, int], ...] = ()
-    class_partitions: Tuple[Tuple[URIRef, int], ...] = ()
+    ontologies: tuple[URIRef, ...] = ()
+    uri_pattern: str | None = None
+    title: str | None = None
+    triple_count: int | None = None
+    property_partitions: tuple[tuple[URIRef, int], ...] = ()
+    class_partitions: tuple[tuple[URIRef, int], ...] = ()
 
     # ------------------------------------------------------------------ #
     # Vocabulary statistics
@@ -85,22 +85,22 @@ class DatasetDescription:
         """Whether the description carries per-predicate partitions."""
         return bool(self.property_partitions)
 
-    def predicates(self) -> FrozenSet[URIRef]:
+    def predicates(self) -> frozenset[URIRef]:
         """Predicates the dataset advertises (empty = not advertised)."""
         return frozenset(predicate for predicate, _ in self.property_partitions)
 
-    def classes(self) -> FrozenSet[URIRef]:
+    def classes(self) -> frozenset[URIRef]:
         """``rdf:type`` classes the dataset advertises."""
         return frozenset(cls for cls, _ in self.class_partitions)
 
-    def predicate_count(self, predicate: URIRef) -> Optional[int]:
+    def predicate_count(self, predicate: URIRef) -> int | None:
         """Advertised triple count for ``predicate`` (``None`` = unknown)."""
         for candidate, count in self.property_partitions:
             if candidate == predicate:
                 return count
         return None
 
-    def with_statistics(self, graph) -> "DatasetDescription":
+    def with_statistics(self, graph) -> DatasetDescription:
         """A copy whose partitions/size reflect ``graph``'s live statistics.
 
         Reads the per-predicate and per-class counters the graph maintains
@@ -132,7 +132,7 @@ class DatasetDescription:
     # ------------------------------------------------------------------ #
     # RDF encoding
     # ------------------------------------------------------------------ #
-    def to_triples(self) -> List[Triple]:
+    def to_triples(self) -> list[Triple]:
         """The voiD triples describing this dataset."""
         triples = [
             Triple(self.uri, RDF.type, VOID.Dataset),
@@ -161,7 +161,7 @@ class DatasetDescription:
         return triples
 
     @classmethod
-    def from_graph(cls, graph: Graph, uri: URIRef) -> "DatasetDescription":
+    def from_graph(cls, graph: Graph, uri: URIRef) -> DatasetDescription:
         """Read one dataset description rooted at ``uri``."""
         endpoint = graph.value(uri, VOID.sparqlEndpoint, None)
         if endpoint is None:
@@ -202,9 +202,9 @@ class DatasetDescription:
         link: URIRef,
         key_property: URIRef,
         count_property: URIRef,
-    ) -> Tuple[Tuple[URIRef, int], ...]:
+    ) -> tuple[tuple[URIRef, int], ...]:
         """Read ``(key, count)`` partition pairs hanging off ``link``."""
-        partitions: Dict[URIRef, int] = {}
+        partitions: dict[URIRef, int] = {}
         for node in graph.objects(uri, link):
             key = graph.value(node, key_property, None)
             if not isinstance(key, URIRef):
@@ -223,7 +223,7 @@ def descriptions_to_graph(descriptions: Iterable[DatasetDescription]) -> Graph:
     return graph
 
 
-def descriptions_from_graph(graph: Graph) -> List[DatasetDescription]:
+def descriptions_from_graph(graph: Graph) -> list[DatasetDescription]:
     """Read every ``void:Dataset`` description from a graph."""
     descriptions = []
     for uri in sorted(graph.subjects(RDF.type, VOID.Dataset), key=lambda t: t.sort_key()):

@@ -1,0 +1,13 @@
+"""``python -m repro.lint_main`` — module form of the ``repro-lint`` script.
+
+Lets the static query analyzer run without installing the console scripts
+(the CI lint job only installs the pinned linters): equivalent to running
+``repro-lint``.
+"""
+
+import sys
+
+from .cli import main_lint
+
+if __name__ == "__main__":
+    sys.exit(main_lint())

@@ -8,7 +8,7 @@ syntax, lines 30-33 of the listing).  These helpers build and read the
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from .graph import Graph
 from .namespace import RDF
@@ -29,8 +29,8 @@ def build_list(graph: Graph, items: Sequence[Term]) -> Term:
     """
     if not items:
         return RDF.nil
-    head: Optional[Term] = None
-    previous: Optional[Term] = None
+    head: Term | None = None
+    previous: Term | None = None
     for item in items:
         node = fresh_bnode("list")
         graph.add(Triple(node, RDF.first, item))
@@ -51,12 +51,12 @@ def is_list_node(graph: Graph, node: Term) -> bool:
     return graph.value(node, RDF.first, None) is not None
 
 
-def read_list(graph: Graph, head: Term, max_length: int = 10_000) -> List[Term]:
+def read_list(graph: Graph, head: Term, max_length: int = 10_000) -> list[Term]:
     """Read an ``rdf:List`` starting at ``head`` into a Python list.
 
     Raises :class:`CollectionError` on broken or cyclic lists.
     """
-    items: List[Term] = []
+    items: list[Term] = []
     node = head
     seen = set()
     while node != RDF.nil:

@@ -8,7 +8,7 @@ plus any number of named graphs, addressable by URI.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 from .graph import Graph
 from .terms import URIRef
@@ -22,7 +22,7 @@ class Dataset:
 
     def __init__(self) -> None:
         self._default = Graph()
-        self._named: Dict[URIRef, Graph] = {}
+        self._named: dict[URIRef, Graph] = {}
 
     # ------------------------------------------------------------------ #
     # Graph management
@@ -32,7 +32,7 @@ class Dataset:
         """The unnamed default graph."""
         return self._default
 
-    def graph(self, name: Optional[URIRef] = None, create: bool = True) -> Graph:
+    def graph(self, name: URIRef | None = None, create: bool = True) -> Graph:
         """Return the graph named ``name`` (the default graph when ``None``).
 
         When ``create`` is true a missing named graph is created on demand;
@@ -70,12 +70,12 @@ class Dataset:
     # ------------------------------------------------------------------ #
     # Quad-level operations
     # ------------------------------------------------------------------ #
-    def add_quad(self, quad: Quad) -> "Dataset":
+    def add_quad(self, quad: Quad) -> Dataset:
         """Insert a quad into the appropriate graph."""
         self.graph(quad.graph_name).add(quad.triple)
         return self
 
-    def add(self, triple: Triple, graph_name: Optional[URIRef] = None) -> "Dataset":
+    def add(self, triple: Triple, graph_name: URIRef | None = None) -> Dataset:
         """Insert a triple into the named (or default) graph."""
         self.graph(graph_name).add(triple)
         return self
@@ -85,7 +85,7 @@ class Dataset:
         subject=None,
         predicate=None,
         obj=None,
-        graph_name: Optional[URIRef] = None,
+        graph_name: URIRef | None = None,
     ) -> Iterator[Quad]:
         """Yield quads matching a pattern, optionally restricted to a graph."""
         if graph_name is not None:
@@ -105,7 +105,7 @@ class Dataset:
             merged.add_all(graph)
         return merged
 
-    def load(self, triples: Iterable[Triple], graph_name: Optional[URIRef] = None) -> "Dataset":
+    def load(self, triples: Iterable[Triple], graph_name: URIRef | None = None) -> Dataset:
         """Bulk-load triples into a graph."""
         self.graph(graph_name).add_all(triples)
         return self

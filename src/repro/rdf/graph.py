@@ -11,7 +11,7 @@ the original system).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+from collections.abc import Iterable, Iterator
 
 from .namespace import NamespaceManager, RDF
 from .terms import BNode, Term, URIRef, Variable
@@ -19,7 +19,7 @@ from .triple import Triple
 
 __all__ = ["Graph", "GraphStatistics", "ReadOnlyGraphView", "TermDictionary", "UNBOUND_ID"]
 
-_Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+_Pattern = tuple[Term | None, Term | None, Term | None]
 
 #: Reserved dictionary id meaning "no term bound here".  Kept falsy on
 #: purpose: executor hot loops test ``if term_id:`` instead of comparing.
@@ -44,7 +44,7 @@ class TermDictionary:
 
     def __init__(self) -> None:
         self._terms: list = [None]
-        self._ids: Dict[Term, int] = {}
+        self._ids: dict[Term, int] = {}
 
     def intern(self, term: Term) -> int:
         """The id for ``term``, assigning a fresh one on first sight."""
@@ -93,11 +93,11 @@ class GraphStatistics:
 
     def __init__(self) -> None:
         #: triples per subject / predicate / object term.
-        self.subject_counts: Dict[Term, int] = {}
-        self.predicate_counts: Dict[Term, int] = {}
-        self.object_counts: Dict[Term, int] = {}
+        self.subject_counts: dict[Term, int] = {}
+        self.predicate_counts: dict[Term, int] = {}
+        self.object_counts: dict[Term, int] = {}
         #: instances per ``rdf:type`` class (object of an rdf:type triple).
-        self.class_counts: Dict[Term, int] = {}
+        self.class_counts: dict[Term, int] = {}
 
     # -- maintenance ------------------------------------------------------ #
     def _record(self, s: Term, p: Term, o: Term, delta: int) -> None:
@@ -159,21 +159,21 @@ class Graph:
 
     def __init__(
         self,
-        triples: Optional[Iterable[Triple]] = None,
-        identifier: Optional[URIRef] = None,
-        namespace_manager: Optional[NamespaceManager] = None,
+        triples: Iterable[Triple] | None = None,
+        identifier: URIRef | None = None,
+        namespace_manager: NamespaceManager | None = None,
     ) -> None:
         self._identifier = identifier
-        self._triples: Set[Triple] = set()
-        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._triples: set[Triple] = set()
+        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
         # Id-level mirrors of the permutation indexes, keyed by dictionary
         # ids.  The batched executor scans these (:meth:`triples_ids`) so its
         # join loops never hash terms or construct Triple objects.
-        self._id_spo: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
-        self._id_pos: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
-        self._id_osp: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._id_spo: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._id_pos: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._id_osp: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
         self._stats = GraphStatistics()
         self._dictionary = TermDictionary()
         self._version = 0
@@ -195,14 +195,14 @@ class Graph:
     # Identification
     # ------------------------------------------------------------------ #
     @property
-    def identifier(self) -> Optional[URIRef]:
+    def identifier(self) -> URIRef | None:
         """Optional URI naming this graph (used by :class:`Dataset`)."""
         return self._identifier
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
-    def add(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> "Graph":
+    def add(self, triple: Triple | tuple[Term, Term, Term]) -> Graph:
         """Add a single (ground) triple.  Returns ``self`` for chaining."""
         triple = self._coerce(triple)
         if triple.variables():
@@ -223,20 +223,20 @@ class Graph:
         self._version += 1
         return self
 
-    def add_all(self, triples: Iterable[Union[Triple, Tuple[Term, Term, Term]]]) -> "Graph":
+    def add_all(self, triples: Iterable[Triple | tuple[Term, Term, Term]]) -> Graph:
         """Add every triple from an iterable."""
         for triple in triples:
             self.add(triple)
         return self
 
-    def remove(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> "Graph":
+    def remove(self, triple: Triple | tuple[Term, Term, Term]) -> Graph:
         """Remove a triple; raise :class:`KeyError` when absent."""
         triple = self._coerce(triple)
         if triple not in self._triples:
             raise KeyError(f"triple not in graph: {triple}")
         return self.discard(triple)
 
-    def discard(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> "Graph":
+    def discard(self, triple: Triple | tuple[Term, Term, Term]) -> Graph:
         """Remove a triple if present."""
         triple = self._coerce(triple)
         if triple not in self._triples:
@@ -257,9 +257,9 @@ class Graph:
 
     def remove_pattern(
         self,
-        subject: Optional[Term] = None,
-        predicate: Optional[Term] = None,
-        obj: Optional[Term] = None,
+        subject: Term | None = None,
+        predicate: Term | None = None,
+        obj: Term | None = None,
     ) -> int:
         """Remove every triple matching the pattern; return the count."""
         victims = list(self.triples(subject, predicate, obj))
@@ -291,7 +291,7 @@ class Graph:
             del index[a]
 
     @staticmethod
-    def _coerce(triple: Union[Triple, Tuple[Term, Term, Term]]) -> Triple:
+    def _coerce(triple: Triple | tuple[Term, Term, Term]) -> Triple:
         if isinstance(triple, Triple):
             return triple
         return Triple(*triple)
@@ -299,7 +299,7 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Query
     # ------------------------------------------------------------------ #
-    def __contains__(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> bool:
+    def __contains__(self, triple: Triple | tuple[Term, Term, Term]) -> bool:
         return self._coerce(triple) in self._triples
 
     def __len__(self) -> int:
@@ -313,9 +313,9 @@ class Graph:
 
     def triples(
         self,
-        subject: Optional[Term] = None,
-        predicate: Optional[Term] = None,
-        obj: Optional[Term] = None,
+        subject: Term | None = None,
+        predicate: Term | None = None,
+        obj: Term | None = None,
     ) -> Iterator[Triple]:
         """Yield triples matching a pattern.
 
@@ -366,7 +366,7 @@ class Graph:
 
     def triples_ids(
         self, s: int = UNBOUND_ID, p: int = UNBOUND_ID, o: int = UNBOUND_ID
-    ) -> Iterator[Tuple[int, int, int]]:
+    ) -> Iterator[tuple[int, int, int]]:
         """Yield ``(s, p, o)`` dictionary-id triples matching an id pattern.
 
         :data:`UNBOUND_ID` (0) acts as the wildcard.  This is the batched
@@ -414,14 +414,14 @@ class Graph:
                     yield (s_term, p_term, o_term)
 
     @staticmethod
-    def _normalize(term: Optional[Term]) -> Optional[Term]:
+    def _normalize(term: Term | None) -> Term | None:
         """Variables behave as wildcards when used in graph-level matching."""
         if term is None or isinstance(term, Variable):
             return None
         return term
 
     @staticmethod
-    def _positions_valid(s: Optional[Term], p: Optional[Term]) -> bool:
+    def _positions_valid(s: Term | None, p: Term | None) -> bool:
         """Whether the ground lookup terms can occupy their positions at all."""
         if s is not None and not isinstance(s, (URIRef, BNode)):
             return False
@@ -449,9 +449,9 @@ class Graph:
 
     def cardinality(
         self,
-        subject: Optional[Term] = None,
-        predicate: Optional[Term] = None,
-        obj: Optional[Term] = None,
+        subject: Term | None = None,
+        predicate: Term | None = None,
+        obj: Term | None = None,
     ) -> int:
         """Exact number of triples matching the pattern, without enumerating.
 
@@ -488,30 +488,30 @@ class Graph:
         return self.triples(pattern.subject, pattern.predicate, pattern.object)
 
     def subjects(
-        self, predicate: Optional[Term] = None, obj: Optional[Term] = None
+        self, predicate: Term | None = None, obj: Term | None = None
     ) -> Iterator[Term]:
         """Distinct subjects of triples matching ``(?, predicate, obj)``."""
-        seen: Set[Term] = set()
+        seen: set[Term] = set()
         for triple in self.triples(None, predicate, obj):
             if triple.subject not in seen:
                 seen.add(triple.subject)
                 yield triple.subject
 
     def predicates(
-        self, subject: Optional[Term] = None, obj: Optional[Term] = None
+        self, subject: Term | None = None, obj: Term | None = None
     ) -> Iterator[Term]:
         """Distinct predicates of triples matching ``(subject, ?, obj)``."""
-        seen: Set[Term] = set()
+        seen: set[Term] = set()
         for triple in self.triples(subject, None, obj):
             if triple.predicate not in seen:
                 seen.add(triple.predicate)
                 yield triple.predicate
 
     def objects(
-        self, subject: Optional[Term] = None, predicate: Optional[Term] = None
+        self, subject: Term | None = None, predicate: Term | None = None
     ) -> Iterator[Term]:
         """Distinct objects of triples matching ``(subject, predicate, ?)``."""
-        seen: Set[Term] = set()
+        seen: set[Term] = set()
         for triple in self.triples(subject, predicate, None):
             if triple.object not in seen:
                 seen.add(triple.object)
@@ -519,11 +519,11 @@ class Graph:
 
     def value(
         self,
-        subject: Optional[Term] = None,
-        predicate: Optional[Term] = None,
-        obj: Optional[Term] = None,
-        default: Optional[Term] = None,
-    ) -> Optional[Term]:
+        subject: Term | None = None,
+        predicate: Term | None = None,
+        obj: Term | None = None,
+        default: Term | None = None,
+    ) -> Term | None:
         """Return the single missing component of a triple, or ``default``.
 
         Exactly one of the three positions must be ``None``; the first
@@ -547,17 +547,17 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Vocabulary statistics (used by voiD descriptions)
     # ------------------------------------------------------------------ #
-    def predicate_histogram(self) -> Dict[Term, int]:
+    def predicate_histogram(self) -> dict[Term, int]:
         """Map each predicate to the number of triples using it."""
         return dict(self._stats.predicate_counts)
 
-    def class_histogram(self) -> Dict[Term, int]:
+    def class_histogram(self) -> dict[Term, int]:
         """Map each ``rdf:type`` object to its instance count."""
         return dict(self._stats.class_counts)
 
-    def vocabularies(self) -> Set[str]:
+    def vocabularies(self) -> set[str]:
         """Namespace URIs of every predicate and class used in the graph."""
-        spaces: Set[str] = set()
+        spaces: set[str] = set()
         for triple in self._triples:
             if isinstance(triple.predicate, URIRef):
                 spaces.add(triple.predicate.namespace_split()[0])
@@ -569,28 +569,28 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Set algebra
     # ------------------------------------------------------------------ #
-    def copy(self) -> "Graph":
+    def copy(self) -> Graph:
         """Shallow copy preserving identifier and namespace bindings."""
         clone = Graph(identifier=self._identifier,
                       namespace_manager=self.namespace_manager.copy())
         clone.add_all(self._triples)
         return clone
 
-    def __add__(self, other: "Graph") -> "Graph":
+    def __add__(self, other: Graph) -> Graph:
         result = self.copy()
         result.add_all(other)
         return result
 
-    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+    def __iadd__(self, other: Iterable[Triple]) -> Graph:
         self.add_all(other)
         return self
 
-    def __sub__(self, other: "Graph") -> "Graph":
+    def __sub__(self, other: Graph) -> Graph:
         result = Graph(namespace_manager=self.namespace_manager.copy())
         result.add_all(t for t in self._triples if t not in other)
         return result
 
-    def __and__(self, other: "Graph") -> "Graph":
+    def __and__(self, other: Graph) -> Graph:
         result = Graph(namespace_manager=self.namespace_manager.copy())
         result.add_all(t for t in self._triples if t in other)
         return result
@@ -621,7 +621,7 @@ class Graph:
 
     @classmethod
     def parse(cls, text: str, format: str = "turtle",
-              identifier: Optional[URIRef] = None) -> "Graph":
+              identifier: URIRef | None = None) -> Graph:
         """Parse Turtle or N-Triples text into a new graph."""
         from ..turtle import parse_graph
 
@@ -679,7 +679,7 @@ class ReadOnlyGraphView:
         return iter(self._graph)
 
     @property
-    def identifier(self) -> Optional[URIRef]:
+    def identifier(self) -> URIRef | None:
         return self._graph.identifier
 
     @property

@@ -17,7 +17,7 @@ exponential behaviour of the backtracking step is not a concern.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from .graph import Graph
 from .terms import BNode, Term
@@ -26,7 +26,7 @@ from .triple import Triple
 __all__ = ["isomorphic", "canonical_hash", "bnode_signatures"]
 
 
-def _split(graph: Iterable[Triple]) -> Tuple[set, List[Triple]]:
+def _split(graph: Iterable[Triple]) -> tuple[set, list[Triple]]:
     """Separate ground triples from triples mentioning blank nodes."""
     ground = set()
     with_bnodes = []
@@ -38,7 +38,7 @@ def _split(graph: Iterable[Triple]) -> Tuple[set, List[Triple]]:
     return ground, with_bnodes
 
 
-def bnode_signatures(triples: Iterable[Triple], rounds: int = 4) -> Dict[BNode, str]:
+def bnode_signatures(triples: Iterable[Triple], rounds: int = 4) -> dict[BNode, str]:
     """Compute a structural signature for every blank node.
 
     The signature of a node starts from the multiset of (position,
@@ -47,7 +47,7 @@ def bnode_signatures(triples: Iterable[Triple], rounds: int = 4) -> Dict[BNode, 
     number of rounds (a simplified WL colour refinement).
     """
     triples = list(triples)
-    adjacency: Dict[BNode, List[Tuple[str, str, Optional[BNode]]]] = defaultdict(list)
+    adjacency: dict[BNode, list[tuple[str, str, BNode | None]]] = defaultdict(list)
     for triple in triples:
         s, p, o = triple.as_tuple()
         if isinstance(s, BNode):
@@ -59,12 +59,12 @@ def bnode_signatures(triples: Iterable[Triple], rounds: int = 4) -> Dict[BNode, 
             label = "" if isinstance(s, BNode) else s.n3()
             adjacency[o].append(("O", f"{p.n3()}|{label}", other))
 
-    signatures: Dict[BNode, str] = {
+    signatures: dict[BNode, str] = {
         node: "|".join(sorted(f"{pos}:{desc}" for pos, desc, _ in facts))
         for node, facts in adjacency.items()
     }
     for _ in range(rounds):
-        refined: Dict[BNode, str] = {}
+        refined: dict[BNode, str] = {}
         for node, facts in adjacency.items():
             parts = []
             for pos, desc, other in facts:
@@ -97,8 +97,8 @@ def isomorphic(left: Graph | Iterable[Triple], right: Graph | Iterable[Triple]) 
         return False
 
     # Candidate sets per left bnode: right bnodes sharing the signature.
-    candidates: Dict[BNode, List[BNode]] = {}
-    right_by_sig: Dict[str, List[BNode]] = defaultdict(list)
+    candidates: dict[BNode, list[BNode]] = {}
+    right_by_sig: dict[str, list[BNode]] = defaultdict(list)
     for node, sig in right_sig.items():
         right_by_sig[sig].append(node)
     for node, sig in left_sig.items():
@@ -109,7 +109,7 @@ def isomorphic(left: Graph | Iterable[Triple], right: Graph | Iterable[Triple]) 
     right_pattern_set = set(right_pattern)
     order = sorted(candidates, key=lambda n: (len(candidates[n]), n.sort_key()))
 
-    def assign(index: int, mapping: Dict[BNode, BNode], used: set) -> bool:
+    def assign(index: int, mapping: dict[BNode, BNode], used: set) -> bool:
         if index == len(order):
             return _check_mapping(left_pattern, right_pattern_set, mapping)
         node = order[index]
@@ -129,7 +129,7 @@ def isomorphic(left: Graph | Iterable[Triple], right: Graph | Iterable[Triple]) 
     return assign(0, {}, set())
 
 
-def _apply_mapping(triple: Triple, mapping: Dict[BNode, BNode]) -> Optional[Triple]:
+def _apply_mapping(triple: Triple, mapping: dict[BNode, BNode]) -> Triple | None:
     terms = []
     for term in triple:
         if isinstance(term, BNode):
@@ -142,7 +142,7 @@ def _apply_mapping(triple: Triple, mapping: Dict[BNode, BNode]) -> Optional[Trip
     return Triple(*terms)
 
 
-def _check_mapping(left_pattern: List[Triple], right_set: set, mapping: Dict[BNode, BNode]) -> bool:
+def _check_mapping(left_pattern: list[Triple], right_set: set, mapping: dict[BNode, BNode]) -> bool:
     for triple in left_pattern:
         mapped = _apply_mapping(triple, mapping)
         if mapped is None or mapped not in right_set:
@@ -150,7 +150,7 @@ def _check_mapping(left_pattern: List[Triple], right_set: set, mapping: Dict[BNo
     return True
 
 
-def _consistent(left_pattern: List[Triple], right_set: set, mapping: Dict[BNode, BNode]) -> bool:
+def _consistent(left_pattern: list[Triple], right_set: set, mapping: dict[BNode, BNode]) -> bool:
     """Partial-mapping consistency: fully mapped triples must exist on the right."""
     for triple in left_pattern:
         mapped = _apply_mapping(triple, mapping)

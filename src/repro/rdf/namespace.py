@@ -14,7 +14,7 @@ Provides:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from collections.abc import Iterator
 
 from .terms import URIRef
 
@@ -130,7 +130,7 @@ KISTI_ID = Namespace("http://kisti.rkbexplorer.com/id/")
 DBPEDIA_RES = Namespace("http://dbpedia.org/resource/")
 
 #: Prefix table installed by default on new :class:`NamespaceManager`s.
-DEFAULT_PREFIXES: Dict[str, Namespace] = {
+DEFAULT_PREFIXES: dict[str, Namespace] = {
     "rdf": RDF,
     "rdfs": RDFS,
     "owl": OWL,
@@ -153,8 +153,8 @@ class NamespaceManager:
     """Bidirectional prefix registry used for parsing and serialisation."""
 
     def __init__(self, install_defaults: bool = True) -> None:
-        self._prefix_to_ns: Dict[str, str] = {}
-        self._ns_to_prefix: Dict[str, str] = {}
+        self._prefix_to_ns: dict[str, str] = {}
+        self._ns_to_prefix: dict[str, str] = {}
         if install_defaults:
             for prefix, namespace in DEFAULT_PREFIXES.items():
                 self.bind(prefix, namespace)
@@ -175,11 +175,11 @@ class NamespaceManager:
         # Keep the first prefix registered for a namespace for serialisation.
         self._ns_to_prefix.setdefault(base, prefix)
 
-    def namespace(self, prefix: str) -> Optional[str]:
+    def namespace(self, prefix: str) -> str | None:
         """The namespace bound to ``prefix``, or ``None``."""
         return self._prefix_to_ns.get(prefix)
 
-    def prefix(self, namespace: str) -> Optional[str]:
+    def prefix(self, namespace: str) -> str | None:
         """The prefix bound to ``namespace``, or ``None``."""
         return self._ns_to_prefix.get(str(namespace))
 
@@ -196,7 +196,7 @@ class NamespaceManager:
             raise KeyError(f"unbound prefix: {prefix!r}")
         return URIRef(base + local)
 
-    def compact(self, uri: URIRef) -> Optional[str]:
+    def compact(self, uri: URIRef) -> str | None:
         """Return ``prefix:local`` for the URI when a binding allows it.
 
         The local part must be a simple name (no ``/``, ``#`` or spaces);
@@ -204,7 +204,7 @@ class NamespaceManager:
         ``<...>`` form.
         """
         value = str(uri)
-        best: Optional[Tuple[str, str]] = None
+        best: tuple[str, str] | None = None
         for base, prefix in self._ns_to_prefix.items():
             if value.startswith(base) and (best is None or len(base) > len(best[0])):
                 best = (base, prefix)
@@ -216,11 +216,11 @@ class NamespaceManager:
             return None
         return f"{prefix}:{local}"
 
-    def namespaces(self) -> Iterator[Tuple[str, str]]:
+    def namespaces(self) -> Iterator[tuple[str, str]]:
         """Iterate over ``(prefix, namespace)`` bindings."""
         return iter(sorted(self._prefix_to_ns.items()))
 
-    def copy(self) -> "NamespaceManager":
+    def copy(self) -> NamespaceManager:
         """Return an independent copy of this manager."""
         clone = NamespaceManager(install_defaults=False)
         for prefix, base in self._prefix_to_ns.items():

@@ -10,7 +10,6 @@ reified descriptions and back; the alignment RDF reader/writer in
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from .graph import Graph
 from .namespace import RDF
@@ -24,7 +23,7 @@ class ReificationError(ValueError):
     """Raised when a reified statement description is malformed."""
 
 
-def reify(graph: Graph, triple: Triple, statement_node: Optional[Term] = None) -> Term:
+def reify(graph: Graph, triple: Triple, statement_node: Term | None = None) -> Term:
     """Describe ``triple`` in ``graph`` using reification.
 
     Returns the node standing for the statement (a fresh blank node unless
@@ -63,9 +62,9 @@ def dereify(graph: Graph, node: Term) -> Triple:
         raise ReificationError(f"reified statement {node} is not a valid triple: {exc}") from exc
 
 
-def dereify_all(graph: Graph) -> List[Tuple[Term, Triple]]:
+def dereify_all(graph: Graph) -> list[tuple[Term, Triple]]:
     """Return ``(statement_node, triple)`` for every reified statement."""
-    results: List[Tuple[Term, Triple]] = []
+    results: list[tuple[Term, Triple]] = []
     for node in sorted(graph.subjects(RDF.type, RDF.Statement), key=lambda t: t.sort_key()):
         results.append((node, dereify(graph, node)))
     return results

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import re
 from decimal import Decimal, InvalidOperation
-from typing import Any, Optional, Union
+from typing import Any
 
 __all__ = [
     "Term",
@@ -127,7 +127,7 @@ class URIRef(Identifier):
     __slots__ = ()
     _rank = 1
 
-    def __init__(self, value: str, base: Optional[str] = None) -> None:
+    def __init__(self, value: str, base: str | None = None) -> None:
         value = str(value)
         if base is not None and not _has_scheme(value):
             value = resolve_relative(base, value)
@@ -138,7 +138,7 @@ class URIRef(Identifier):
     def n3(self) -> str:
         return f"<{self._value}>"
 
-    def defrag(self) -> "URIRef":
+    def defrag(self) -> URIRef:
         """Return the URI without its fragment part."""
         if "#" in self._value:
             return URIRef(self._value.split("#", 1)[0])
@@ -258,9 +258,9 @@ class Literal(Term):
 
     def __init__(
         self,
-        value: Union[str, int, float, bool, Decimal],
-        lang: Optional[str] = None,
-        datatype: Optional[URIRef] = None,
+        value: str | int | float | bool | Decimal,
+        lang: str | None = None,
+        datatype: URIRef | None = None,
     ) -> None:
         if lang is not None and datatype is not None:
             raise ValueError("a literal cannot carry both a language tag and a datatype")
@@ -295,12 +295,12 @@ class Literal(Term):
         return self._lexical
 
     @property
-    def lang(self) -> Optional[str]:
+    def lang(self) -> str | None:
         """The language tag, lower-cased, or ``None``."""
         return self._lang
 
     @property
-    def datatype(self) -> Optional[URIRef]:
+    def datatype(self) -> URIRef | None:
         """The datatype URI, or ``None`` for a plain literal."""
         return self._datatype
 
@@ -334,7 +334,7 @@ class Literal(Term):
         """True when the datatype is one of the XSD numeric types."""
         return self._datatype is not None and str(self._datatype) in _NUMERIC_DATATYPES
 
-    def value_equals(self, other: "Literal") -> bool:
+    def value_equals(self, other: Literal) -> bool:
         """Value-space equality (``"1"^^xsd:integer == "01"^^xsd:int``)."""
         if not isinstance(other, Literal):
             return False
@@ -398,7 +398,7 @@ def reset_bnode_counter() -> None:
     _bnode_counter = 0
 
 
-def fresh_bnode(prefix: str = "b") -> "BNode":
+def fresh_bnode(prefix: str = "b") -> BNode:
     """Return a new blank node with a label unique within the process."""
     global _bnode_counter
     _bnode_counter += 1
@@ -417,7 +417,7 @@ class BNode(Identifier):
     __slots__ = ()
     _rank = 2
 
-    def __init__(self, value: Optional[str] = None) -> None:
+    def __init__(self, value: str | None = None) -> None:
         if value is None:
             value = fresh_bnode().value
         value = str(value)
@@ -430,7 +430,7 @@ class BNode(Identifier):
     def n3(self) -> str:
         return f"_:{self._value}"
 
-    def to_variable(self) -> "Variable":
+    def to_variable(self) -> Variable:
         """Translate the blank node into the SPARQL variable ``?<label>``.
 
         The paper's alignment semantics interprets blank nodes in LHS/RHS

@@ -9,15 +9,15 @@ distinguish the two.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from collections.abc import Iterator, Sequence
 
 from .terms import BNode, Literal, Term, URIRef, Variable, is_ground, is_variable_like
 
 __all__ = ["Triple", "Quad", "SubjectType", "PredicateType", "ObjectType"]
 
-SubjectType = Union[URIRef, BNode, Variable]
-PredicateType = Union[URIRef, Variable]
-ObjectType = Union[URIRef, BNode, Literal, Variable]
+SubjectType = URIRef | BNode | Variable
+PredicateType = URIRef | Variable
+ObjectType = URIRef | BNode | Literal | Variable
 
 
 class Triple:
@@ -95,11 +95,11 @@ class Triple:
         """Variables and blank nodes occurring in the triple."""
         return {term for term in self if is_variable_like(term)}
 
-    def map_terms(self, func) -> "Triple":
+    def map_terms(self, func) -> Triple:
         """Return a new triple with ``func`` applied to every position."""
         return Triple(func(self._subject), func(self._predicate), func(self._object))
 
-    def bnodes_as_variables(self) -> "Triple":
+    def bnodes_as_variables(self) -> Triple:
         """Return the triple with blank nodes replaced by same-named variables.
 
         This implements the paper's reading of alignment patterns where
@@ -135,7 +135,7 @@ class Triple:
     def __hash__(self) -> int:
         return hash(("Triple",) + self.as_tuple())
 
-    def __lt__(self, other: "Triple") -> bool:
+    def __lt__(self, other: Triple) -> bool:
         if not isinstance(other, Triple):
             return NotImplemented
         return tuple(t.sort_key() for t in self) < tuple(t.sort_key() for t in other)
@@ -146,7 +146,7 @@ class Quad:
 
     __slots__ = ("_triple", "_graph_name")
 
-    def __init__(self, triple: Triple, graph_name: Optional[URIRef] = None) -> None:
+    def __init__(self, triple: Triple, graph_name: URIRef | None = None) -> None:
         if not isinstance(triple, Triple):
             raise TypeError("Quad requires a Triple")
         if graph_name is not None and not isinstance(graph_name, URIRef):
@@ -159,10 +159,10 @@ class Quad:
         return self._triple
 
     @property
-    def graph_name(self) -> Optional[URIRef]:
+    def graph_name(self) -> URIRef | None:
         return self._graph_name
 
-    def as_tuple(self) -> tuple[Term, Term, Term, Optional[URIRef]]:
+    def as_tuple(self) -> tuple[Term, Term, Term, URIRef | None]:
         return self._triple.as_tuple() + (self._graph_name,)
 
     def __eq__(self, other: object) -> bool:

@@ -8,7 +8,7 @@ whole mediated federation — can be served over real sockets with
 as the service topology of Figure 5.
 """
 
-from .backends import BadQuery, EndpointBackend, FederationBackend, QueryBackend
+from .backends import BadQuery, EndpointBackend, FederationBackend, QueryBackend, RejectedQuery
 from .http import ResponseCache, SparqlHttpServer
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "EndpointBackend",
     "FederationBackend",
     "BadQuery",
+    "RejectedQuery",
     "SparqlHttpServer",
     "ResponseCache",
 ]

@@ -20,7 +20,7 @@ response).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from collections.abc import Sequence
 
 from ..rdf import Graph, URIRef
 from ..sparql import (
@@ -36,14 +36,30 @@ from ..federation.endpoint import SparqlEndpoint
 from ..federation.federator import FederatedQueryEngine
 from ..federation.service import MediatorService
 
-__all__ = ["BadQuery", "QueryBackend", "EndpointBackend", "FederationBackend"]
+__all__ = ["BadQuery", "RejectedQuery", "QueryBackend", "EndpointBackend", "FederationBackend"]
 
 
 class BadQuery(ValueError):
     """The request's query is unusable for this backend (HTTP 400)."""
 
 
-QueryResult = Union[ResultSet, AskResult, Graph]
+class RejectedQuery(BadQuery):
+    """Strict mode refused the query: static analysis found errors.
+
+    Carries the full list of :class:`repro.sparql.analysis.Diagnostic`
+    objects so the protocol layer can return them as structured JSON
+    alongside the 400.
+    """
+
+    def __init__(self, message: str, diagnostics: Sequence) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+    def to_json_list(self):
+        return [d.to_json_dict() for d in self.diagnostics]
+
+
+QueryResult = ResultSet | AskResult | Graph
 
 
 class QueryBackend:
@@ -51,6 +67,30 @@ class QueryBackend:
 
     #: Human-readable description served in the service document.
     description: str = "SPARQL endpoint"
+
+    #: Strict mode: refuse queries whose static analysis finds
+    #: error-severity diagnostics (HTTP 400 with a structured JSON body).
+    strict: bool = False
+
+    def _analyze_static(self, query: Query):
+        """Run the static analyzer; in strict mode errors reject the query."""
+        from ..sparql.analysis import analyze_query
+
+        analysis = analyze_query(query)
+        if self.strict and analysis.has_errors:
+            raise RejectedQuery(
+                "query rejected by static analysis "
+                f"({len(analysis.errors)} error(s))",
+                analysis.diagnostics,
+            )
+        return analysis
+
+    @staticmethod
+    def _attach_diagnostics(result, analysis):
+        """Hand the analyzer's findings to results that can carry them."""
+        if analysis is not None and getattr(result, "diagnostics", None) == []:
+            result.diagnostics = list(analysis.diagnostics)
+        return result
 
     def execute(self, query_text: str) -> QueryResult:
         raise NotImplementedError
@@ -63,11 +103,11 @@ class QueryBackend:
         """
         raise BadQuery("this backend does not support EXPLAIN ANALYZE")
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> dict[str, object]:
         """JSON-ready health payload; must contain a ``status`` key."""
         return {"status": "ok"}
 
-    def metrics(self) -> Dict[str, object]:
+    def metrics(self) -> dict[str, object]:
         """JSON-ready metrics payload (per-endpoint statistics)."""
         return {}
 
@@ -89,16 +129,23 @@ class QueryBackend:
 class EndpointBackend(QueryBackend):
     """Serve one :class:`SparqlEndpoint` (SELECT/ASK/CONSTRUCT)."""
 
-    def __init__(self, endpoint: SparqlEndpoint, description: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        endpoint: SparqlEndpoint,
+        description: str | None = None,
+        strict: bool = False,
+    ) -> None:
         self.endpoint = endpoint
         self.description = description or f"SPARQL endpoint for {endpoint.uri}"
+        self.strict = strict
 
     def execute(self, query_text: str) -> QueryResult:
         query = self._parse(query_text)
+        analysis = self._analyze_static(query)
         if isinstance(query, SelectQuery):
-            return self.endpoint.select(query)
+            return self._attach_diagnostics(self.endpoint.select(query), analysis)
         if isinstance(query, AskQuery):
-            return self.endpoint.ask(query)
+            return self._attach_diagnostics(self.endpoint.ask(query), analysis)
         if isinstance(query, ConstructQuery):
             return self.endpoint.construct(query)
         raise BadQuery(f"unsupported query form: {type(query).__name__}")
@@ -110,9 +157,9 @@ class EndpointBackend(QueryBackend):
             raise BadQuery("this endpoint does not support EXPLAIN ANALYZE")
         return analyze(query)
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> dict[str, object]:
         available = bool(getattr(self.endpoint, "available", True))
-        payload: Dict[str, object] = {
+        payload: dict[str, object] = {
             "status": "ok" if available else "unavailable",
             "endpoint": str(self.endpoint.uri),
         }
@@ -121,7 +168,7 @@ class EndpointBackend(QueryBackend):
             payload["triples"] = triple_count()
         return payload
 
-    def metrics(self) -> Dict[str, object]:
+    def metrics(self) -> dict[str, object]:
         statistics = getattr(self.endpoint, "statistics", None)
         if statistics is None:
             return {}
@@ -148,13 +195,14 @@ class FederationBackend(QueryBackend):
 
     def __init__(
         self,
-        engine: Union[FederatedQueryEngine, MediatorService],
-        source_ontology: Optional[URIRef] = None,
-        source_dataset: Optional[URIRef] = None,
+        engine: FederatedQueryEngine | MediatorService,
+        source_ontology: URIRef | None = None,
+        source_dataset: URIRef | None = None,
         mode: str = "bgp",
-        datasets: Optional[Sequence[URIRef]] = None,
-        description: Optional[str] = None,
-        strategy: Optional[str] = None,
+        datasets: Sequence[URIRef] | None = None,
+        description: str | None = None,
+        strategy: str | None = None,
+        strict: bool = False,
     ) -> None:
         if isinstance(engine, MediatorService):
             engine = engine.federation
@@ -164,6 +212,7 @@ class FederationBackend(QueryBackend):
         self.mode = mode
         self.datasets = list(datasets) if datasets is not None else None
         self.strategy = strategy
+        self.strict = strict
         self.description = description or (
             f"mediated federation over {len(self.engine.registry)} datasets"
             + (f" (strategy {strategy})" if strategy else "")
@@ -171,6 +220,7 @@ class FederationBackend(QueryBackend):
 
     def execute(self, query_text: str) -> QueryResult:
         query = self._parse(query_text)
+        analysis = self._analyze_static(query)
         if not isinstance(query, SelectQuery):
             raise BadQuery(
                 "the federated endpoint answers SELECT queries only "
@@ -184,7 +234,11 @@ class FederationBackend(QueryBackend):
             datasets=self.datasets,
             strategy=self.strategy,
         )
-        return outcome.merged()
+        merged = outcome.merged()
+        # The decompose strategy sees local + federation diagnostics;
+        # fall back to the local analysis for plain fan-out.
+        merged.diagnostics = list(outcome.diagnostics) or list(analysis.diagnostics)
+        return merged
 
     def analyze(self, query_text: str):
         query = self._parse(query_text)
@@ -203,7 +257,7 @@ class FederationBackend(QueryBackend):
         )
         return outcome.merged(), event
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> dict[str, object]:
         datasets = {
             str(uri): entry.as_dict()
             for uri, entry in self.engine.registry.health().items()
@@ -214,8 +268,8 @@ class FederationBackend(QueryBackend):
             "datasets": datasets,
         }
 
-    def metrics(self) -> Dict[str, object]:
-        payload: Dict[str, object] = {}
+    def metrics(self) -> dict[str, object]:
+        payload: dict[str, object] = {}
         for dataset in self.engine.registry:
             statistics = getattr(dataset.endpoint, "statistics", None)
             if statistics is not None:

@@ -36,7 +36,7 @@ import threading
 import urllib.parse
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+
 
 from ..federation.endpoint import EndpointError, EndpointTimeout, EndpointUnavailable
 from ..rdf import Graph
@@ -50,7 +50,7 @@ from ..sparql.formats import (
     write_graph,
     write_results,
 )
-from .backends import BadQuery, QueryBackend
+from .backends import BadQuery, QueryBackend, RejectedQuery
 
 __all__ = ["SparqlHttpServer", "ResponseCache"]
 
@@ -67,12 +67,12 @@ class ResponseCache:
 
     def __init__(self, max_entries: int = 128) -> None:
         self.max_entries = max(0, max_entries)
-        self._entries: "OrderedDict[tuple, Tuple[str, bytes]]" = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[str, bytes]] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: tuple) -> Optional[Tuple[str, bytes]]:
+    def get(self, key: tuple) -> tuple[str, bytes] | None:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -99,18 +99,25 @@ class ResponseCache:
         with self._lock:
             return len(self._entries)
 
-    def info(self) -> Dict[str, int]:
+    def info(self) -> dict[str, int]:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
 
 
 class _HttpError(Exception):
-    """Internal: abort request handling with a protocol error response."""
+    """Internal: abort request handling with a protocol error response.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``payload`` switches the error body from plain text to JSON (used by
+    strict mode to ship structured analyzer diagnostics with the 400).
+    """
+
+    def __init__(
+        self, status: int, message: str, payload: dict[str, object] | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.payload = payload
 
 
 class _SparqlHttpd(ThreadingHTTPServer):
@@ -121,7 +128,7 @@ class _SparqlHttpd(ThreadingHTTPServer):
 
     backend: QueryBackend
     cache: ResponseCache
-    counters: Dict[str, int]
+    counters: dict[str, int]
     counters_lock: threading.Lock
     quiet: bool
 
@@ -226,6 +233,11 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         # 5xx responses are counted once, in _send_error.
         try:
             result = backend.execute(query_text)
+        except RejectedQuery as exc:
+            raise _HttpError(
+                400, str(exc),
+                payload={"error": str(exc), "diagnostics": exc.to_json_list()},
+            ) from exc
         except BadQuery as exc:
             raise _HttpError(400, str(exc)) from exc
         except EndpointTimeout as exc:
@@ -258,6 +270,11 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         self._count("queries")
         try:
             result, event = backend.analyze(query_text)
+        except RejectedQuery as exc:
+            raise _HttpError(
+                400, str(exc),
+                payload={"error": str(exc), "diagnostics": exc.to_json_list()},
+            ) from exc
         except BadQuery as exc:
             raise _HttpError(400, str(exc)) from exc
         except EndpointTimeout as exc:
@@ -268,10 +285,13 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             raise _HttpError(502, str(exc)) from exc
         except Exception as exc:  # noqa: BLE001
             raise _HttpError(500, f"internal error: {type(exc).__name__}: {exc}") from exc
-        payload: Dict[str, object] = {
+        payload: dict[str, object] = {
             "event": event.to_json_dict(),
             "report": event.render(),
         }
+        diagnostics = getattr(result, "diagnostics", None)
+        if diagnostics:
+            payload["diagnostics"] = [d.to_json_dict() for d in diagnostics]
         if isinstance(result, ResultSet):
             payload["rows"] = len(result)
         elif isinstance(result, AskResult):
@@ -281,8 +301,8 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, payload)
 
     def _cache_lookup(
-        self, generation: int, query_text: str, accept: Optional[str]
-    ) -> Optional[Tuple[str, bytes]]:
+        self, generation: int, query_text: str, accept: str | None
+    ) -> tuple[str, bytes] | None:
         for name in self._candidate_formats(accept):
             entry = self.server.cache.get((generation, query_text, name))
             if entry is not None:
@@ -290,7 +310,7 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         return None
 
     @staticmethod
-    def _candidate_formats(accept: Optional[str]) -> Tuple[str, ...]:
+    def _candidate_formats(accept: str | None) -> tuple[str, ...]:
         """Formats this Accept header could negotiate to, most specific first."""
         candidates = []
         result_format = negotiate(accept)
@@ -301,7 +321,7 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             candidates.append(graph_format)
         return tuple(candidates)
 
-    def _render(self, result, accept: Optional[str]) -> Tuple[str, str, str]:
+    def _render(self, result, accept: str | None) -> tuple[str, str, str]:
         """(format name, content type, document) for a backend result."""
         if isinstance(result, Graph):
             format_name = negotiate_graph(accept)
@@ -321,7 +341,7 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         raise _HttpError(500, f"backend produced an unservable result: {type(result).__name__}")
 
     @staticmethod
-    def _not_acceptable(accept: Optional[str], supported: Dict[str, str]) -> str:
+    def _not_acceptable(accept: str | None, supported: dict[str, str]) -> str:
         return (
             f"no supported media type in Accept: {accept!r}; "
             f"supported: {', '.join(sorted(supported.values()))}"
@@ -330,12 +350,12 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Observability resources
     # ------------------------------------------------------------------ #
-    def _health_payload(self) -> Dict[str, object]:
+    def _health_payload(self) -> dict[str, object]:
         payload = self.server.backend.health()
         payload.setdefault("status", "ok")
         return payload
 
-    def _metrics_payload(self) -> Dict[str, object]:
+    def _metrics_payload(self) -> dict[str, object]:
         with self.server.counters_lock:
             counters = dict(self.server.counters)
         return {
@@ -343,7 +363,7 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             "endpoints": self.server.backend.metrics(),
         }
 
-    def _service_payload(self) -> Dict[str, object]:
+    def _service_payload(self) -> dict[str, object]:
         return {
             "service": "repro SPARQL Protocol server",
             "description": self.server.backend.description,
@@ -365,16 +385,21 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
         body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
         self._send(status, "application/json", body)
 
     def _send_error(self, error: _HttpError) -> None:
         if error.status >= 500:
             self._count("errors")
-        body = (error.message + "\n").encode("utf-8")
+        if error.payload is not None:
+            content_type = "application/json"
+            body = (json.dumps(error.payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        else:
+            content_type = "text/plain"
+            body = (error.message + "\n").encode("utf-8")
         self.send_response(error.status)
-        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         if self.command != "HEAD":
@@ -417,7 +442,7 @@ class SparqlHttpServer:
         self._httpd.counters = {"requests": 0, "queries": 0, "errors": 0}
         self._httpd.counters_lock = threading.Lock()
         self._httpd.quiet = quiet
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -442,7 +467,7 @@ class SparqlHttpServer:
         return self._httpd.cache
 
     # ------------------------------------------------------------------ #
-    def start(self) -> "SparqlHttpServer":
+    def start(self) -> SparqlHttpServer:
         """Serve in a daemon thread; returns immediately."""
         if self._thread is not None:
             raise RuntimeError("server already started")
@@ -468,7 +493,7 @@ class SparqlHttpServer:
             self._thread.join(timeout=5)
             self._thread = None
 
-    def __enter__(self) -> "SparqlHttpServer":
+    def __enter__(self) -> SparqlHttpServer:
         return self.start()
 
     def __exit__(self, *exc_info) -> None:

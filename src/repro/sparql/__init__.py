@@ -83,15 +83,30 @@ from .formats import (
     parse_results,
     write_results,
 )
+from .analysis import (
+    AnalysisResult,
+    Diagnostic,
+    DIAGNOSTIC_CODES,
+    FederationAnalysis,
+    QueryAnalysisError,
+    analyze_federation,
+    analyze_query,
+    prune_query,
+    render_diagnostics,
+)
 from .parser import SparqlParseError, SparqlParser, parse_query
 from .results import AskResult, Binding, ResultSet, TermSerializationError
 from .serializer import serialize_expression, serialize_pattern_group, serialize_query
-from .tokenizer import SparqlLexError, SparqlToken, tokenize_sparql
+from .tokenizer import SourceSpan, SparqlLexError, SparqlToken, tokenize_sparql
 
 __all__ = [
     # parsing
     "SparqlParser", "SparqlParseError", "parse_query",
-    "SparqlToken", "SparqlLexError", "tokenize_sparql",
+    "SparqlToken", "SparqlLexError", "tokenize_sparql", "SourceSpan",
+    # static analysis
+    "Diagnostic", "AnalysisResult", "FederationAnalysis", "QueryAnalysisError",
+    "DIAGNOSTIC_CODES", "analyze_query", "analyze_federation", "prune_query",
+    "render_diagnostics",
     # AST
     "Query", "SelectQuery", "AskQuery", "ConstructQuery",
     "Prologue", "SolutionModifiers", "OrderCondition",

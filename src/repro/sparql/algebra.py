@@ -21,7 +21,7 @@ representation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 from ..rdf import Triple, Variable
 from .ast import (
@@ -49,7 +49,7 @@ __all__ = [
 class AlgebraNode:
     """Base class of algebra operators."""
 
-    def children(self) -> Sequence["AlgebraNode"]:
+    def children(self) -> Sequence[AlgebraNode]:
         return ()
 
     def variables(self) -> set[Variable]:
@@ -58,13 +58,13 @@ class AlgebraNode:
             result |= child.variables()
         return result
 
-    def walk(self) -> Iterator["AlgebraNode"]:
+    def walk(self) -> Iterator[AlgebraNode]:
         """Depth-first pre-order traversal of the operator tree."""
         yield self
         for child in self.children():
             yield from child.walk()
 
-    def transform(self, func: Callable[["AlgebraNode"], Optional["AlgebraNode"]]) -> "AlgebraNode":
+    def transform(self, func: Callable[[AlgebraNode], AlgebraNode | None]) -> AlgebraNode:
         """Bottom-up rewriting: rebuild children then apply ``func``.
 
         ``func`` returns either a replacement node or ``None`` to keep the
@@ -74,7 +74,7 @@ class AlgebraNode:
         replacement = func(rebuilt)
         return replacement if replacement is not None else rebuilt
 
-    def _rebuild(self, children: List["AlgebraNode"]) -> "AlgebraNode":
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return self
 
 
@@ -82,7 +82,7 @@ class AlgebraNode:
 class AlgebraBGP(AlgebraNode):
     """A Basic Graph Pattern leaf."""
 
-    patterns: List[Triple] = field(default_factory=list)
+    patterns: list[Triple] = field(default_factory=list)
 
     def variables(self) -> set[Variable]:
         result: set[Variable] = set()
@@ -98,8 +98,8 @@ class AlgebraTable(AlgebraNode):
     ``rows`` are tuples aligned with ``columns``; ``None`` is ``UNDEF``.
     """
 
-    columns: List[Variable] = field(default_factory=list)
-    rows: List[tuple] = field(default_factory=list)
+    columns: list[Variable] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
 
     def variables(self) -> set[Variable]:
         return set(self.columns)
@@ -115,7 +115,7 @@ class AlgebraJoin(AlgebraNode):
     def children(self) -> Sequence[AlgebraNode]:
         return (self.left, self.right)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraJoin(children[0], children[1])
 
 
@@ -125,12 +125,12 @@ class AlgebraLeftJoin(AlgebraNode):
 
     left: AlgebraNode
     right: AlgebraNode
-    expression: Optional[Expression] = None
+    expression: Expression | None = None
 
     def children(self) -> Sequence[AlgebraNode]:
         return (self.left, self.right)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraLeftJoin(children[0], children[1], self.expression)
 
 
@@ -144,7 +144,7 @@ class AlgebraUnion(AlgebraNode):
     def children(self) -> Sequence[AlgebraNode]:
         return (self.left, self.right)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraUnion(children[0], children[1])
 
 
@@ -161,7 +161,7 @@ class AlgebraFilter(AlgebraNode):
     def variables(self) -> set[Variable]:
         return self.child.variables() | self.expression.variables()
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraFilter(self.expression, children[0])
 
 
@@ -169,13 +169,13 @@ class AlgebraFilter(AlgebraNode):
 class AlgebraProject(AlgebraNode):
     """Project(vars, child)."""
 
-    projection: List[Variable]
+    projection: list[Variable]
     child: AlgebraNode
 
     def children(self) -> Sequence[AlgebraNode]:
         return (self.child,)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraProject(list(self.projection), children[0])
 
 
@@ -188,7 +188,7 @@ class AlgebraDistinct(AlgebraNode):
     def children(self) -> Sequence[AlgebraNode]:
         return (self.child,)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraDistinct(children[0])
 
 
@@ -196,13 +196,13 @@ class AlgebraDistinct(AlgebraNode):
 class AlgebraOrderBy(AlgebraNode):
     """OrderBy(conditions, child)."""
 
-    conditions: List[OrderCondition]
+    conditions: list[OrderCondition]
     child: AlgebraNode
 
     def children(self) -> Sequence[AlgebraNode]:
         return (self.child,)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraOrderBy(list(self.conditions), children[0])
 
 
@@ -210,14 +210,14 @@ class AlgebraOrderBy(AlgebraNode):
 class AlgebraSlice(AlgebraNode):
     """Slice(offset, limit, child)."""
 
-    offset: Optional[int]
-    limit: Optional[int]
+    offset: int | None
+    limit: int | None
     child: AlgebraNode
 
     def children(self) -> Sequence[AlgebraNode]:
         return (self.child,)
 
-    def _rebuild(self, children: List[AlgebraNode]) -> AlgebraNode:
+    def _rebuild(self, children: list[AlgebraNode]) -> AlgebraNode:
         return AlgebraSlice(self.offset, self.limit, children[0])
 
 
@@ -235,8 +235,8 @@ def translate_group(group: GroupGraphPattern) -> AlgebraNode:
     behaviour that makes FILTER-expressed constraints invisible to BGP-only
     rewriting, Experiment E7).
     """
-    current: Optional[AlgebraNode] = None
-    filters: List[Expression] = []
+    current: AlgebraNode | None = None
+    filters: list[Expression] = []
 
     for element in group.elements:
         if isinstance(element, Filter):

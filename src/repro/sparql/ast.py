@@ -17,9 +17,10 @@ evaluation semantics is implemented in :mod:`repro.sparql.expressions`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..rdf import NamespaceManager, Term, Triple, Variable
+from .tokenizer import SourceSpan
 
 __all__ = [
     # expressions
@@ -44,7 +45,7 @@ class Expression:
         """All variables mentioned by the expression."""
         return set()
 
-    def map_terms(self, func) -> "Expression":
+    def map_terms(self, func) -> Expression:
         """Structurally rebuild the expression applying ``func`` to RDF terms."""
         return self
 
@@ -58,7 +59,7 @@ class TermExpression(Expression):
     def variables(self) -> set[Variable]:
         return {self.term} if isinstance(self.term, Variable) else set()
 
-    def map_terms(self, func) -> "Expression":
+    def map_terms(self, func) -> Expression:
         return TermExpression(func(self.term))
 
 
@@ -71,7 +72,7 @@ class VariableExpression(Expression):
     def variables(self) -> set[Variable]:
         return {self.variable}
 
-    def map_terms(self, func) -> "Expression":
+    def map_terms(self, func) -> Expression:
         mapped = func(self.variable)
         if isinstance(mapped, Variable):
             return VariableExpression(mapped)
@@ -89,7 +90,7 @@ class BinaryExpression(Expression):
     def variables(self) -> set[Variable]:
         return self.left.variables() | self.right.variables()
 
-    def map_terms(self, func) -> "Expression":
+    def map_terms(self, func) -> Expression:
         return BinaryExpression(self.operator, self.left.map_terms(func), self.right.map_terms(func))
 
 
@@ -103,7 +104,7 @@ class UnaryExpression(Expression):
     def variables(self) -> set[Variable]:
         return self.operand.variables()
 
-    def map_terms(self, func) -> "Expression":
+    def map_terms(self, func) -> Expression:
         return UnaryExpression(self.operator, self.operand.map_terms(func))
 
 
@@ -124,7 +125,7 @@ class FunctionCall(Expression):
             result |= argument.variables()
         return result
 
-    def map_terms(self, func) -> "Expression":
+    def map_terms(self, func) -> Expression:
         return FunctionCall(self.name, [a.map_terms(func) for a in self.arguments])
 
 
@@ -132,7 +133,7 @@ class FunctionCall(Expression):
 class ExistsExpression(Expression):
     """``EXISTS { ... }`` / ``NOT EXISTS { ... }`` (SPARQL 1.1 convenience)."""
 
-    group: "GroupGraphPattern"
+    group: GroupGraphPattern
     negated: bool = False
 
     def variables(self) -> set[Variable]:
@@ -157,12 +158,24 @@ class TriplesBlock(PatternElement):
     order-insensitive (a BGP denotes a conjunction).
     """
 
-    def __init__(self, patterns: Optional[Iterable[Triple]] = None) -> None:
-        self.patterns: List[Triple] = list(patterns) if patterns else []
+    def __init__(self, patterns: Iterable[Triple] | None = None) -> None:
+        self.patterns: list[Triple] = list(patterns) if patterns else []
+        #: Source extent of each pattern, aligned with ``patterns``
+        #: (``Triple`` is a frozen value type shared across blocks, so the
+        #: positions live here).  ``None`` for programmatically built blocks.
+        self.pattern_spans: list[SourceSpan | None] = [None] * len(self.patterns)
+        self.span: SourceSpan | None = None
 
-    def add(self, pattern: Triple) -> "TriplesBlock":
+    def add(self, pattern: Triple, span: SourceSpan | None = None) -> TriplesBlock:
         self.patterns.append(pattern)
+        self.pattern_spans.append(span)
         return self
+
+    def span_of(self, index: int) -> SourceSpan | None:
+        """The source extent of pattern ``index``, if the block was parsed."""
+        if 0 <= index < len(self.pattern_spans):
+            return self.pattern_spans[index]
+        return None
 
     def variables(self) -> set[Variable]:
         result: set[Variable] = set()
@@ -191,6 +204,7 @@ class Filter(PatternElement):
     """A FILTER constraint attached to a group."""
 
     expression: Expression
+    span: SourceSpan | None = field(default=None, compare=False)
 
     def variables(self) -> set[Variable]:
         return self.expression.variables()
@@ -200,7 +214,8 @@ class Filter(PatternElement):
 class OptionalPattern(PatternElement):
     """An OPTIONAL group."""
 
-    group: "GroupGraphPattern"
+    group: GroupGraphPattern
+    span: SourceSpan | None = field(default=None, compare=False)
 
     def variables(self) -> set[Variable]:
         return self.group.variables()
@@ -210,7 +225,8 @@ class OptionalPattern(PatternElement):
 class UnionPattern(PatternElement):
     """A UNION of two or more groups."""
 
-    alternatives: List["GroupGraphPattern"]
+    alternatives: list[GroupGraphPattern]
+    span: SourceSpan | None = field(default=None, compare=False)
 
     def variables(self) -> set[Variable]:
         result: set[Variable] = set()
@@ -233,10 +249,11 @@ class InlineData(PatternElement):
     def __init__(
         self,
         columns: Iterable[Variable],
-        rows: Iterable[Sequence[Optional[Term]]] = (),
+        rows: Iterable[Sequence[Term | None]] = (),
     ) -> None:
-        self.columns: List[Variable] = list(columns)
-        self.rows: List[tuple] = [tuple(row) for row in rows]
+        self.columns: list[Variable] = list(columns)
+        self.rows: list[tuple] = [tuple(row) for row in rows]
+        self.span: SourceSpan | None = None
         for row in self.rows:
             if len(row) != len(self.columns):
                 raise ValueError(
@@ -244,7 +261,7 @@ class InlineData(PatternElement):
                     f"{len(self.columns)} variables"
                 )
 
-    def add_row(self, row: Sequence[Optional[Term]]) -> "InlineData":
+    def add_row(self, row: Sequence[Term | None]) -> InlineData:
         if len(row) != len(self.columns):
             raise ValueError(
                 f"VALUES row width {len(row)} does not match "
@@ -276,10 +293,11 @@ class InlineData(PatternElement):
 class GroupGraphPattern(PatternElement):
     """A ``{ ... }`` group: an ordered list of pattern elements."""
 
-    def __init__(self, elements: Optional[Iterable[PatternElement]] = None) -> None:
-        self.elements: List[PatternElement] = list(elements) if elements else []
+    def __init__(self, elements: Iterable[PatternElement] | None = None) -> None:
+        self.elements: list[PatternElement] = list(elements) if elements else []
+        self.span: SourceSpan | None = None
 
-    def add(self, element: PatternElement) -> "GroupGraphPattern":
+    def add(self, element: PatternElement) -> GroupGraphPattern:
         self.elements.append(element)
         return self
 
@@ -319,9 +337,9 @@ class GroupGraphPattern(PatternElement):
                 for alternative in element.alternatives:
                     yield from alternative.filters()
 
-    def all_triple_patterns(self) -> List[Triple]:
+    def all_triple_patterns(self) -> list[Triple]:
         """Flat list of every triple pattern in the group (all BGPs)."""
-        patterns: List[Triple] = []
+        patterns: list[Triple] = []
         for block in self.triples_blocks():
             patterns.extend(block.patterns)
         return patterns
@@ -337,7 +355,7 @@ class GroupGraphPattern(PatternElement):
 
 
 #: Alias used in type annotations across the code base.
-GraphPattern = Union[GroupGraphPattern, PatternElement]
+GraphPattern = GroupGraphPattern | PatternElement
 
 
 # --------------------------------------------------------------------------- #
@@ -348,12 +366,12 @@ class Prologue:
     """PREFIX/BASE declarations of a query."""
 
     namespace_manager: NamespaceManager = field(default_factory=lambda: NamespaceManager(install_defaults=False))
-    base: Optional[str] = None
+    base: str | None = None
 
     def bind(self, prefix: str, namespace: str) -> None:
         self.namespace_manager.bind(prefix, namespace)
 
-    def copy(self) -> "Prologue":
+    def copy(self) -> Prologue:
         return Prologue(self.namespace_manager.copy(), self.base)
 
 
@@ -363,6 +381,7 @@ class OrderCondition:
 
     expression: Expression
     descending: bool = False
+    span: SourceSpan | None = field(default=None, compare=False)
 
 
 @dataclass
@@ -371,11 +390,11 @@ class SolutionModifiers:
 
     distinct: bool = False
     reduced: bool = False
-    order_by: List[OrderCondition] = field(default_factory=list)
-    limit: Optional[int] = None
-    offset: Optional[int] = None
+    order_by: list[OrderCondition] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
 
-    def copy(self) -> "SolutionModifiers":
+    def copy(self) -> SolutionModifiers:
         return SolutionModifiers(
             distinct=self.distinct,
             reduced=self.reduced,
@@ -389,10 +408,12 @@ class Query:
     """Base class of the three query forms."""
 
     def __init__(self, prologue: Prologue, where: GroupGraphPattern,
-                 modifiers: Optional[SolutionModifiers] = None) -> None:
+                 modifiers: SolutionModifiers | None = None) -> None:
         self.prologue = prologue
         self.where = where
         self.modifiers = modifiers or SolutionModifiers()
+        #: Extent of the whole query text when parsed, else ``None``.
+        self.span: SourceSpan | None = None
 
     # -- introspection used by the rewriter --------------------------------- #
     def triples_blocks(self) -> Iterator[TriplesBlock]:
@@ -403,7 +424,7 @@ class Query:
         """All FILTERs of the WHERE clause."""
         return self.where.filters()
 
-    def all_triple_patterns(self) -> List[Triple]:
+    def all_triple_patterns(self) -> list[Triple]:
         return self.where.all_triple_patterns()
 
     def variables(self) -> set[Variable]:
@@ -431,17 +452,25 @@ class SelectQuery(Query):
         prologue: Prologue,
         projection: Sequence[Variable],
         where: GroupGraphPattern,
-        modifiers: Optional[SolutionModifiers] = None,
+        modifiers: SolutionModifiers | None = None,
+        projection_spans: Sequence[SourceSpan | None] | None = None,
     ) -> None:
         super().__init__(prologue, where, modifiers)
-        self.projection: List[Variable] = list(projection)
+        self.projection: list[Variable] = list(projection)
+        #: Source extent of each projected variable, aligned with
+        #: ``projection`` (``None`` entries for programmatically built queries).
+        self.projection_spans: list[SourceSpan | None] = (
+            list(projection_spans)
+            if projection_spans is not None
+            else [None] * len(self.projection)
+        )
 
     @property
     def select_all(self) -> bool:
         """True for ``SELECT *``."""
         return not self.projection
 
-    def effective_projection(self) -> List[Variable]:
+    def effective_projection(self) -> list[Variable]:
         """The projected variables, expanding ``*`` to all visible variables."""
         if self.projection:
             return list(self.projection)
@@ -460,7 +489,7 @@ class ConstructQuery(Query):
         prologue: Prologue,
         template: Sequence[Triple],
         where: GroupGraphPattern,
-        modifiers: Optional[SolutionModifiers] = None,
+        modifiers: SolutionModifiers | None = None,
     ) -> None:
         super().__init__(prologue, where, modifiers)
-        self.template: List[Triple] = list(template)
+        self.template: list[Triple] = list(template)

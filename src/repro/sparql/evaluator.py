@@ -17,7 +17,7 @@ rewritten queries against it.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..rdf import BNode, Graph, Literal, Term, Triple, URIRef, Variable, fresh_bnode
 from .ast import (
@@ -88,8 +88,8 @@ def _pattern_binding_vars(pattern: Triple) -> set:
 
 def ordered_bgp_patterns(
     patterns: Sequence[Triple],
-    initial: Optional[Binding] = None,
-) -> List[Triple]:
+    initial: Binding | None = None,
+) -> list[Triple]:
     """Deterministic greedy evaluation order for a BGP.
 
     The order is computed *once*, statically: repeatedly pick the most
@@ -102,7 +102,7 @@ def ordered_bgp_patterns(
     """
     bound_vars = set(initial or ())
     remaining = list(enumerate(patterns))
-    ordered: List[Triple] = []
+    ordered: list[Triple] = []
     while remaining:
         best = min(
             remaining,
@@ -128,7 +128,7 @@ def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]
     match exactly.
     """
 
-    def resolved(term: Term) -> Optional[Term]:
+    def resolved(term: Term) -> Term | None:
         """The ground value this position must equal, or None when free."""
         if isinstance(term, Variable):
             return binding.get_term(term)
@@ -141,8 +141,8 @@ def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]
     lookup_object = resolved(pattern.object)
 
     for triple in graph.triples(lookup_subject, lookup_predicate, lookup_object):
-        extended: Optional[Binding] = binding
-        for pattern_term, data_term in zip(pattern, triple):
+        extended: Binding | None = binding
+        for pattern_term, data_term in zip(pattern, triple, strict=True):
             if isinstance(pattern_term, Variable):
                 key: Term = pattern_term
             elif isinstance(pattern_term, BNode):
@@ -165,12 +165,12 @@ def _match_triple(pattern: Triple, binding: Binding, graph) -> Iterator[Binding]
 def match_bgp(
     patterns: Sequence[Triple],
     graph,
-    initial: Optional[Binding] = None,
+    initial: Binding | None = None,
 ) -> Iterator[Binding]:
     """Match a Basic Graph Pattern (a conjunction of triple patterns)."""
-    solutions: List[Binding] = [initial or Binding()]
+    solutions: list[Binding] = [initial or Binding()]
     for pattern in ordered_bgp_patterns(patterns, initial):
-        next_solutions: List[Binding] = []
+        next_solutions: list[Binding] = []
         for solution in solutions:
             next_solutions.extend(_match_triple(pattern, solution, graph))
         solutions = next_solutions
@@ -185,11 +185,11 @@ def match_bgp(
 def evaluate_group(
     group: GroupGraphPattern,
     graph,
-    initial: Optional[Binding] = None,
-) -> List[Binding]:
+    initial: Binding | None = None,
+) -> list[Binding]:
     """Evaluate a group graph pattern, returning the list of solutions."""
-    solutions: List[Binding] = [initial or Binding()]
-    filters: List[Filter] = []
+    solutions: list[Binding] = [initial or Binding()]
+    filters: list[Filter] = []
 
     for element in group.elements:
         if isinstance(element, Filter):
@@ -210,9 +210,9 @@ def evaluate_group(
     return solutions
 
 
-def _apply_element(element, solutions: List[Binding], graph) -> List[Binding]:
+def _apply_element(element, solutions: list[Binding], graph) -> list[Binding]:
     if isinstance(element, TriplesBlock):
-        result: List[Binding] = []
+        result: list[Binding] = []
         for solution in solutions:
             result.extend(match_bgp(element.patterns, graph, initial=solution))
         return result
@@ -242,7 +242,7 @@ def _apply_element(element, solutions: List[Binding], graph) -> List[Binding]:
             for row in element.rows:
                 extension = Binding({
                     variable: term
-                    for variable, term in zip(element.columns, row)
+                    for variable, term in zip(element.columns, row, strict=True)
                     if term is not None
                 })
                 if solution.compatible(extension):
@@ -284,8 +284,10 @@ class QueryEvaluator:
         self,
         graph: Graph,
         use_planner: bool = True,
-        engine: Optional[str] = None,
+        engine: str | None = None,
         exec_config=None,
+        strict: bool = False,
+        analysis: bool = True,
     ) -> None:
         self._graph = graph
         if engine is None:
@@ -297,30 +299,84 @@ class QueryEvaluator:
         self.engine = engine
         self.use_planner = engine in ("planner", "streaming")
         self._exec_config = exec_config
+        #: ``strict=True`` refuses queries with error-severity diagnostics
+        #: (raising :class:`repro.sparql.analysis.QueryAnalysisError`);
+        #: ``analysis=False`` disables the static analyzer entirely (no
+        #: diagnostics, no constant folding, no provably-empty pruning).
+        self.strict = strict
+        self.analysis_enabled = analysis
+        self._prepared: tuple | None = None
+
+    # -- static analysis ------------------------------------------------------ #
+    def _prepare(self, query: Query):
+        """``(analysis, effective_query)`` for ``query``; cached per AST.
+
+        ``effective_query`` has analyzer-proven redundancy (constant-true
+        FILTERs) pruned; when analysis is disabled both are passthroughs.
+        In strict mode error-severity diagnostics raise immediately.
+        """
+        from .analysis import QueryAnalysisError, analyze_query, prune_query
+
+        if not self.analysis_enabled:
+            return None, query
+        if self._prepared is not None and self._prepared[0] is query:
+            analysis, effective = self._prepared[1], self._prepared[2]
+        else:
+            analysis = analyze_query(query, self._graph)
+            effective = prune_query(query, analysis)
+            self._prepared = (query, analysis, effective)
+        if self.strict and analysis.has_errors:
+            raise QueryAnalysisError(analysis.diagnostics)
+        return analysis, effective
+
+    def _attach(self, result, analysis):
+        if analysis is not None and hasattr(result, "diagnostics"):
+            result.diagnostics = list(analysis.diagnostics)
+        return result
+
+    def _empty_result(
+        self, query: Query, analysis
+    ) -> ResultSet | AskResult | Graph:
+        """The (empty) result of a provably-empty query — zero lookups."""
+        if isinstance(query, SelectQuery):
+            result: ResultSet | AskResult | Graph = ResultSet(
+                query.effective_projection(), []
+            )
+        elif isinstance(query, AskQuery):
+            result = AskResult(False)
+        elif isinstance(query, ConstructQuery):
+            result = Graph(namespace_manager=query.prologue.namespace_manager.copy())
+        else:
+            raise TypeError(f"unsupported query form: {type(query).__name__}")
+        return self._attach(result, analysis)
 
     @property
     def graph(self) -> Graph:
         return self._graph
 
-    def evaluate(self, query: Union[Query, str]) -> Union[ResultSet, AskResult, Graph]:
+    def evaluate(self, query: Query | str) -> ResultSet | AskResult | Graph:
         """Evaluate a query; the result type depends on the query form."""
         if isinstance(query, str):
             query = parse_query(query)
-        if isinstance(query, SelectQuery):
-            return self._evaluate_select(query)
-        if isinstance(query, AskQuery):
-            return self._evaluate_ask(query)
-        if isinstance(query, ConstructQuery):
-            return self._evaluate_construct(query)
+        analysis, effective = self._prepare(query)
+        if analysis is not None and analysis.provably_empty:
+            # Zero index lookups: the analyzer proved emptiness statically.
+            return self._empty_result(query, analysis)
+        if isinstance(effective, SelectQuery):
+            return self._attach(self._evaluate_select(effective), analysis)
+        if isinstance(effective, AskQuery):
+            return self._attach(self._evaluate_ask(effective), analysis)
+        if isinstance(effective, ConstructQuery):
+            return self._evaluate_construct(effective)
         raise TypeError(f"unsupported query form: {type(query).__name__}")
 
-    def explain(self, query: Union[Query, str]) -> str:
+    def explain(self, query: Query | str) -> str:
         """EXPLAIN-style rendering of the physical plan for ``query``."""
         from .plan import explain_query
 
         return explain_query(query, self._graph)
 
-    def analyze(self, query: Union[Query, str]):
+    def analyze(self, query: Query | str):
         """EXPLAIN ANALYZE: evaluate ``query`` and return ``(result, event)``.
 
         The event is a :class:`repro.sparql.exec.QueryRunEvent` with
@@ -332,10 +388,22 @@ class QueryEvaluator:
         text = query if isinstance(query, str) else None
         if isinstance(query, str):
             query = parse_query(query)
-        plan = self._compile(query)
+        analysis, effective = self._prepare(query)
+        if analysis is not None and analysis.provably_empty:
+            from .exec import compile_empty_query
+
+            plan = compile_empty_query(
+                query,
+                self._graph,
+                analysis.empty_reason or "analysis proved the query empty",
+                self._exec_config,
+                engine=self.engine,
+            )
+        else:
+            plan = self._compile(effective)
         if isinstance(query, SelectQuery):
             rows = list(plan.bindings())
-            result: Union[ResultSet, AskResult, Graph] = ResultSet(
+            result: ResultSet | AskResult | Graph = ResultSet(
                 query.effective_projection(), rows
             )
         elif isinstance(query, AskQuery):
@@ -344,10 +412,11 @@ class QueryEvaluator:
             result = _construct_graph(query, plan.bindings())
         else:
             raise TypeError(f"unsupported query form: {type(query).__name__}")
+        self._attach(result, analysis)
         event = plan.run_event(text)
         return result, event
 
-    def select(self, query: Union[SelectQuery, str]) -> ResultSet:
+    def select(self, query: SelectQuery | str) -> ResultSet:
         """Evaluate a SELECT query (convenience wrapper with type checking)."""
         result = self.evaluate(query)
         if not isinstance(result, ResultSet):
@@ -397,9 +466,9 @@ class QueryEvaluator:
     def _apply_modifiers(
         self,
         query: Query,
-        solutions: List[Binding],
+        solutions: list[Binding],
         project=None,
-    ) -> List[Binding]:
+    ) -> list[Binding]:
         """Solution modifiers in standard SPARQL order.
 
         ORDER BY sorts the full solutions (it may reference non-projected
@@ -470,7 +539,7 @@ def _construct_graph(query: ConstructQuery, solutions: Iterable[Binding]) -> Gra
     return output
 
 
-def _instantiate_template(pattern: Triple, solution: Binding, bnode_map: dict) -> Optional[Triple]:
+def _instantiate_template(pattern: Triple, solution: Binding, bnode_map: dict) -> Triple | None:
     terms = []
     for term in pattern:
         if isinstance(term, Variable):
@@ -490,9 +559,9 @@ def _instantiate_template(pattern: Triple, solution: Binding, bnode_map: dict) -
         return None
 
 
-def _distinct(solutions: List[Binding]) -> List[Binding]:
+def _distinct(solutions: list[Binding]) -> list[Binding]:
     seen = set()
-    unique: List[Binding] = []
+    unique: list[Binding] = []
     for solution in solutions:
         key = frozenset(solution.as_dict().items())
         if key not in seen:
@@ -501,7 +570,7 @@ def _distinct(solutions: List[Binding]) -> List[Binding]:
     return unique
 
 
-def _order(solutions: List[Binding], conditions, graph) -> List[Binding]:
+def _order(solutions: list[Binding], conditions, graph) -> list[Binding]:
     def sort_key(solution: Binding):
         key = []
         for condition in conditions:
@@ -523,7 +592,7 @@ class _Reversed:
     def __init__(self, value) -> None:
         self.value = value
 
-    def __lt__(self, other: "_Reversed") -> bool:
+    def __lt__(self, other: _Reversed) -> bool:
         return other.value < self.value
 
     def __eq__(self, other: object) -> bool:
@@ -555,6 +624,6 @@ def _orderable(value, descending: bool):
     return _Reversed(key) if descending else key
 
 
-def evaluate_query(query: Union[Query, str], graph: Graph) -> Union[ResultSet, AskResult, Graph]:
+def evaluate_query(query: Query | str, graph: Graph) -> ResultSet | AskResult | Graph:
     """Module-level convenience: evaluate ``query`` against ``graph``."""
     return QueryEvaluator(graph).evaluate(query)

@@ -51,7 +51,8 @@ import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from itertools import chain as _iter_chain, islice
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 from ..rdf import BNode, Term, TermDictionary, Triple, Variable
 from .ast import AskQuery, ConstructQuery, Expression, OrderCondition, Query, SelectQuery
@@ -83,10 +84,12 @@ __all__ = [
     "VecDistinctOp",
     "VecOrderByOp",
     "VecSliceOp",
+    "VecAnalysisPruneOp",
     "ExecPlan",
     "QueryRunEvent",
     "compile_planner_query",
     "compile_naive_query",
+    "compile_empty_query",
     "maybe_emit_event",
     "RUN_EVENTS_ENV",
 ]
@@ -103,8 +106,8 @@ _ORD_PREFIX = "__ord_"
 #: appended there as JSON lines.
 RUN_EVENTS_ENV = "REPRO_RUN_EVENTS"
 
-Row = Tuple[int, ...]
-Schema = Tuple[Variable, ...]
+Row = tuple[int, ...]
+Schema = tuple[Variable, ...]
 
 
 def _is_internal(variable: Variable) -> bool:
@@ -114,7 +117,7 @@ def _is_internal(variable: Variable) -> bool:
 
 
 @lru_cache(maxsize=512)
-def _external_columns(schema: Schema) -> Tuple[Tuple[int, Variable], ...]:
+def _external_columns(schema: Schema) -> tuple[tuple[int, Variable], ...]:
     """``(index, variable)`` pairs of the result-visible schema columns.
 
     Schemas are small interned tuples reused across every row of a query,
@@ -133,7 +136,7 @@ class Batch:
 
     __slots__ = ("schema", "rows")
 
-    def __init__(self, schema: Schema, rows: List[Row]) -> None:
+    def __init__(self, schema: Schema, rows: list[Row]) -> None:
         self.schema = schema
         self.rows = rows
 
@@ -189,8 +192,8 @@ class ExecContext:
     def __init__(
         self,
         graph: Any,
-        config: Optional[ExecConfig] = None,
-        dictionary: Optional[TermDictionary] = None,
+        config: ExecConfig | None = None,
+        dictionary: TermDictionary | None = None,
     ) -> None:
         self.graph = graph
         if dictionary is None:
@@ -202,12 +205,12 @@ class ExecContext:
         self.dictionary = dictionary
         self.config = config or ExecConfig()
         #: Adaptivity decisions recorded during execution.
-        self.decisions: List[Dict[str, Any]] = []
+        self.decisions: list[dict[str, Any]] = []
 
     def decode_binding(self, schema: Schema, row: Row) -> Binding:
         """Decode a row into a :class:`Binding`, dropping internal columns."""
         terms = self.dictionary.terms
-        data: Dict[Variable, Term] = {}
+        data: dict[Variable, Term] = {}
         for index, variable in _external_columns(schema):
             value = row[index]
             if value:
@@ -218,7 +221,7 @@ class ExecContext:
         """Like :meth:`decode_binding` but keeps blank-node anchors
         (an EXISTS body may mention the blank node's pattern)."""
         terms = self.dictionary.terms
-        data: Dict[Variable, Term] = {}
+        data: dict[Variable, Term] = {}
         for index, variable in enumerate(schema):
             value = row[index]
             if value and not variable.name.startswith(_ORD_PREFIX):
@@ -229,7 +232,7 @@ class ExecContext:
 def extend_schema(schema: Schema, variables: Iterable[Variable]) -> Schema:
     """``schema`` plus the unseen ``variables`` in first-occurrence order."""
     existing = set(schema)
-    extra: List[Variable] = []
+    extra: list[Variable] = []
     for variable in variables:
         if variable not in existing:
             existing.add(variable)
@@ -237,9 +240,9 @@ def extend_schema(schema: Schema, variables: Iterable[Variable]) -> Schema:
     return schema + tuple(extra)
 
 
-def pattern_variables(pattern: Triple) -> List[Variable]:
+def pattern_variables(pattern: Triple) -> list[Variable]:
     """Variables (incl. bnode anchors) bound by a pattern, in S-P-O order."""
-    result: List[Variable] = []
+    result: list[Variable] = []
     for term in pattern:
         if isinstance(term, Variable):
             if term not in result:
@@ -279,7 +282,7 @@ class VecOperator:
     def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
         raise NotImplementedError
 
-    def children(self) -> Sequence["VecOperator"]:
+    def children(self) -> Sequence[VecOperator]:
         return ()
 
     def describe(self) -> str:
@@ -315,7 +318,7 @@ class VecOperator:
         for child in self.children():
             child.reset()
 
-    def report_lines(self, indent: int = 0) -> List[str]:
+    def report_lines(self, indent: int = 0) -> list[str]:
         metrics = self.metrics
         line = (
             f"{'  ' * indent}{self.describe()}"
@@ -328,9 +331,9 @@ class VecOperator:
             lines.extend(child.report_lines(indent + 1))
         return lines
 
-    def operator_stats(self, depth: int = 0) -> List[Dict[str, Any]]:
+    def operator_stats(self, depth: int = 0) -> list[dict[str, Any]]:
         metrics = self.metrics
-        stats: List[Dict[str, Any]] = [{
+        stats: list[dict[str, Any]] = [{
             "operator": self.describe(),
             "depth": depth,
             "rows_in": metrics.rows_in,
@@ -356,7 +359,7 @@ class _VecStep:
 
     __slots__ = ("pattern", "filters", "est")
 
-    def __init__(self, pattern: Triple, filters: List[Expression], est: float) -> None:
+    def __init__(self, pattern: Triple, filters: list[Expression], est: float) -> None:
         self.pattern = pattern
         self.filters = filters
         self.est = est
@@ -376,8 +379,8 @@ class VecBGPOp(VecOperator):
         self,
         ctx: ExecContext,
         in_schema: Schema,
-        steps: List[_VecStep],
-        tail_filters: List[Expression],
+        steps: list[_VecStep],
+        tail_filters: list[Expression],
         adaptive: bool = False,
     ) -> None:
         super().__init__(ctx)
@@ -396,7 +399,7 @@ class VecBGPOp(VecOperator):
 
     # -- single-step scan --------------------------------------------------- #
     def _scan_rows(
-        self, step: _VecStep, rows: Iterator[Row], layout: List[Variable]
+        self, step: _VecStep, rows: Iterator[Row], layout: list[Variable]
     ) -> Iterator[Row]:
         """Extend every row with the matches of ``step`` (then filter)."""
         ctx = self.ctx
@@ -412,8 +415,8 @@ class VecBGPOp(VecOperator):
         # / written into its column, which uniformly covers repeated
         # variables and runtime-unbound columns.
         in_width = len(layout)
-        const_lookup: List[Optional[Term]] = [None, None, None]
-        var_cols: List[Tuple[int, int]] = []  # (position, output column)
+        const_lookup: list[Term | None] = [None, None, None]
+        var_cols: list[tuple[int, int]] = []  # (position, output column)
         for position, term in enumerate(step.pattern):
             if isinstance(term, Variable):
                 anchor = term
@@ -518,7 +521,7 @@ class VecBGPOp(VecOperator):
 
         def scan() -> Iterator[Row]:
             for row in rows:
-                lookup: List[Optional[Term]] = list(const_lookup)
+                lookup: list[Term | None] = list(const_lookup)
                 for position, index in lookup_cols:
                     value = row[index]
                     if value:
@@ -556,7 +559,7 @@ class VecBGPOp(VecOperator):
         column = {variable: index for index, variable in enumerate(layout)}
         total = 0.0
         for row in rows:
-            lookup: List[Optional[Term]] = [None, None, None]
+            lookup: list[Term | None] = [None, None, None]
             for position, term in enumerate(pattern):
                 if isinstance(term, Variable):
                     anchor = term
@@ -573,13 +576,13 @@ class VecBGPOp(VecOperator):
 
     def _reorder(
         self,
-        remaining: List[_VecStep],
+        remaining: list[_VecStep],
         sample: Sequence[Row],
         layout: Sequence[Variable],
         after: _VecStep,
         observed: int,
         exhausted: bool,
-    ) -> List[_VecStep]:
+    ) -> list[_VecStep]:
         """Reorder ``remaining`` by estimates sampled from actual rows."""
         sampled = {
             id(step): self._sampled_estimate(step.pattern, sample, layout)
@@ -592,8 +595,8 @@ class VecBGPOp(VecOperator):
         # Re-attach the pending filters at the earliest step where all of
         # their variables are bound (same rule the planner applies).
         pending = [expr for step in remaining for expr in step.filters]
-        bound: Set[Variable] = set(layout)
-        rebuilt: List[_VecStep] = []
+        bound: set[Variable] = set(layout)
+        rebuilt: list[_VecStep] = []
         for step in reordered:
             bound |= set(pattern_variables(step.pattern))
             attached = [expr for expr in pending if expr.variables() <= bound]
@@ -615,7 +618,7 @@ class VecBGPOp(VecOperator):
     # -- the chain ----------------------------------------------------------- #
     def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
         config = self.ctx.config
-        layout: List[Variable] = list(self.in_schema)
+        layout: list[Variable] = list(self.in_schema)
 
         def input_rows() -> Iterator[Row]:
             for batch in batches:
@@ -671,7 +674,7 @@ class VecBGPOp(VecOperator):
             stream = permuted(stream)
 
         cap = config.initial_batch_rows
-        buffer: List[Row] = []
+        buffer: list[Row] = []
         for row in stream:
             buffer.append(row)
             if len(buffer) >= cap:
@@ -685,7 +688,7 @@ class VecBGPOp(VecOperator):
         suffix = " adaptive" if self.adaptive else ""
         return f"BGPScan est={self.est:.1f}{suffix}"
 
-    def report_lines(self, indent: int = 0) -> List[str]:
+    def report_lines(self, indent: int = 0) -> list[str]:
         lines = super().report_lines(indent)
         pad = "  " * (indent + 1)
         for step in self.steps:
@@ -717,7 +720,7 @@ class VecTableOp(VecOperator):
         self.columns = list(columns)
         self.schema = extend_schema(in_schema, self.columns)
         intern = ctx.dictionary.intern
-        self._rows: List[Row] = [
+        self._rows: list[Row] = [
             tuple(intern(term) if term is not None else UNBOUND for term in row)
             for row in rows
         ]
@@ -737,13 +740,13 @@ class VecTableOp(VecOperator):
         pad = width - in_width
         schema = self.schema
         for batch in batches:
-            out: List[Row] = []
+            out: list[Row] = []
             for row in batch.rows:
                 base = row + (UNBOUND,) * pad
                 for table_row in table:
                     merged = list(base)
                     ok = True
-                    for value, target in zip(table_row, targets):
+                    for value, target in zip(table_row, targets, strict=True):
                         if not value:
                             continue  # UNDEF constrains nothing
                         current = merged[target]
@@ -810,7 +813,7 @@ class VecHashJoinOp(VecOperator):
         # The build side runs against the empty input (that is what makes
         # the hash join safe), so its rows cannot vary between runs of one
         # execution: build once, reuse under correlated parents.
-        self._table: Optional[Dict[Row, List[Row]]] = None
+        self._table: dict[Row, list[Row]] | None = None
 
     def reset(self) -> None:
         self._table = None
@@ -818,7 +821,7 @@ class VecHashJoinOp(VecOperator):
 
     def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
         if self._table is None:
-            table: Dict[Row, List[Row]] = {}
+            table: dict[Row, list[Row]] = {}
             right_key = self._right_key
             append_cols = self._append_cols
             for batch in self._right.execute(seed_batches()):
@@ -832,7 +835,7 @@ class VecHashJoinOp(VecOperator):
         left_key = self._left_key
         schema = self.schema
         for batch in self._left.execute(batches):
-            out: List[Row] = []
+            out: list[Row] = []
             for row in batch.rows:
                 key = tuple(row[index] for index in left_key)
                 for suffix in table.get(key, ()):
@@ -865,8 +868,8 @@ class _OrdinalMixin:
     @staticmethod
     def bucket_by_ordinal(
         op: VecOperator, batch: Batch, ord_index: int
-    ) -> Dict[int, List[Row]]:
-        buckets: Dict[int, List[Row]] = {}
+    ) -> dict[int, list[Row]]:
+        buckets: dict[int, list[Row]] = {}
         for produced in op.execute(iter((batch,))):
             for row in produced.rows:
                 buckets.setdefault(row[ord_index], []).append(row)
@@ -881,7 +884,7 @@ class VecLeftJoinOp(VecOperator, _OrdinalMixin):
         ctx: ExecContext,
         in_schema: Schema,
         right: VecOperator,
-        expression: Optional[Expression],
+        expression: Expression | None,
         ord_var: Variable,
     ) -> None:
         super().__init__(ctx)
@@ -913,7 +916,7 @@ class VecLeftJoinOp(VecOperator, _OrdinalMixin):
         for batch in batches:
             tagged = self.tag_batch(batch, self._tagged_schema)
             buckets = self.bucket_by_ordinal(self._right, tagged, self._ord_index)
-            out: List[Row] = []
+            out: list[Row] = []
             for ordinal, row in enumerate(batch.rows):
                 matched = False
                 for extension in buckets.get(ordinal, ()):
@@ -964,8 +967,8 @@ class VecUnionOp(VecOperator, _OrdinalMixin):
             )
         self.schema = schema
         positions = {variable: index for index, variable in enumerate(schema)}
-        self._ord_indexes: List[int] = []
-        self._projections: List[List[Tuple[int, int]]] = []
+        self._ord_indexes: list[int] = []
+        self._projections: list[list[tuple[int, int]]] = []
         for branch in self._branches:
             branch_positions = {v: i for i, v in enumerate(branch.schema)}
             self._ord_indexes.append(branch_positions[ord_var])
@@ -985,7 +988,7 @@ class VecUnionOp(VecOperator, _OrdinalMixin):
                 self.bucket_by_ordinal(branch, tagged, self._ord_indexes[index])
                 for index, branch in enumerate(self._branches)
             ]
-            out: List[Row] = []
+            out: list[Row] = []
             for ordinal in range(len(batch.rows)):
                 for index, buckets in enumerate(per_branch):
                     mapping = self._projections[index]
@@ -1014,7 +1017,7 @@ class VecFilterOp(VecOperator):
         ctx: ExecContext,
         child: VecOperator,
         expressions: Sequence[Expression],
-        graph: Optional[Any] = None,
+        graph: Any | None = None,
     ) -> None:
         super().__init__(ctx)
         self._child = child
@@ -1095,10 +1098,10 @@ class VecDistinctOp(VecOperator):
         self.est = child.est
 
     def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
-        seen: Set[Row] = set()
+        seen: set[Row] = set()
         schema = self.schema
         for batch in self._child.execute(batches):
-            rows: List[Row] = []
+            rows: list[Row] = []
             for row in batch.rows:
                 if row not in seen:
                     seen.add(row)
@@ -1120,7 +1123,7 @@ class VecOrderByOp(VecOperator):
         ctx: ExecContext,
         child: VecOperator,
         conditions: Sequence[OrderCondition],
-        graph: Optional[Any] = None,
+        graph: Any | None = None,
     ) -> None:
         super().__init__(ctx)
         self._child = child
@@ -1134,13 +1137,13 @@ class VecOrderByOp(VecOperator):
         graph = self._graph
         conditions = self._conditions
         schema = self.schema
-        rows: List[Row] = []
+        rows: list[Row] = []
         for batch in self._child.execute(batches):
             rows.extend(batch.rows)
 
-        def sort_key(row: Row) -> List[Any]:
+        def sort_key(row: Row) -> list[Any]:
             binding = ctx.decode_expression_binding(schema, row)
-            key: List[Any] = []
+            key: list[Any] = []
             for condition in conditions:
                 try:
                     value = evaluate_expression(condition.expression, binding, graph)
@@ -1166,8 +1169,8 @@ class VecSliceOp(VecOperator):
         self,
         ctx: ExecContext,
         child: VecOperator,
-        offset: Optional[int],
-        limit: Optional[int],
+        offset: int | None,
+        limit: int | None,
     ) -> None:
         super().__init__(ctx)
         self._child = child
@@ -1220,13 +1223,13 @@ class QueryRunEvent:
     engine: str
     elapsed: float
     rows: int
-    operators: List[Dict[str, Any]] = field(default_factory=list)
-    adaptivity: List[Dict[str, Any]] = field(default_factory=list)
-    endpoints: List[Dict[str, Any]] = field(default_factory=list)
+    operators: list[dict[str, Any]] = field(default_factory=list)
+    adaptivity: list[dict[str, Any]] = field(default_factory=list)
+    endpoints: list[dict[str, Any]] = field(default_factory=list)
     rows_shipped: int = 0
     plan: str = ""
 
-    def to_json_dict(self) -> Dict[str, Any]:
+    def to_json_dict(self) -> dict[str, Any]:
         return {
             "query": self.query,
             "engine": self.engine,
@@ -1300,7 +1303,7 @@ class ExecPlan:
             for row in batch.rows:
                 yield ctx.decode_binding(schema, row)
 
-    def first_binding(self) -> Optional[Binding]:
+    def first_binding(self) -> Binding | None:
         """The first solution, pulling as little as possible (ASK)."""
         return next(self.bindings(), None)
 
@@ -1308,7 +1311,7 @@ class ExecPlan:
         """Per-operator rows/batches/time of the most recent execution."""
         return "\n".join(self.root.report_lines(0))
 
-    def run_event(self, query_text: Optional[str] = None) -> QueryRunEvent:
+    def run_event(self, query_text: str | None = None) -> QueryRunEvent:
         """The structured run event of the most recent execution."""
         return QueryRunEvent(
             query=query_text if query_text is not None else type(self.query).__name__,
@@ -1324,13 +1327,13 @@ class ExecPlan:
 # --------------------------------------------------------------------------- #
 # Compilation: the cost-based planner engine
 # --------------------------------------------------------------------------- #
-def _fresh_ord(counter: List[int]) -> Variable:
+def _fresh_ord(counter: list[int]) -> Variable:
     counter[0] += 1
     return Variable(f"{_ORD_PREFIX}{counter[0]}")
 
 
 def _convert_physical(
-    op: Any, in_schema: Schema, ctx: ExecContext, counter: List[int]
+    op: Any, in_schema: Schema, ctx: ExecContext, counter: list[int]
 ) -> VecOperator:
     """Convert one streaming physical operator (``repro.sparql.plan``) into
     its batched counterpart, preserving every planning decision."""
@@ -1389,7 +1392,7 @@ def _convert_physical(
 
 
 def compile_planner_query(
-    query: Query, graph: Any, config: Optional[ExecConfig] = None
+    query: Query, graph: Any, config: ExecConfig | None = None
 ) -> ExecPlan:
     """Compile ``query`` with the cost-based planner onto batched operators.
 
@@ -1409,7 +1412,7 @@ def compile_planner_query(
 # Compilation: the naive engine (bottom-up group semantics)
 # --------------------------------------------------------------------------- #
 def compile_naive_query(
-    query: Query, graph: Any, config: Optional[ExecConfig] = None
+    query: Query, graph: Any, config: ExecConfig | None = None
 ) -> ExecPlan:
     """Compile ``query`` with the naive evaluator's semantics onto batched
     operators: elements in group order, group-scoped filters at the end of
@@ -1428,9 +1431,9 @@ def compile_naive_query(
     counter = [0]
 
     def compile_group(group: GroupGraphPattern, in_schema: Schema) -> VecOperator:
-        chain: List[VecOperator] = []
+        chain: list[VecOperator] = []
         schema = in_schema
-        filters: List[Expression] = []
+        filters: list[Expression] = []
         for element in group.elements:
             if isinstance(element, Filter):
                 filters.append(element.expression)
@@ -1463,7 +1466,7 @@ def compile_naive_query(
             root = VecFilterOp(ctx, root, filters)
         return root
 
-    def _compose(chain: List[VecOperator], schema: Schema) -> VecOperator:
+    def _compose(chain: list[VecOperator], schema: Schema) -> VecOperator:
         if not chain:
             return _VecIdentityOp(ctx, schema)
         root = chain[0]
@@ -1498,3 +1501,49 @@ class _VecIdentityOp(VecOperator):
 
     def describe(self) -> str:
         return "Identity"
+
+
+# --------------------------------------------------------------------------- #
+# Compilation: statically-proven-empty queries
+# --------------------------------------------------------------------------- #
+class VecAnalysisPruneOp(VecOperator):
+    """The whole plan for a query the static analyzer proved empty.
+
+    Emits nothing and has no children: EXPLAIN ANALYZE shows a single
+    operator with zero rows and zero batches, and no scan ever touches
+    the graph indexes.
+    """
+
+    def __init__(self, ctx: ExecContext, schema: Schema, reason: str) -> None:
+        super().__init__(ctx)
+        self.schema = schema
+        self.reason = reason
+
+    def _run(self, batches: Iterator[Batch]) -> Iterator[Batch]:
+        for _ in batches:  # drain the seed without producing anything
+            pass
+        return iter(())
+
+    def describe(self) -> str:
+        return f"AnalysisPrune[{self.reason}]"
+
+
+def compile_empty_query(
+    query: Query,
+    graph: Any,
+    reason: str,
+    config: ExecConfig | None = None,
+    engine: str = "planner",
+) -> ExecPlan:
+    """An :class:`ExecPlan` for a query statically proven to be empty.
+
+    The plan performs zero index lookups — its only operator is
+    :class:`VecAnalysisPruneOp` — while keeping the full EXPLAIN ANALYZE
+    surface (report, run events, operator stats) intact.
+    """
+    ctx = ExecContext(graph, config)
+    schema: Schema = ()
+    if isinstance(query, SelectQuery):
+        schema = tuple(query.effective_projection())
+    root = VecAnalysisPruneOp(ctx, schema, reason)
+    return ExecPlan(query, root, ctx, engine=engine)

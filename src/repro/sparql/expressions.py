@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 from decimal import Decimal
-from typing import Any, Optional, Union
+from typing import Any
 
 from ..rdf import BNode, Literal, Term, URIRef, Variable, XSD
 from .ast import (
@@ -131,7 +131,7 @@ def _evaluate_binary(expression: BinaryExpression, binding: Binding, graph) -> A
 
 def _logical_or(expression: BinaryExpression, binding: Binding, graph) -> bool:
     """``||`` with SPARQL error recovery: true wins over an error."""
-    left_error: Optional[ExpressionError] = None
+    left_error: ExpressionError | None = None
     try:
         if effective_boolean_value(evaluate_expression(expression.left, binding, graph)):
             return True
@@ -149,7 +149,7 @@ def _logical_or(expression: BinaryExpression, binding: Binding, graph) -> bool:
 
 def _logical_and(expression: BinaryExpression, binding: Binding, graph) -> bool:
     """``&&`` with SPARQL error recovery: false wins over an error."""
-    left_error: Optional[ExpressionError] = None
+    left_error: ExpressionError | None = None
     left_value = True
     try:
         left_value = effective_boolean_value(evaluate_expression(expression.left, binding, graph))
@@ -184,7 +184,7 @@ def _equals(left: Any, right: Any) -> bool:
     return _plain_value(left_term) == _plain_value(right_term)
 
 
-def _maybe_number(value: Any) -> Optional[Union[int, float, Decimal]]:
+def _maybe_number(value: Any) -> int | float | Decimal | None:
     """The numeric value of ``value`` or ``None`` when it is not numeric."""
     if isinstance(value, bool):
         return None
@@ -211,7 +211,7 @@ def _compare(operator: str, left: Any, right: Any) -> bool:
     return left_value >= right_value
 
 
-def _arithmetic(operator: str, left: Any, right: Any) -> Union[int, float, Decimal]:
+def _arithmetic(operator: str, left: Any, right: Any) -> int | float | Decimal:
     left_value = _numeric(left)
     right_value = _numeric(right)
     if operator == "+":
@@ -358,7 +358,7 @@ def _plain_value(value: Any) -> Any:
     return value
 
 
-def _numeric(value: Any) -> Union[int, float, Decimal]:
+def _numeric(value: Any) -> int | float | Decimal:
     if isinstance(value, bool):
         raise ExpressionError("boolean is not a number")
     if isinstance(value, (int, float, Decimal)):

@@ -29,7 +29,7 @@ import csv
 import io
 import json
 import xml.etree.ElementTree as ElementTree
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
 
 from ..rdf import BNode, Literal, Term, URIRef, Variable
 from .results import AskResult, Binding, ResultSet, TermSerializationError
@@ -60,7 +60,7 @@ __all__ = [
 SPARQL_RESULTS_NS = "http://www.w3.org/2005/sparql-results#"
 
 #: Canonical media type served per SELECT result format.
-RESULT_MEDIA_TYPES: Dict[str, str] = {
+RESULT_MEDIA_TYPES: dict[str, str] = {
     "json": "application/sparql-results+json",
     "xml": "application/sparql-results+xml",
     "csv": "text/csv",
@@ -68,19 +68,19 @@ RESULT_MEDIA_TYPES: Dict[str, str] = {
 }
 
 #: Formats able to carry an ASK (boolean) result.
-ASK_MEDIA_TYPES: Dict[str, str] = {
+ASK_MEDIA_TYPES: dict[str, str] = {
     "json": RESULT_MEDIA_TYPES["json"],
     "xml": RESULT_MEDIA_TYPES["xml"],
 }
 
 #: Canonical media type served per CONSTRUCT graph format.
-GRAPH_MEDIA_TYPES: Dict[str, str] = {
+GRAPH_MEDIA_TYPES: dict[str, str] = {
     "turtle": "text/turtle",
     "ntriples": "application/n-triples",
 }
 
 #: Accepted media ranges (exact match, lower-cased) → format name.
-_RESULT_ALIASES: Dict[str, str] = {
+_RESULT_ALIASES: dict[str, str] = {
     "application/sparql-results+json": "json",
     "application/json": "json",
     "application/sparql-results+xml": "xml",
@@ -90,7 +90,7 @@ _RESULT_ALIASES: Dict[str, str] = {
     "text/tab-separated-values": "tsv",
 }
 
-_GRAPH_ALIASES: Dict[str, str] = {
+_GRAPH_ALIASES: dict[str, str] = {
     "text/turtle": "turtle",
     "application/x-turtle": "turtle",
     "application/n-triples": "ntriples",
@@ -105,9 +105,9 @@ class FormatError(ValueError):
 # --------------------------------------------------------------------------- #
 # Content negotiation
 # --------------------------------------------------------------------------- #
-def _parse_accept(header: str) -> List[Tuple[str, float]]:
+def _parse_accept(header: str) -> list[tuple[str, float]]:
     """``Accept`` media ranges as (type, q) pairs, highest preference first."""
-    ranges: List[Tuple[str, float, int]] = []
+    ranges: list[tuple[str, float, int]] = []
     for position, part in enumerate(header.split(",")):
         part = part.strip()
         if not part:
@@ -129,11 +129,11 @@ def _parse_accept(header: str) -> List[Tuple[str, float]]:
 
 
 def negotiate(
-    accept: Optional[str],
-    aliases: Optional[Mapping[str, str]] = None,
+    accept: str | None,
+    aliases: Mapping[str, str] | None = None,
     default: str = "json",
-    allowed: Optional[Sequence[str]] = None,
-) -> Optional[str]:
+    allowed: Sequence[str] | None = None,
+) -> str | None:
     """Pick a result format for an ``Accept`` header.
 
     Returns the format name for the client's most-preferred supported media
@@ -161,7 +161,7 @@ def negotiate(
     return None
 
 
-def negotiate_graph(accept: Optional[str], default: str = "turtle") -> Optional[str]:
+def negotiate_graph(accept: str | None, default: str = "turtle") -> str | None:
     """:func:`negotiate` specialised to CONSTRUCT graph formats."""
     return negotiate(accept, aliases=_GRAPH_ALIASES, default=default)
 
@@ -169,7 +169,7 @@ def negotiate_graph(accept: Optional[str], default: str = "turtle") -> Optional[
 # --------------------------------------------------------------------------- #
 # Term encoding
 # --------------------------------------------------------------------------- #
-def term_to_json(term: Term) -> Dict[str, str]:
+def term_to_json(term: Term) -> dict[str, str]:
     """SPARQL-results-JSON object for one RDF term (strict: see results.py)."""
     from .results import _term_to_json
 
@@ -215,7 +215,7 @@ _N3_ESCAPES = {"\\": "\\", '"': '"', "n": "\n", "r": "\r", "t": "\t"}
 
 
 def _unescape_n3_string(text: str) -> str:
-    out: List[str] = []
+    out: list[str] = []
     index = 0
     while index < len(text):
         char = text[index]
@@ -280,12 +280,20 @@ def parse_n3_term(text: str) -> Term:
 # --------------------------------------------------------------------------- #
 # Writers
 # --------------------------------------------------------------------------- #
-def write_json(result: Union[ResultSet, AskResult]) -> str:
-    """SPARQL 1.1 Query Results JSON document."""
+def write_json(result: ResultSet | AskResult) -> str:
+    """SPARQL 1.1 Query Results JSON document.
+
+    When the evaluator attached static-analysis diagnostics, they ride
+    along under a top-level ``diagnostics`` key (a spec-tolerated
+    extension; parsers ignore unknown keys).
+    """
     if isinstance(result, AskResult):
-        payload: Dict[str, object] = {"head": {}, "boolean": result.value}
+        payload: dict[str, object] = {"head": {}, "boolean": result.value}
     else:
         payload = result.to_json_dict()
+    diagnostics = getattr(result, "diagnostics", None)
+    if diagnostics:
+        payload["diagnostics"] = [d.to_json_dict() for d in diagnostics]
     return json.dumps(payload, indent=2, ensure_ascii=False) + "\n"
 
 
@@ -298,7 +306,7 @@ def _xml_escape(text: str) -> str:
     )
 
 
-def write_xml(result: Union[ResultSet, AskResult]) -> str:
+def write_xml(result: ResultSet | AskResult) -> str:
     """SPARQL Query Results XML document."""
     lines = [
         '<?xml version="1.0" encoding="UTF-8"?>',
@@ -345,7 +353,7 @@ def _xml_term(term: Term) -> str:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
-def write_csv(result: Union[ResultSet, AskResult]) -> str:
+def write_csv(result: ResultSet | AskResult) -> str:
     """SPARQL 1.1 CSV results: header of variable names, plain value cells."""
     if isinstance(result, AskResult):
         raise FormatError("ASK results have no CSV encoding; use json or xml")
@@ -365,7 +373,7 @@ def write_csv(result: Union[ResultSet, AskResult]) -> str:
     return buffer.getvalue()
 
 
-def write_tsv(result: Union[ResultSet, AskResult]) -> str:
+def write_tsv(result: ResultSet | AskResult) -> str:
     """SPARQL 1.1 TSV results: ``?var`` header, N-Triples-encoded cells."""
     if isinstance(result, AskResult):
         raise FormatError("ASK results have no TSV encoding; use json or xml")
@@ -387,7 +395,7 @@ _RESULT_WRITERS = {
 }
 
 
-def write_results(result: Union[ResultSet, AskResult], format: str = "json") -> str:
+def write_results(result: ResultSet | AskResult, format: str = "json") -> str:
     """Serialise a SELECT/ASK result in the named format."""
     if format == "table":
         if isinstance(result, AskResult):
@@ -419,7 +427,7 @@ def read_graph(text: str, format: str = "turtle"):
 # --------------------------------------------------------------------------- #
 # Parsers
 # --------------------------------------------------------------------------- #
-def parse_json(text: str) -> Union[ResultSet, AskResult]:
+def parse_json(text: str) -> ResultSet | AskResult:
     """Parse a SPARQL results JSON document."""
     try:
         payload = json.loads(text)
@@ -444,7 +452,7 @@ def parse_json(text: str) -> Union[ResultSet, AskResult]:
     return ResultSet(variables, bindings)
 
 
-def parse_xml(text: str) -> Union[ResultSet, AskResult]:
+def parse_xml(text: str) -> ResultSet | AskResult:
     """Parse a SPARQL results XML document."""
     try:
         root = ElementTree.fromstring(text)
@@ -507,7 +515,7 @@ def parse_csv(text: str) -> ResultSet:
         if len(row) > len(variables):
             raise FormatError(f"CSV row wider than the header: {row!r}")
         data = {}
-        for variable, cell in zip(variables, row):
+        for variable, cell in zip(variables, row, strict=False):
             if cell == "":
                 continue
             if cell.startswith("_:"):
@@ -540,7 +548,7 @@ def parse_tsv(text: str) -> ResultSet:
         if len(cells) > len(variables):
             raise FormatError(f"TSV row wider than the header: {line!r}")
         data = {}
-        for variable, cell in zip(variables, cells):
+        for variable, cell in zip(variables, cells, strict=False):
             if cell == "":
                 continue
             data[variable] = parse_n3_term(cell)
@@ -556,7 +564,7 @@ _RESULT_PARSERS = {
 }
 
 
-def parse_results(text: str, format: str = "json") -> Union[ResultSet, AskResult]:
+def parse_results(text: str, format: str = "json") -> ResultSet | AskResult:
     """Parse a SELECT/ASK result document in the named format."""
     try:
         parser = _RESULT_PARSERS[format]

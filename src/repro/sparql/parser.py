@@ -20,7 +20,6 @@ practical mediator encounters):
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..rdf import (
     BNode,
@@ -56,7 +55,7 @@ from .ast import (
     UnionPattern,
     VariableExpression,
 )
-from .tokenizer import SparqlToken, tokenize_sparql
+from .tokenizer import SourceSpan, SparqlToken, tokenize_sparql
 
 __all__ = ["SparqlParser", "SparqlParseError", "parse_query"]
 
@@ -67,18 +66,26 @@ _BUILTIN_FUNCTIONS = {
 
 
 class SparqlParseError(ValueError):
-    """Raised when a query is syntactically invalid."""
+    """Raised when a query is syntactically invalid.
 
-    def __init__(self, message: str, token: Optional[SparqlToken] = None) -> None:
+    ``line``/``column`` (1-based) and ``span`` locate the offending token
+    when one is available, so callers can report exact source positions
+    without re-parsing the rendered message.
+    """
+
+    def __init__(self, message: str, token: SparqlToken | None = None) -> None:
         location = f" (line {token.line}, column {token.column})" if token else ""
         super().__init__(message + location)
         self.token = token
+        self.line: int | None = token.line if token else None
+        self.column: int | None = token.column if token else None
+        self.span: SourceSpan | None = token.span if token else None
 
 
 class SparqlParser:
     """Parse SPARQL text into the AST of :mod:`repro.sparql.ast`."""
 
-    def __init__(self, namespace_manager: Optional[NamespaceManager] = None) -> None:
+    def __init__(self, namespace_manager: NamespaceManager | None = None) -> None:
         self._seed_manager = namespace_manager
 
     def parse(self, text: str) -> Query:
@@ -86,11 +93,13 @@ class SparqlParser:
         state = _ParserState(tokens, self._seed_manager)
         query = state.parse_query()
         state.expect_eof()
+        if len(tokens) > 1:  # more than the EOF token
+            query.span = tokens[0].span.cover(tokens[-2].span)
         return query
 
 
 class _ParserState:
-    def __init__(self, tokens: List[SparqlToken], seed_manager: Optional[NamespaceManager]) -> None:
+    def __init__(self, tokens: list[SparqlToken], seed_manager: NamespaceManager | None) -> None:
         self._tokens = tokens
         self._index = 0
         manager = seed_manager.copy() if seed_manager else NamespaceManager(install_defaults=False)
@@ -109,7 +118,7 @@ class _ParserState:
             self._index += 1
         return token
 
-    def _expect(self, kind: str, value: Optional[str] = None) -> SparqlToken:
+    def _expect(self, kind: str, value: str | None = None) -> SparqlToken:
         token = self._next()
         if token.kind != kind or (value is not None and token.value != value):
             expected = f"{kind} {value}" if value else kind
@@ -118,11 +127,15 @@ class _ParserState:
             )
         return token
 
+    def _prev_span(self) -> SourceSpan:
+        """The span of the most recently consumed token."""
+        return self._tokens[max(self._index - 1, 0)].span
+
     def _at_keyword(self, *names: str) -> bool:
         token = self._peek()
         return token.kind == "KEYWORD" and token.value in names
 
-    def _accept_keyword(self, *names: str) -> Optional[SparqlToken]:
+    def _accept_keyword(self, *names: str) -> SparqlToken | None:
         if self._at_keyword(*names):
             return self._next()
         return None
@@ -172,19 +185,22 @@ class _ParserState:
         elif self._accept_keyword("REDUCED"):
             modifiers.reduced = True
 
-        projection: List[Variable] = []
+        projection: list[Variable] = []
+        projection_spans: list[SourceSpan | None] = []
         if self._peek().kind == "STAR":
             self._next()
         else:
             while self._peek().kind == "VAR":
-                projection.append(Variable(self._next().value))
+                token = self._next()
+                projection.append(Variable(token.value))
+                projection_spans.append(token.span)
             if not projection:
                 raise SparqlParseError("SELECT requires '*' or at least one variable", self._peek())
 
         self._accept_keyword("WHERE")
         where = self._parse_group_graph_pattern()
         self._parse_solution_modifiers(modifiers)
-        return SelectQuery(self.prologue, projection, where, modifiers)
+        return SelectQuery(self.prologue, projection, where, modifiers, projection_spans)
 
     def _parse_ask(self) -> AskQuery:
         self._expect("KEYWORD", "ASK")
@@ -201,7 +217,7 @@ class _ParserState:
         self._parse_solution_modifiers(modifiers)
         return ConstructQuery(self.prologue, template, where, modifiers)
 
-    def _parse_construct_template(self) -> List[Triple]:
+    def _parse_construct_template(self) -> list[Triple]:
         self._expect("LBRACE")
         block = TriplesBlock()
         while self._peek().kind != "RBRACE":
@@ -215,23 +231,27 @@ class _ParserState:
     # Graph patterns
     # ------------------------------------------------------------------ #
     def _parse_group_graph_pattern(self) -> GroupGraphPattern:
-        self._expect("LBRACE")
+        lbrace = self._expect("LBRACE")
         group = GroupGraphPattern()
-        current_block: Optional[TriplesBlock] = None
+        current_block: TriplesBlock | None = None
 
         while self._peek().kind != "RBRACE":
             token = self._peek()
             if token.kind == "KEYWORD" and token.value == "FILTER":
                 self._next()
-                group.add(Filter(self._parse_filter_constraint()))
+                expression = self._parse_filter_constraint()
+                group.add(Filter(expression, span=token.span.cover(self._prev_span())))
                 current_block = None
             elif token.kind == "KEYWORD" and token.value == "OPTIONAL":
                 self._next()
-                group.add(OptionalPattern(self._parse_group_graph_pattern()))
+                inner = self._parse_group_graph_pattern()
+                group.add(OptionalPattern(inner, span=token.span.cover(self._prev_span())))
                 current_block = None
             elif token.kind == "KEYWORD" and token.value == "VALUES":
                 self._next()
-                group.add(self._parse_inline_data())
+                data = self._parse_inline_data()
+                data.span = token.span.cover(self._prev_span())
+                group.add(data)
                 current_block = None
             elif token.kind == "LBRACE":
                 nested = self._parse_group_graph_pattern()
@@ -240,7 +260,9 @@ class _ParserState:
                     self._next()
                     alternatives.append(self._parse_group_graph_pattern())
                 if len(alternatives) > 1:
-                    group.add(UnionPattern(alternatives))
+                    group.add(
+                        UnionPattern(alternatives, span=token.span.cover(self._prev_span()))
+                    )
                 else:
                     group.add(nested)
                 current_block = None
@@ -251,9 +273,15 @@ class _ParserState:
                     current_block = TriplesBlock()
                     group.add(current_block)
                 self._parse_triples_same_subject(current_block)
+                current_block.span = (
+                    current_block.span.cover(self._prev_span())
+                    if current_block.span
+                    else token.span.cover(self._prev_span())
+                )
                 if self._peek().kind == "DOT":
                     self._next()
-        self._expect("RBRACE")
+        rbrace = self._expect("RBRACE")
+        group.span = lbrace.span.cover(rbrace.span)
         return group
 
     def _parse_filter_constraint(self) -> Expression:
@@ -284,7 +312,7 @@ class _ParserState:
             self._expect("RBRACE")
             return data
         self._expect("LPAREN")
-        columns: List[Variable] = []
+        columns: list[Variable] = []
         while self._peek().kind == "VAR":
             columns.append(Variable(self._next().value))
         self._expect("RPAREN")
@@ -292,7 +320,7 @@ class _ParserState:
         self._expect("LBRACE")
         while self._peek().kind != "RBRACE":
             self._expect("LPAREN")
-            row: List[Optional[Term]] = []
+            row: list[Term | None] = []
             while self._peek().kind != "RPAREN":
                 row.append(self._parse_data_value())
             self._expect("RPAREN")
@@ -303,7 +331,7 @@ class _ParserState:
         self._expect("RBRACE")
         return data
 
-    def _parse_data_value(self) -> Optional[Term]:
+    def _parse_data_value(self) -> Term | None:
         """One VALUES cell: an IRI, a literal, or ``UNDEF`` (``None``)."""
         token = self._peek()
         if token.kind == "KEYWORD" and token.value == "UNDEF":
@@ -328,15 +356,20 @@ class _ParserState:
     # Triple patterns
     # ------------------------------------------------------------------ #
     def _parse_triples_same_subject(self, block: TriplesBlock) -> None:
+        start = self._peek().span
         subject = self._parse_term(position="subject", block=block)
-        self._parse_property_list(subject, block)
+        self._parse_property_list(subject, block, start)
 
-    def _parse_property_list(self, subject: Term, block: TriplesBlock) -> None:
+    def _parse_property_list(
+        self, subject: Term, block: TriplesBlock, start: SourceSpan | None = None
+    ) -> None:
+        if start is None:
+            start = self._peek().span
         while True:
             predicate = self._parse_verb()
             while True:
                 obj = self._parse_term(position="object", block=block)
-                block.add(Triple(subject, predicate, obj))
+                block.add(Triple(subject, predicate, obj), span=start.cover(self._prev_span()))
                 if self._peek().kind == "COMMA":
                     self._next()
                     continue
@@ -362,7 +395,7 @@ class _ParserState:
         term = self._parse_iri()
         return term
 
-    def _parse_term(self, position: str, block: Optional[TriplesBlock] = None) -> Term:
+    def _parse_term(self, position: str, block: TriplesBlock | None = None) -> Term:
         token = self._peek()
         if token.kind == "VAR":
             self._next()
@@ -387,7 +420,7 @@ class _ParserState:
             return Literal(token.value.lower(), datatype=XSD.boolean)
         raise SparqlParseError(f"unexpected token in triple pattern: {token.value!r}", token)
 
-    def _parse_blank_node_property_list(self, block: Optional[TriplesBlock]) -> Term:
+    def _parse_blank_node_property_list(self, block: TriplesBlock | None) -> Term:
         self._expect("LBRACKET")
         node = fresh_bnode("anon")
         if self._peek().kind != "RBRACKET":
@@ -537,7 +570,7 @@ class _ParserState:
     def _parse_builtin_call(self) -> Expression:
         name = self._next().value
         self._expect("LPAREN")
-        arguments: List[Expression] = []
+        arguments: list[Expression] = []
         if self._peek().kind != "RPAREN":
             arguments.append(self._parse_expression())
             while self._peek().kind == "COMMA":
@@ -553,7 +586,7 @@ class _ParserState:
         else:
             function_iri = self._expand_pname(token)
         self._expect("LPAREN")
-        arguments: List[Expression] = []
+        arguments: list[Expression] = []
         if self._peek().kind != "RPAREN":
             arguments.append(self._parse_expression())
             while self._peek().kind == "COMMA":
@@ -577,15 +610,25 @@ class _ParserState:
                     self._expect("LPAREN")
                     expression = self._parse_expression()
                     self._expect("RPAREN")
-                    modifiers.order_by.append(OrderCondition(expression, descending))
+                    modifiers.order_by.append(
+                        OrderCondition(
+                            expression, descending, span=token.span.cover(self._prev_span())
+                        )
+                    )
                 elif token.kind == "VAR":
                     self._next()
-                    modifiers.order_by.append(OrderCondition(VariableExpression(Variable(token.value))))
+                    modifiers.order_by.append(
+                        OrderCondition(
+                            VariableExpression(Variable(token.value)), span=token.span
+                        )
+                    )
                 elif token.kind == "LPAREN":
                     self._next()
                     expression = self._parse_expression()
                     self._expect("RPAREN")
-                    modifiers.order_by.append(OrderCondition(expression))
+                    modifiers.order_by.append(
+                        OrderCondition(expression, span=token.span.cover(self._prev_span()))
+                    )
                 else:
                     break
         # LIMIT and OFFSET may appear in either order.
@@ -598,6 +641,6 @@ class _ParserState:
                 modifiers.offset = int(self._expect("INTEGER").value)
 
 
-def parse_query(text: str, namespace_manager: Optional[NamespaceManager] = None) -> Query:
+def parse_query(text: str, namespace_manager: NamespaceManager | None = None) -> Query:
     """Parse SPARQL text into a :class:`Query` AST."""
     return SparqlParser(namespace_manager).parse(text)

@@ -39,7 +39,7 @@ hypothesis differential test pin this down.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterator, Sequence
 
 from ..rdf import BNode, Triple, Variable
 from .algebra import (
@@ -95,9 +95,9 @@ __all__ = [
 _HASH_BUILD_CEILING = 250_000.0
 
 
-def _binding_variables(pattern: Triple) -> Set[Variable]:
+def _binding_variables(pattern: Triple) -> set[Variable]:
     """The variables a scan of ``pattern`` binds (incl. blank-node anchors)."""
-    result: Set[Variable] = set()
+    result: set[Variable] = set()
     for term in pattern:
         if isinstance(term, Variable):
             result.add(term)
@@ -130,9 +130,9 @@ class CardinalityEstimator:
         self._cardinality = getattr(graph, "cardinality", None)
         self._stats = getattr(graph, "stats", None)
 
-    def pattern_estimate(self, pattern: Triple, bound: Set[Variable]) -> float:
-        lookup: List[Optional[Triple]] = []
-        bound_positions: List[int] = []
+    def pattern_estimate(self, pattern: Triple, bound: set[Variable]) -> float:
+        lookup: list[Triple | None] = []
+        bound_positions: list[int] = []
         for index, term in enumerate(pattern):
             if isinstance(term, (Variable, BNode)):
                 anchor = term if isinstance(term, Variable) else bnode_anchor(term)
@@ -163,9 +163,9 @@ class CardinalityEstimator:
 
 def order_patterns(
     patterns: Sequence[Triple],
-    bound: Set[Variable],
+    bound: set[Variable],
     estimator: CardinalityEstimator,
-) -> List[Triple]:
+) -> list[Triple]:
     """Greedy, deterministic join order for the patterns of one BGP.
 
     Repeatedly pick the cheapest pattern (lowest cardinality estimate under
@@ -174,7 +174,7 @@ def order_patterns(
     chain never degenerates into an avoidable cross product.
     """
     remaining = list(patterns)
-    ordered: List[Triple] = []
+    ordered: list[Triple] = []
     seen_vars = set(bound)
     while remaining:
         connected = [
@@ -183,7 +183,7 @@ def order_patterns(
         ]
         candidates = connected if connected and seen_vars else remaining
 
-        def sort_key(pattern: Triple) -> Tuple[float, str]:
+        def sort_key(pattern: Triple) -> tuple[float, str]:
             return (estimator.pattern_estimate(pattern, seen_vars), _pattern_text(pattern))
 
         best = min(candidates, key=sort_key)
@@ -196,10 +196,10 @@ def order_patterns(
 # --------------------------------------------------------------------------- #
 # Static variable analysis (certain vs. possible bindings)
 # --------------------------------------------------------------------------- #
-def certain_variables(node: AlgebraNode) -> Set[Variable]:
+def certain_variables(node: AlgebraNode) -> set[Variable]:
     """Variables bound in *every* solution the node can produce."""
     if isinstance(node, AlgebraBGP):
-        result: Set[Variable] = set()
+        result: set[Variable] = set()
         for pattern in node.patterns:
             result |= _binding_variables(pattern)
         return result
@@ -226,7 +226,7 @@ def certain_variables(node: AlgebraNode) -> Set[Variable]:
     return set()
 
 
-def possible_variables(node: AlgebraNode) -> Set[Variable]:
+def possible_variables(node: AlgebraNode) -> set[Variable]:
     """Variables bound in *some* solution the node can produce."""
     if isinstance(node, AlgebraBGP):
         return certain_variables(node)
@@ -272,13 +272,13 @@ class PhysicalOperator:
         for child in self.children():
             child.reset()
 
-    def children(self) -> Sequence["PhysicalOperator"]:
+    def children(self) -> Sequence[PhysicalOperator]:
         return ()
 
     def describe(self) -> str:
         return type(self).__name__
 
-    def explain_lines(self, indent: int = 0) -> List[str]:
+    def explain_lines(self, indent: int = 0) -> list[str]:
         lines = ["  " * indent + self.describe()]
         for child in self.children():
             lines.extend(child.explain_lines(indent + 1))
@@ -290,7 +290,7 @@ class _ScanStep:
 
     __slots__ = ("pattern", "filters", "est")
 
-    def __init__(self, pattern: Triple, filters: List[Expression], est: float) -> None:
+    def __init__(self, pattern: Triple, filters: list[Expression], est: float) -> None:
         self.pattern = pattern
         self.filters = filters
         self.est = est
@@ -299,7 +299,7 @@ class _ScanStep:
 class BGPScanOp(PhysicalOperator):
     """A statistics-ordered chain of index scans with inlined filters."""
 
-    def __init__(self, graph, steps: List[_ScanStep], tail_filters: List[Expression]) -> None:
+    def __init__(self, graph, steps: list[_ScanStep], tail_filters: list[Expression]) -> None:
         self._graph = graph
         self.steps = steps
         self.tail_filters = tail_filters
@@ -332,7 +332,7 @@ class BGPScanOp(PhysicalOperator):
     def describe(self) -> str:
         return f"BGPScan est={self.est:.1f}"
 
-    def explain_lines(self, indent: int = 0) -> List[str]:
+    def explain_lines(self, indent: int = 0) -> list[str]:
         lines = ["  " * indent + self.describe()]
         pad = "  " * (indent + 1)
         for step in self.steps:
@@ -355,7 +355,7 @@ class TableOp(PhysicalOperator):
         self._rows = [
             Binding({
                 variable: term
-                for variable, term in zip(self.columns, row)
+                for variable, term in zip(self.columns, row, strict=True)
                 if term is not None
             })
             for row in rows
@@ -407,7 +407,7 @@ class HashJoinOp(PhysicalOperator):
         # The build side is compiled against an empty input (that is what
         # makes the hash join safe), so its result cannot vary between runs
         # of one execution: build once, reuse under correlated parents.
-        self._table: Optional[Dict[tuple, List[Binding]]] = None
+        self._table: dict[tuple, list[Binding]] | None = None
 
     def reset(self) -> None:
         self._table = None
@@ -440,7 +440,7 @@ class LeftJoinOp(PhysicalOperator):
         self,
         left: PhysicalOperator,
         right: PhysicalOperator,
-        expression: Optional[Expression],
+        expression: Expression | None,
         graph,
     ) -> None:
         self._left = left
@@ -549,7 +549,7 @@ class DistinctOp(PhysicalOperator):
         self.est = child.est
 
     def run(self, bindings: Iterator[Binding]) -> Iterator[Binding]:
-        seen: Set[frozenset] = set()
+        seen: set[frozenset] = set()
         for binding in self._child.run(bindings):
             key = frozenset(binding.as_dict().items())
             if key not in seen:
@@ -585,7 +585,7 @@ class OrderByOp(PhysicalOperator):
 class SliceOp(PhysicalOperator):
     """OFFSET/LIMIT with early termination: stop pulling once satisfied."""
 
-    def __init__(self, offset: Optional[int], limit: Optional[int], child: PhysicalOperator) -> None:
+    def __init__(self, offset: int | None, limit: int | None, child: PhysicalOperator) -> None:
         self._offset = offset or 0
         self._limit = limit
         self._child = child
@@ -623,7 +623,7 @@ class QueryPlanner:
         self._estimator = CardinalityEstimator(graph)
 
     # -- public entry points ------------------------------------------------ #
-    def plan(self, query: Query) -> "QueryPlan":
+    def plan(self, query: Query) -> QueryPlan:
         """Plan a full query (WHERE clause plus solution modifiers)."""
         if isinstance(query, AskQuery):
             # ASK ignores solution modifiers; plan the pattern only so the
@@ -639,7 +639,7 @@ class QueryPlanner:
     def _coalesce(node: AlgebraNode) -> AlgebraNode:
         """Fuse Join(BGP, BGP) into one BGP so ordering sees all patterns."""
 
-        def fuse(candidate: AlgebraNode) -> Optional[AlgebraNode]:
+        def fuse(candidate: AlgebraNode) -> AlgebraNode | None:
             if (
                 isinstance(candidate, AlgebraJoin)
                 and isinstance(candidate.left, AlgebraBGP)
@@ -656,8 +656,8 @@ class QueryPlanner:
         node: AlgebraNode,
         certain: frozenset,
         possible: frozenset,
-        pending: List[Expression],
-    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        pending: list[Expression],
+    ) -> tuple[PhysicalOperator, frozenset, frozenset]:
         """Compile ``node`` given the input stream's variable knowledge.
 
         ``certain``/``possible`` describe the bindings arriving from the
@@ -683,9 +683,9 @@ class QueryPlanner:
         if isinstance(node, AlgebraLeftJoin):
             return self._compile_leftjoin(node, certain, possible, pending)
         if isinstance(node, AlgebraUnion):
-            branches: List[PhysicalOperator] = []
-            branch_certain: List[frozenset] = []
-            branch_possible: List[frozenset] = []
+            branches: list[PhysicalOperator] = []
+            branch_certain: list[frozenset] = []
+            branch_possible: list[frozenset] = []
             for child in (node.left, node.right):
                 op, c_out, p_out = self._compile(child, certain, possible, list(pending))
                 branches.append(op)
@@ -721,17 +721,17 @@ class QueryPlanner:
         node: AlgebraBGP,
         certain: frozenset,
         possible: frozenset,
-        pending: List[Expression],
-    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        pending: list[Expression],
+    ) -> tuple[PhysicalOperator, frozenset, frozenset]:
         ordered = order_patterns(node.patterns, set(certain), self._estimator)
         bound = set(certain)
         remaining = list(pending)
-        steps: List[_ScanStep] = []
+        steps: list[_ScanStep] = []
         for pattern in ordered:
             est = self._estimator.pattern_estimate(pattern, bound)
             bound |= _binding_variables(pattern)
-            attached: List[Expression] = []
-            still_pending: List[Expression] = []
+            attached: list[Expression] = []
+            still_pending: list[Expression] = []
             for expr in remaining:
                 if expr.variables() <= bound:
                     attached.append(expr)
@@ -750,8 +750,8 @@ class QueryPlanner:
         node: AlgebraJoin,
         certain: frozenset,
         possible: frozenset,
-        pending: List[Expression],
-    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        pending: list[Expression],
+    ) -> tuple[PhysicalOperator, frozenset, frozenset]:
         left_static_certain = certain_variables(node.left) | certain
         push_left = [expr for expr in pending if expr.variables() <= left_static_certain]
         rest = [expr for expr in pending if expr not in push_left]
@@ -801,8 +801,8 @@ class QueryPlanner:
         node: AlgebraLeftJoin,
         certain: frozenset,
         possible: frozenset,
-        pending: List[Expression],
-    ) -> Tuple[PhysicalOperator, frozenset, frozenset]:
+        pending: list[Expression],
+    ) -> tuple[PhysicalOperator, frozenset, frozenset]:
         left_static_certain = certain_variables(node.left) | certain
         push_left = [expr for expr in pending if expr.variables() <= left_static_certain]
         rest = [expr for expr in pending if expr not in push_left]

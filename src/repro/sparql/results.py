@@ -9,7 +9,8 @@ and dict export (mirroring the SPARQL JSON results layout).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 from ..rdf import BNode, Literal, Term, URIRef, Variable
 
@@ -37,11 +38,11 @@ class Binding(Mapping[Variable, Term]):
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: Optional[Mapping[Variable, Term]] = None) -> None:
-        self._data: Dict[Variable, Term] = dict(data) if data else {}
+    def __init__(self, data: Mapping[Variable, Term] | None = None) -> None:
+        self._data: dict[Variable, Term] = dict(data) if data else {}
 
     # -- Mapping protocol --------------------------------------------------- #
-    def __getitem__(self, key: Union[Variable, str]) -> Term:
+    def __getitem__(self, key: Variable | str) -> Term:
         return self._data[self._coerce_key(key)]
 
     def __iter__(self) -> Iterator[Variable]:
@@ -57,17 +58,17 @@ class Binding(Mapping[Variable, Term]):
             return False
 
     @staticmethod
-    def _coerce_key(key: Union[Variable, str]) -> Variable:
+    def _coerce_key(key: Variable | str) -> Variable:
         if isinstance(key, Variable):
             return key
         return Variable(str(key))
 
     # -- Algebra ------------------------------------------------------------ #
-    def get_term(self, key: Union[Variable, str], default: Optional[Term] = None) -> Optional[Term]:
+    def get_term(self, key: Variable | str, default: Term | None = None) -> Term | None:
         """Bound term for ``key`` or ``default``."""
         return self._data.get(self._coerce_key(key), default)
 
-    def compatible(self, other: "Binding") -> bool:
+    def compatible(self, other: Binding) -> bool:
         """True when the two bindings agree on all shared variables."""
         for variable, term in self._data.items():
             other_term = other._data.get(variable)
@@ -75,19 +76,19 @@ class Binding(Mapping[Variable, Term]):
                 return False
         return True
 
-    def merge(self, other: "Binding") -> "Binding":
+    def merge(self, other: Binding) -> Binding:
         """Union of two compatible bindings (caller checks compatibility)."""
         merged = dict(self._data)
         merged.update(other._data)
         return Binding(merged)
 
-    def extend(self, variable: Union[Variable, str], term: Term) -> "Binding":
+    def extend(self, variable: Variable | str, term: Term) -> Binding:
         """Return a new binding with one extra pair."""
         data = dict(self._data)
         data[self._coerce_key(variable)] = term
         return Binding(data)
 
-    def project(self, variables: Iterable[Union[Variable, str]]) -> "Binding":
+    def project(self, variables: Iterable[Variable | str]) -> Binding:
         """Restrict the binding to the given variables."""
         wanted = {self._coerce_key(v) for v in variables}
         return Binding({k: v for k, v in self._data.items() if k in wanted})
@@ -98,7 +99,7 @@ class Binding(Mapping[Variable, Term]):
             return self._data.get(term, term)
         return term
 
-    def as_dict(self) -> Dict[str, Term]:
+    def as_dict(self) -> dict[str, Term]:
         """Plain ``{variable-name: term}`` dictionary."""
         return {variable.name: term for variable, term in self._data.items()}
 
@@ -119,8 +120,11 @@ class ResultSet:
     """The result of a SELECT query: variables + a list of bindings."""
 
     def __init__(self, variables: Sequence[Variable], bindings: Iterable[Binding]) -> None:
-        self.variables: List[Variable] = list(variables)
-        self.bindings: List[Binding] = list(bindings)
+        self.variables: list[Variable] = list(variables)
+        self.bindings: list[Binding] = list(bindings)
+        #: Static-analysis diagnostics attached by the evaluator
+        #: (``repro.sparql.analysis.Diagnostic`` objects; empty by default).
+        self.diagnostics: list = []
 
     def __len__(self) -> int:
         return len(self.bindings)
@@ -131,15 +135,15 @@ class ResultSet:
     def __bool__(self) -> bool:
         return bool(self.bindings)
 
-    def column(self, variable: Union[Variable, str]) -> List[Optional[Term]]:
+    def column(self, variable: Variable | str) -> list[Term | None]:
         """All values of one variable, aligned with the binding order."""
         return [binding.get_term(variable) for binding in self.bindings]
 
-    def distinct_values(self, variable: Union[Variable, str]) -> set:
+    def distinct_values(self, variable: Variable | str) -> set:
         """Set of non-null values bound to ``variable``."""
         return {term for term in self.column(variable) if term is not None}
 
-    def to_dicts(self) -> List[Dict[str, str]]:
+    def to_dicts(self) -> list[dict[str, str]]:
         """Rows as ``{variable-name: n3-string}`` dictionaries."""
         rows = []
         for binding in self.bindings:
@@ -150,11 +154,11 @@ class ResultSet:
             rows.append(row)
         return rows
 
-    def to_json_dict(self) -> Dict[str, Any]:
+    def to_json_dict(self) -> dict[str, Any]:
         """Export following the layout of the SPARQL 1.1 JSON results format."""
         bindings_json = []
         for binding in self.bindings:
-            row: Dict[str, Any] = {}
+            row: dict[str, Any] = {}
             for variable in self.variables:
                 term = binding.get_term(variable)
                 if term is None:
@@ -200,6 +204,8 @@ class AskResult:
 
     def __init__(self, value: bool) -> None:
         self.value = bool(value)
+        #: Static-analysis diagnostics attached by the evaluator.
+        self.diagnostics: list = []
 
     def __bool__(self) -> bool:
         return self.value
@@ -218,13 +224,13 @@ class AskResult:
         return f"AskResult({self.value})"
 
 
-def _term_to_json(term: Term) -> Dict[str, str]:
+def _term_to_json(term: Term) -> dict[str, str]:
     if isinstance(term, URIRef):
         return {"type": "uri", "value": str(term)}
     if isinstance(term, BNode):
         return {"type": "bnode", "value": str(term)}
     if isinstance(term, Literal):
-        payload: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        payload: dict[str, str] = {"type": "literal", "value": term.lexical}
         if term.lang:
             payload["xml:lang"] = term.lang
         elif term.datatype is not None:

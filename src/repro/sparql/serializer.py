@@ -9,7 +9,6 @@ matching prefix are emitted in ``<...>`` form.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..rdf import BNode, Literal, NamespaceManager, RDF, Term, URIRef, Variable
 from ..turtle.ntriples import escape
@@ -44,7 +43,7 @@ _BUILTIN_SPELLING = {
 
 
 class _Writer:
-    def __init__(self, namespace_manager: Optional[NamespaceManager]) -> None:
+    def __init__(self, namespace_manager: NamespaceManager | None) -> None:
         self._nsm = namespace_manager
 
     # -- terms --------------------------------------------------------------- #
@@ -122,13 +121,13 @@ class _Writer:
     # -- patterns ------------------------------------------------------------- #
     def group(self, group: GroupGraphPattern, indent: int = 0) -> str:
         pad = "  " * indent
-        lines: List[str] = [pad + "{"]
+        lines: list[str] = [pad + "{"]
         for element in group.elements:
             lines.extend(self._element(element, indent + 1))
         lines.append(pad + "}")
         return "\n".join(lines)
 
-    def _element(self, element, indent: int) -> List[str]:
+    def _element(self, element, indent: int) -> list[str]:
         pad = "  " * indent
         if isinstance(element, TriplesBlock):
             return [f"{pad}{self.triple(pattern)} ." for pattern in element.patterns]
@@ -146,7 +145,7 @@ class _Writer:
             return [self.group(element, indent)]
         raise TypeError(f"unsupported pattern element: {element!r}")
 
-    def _inline_data(self, data: InlineData, indent: int) -> List[str]:
+    def _inline_data(self, data: InlineData, indent: int) -> list[str]:
         pad = "  " * indent
         header = " ".join(f"?{variable.name}" for variable in data.columns)
         lines = [f"{pad}VALUES ({header}) {{"]
@@ -171,7 +170,7 @@ def serialize_query(query: Query) -> str:
     """Render a query AST as SPARQL text."""
     nsm = query.prologue.namespace_manager
     writer = _Writer(nsm)
-    lines: List[str] = []
+    lines: list[str] = []
 
     if query.prologue.base:
         lines.append(f"BASE <{query.prologue.base}>")
@@ -223,12 +222,12 @@ def serialize_query(query: Query) -> str:
 
 
 def serialize_expression(expression: Expression,
-                         namespace_manager: Optional[NamespaceManager] = None) -> str:
+                         namespace_manager: NamespaceManager | None = None) -> str:
     """Render a FILTER expression as SPARQL text."""
     return _Writer(namespace_manager).expression(expression)
 
 
 def serialize_pattern_group(group: GroupGraphPattern,
-                            namespace_manager: Optional[NamespaceManager] = None) -> str:
+                            namespace_manager: NamespaceManager | None = None) -> str:
     """Render a group graph pattern as SPARQL text."""
     return _Writer(namespace_manager).group(group)

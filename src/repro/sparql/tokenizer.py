@@ -5,15 +5,47 @@ ASK / CONSTRUCT forms, PREFIX/BASE prologue, braces and brackets, triple
 punctuation, variables, IRIs, prefixed names, blank nodes, literals,
 operators used in FILTER expressions and the keywords the evaluator
 understands.
+
+Every token carries its exact source extent (start and one-past-end
+line/column, both 1-based) so parser errors and static-analysis
+diagnostics can point at precise positions; :class:`SourceSpan` is the
+shared span value used throughout the SPARQL stack.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List
 
-__all__ = ["SparqlToken", "SparqlLexError", "tokenize_sparql", "KEYWORDS"]
+
+__all__ = [
+    "SourceSpan",
+    "SparqlToken",
+    "SparqlLexError",
+    "tokenize_sparql",
+    "KEYWORDS",
+]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A contiguous extent of query text: 1-based, end-exclusive columns."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+    def cover(self, other: SourceSpan | None) -> SourceSpan:
+        """The smallest span containing both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column), (other.end_line, other.end_column))
+        return SourceSpan(start[0], start[1], end[0], end[1])
 
 
 class SparqlLexError(ValueError):
@@ -33,6 +65,15 @@ class SparqlToken:
     value: str
     line: int
     column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    @property
+    def span(self) -> SourceSpan:
+        """The token's source extent (end positions default to the start)."""
+        if self.end_line:
+            return SourceSpan(self.line, self.column, self.end_line, self.end_column)
+        return SourceSpan(self.line, self.column, self.line, self.column + max(len(self.value), 1))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SparqlToken({self.kind}, {self.value!r})"
@@ -93,9 +134,9 @@ _TOKEN_PATTERNS = [
 _STRING_KINDS = {"STRING_LONG", "STRING_SQ", "STRING_LONG_SQ"}
 
 
-def tokenize_sparql(text: str) -> List[SparqlToken]:
+def tokenize_sparql(text: str) -> list[SparqlToken]:
     """Tokenise SPARQL text into a list ending with an ``EOF`` token."""
-    tokens: List[SparqlToken] = []
+    tokens: list[SparqlToken] = []
     position = 0
     line = 1
     line_start = 0
@@ -123,25 +164,33 @@ def tokenize_sparql(text: str) -> List[SparqlToken]:
                 break
             if kind == "PNAME" and value.endswith("."):
                 value = value.rstrip(".")
-            if kind == "WORD":
-                upper = value.upper()
-                if upper in KEYWORDS:
-                    tokens.append(SparqlToken("KEYWORD", upper, line, column))
-                else:
-                    tokens.append(SparqlToken("WORD", value, line, column))
-            elif kind in _STRING_KINDS:
-                tokens.append(SparqlToken("STRING", value, line, column))
-            else:
-                tokens.append(SparqlToken(kind, value, line, column))
             end = position + len(value) if kind == "PNAME" else match.end()
+            # Multi-line tokens (long strings) advance the line counter.
             newlines = text.count("\n", position, end)
             if newlines:
-                line += newlines
-                line_start = text.rindex("\n", position, end) + 1
+                end_line = line + newlines
+                end_line_start = text.rindex("\n", position, end) + 1
+            else:
+                end_line = line
+                end_line_start = line_start
+            end_column = end - end_line_start + 1
+            if kind == "WORD":
+                upper = value.upper()
+                token_kind = "KEYWORD" if upper in KEYWORDS else "WORD"
+                token_value = upper if upper in KEYWORDS else value
+            elif kind in _STRING_KINDS:
+                token_kind, token_value = "STRING", value
+            else:
+                token_kind, token_value = kind, value
+            tokens.append(
+                SparqlToken(token_kind, token_value, line, column, end_line, end_column)
+            )
+            line = end_line
+            line_start = end_line_start
             position = end
             break
         else:
             raise SparqlLexError(f"unexpected character {ch!r}", line, column)
 
-    tokens.append(SparqlToken("EOF", "", line, 1))
+    tokens.append(SparqlToken("EOF", "", line, 1, line, 2))
     return tokens

@@ -1,6 +1,5 @@
 """Turtle and N-Triples syntax support (parsers and serialisers)."""
 
-from typing import Optional
 
 from ..rdf import Graph, NamespaceManager
 from .lexer import Token, TurtleLexError, tokenize
@@ -32,7 +31,7 @@ __all__ = [
 
 
 def parse_graph(text: str, format: str = "turtle",
-                namespace_manager: Optional[NamespaceManager] = None) -> Graph:
+                namespace_manager: NamespaceManager | None = None) -> Graph:
     """Parse RDF text in ``turtle`` or ``ntriples`` format."""
     normalized = format.lower().replace("-", "").replace("_", "")
     if normalized in ("turtle", "ttl"):

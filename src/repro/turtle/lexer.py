@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List
+
 
 __all__ = ["Token", "TurtleLexError", "tokenize"]
 
@@ -84,9 +84,9 @@ _STRING_KIND_MAP = {
 }
 
 
-def tokenize(text: str) -> List[Token]:
+def tokenize(text: str) -> list[Token]:
     """Tokenise Turtle text; raises :class:`TurtleLexError` on bad input."""
-    tokens: List[Token] = []
+    tokens: list[Token] = []
     position = 0
     line = 1
     line_start = 0

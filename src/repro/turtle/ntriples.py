@@ -9,7 +9,7 @@ fallback serialisation when Turtle prettification is not wanted.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, List
+from collections.abc import Iterable, Iterator
 
 from ..rdf import BNode, Graph, Literal, Triple, URIRef
 
@@ -53,7 +53,7 @@ def unescape(text: str) -> str:
     ``http://kisti.rkbexplorer.com/id/\\S*`` — and the original system
     accepted them as-is.
     """
-    out: List[str] = []
+    out: list[str] = []
     i = 0
     while i < len(text):
         ch = text[i]
@@ -120,9 +120,9 @@ def _parse_term(token: str, line_number: int):
     raise NTriplesError(f"unparseable term: {token!r}", line_number)
 
 
-def _split_terms(line: str, line_number: int) -> List[str]:
+def _split_terms(line: str, line_number: int) -> list[str]:
     """Split an N-Triples statement into its three term tokens."""
-    terms: List[str] = []
+    terms: list[str] = []
     i = 0
     length = len(line)
     while i < length:

@@ -14,7 +14,6 @@ paper's listings:
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..rdf import (
     BNode,
@@ -37,7 +36,7 @@ __all__ = ["TurtleParser", "TurtleParseError", "parse_turtle"]
 class TurtleParseError(ValueError):
     """Raised when a Turtle document is syntactically invalid."""
 
-    def __init__(self, message: str, token: Optional[Token] = None) -> None:
+    def __init__(self, message: str, token: Token | None = None) -> None:
         location = f" (line {token.line}, column {token.column})" if token else ""
         super().__init__(message + location)
         self.token = token
@@ -52,10 +51,10 @@ class TurtleParser:
     listings do; pass ``namespace_manager`` to seed bindings).
     """
 
-    def __init__(self, namespace_manager: Optional[NamespaceManager] = None) -> None:
+    def __init__(self, namespace_manager: NamespaceManager | None = None) -> None:
         self._seed_manager = namespace_manager
 
-    def parse(self, text: str, graph: Optional[Graph] = None) -> Graph:
+    def parse(self, text: str, graph: Graph | None = None) -> Graph:
         """Parse ``text`` and return the populated graph."""
         tokens = tokenize(text)
         state = _ParserState(tokens, graph, self._seed_manager)
@@ -68,9 +67,9 @@ class _ParserState:
 
     def __init__(
         self,
-        tokens: List[Token],
-        graph: Optional[Graph],
-        seed_manager: Optional[NamespaceManager],
+        tokens: list[Token],
+        graph: Graph | None,
+        seed_manager: NamespaceManager | None,
     ) -> None:
         self._tokens = tokens
         self._index = 0
@@ -78,7 +77,7 @@ class _ParserState:
         self.graph = graph if graph is not None else Graph(namespace_manager=manager)
         if graph is not None and seed_manager is not None:
             self.graph.namespace_manager = manager
-        self._base: Optional[str] = None
+        self._base: str | None = None
 
     # ------------------------------------------------------------------ #
     # Token stream helpers
@@ -230,14 +229,14 @@ class _ParserState:
 
     def _collection(self) -> Term:
         self._expect("LPAREN")
-        items: List[Term] = []
+        items: list[Term] = []
         while not self._at("RPAREN"):
             items.append(self._term(position="object"))
         self._expect("RPAREN")
         if not items:
             return RDF.nil
-        head: Optional[Term] = None
-        previous: Optional[Term] = None
+        head: Term | None = None
+        previous: Term | None = None
         for item in items:
             node = fresh_bnode("list")
             self.graph.add(Triple(node, RDF.first, item))
@@ -285,6 +284,6 @@ class _ParserState:
         return unescape(raw[1:-1])
 
 
-def parse_turtle(text: str, namespace_manager: Optional[NamespaceManager] = None) -> Graph:
+def parse_turtle(text: str, namespace_manager: NamespaceManager | None = None) -> Graph:
     """Convenience wrapper: parse Turtle text into a new graph."""
     return TurtleParser(namespace_manager).parse(text)

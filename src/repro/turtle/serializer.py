@@ -9,7 +9,7 @@ textually in tests and experiment logs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Set
+
 
 from ..rdf import BNode, Graph, Literal, NamespaceManager, RDF, Term, URIRef
 from .ntriples import escape
@@ -20,20 +20,20 @@ __all__ = ["TurtleSerializer", "serialize_turtle"]
 class TurtleSerializer:
     """Serialise a :class:`Graph` to Turtle text."""
 
-    def __init__(self, graph: Graph, namespace_manager: Optional[NamespaceManager] = None) -> None:
+    def __init__(self, graph: Graph, namespace_manager: NamespaceManager | None = None) -> None:
         self._graph = graph
         self._nsm = namespace_manager or graph.namespace_manager
 
     def serialize(self) -> str:
         used_prefixes = self._collect_used_prefixes()
-        lines: List[str] = []
+        lines: list[str] = []
         for prefix in sorted(used_prefixes):
             namespace = self._nsm.namespace(prefix)
             lines.append(f"@prefix {prefix}: <{namespace}> .")
         if lines:
             lines.append("")
 
-        by_subject: Dict[Term, List] = defaultdict(list)
+        by_subject: dict[Term, list] = defaultdict(list)
         for triple in self._graph:
             by_subject[triple.subject].append(triple)
 
@@ -45,8 +45,8 @@ class TurtleSerializer:
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    def _collect_used_prefixes(self) -> Set[str]:
-        used: Set[str] = set()
+    def _collect_used_prefixes(self) -> set[str]:
+        used: set[str] = set()
         for triple in self._graph:
             for term in triple:
                 if isinstance(term, URIRef):
@@ -59,8 +59,8 @@ class TurtleSerializer:
                         used.add(compact.split(":", 1)[0])
         return used
 
-    def _subject_block(self, subject: Term, triples: List) -> List[str]:
-        by_predicate: Dict[Term, List[Term]] = defaultdict(list)
+    def _subject_block(self, subject: Term, triples: list) -> list[str]:
+        by_predicate: dict[Term, list[Term]] = defaultdict(list)
         for triple in triples:
             by_predicate[triple.predicate].append(triple.object)
 
@@ -103,6 +103,6 @@ class TurtleSerializer:
         return body
 
 
-def serialize_turtle(graph: Graph, namespace_manager: Optional[NamespaceManager] = None) -> str:
+def serialize_turtle(graph: Graph, namespace_manager: NamespaceManager | None = None) -> str:
     """Convenience wrapper over :class:`TurtleSerializer`."""
     return TurtleSerializer(graph, namespace_manager).serialize()

@@ -186,7 +186,7 @@ class TestFederationBatch:
             mode="filter-aware",
         )
         assert len(batch) == len(individual)
-        for batched, single in zip(batch, individual):
+        for batched, single in zip(batch, individual, strict=True):
             assert batched.total_rows == single.total_rows
             assert len(batched.merged_bindings) == len(single.merged_bindings)
             assert batched.successful_datasets() == single.successful_datasets()

@@ -26,7 +26,7 @@ _SOURCE_PROPERTIES = [SRC[f"p{i}"] for i in range(6)]
 _TARGET_PROPERTIES = [TGT[f"q{i}"] for i in range(6)]
 _ALIGNED = {
     source: target
-    for source, target in zip(_SOURCE_PROPERTIES[:4], _TARGET_PROPERTIES[:4])
+    for source, target in zip(_SOURCE_PROPERTIES[:4], _TARGET_PROPERTIES[:4], strict=True)
 }
 _ALIGNMENTS = [property_alignment(source, target) for source, target in _ALIGNED.items()]
 

@@ -1,0 +1,92 @@
+"""Federation-level static analysis: pruning before any network traffic.
+
+The decomposer runs the local analyzer first; a provably-empty query must
+issue *zero* endpoint requests — no ASK source-selection probes and no
+sub-query SELECTs.  Federation-only diagnostics (SQA201 zero-source
+patterns, SQA202 fan-out fallback) and the ``FederatedQueryEngine.lint``
+surface are covered here too.
+"""
+
+from repro.sparql.analysis import DIAGNOSTIC_CODES
+
+from .test_decompose import EX, _opaque, build_federation, triple
+
+
+def _service():
+    service = build_federation({
+        "a": [triple("s1", "p", "o1")],
+        "b": [triple("s2", "q", "o2")],
+    })
+    # graph-less endpoints force ASK probes, so probe traffic is observable
+    _opaque(service, "a")
+    _opaque(service, "b")
+    return service
+
+
+class TestEmptyQueryShortCircuit:
+    QUERY = f"SELECT ?s WHERE {{ ?s <{EX}p> ?o FILTER(1 = 2) }}"
+
+    def test_zero_endpoint_requests_and_zero_probes(self):
+        service = _service()
+        outcome = service.federate(self.QUERY, strategy="decompose")
+        assert len(outcome.merged()) == 0
+        assert outcome.total_requests == 0
+        plan = outcome.decomposition
+        assert plan.probes == 0
+        assert plan.empty_reason
+        assert plan.units == []
+
+    def test_diagnostics_ride_on_plan_and_result(self):
+        outcome = _service().federate(self.QUERY, strategy="decompose")
+        assert "SQA108" in {d.code for d in outcome.decomposition.diagnostics}
+        assert "SQA108" in {d.code for d in outcome.diagnostics}
+
+
+class TestFederationDiagnostics:
+    def test_sqa201_pattern_with_no_source(self):
+        service = _service()
+        outcome = service.federate(
+            f"SELECT ?s ?o WHERE {{ ?s <{EX}nosuch> ?o }}", strategy="decompose"
+        )
+        codes = {d.code for d in outcome.decomposition.diagnostics}
+        assert "SQA201" in codes
+        assert len(outcome.merged()) == 0
+
+    def test_sqa202_fallback_shape(self):
+        service = _service()
+        engine = service.federation
+        diagnostics = engine.lint(
+            f"SELECT ?s WHERE {{ ?s <{EX}p> ?o OPTIONAL {{ ?s <{EX}q> ?x }} }}"
+        )
+        assert "SQA202" in {d.code for d in diagnostics}
+
+    def test_federation_codes_have_fixed_severities(self):
+        assert DIAGNOSTIC_CODES["SQA201"][0] == "warning"
+        assert DIAGNOSTIC_CODES["SQA202"][0] == "info"
+
+
+class TestLintSurface:
+    def test_lint_reports_local_findings_without_traffic(self):
+        service = _service()
+        engine = service.federation
+        before = sum(stats.total_queries for stats in self._stats(service))
+        diagnostics = engine.lint(
+            f"SELECT ?s WHERE {{ ?s <{EX}p> ?o FILTER(1 = 2) }}"
+        )
+        after = sum(stats.total_queries for stats in self._stats(service))
+        assert "SQA108" in {d.code for d in diagnostics}
+        assert after == before
+
+    def test_lint_on_a_clean_query_reports_source_candidacy_only(self):
+        service = _service()
+        diagnostics = service.federation.lint(
+            f"SELECT ?s ?o WHERE {{ ?s <{EX}p> ?o }}"
+        )
+        assert all(d.code != "SQA201" for d in diagnostics)
+
+    @staticmethod
+    def _stats(service):
+        return [
+            dataset.endpoint.statistics
+            for dataset in service.registry
+        ]

@@ -65,7 +65,7 @@ class TestConcurrentEquivalence:
         )
         sequential = scenario.service.federate(query, parallel=False, **kwargs)
         latencies = [0.08, 0.04, 0.0]
-        for dataset, latency in zip(scenario.registry, latencies):
+        for dataset, latency in zip(scenario.registry, latencies, strict=False):
             dataset.endpoint.latency = latency
         try:
             parallel = scenario.service.federate(query, parallel=True, **kwargs)

@@ -380,3 +380,48 @@ class TestAnalyzeRoute:
         assert payload["event"]["engine"] == "decompose"
         assert payload["event"]["endpoints"]
         assert payload["rows"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Strict mode: static analysis rejects bad queries with structured JSON
+# --------------------------------------------------------------------------- #
+class TestStrictMode:
+    @pytest.fixture()
+    def strict_server(self, endpoint):
+        with SparqlHttpServer(EndpointBackend(endpoint, strict=True)) as running:
+            yield running
+
+    def test_error_diagnostics_reject_with_structured_json(self, strict_server):
+        url = f"{strict_server.url}/sparql?" + urllib.parse.urlencode(
+            {"query": "SELECT ?nope WHERE { ?s ?p ?o }"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url)
+        response = excinfo.value
+        assert response.status == 400
+        assert response.headers.get("Content-Type", "").startswith("application/json")
+        payload = json.loads(response.read().decode())
+        assert payload["error"]
+        [error] = [d for d in payload["diagnostics"] if d["severity"] == "error"]
+        assert error["code"] == "SQA101"
+        assert error["span"]["line"] == 1
+
+    def test_warnings_do_not_reject(self, strict_server):
+        status, content_type, body = _get(
+            strict_server, "SELECT ?s WHERE { ?s ?p ?o FILTER(1 = 2) }",
+            accept="application/sparql-results+json",
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["results"]["bindings"] == []
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert "SQA108" in codes
+
+    def test_non_strict_server_answers_with_warning_field(self, server):
+        status, _, body = _get(
+            server, "SELECT ?s WHERE { ?s ?p ?o FILTER(1 = 2) }",
+            accept="application/sparql-results+json",
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert any(d["code"] == "SQA108" for d in payload["diagnostics"])

@@ -115,6 +115,31 @@ def test_conformance_case(name: str, engine: str) -> None:
     _check(evaluator.evaluate(query), _expected_fixture(name))
 
 
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_expected_diagnostics(name: str) -> None:
+    """Every case's static-analysis findings are pinned next to it.
+
+    A ``<name>.diagnostics.json`` fixture lists the expected findings as
+    ``{code, severity, line}`` entries; a case without the fixture must
+    analyze clean.  This keeps the analyzer's output on the corpus under
+    version control: a new or vanished diagnostic is a reviewable diff,
+    not a silent behaviour change.
+    """
+    from repro.sparql.analysis import DIAGNOSTIC_CODES, analyze_query
+
+    query = parse_query((CASES_DIR / f"{name}.rq").read_text(encoding="utf-8"))
+    analysis = analyze_query(query)
+    got = [
+        {"code": d.code, "severity": d.severity, "line": d.span.line}
+        for d in analysis.diagnostics
+    ]
+    fixture = CASES_DIR / f"{name}.diagnostics.json"
+    want = json.loads(fixture.read_text(encoding="utf-8")) if fixture.exists() else []
+    assert got == want
+    for entry in want:
+        assert entry["severity"] == DIAGNOSTIC_CODES[entry["code"]][0]
+
+
 def test_corpus_is_big_enough() -> None:
     """The corpus must keep covering the advertised breadth (>= 25 cases)."""
     assert len(CASE_NAMES) >= 25

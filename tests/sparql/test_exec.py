@@ -100,7 +100,7 @@ class TestBatching:
         assert sizes[0] <= 4
         assert max(sizes) <= 32
         # Growth is monotone until the cap.
-        for before, after in zip(sizes, sizes[1:-1]):
+        for before, after in zip(sizes, sizes[1:-1], strict=False):
             assert after >= before or after == 32
 
     def test_first_binding_stops_early(self):

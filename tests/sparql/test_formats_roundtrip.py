@@ -67,7 +67,7 @@ def result_sets(draw) -> ResultSet:
     bindings = [
         Binding({
             variable: term
-            for variable, term in zip(variables, row)
+            for variable, term in zip(variables, row, strict=True)
             if term is not None
         })
         for row in rows

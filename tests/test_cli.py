@@ -269,3 +269,93 @@ class TestServeCommand:
         ])
         assert code == 2
         assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    DATA = '<http://e/s> <http://e/p> "v" .\n'
+
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_clean_query_exits_zero(self, capsys, tmp_path):
+        from repro.cli import main_lint
+
+        query = self._write(tmp_path, "q.rq", "SELECT ?s ?o WHERE { ?s <http://e/p> ?o }")
+        assert main_lint([str(query)]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_error_diagnostics_exit_nonzero_and_render(self, capsys, tmp_path):
+        from repro.cli import main_lint
+
+        query = self._write(tmp_path, "bad.rq", "SELECT ?nope WHERE { ?s ?p ?o }")
+        assert main_lint([str(query)]) == 1
+        out = capsys.readouterr().out
+        assert f"{query}:1:8: error[SQA101]" in out
+
+    def test_warnings_pass_unless_strict(self, capsys, tmp_path):
+        from repro.cli import main_lint
+
+        query = self._write(
+            tmp_path, "warn.rq", "SELECT ?s WHERE { ?s ?p ?o FILTER(1 = 2) }"
+        )
+        assert main_lint([str(query)]) == 0
+        assert "warning[SQA108]" in capsys.readouterr().out
+        assert main_lint([str(query), "--strict"]) == 1
+
+    def test_json_format_is_machine_readable(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main_lint
+
+        query = self._write(tmp_path, "bad.rq", "SELECT ?nope WHERE { ?s ?p ?o }")
+        assert main_lint([str(query), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        [entry] = payload
+        assert entry["file"] == str(query)
+        assert any(d["code"] == "SQA101" for d in entry["diagnostics"])
+
+    def test_parse_failure_is_a_finding_not_a_crash(self, capsys, tmp_path):
+        from repro.cli import main_lint
+
+        query = self._write(tmp_path, "broken.rq", "SELECT WHERE {")
+        assert main_lint([str(query)]) == 1
+        assert "error[PARSE]" in capsys.readouterr().out
+
+    def test_multiple_files_aggregate(self, capsys, tmp_path):
+        from repro.cli import main_lint
+
+        good = self._write(tmp_path, "good.rq", "SELECT ?s ?o WHERE { ?s <http://e/p> ?o }")
+        bad = self._write(tmp_path, "bad.rq", "SELECT ?nope WHERE { ?s ?p ?o }")
+        assert main_lint([str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert str(bad) in out and str(good) not in out
+
+
+class TestQueryLintFlags:
+    def test_query_lint_flag_reports_without_executing(self, capsys, tmp_path):
+        from repro.cli import main_query
+
+        query = tmp_path / "q.rq"
+        query.write_text("SELECT ?nope WHERE { ?s ?p ?o }")
+        data = tmp_path / "d.nt"
+        data.write_text('<http://e/s> <http://e/p> "v" .\n')
+        assert main_query([str(query), str(data), "--lint"]) == 1
+        assert "error[SQA101]" in capsys.readouterr().out
+
+    def test_query_strict_flag_rejects(self, capsys, tmp_path):
+        from repro.cli import main_query
+
+        query = tmp_path / "q.rq"
+        query.write_text("SELECT ?nope WHERE { ?s ?p ?o }")
+        data = tmp_path / "d.nt"
+        data.write_text('<http://e/s> <http://e/p> "v" .\n')
+        assert main_query([str(query), str(data), "--strict"]) == 1
+        assert "SQA101" in capsys.readouterr().err
+
+    def test_federate_lint_flag(self, capsys):
+        from repro.cli import main_federate
+
+        code = main_federate(["--lint", "--persons", "8", "--papers", "12"])
+        assert code == 0

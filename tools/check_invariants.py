@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Repo invariant lints, run as a hard CI gate.
+
+Three structural invariants that ordinary linters do not express, checked
+with nothing but the stdlib ``ast`` module:
+
+1. **Hot-loop allocation ban** — inside the batched executor
+   (``src/repro/sparql/exec.py``), the per-batch methods of the ``Vec*``
+   operators (``_run``, ``execute``, ``_scan_rows``) must not construct
+   :class:`Triple` objects or call ``.intern(...)``.  The vectorized core
+   works on interned integer ids end to end; materialising terms or
+   triples inside an operator loop reintroduces exactly the per-row
+   allocation cost the engine exists to avoid.
+
+2. **Lock discipline** — in any class that creates a ``threading.Lock`` /
+   ``RLock`` in ``__init__``, the mutable containers also created in
+   ``__init__`` (dicts, lists, sets, ``OrderedDict``/``defaultdict``/
+   ``deque``) are treated as lock-guarded shared state.  Every mutation of
+   them outside ``__init__`` — subscript assignment or deletion, mutating
+   method calls (``append``, ``setdefault``, ``clear``, …), or whole-attr
+   rebinding — must happen lexically inside a ``with self.<lock>:`` block.
+
+3. **No bare ``except:``** — repo-wide.  A handler must name the
+   exceptions it means to swallow.
+
+Exit status is non-zero when any violation is found.  Findings are printed
+one per line as ``path:line: [INVxxx] message`` so CI logs read like
+compiler output.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_ROOTS = ("src", "tests", "benchmarks", "tools")
+EXEC_PATH = REPO_ROOT / "src" / "repro" / "sparql" / "exec.py"
+
+#: Operator methods that run once per batch (or per row) and therefore
+#: must stay allocation-free.
+HOT_METHODS = {"_run", "execute", "_scan_rows"}
+
+#: Calls that mutate a container in place.
+MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "move_to_end",
+    "appendleft", "popleft",
+}
+
+#: Constructors whose result counts as a guarded mutable container.
+CONTAINER_CALLS = {"dict", "list", "set", "OrderedDict", "defaultdict", "deque"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, code: str, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.code = code
+        self.message = message
+
+    def render(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.code}] {self.message}"
+
+
+# --------------------------------------------------------------------------- #
+# INV001 — no Triple()/intern() in Vec* operator hot loops
+# --------------------------------------------------------------------------- #
+
+def check_hot_loops(tree: ast.Module, path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        if not (klass.name.startswith("Vec") or klass.name == "ExecPlan"):
+            continue
+        for method in klass.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name not in HOT_METHODS:
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "Triple":
+                    findings.append(Finding(
+                        path, node.lineno, "INV001",
+                        f"Triple() constructed in {klass.name}.{method.name}: "
+                        "operator loops must stay on interned ids",
+                    ))
+                if isinstance(func, ast.Attribute) and func.attr == "intern":
+                    findings.append(Finding(
+                        path, node.lineno, "INV001",
+                        f".intern() called in {klass.name}.{method.name}: "
+                        "interning belongs in compile/seed, not the batch loop",
+                    ))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# INV002 — lock-guarded containers are only mutated under the lock
+# --------------------------------------------------------------------------- #
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.<name>`` → ``name``; anything else → None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _is_lock_ctor(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    return (isinstance(func, ast.Attribute)
+            and func.attr in {"Lock", "RLock"}) or (
+        isinstance(func, ast.Name) and func.id in {"Lock", "RLock"})
+
+
+def _is_container_ctor(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in CONTAINER_CALLS
+    return False
+
+
+def _guarded_state(klass: ast.ClassDef) -> tuple[set[str], set[str]]:
+    """Return ``(lock attrs, guarded container attrs)`` from ``__init__``."""
+    locks: set[str] = set()
+    containers: set[str] = set()
+    for method in klass.body:
+        if isinstance(method, ast.FunctionDef) and method.name == "__init__":
+            for node in ast.walk(method):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                attr = _self_attr(node.targets[0])
+                if attr is None:
+                    continue
+                if _is_lock_ctor(node.value):
+                    locks.add(attr)
+                elif _is_container_ctor(node.value):
+                    containers.add(attr)
+    return locks, containers
+
+
+def _mutations(node: ast.AST, guarded: set[str]):
+    """Yield ``(lineno, attr, what)`` for mutations of guarded attrs."""
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr in guarded:
+                    yield node.lineno, attr, "subscript assignment"
+            else:
+                attr = _self_attr(target)
+                if attr in guarded:
+                    yield node.lineno, attr, "attribute rebinding"
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr in guarded:
+                    yield node.lineno, attr, "subscript deletion"
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            attr = _self_attr(func.value)
+            if attr in guarded:
+                yield node.lineno, attr, f".{func.attr}() call"
+
+
+def _holds_lock(with_node: ast.With, locks: set[str]) -> bool:
+    for item in with_node.items:
+        attr = _self_attr(item.context_expr)
+        if attr in locks:
+            return True
+    return False
+
+
+def _walk_method(node: ast.AST, locks: set[str], guarded: set[str],
+                 under_lock: bool, out: list[tuple[int, str, str]]) -> None:
+    if isinstance(node, ast.With) and _holds_lock(node, locks):
+        under_lock = True
+    if not under_lock:
+        out.extend(_mutations(node, guarded))
+    for child in ast.iter_child_nodes(node):
+        # nested defs get their own lexical scope; the lock held here does
+        # not protect code that runs later inside them
+        child_locked = under_lock and not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        _walk_method(child, locks, guarded, child_locked, out)
+
+
+def check_lock_discipline(tree: ast.Module, path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        locks, guarded = _guarded_state(klass)
+        if not locks or not guarded:
+            continue
+        for method in klass.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name == "__init__":
+                continue
+            hits: list[tuple[int, str, str]] = []
+            _walk_method(method, locks, guarded, False, hits)
+            for lineno, attr, what in hits:
+                lock_names = ", ".join(sorted(f"self.{l}" for l in locks))
+                findings.append(Finding(
+                    path, lineno, "INV002",
+                    f"{klass.name}.{method.name} mutates self.{attr} "
+                    f"({what}) outside `with {lock_names}`",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# INV003 — no bare except
+# --------------------------------------------------------------------------- #
+
+def check_bare_except(tree: ast.Module, path: Path) -> list[Finding]:
+    return [
+        Finding(path, node.lineno, "INV003",
+                "bare `except:` — name the exceptions this handler swallows")
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is None
+    ]
+
+
+# --------------------------------------------------------------------------- #
+
+def main() -> int:
+    findings: list[Finding] = []
+    for root in SCAN_ROOTS:
+        base = REPO_ROOT / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            try:
+                tree = ast.parse(path.read_text())
+            except SyntaxError as exc:
+                findings.append(Finding(path, exc.lineno or 0, "INV000",
+                                        f"file does not parse: {exc.msg}"))
+                continue
+            findings.extend(check_bare_except(tree, path))
+            findings.extend(check_lock_discipline(tree, path))
+            if path == EXEC_PATH:
+                findings.extend(check_hot_loops(tree, path))
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("invariant checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
