@@ -91,7 +91,11 @@ def load_run(path: Path) -> dict[str, float]:
 
 
 def load_events(path: Path) -> list:
-    """Parse a ``REPRO_RUN_EVENTS`` JSONL file into a list of event dicts."""
+    """Parse a ``REPRO_RUN_EVENTS`` JSONL file into a list of event dicts.
+
+    Trace spans (``"kind": "span"`` lines, rendered by ``repro-trace``)
+    share the file with run events and are skipped here.
+    """
     if not path.exists():
         raise CompareError(f"{path}: run-events file does not exist — did the "
                            f"benchmark run export REPRO_RUN_EVENTS={path}?")
@@ -103,6 +107,8 @@ def load_events(path: Path) -> list:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
             raise CompareError(f"{path}:{number}: not valid JSON: {exc}") from exc
+        if isinstance(event, dict) and event.get("kind") == "span":
+            continue
         if not isinstance(event, dict) or "engine" not in event:
             raise CompareError(
                 f"{path}:{number}: not a run event — expected a JSON object "
@@ -136,7 +142,7 @@ def summarize_events(path: Path, top: int = 12) -> None:
             )
             operator_rows[name] = operator_rows.get(name, 0) + int(op.get("rows_out", 0))
         for entry in event.get("endpoints", []):
-            uri = str(entry.get("endpoint", "?"))
+            uri = str(entry.get("dataset", entry.get("endpoint", "?")))
             endpoint_rows[uri] = endpoint_rows.get(uri, 0) + int(
                 entry.get("rows_shipped", 0)
             )

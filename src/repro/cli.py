@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points (installed as console scripts by ``pyproject.toml``):
+Entry points (installed as console scripts by ``pyproject.toml``):
 
 * ``repro-rewrite`` — rewrite a SPARQL query file against an alignment KB
   (Turtle) for a chosen target, printing the rewritten query.  This is the
@@ -15,6 +15,9 @@ Four entry points (installed as console scripts by ``pyproject.toml``):
 * ``repro-lint`` — run the static query analyzer over a batch of SPARQL
   files and print the diagnostics (text or JSON); exits non-zero when
   any file has error-severity findings.
+* ``repro-trace`` — render distributed-trace span trees (and a
+  time-by-layer table) from the ``REPRO_RUN_EVENTS`` JSONL file written
+  by a traced run.
 """
 
 from __future__ import annotations
@@ -36,7 +39,14 @@ from .sparql.parser import SparqlParseError
 from .sparql.tokenizer import SparqlLexError
 from .turtle import parse_graph
 
-__all__ = ["main_rewrite", "main_query", "main_federate", "main_serve", "main_lint"]
+__all__ = [
+    "main_rewrite",
+    "main_query",
+    "main_federate",
+    "main_serve",
+    "main_lint",
+    "main_trace",
+]
 
 #: Output format choices shared by ``repro-query`` and ``repro-federate``.
 _OUTPUT_FORMATS = ["table", "json", "xml", "csv", "tsv"]
@@ -472,7 +482,15 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable distributed tracing (spans export to the "
+                             "REPRO_RUN_EVENTS JSONL file; see repro-trace)")
     arguments = parser.parse_args(argv)
+
+    if arguments.trace:
+        from .obs import get_tracer
+
+        get_tracer().enable()
 
     if arguments.scenario == bool(arguments.data):
         print("error: serve either RDF files or --scenario (exactly one)", file=sys.stderr)
@@ -532,6 +550,166 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-trace
+# --------------------------------------------------------------------------- #
+#: Span attributes worth showing inline in the rendered tree.
+_TRACE_DETAIL_ATTRS = (
+    "method", "path", "status", "dataset", "endpoint", "kind", "engine",
+    "attempts", "operator", "rows", "rows_out", "units", "error",
+)
+
+
+def _load_spans(path: str) -> list[dict]:
+    """The ``"kind": "span"`` lines of a ``REPRO_RUN_EVENTS`` JSONL file."""
+    import json
+
+    spans: list[dict] = []
+    for number, line in enumerate(_read_text(path).splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(f"warning: {path}:{number}: not valid JSON: {error}", file=sys.stderr)
+            continue
+        if isinstance(record, dict) and record.get("kind") == "span":
+            spans.append(record)
+    return spans
+
+
+def _render_span(span: dict, children: dict, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    duration = float(span.get("duration") or 0.0) * 1000
+    layer = span.get("attributes", {}).get("layer", "?")
+    details = " ".join(
+        f"{key}={span['attributes'][key]}"
+        for key in _TRACE_DETAIL_ATTRS
+        if span.get("attributes", {}).get(key) is not None and key != "layer"
+    )
+    line = f"{pad}{span.get('name', '?')}  {duration:.2f} ms  [{layer}]"
+    if details:
+        line += f"  {details}"
+    lines.append(line)
+    for event in span.get("events", ()):
+        extras = ", ".join(
+            f"{key}={value}" for key, value in event.items()
+            if key not in ("name", "time")
+        )
+        lines.append(f"{pad}  ! {event.get('name', '?')}" + (f" ({extras})" if extras else ""))
+    for child in children.get(span.get("span_id"), ()):
+        _render_span(child, children, indent + 1, lines)
+
+
+def render_trace(spans: list[dict]) -> str:
+    """The span tree of one trace, children indented under parents."""
+    by_id = {span.get("span_id"): span for span in spans}
+    children: dict = {}
+    roots: list[dict] = []
+    for span in sorted(spans, key=lambda entry: float(entry.get("start") or 0.0)):
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines: list[str] = []
+    for root in roots:
+        _render_span(root, children, 1, lines)
+    return "\n".join(lines)
+
+
+def layer_table(spans: list[dict]) -> list[tuple[str, float, int]]:
+    """``(layer, self seconds, span count)`` rows, most expensive first.
+
+    Self time is a span's duration minus its children's durations (clamped
+    at zero), so layers don't double-count each other: the federation
+    layer's time excludes the HTTP client calls nested inside it.
+    """
+    child_seconds: dict[str, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + float(
+                span.get("duration") or 0.0
+            )
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for span in spans:
+        layer = str(span.get("attributes", {}).get("layer", "?"))
+        own = float(span.get("duration") or 0.0)
+        own -= child_seconds.get(span.get("span_id", ""), 0.0)
+        totals[layer] = totals.get(layer, 0.0) + max(0.0, own)
+        counts[layer] = counts.get(layer, 0) + 1
+    return sorted(
+        ((layer, totals[layer], counts[layer]) for layer in totals),
+        key=lambda row: -row[1],
+    )
+
+
+def main_trace(argv: Sequence[str] | None = None) -> int:
+    """Render trace span trees from a ``REPRO_RUN_EVENTS`` JSONL file.
+
+    Spans (``"kind": "span"`` lines) are grouped by trace id and rendered
+    as indented trees with per-span duration, layer and key attributes;
+    span events (retries, breaker transitions, exceptions) appear as
+    ``!``-prefixed lines under their span.  ``--layers`` adds a
+    time-by-layer table (self time, so layers don't double-count), and
+    the run-event side of the same file feeds ``benchmarks/compare.py
+    --events``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render distributed-trace span trees from a run-events JSONL file.",
+    )
+    parser.add_argument("events", help="path to the REPRO_RUN_EVENTS JSONL file")
+    parser.add_argument("--trace", default=None, metavar="TRACE_ID",
+                        help="render only this trace id (prefixes accepted)")
+    parser.add_argument("--list", action="store_true", dest="list_traces",
+                        help="one summary line per trace instead of full trees")
+    parser.add_argument("--layers", action="store_true",
+                        help="append the time-by-layer aggregation table")
+    arguments = parser.parse_args(argv)
+
+    try:
+        spans = _load_spans(arguments.events)
+    except OSError as error:
+        print(f"error: cannot read {arguments.events}: {error}", file=sys.stderr)
+        return 2
+    if arguments.trace:
+        spans = [
+            span for span in spans
+            if str(span.get("trace_id", "")).startswith(arguments.trace)
+        ]
+    if not spans:
+        print("error: no trace spans found (enable tracing with REPRO_TRACE=1 "
+              "or repro-serve --trace, and export REPRO_RUN_EVENTS)", file=sys.stderr)
+        return 1
+
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        traces.setdefault(str(span.get("trace_id", "?")), []).append(span)
+    # Oldest trace first: the order queries actually ran.
+    ordered = sorted(
+        traces.items(),
+        key=lambda item: min(float(span.get("start") or 0.0) for span in item[1]),
+    )
+    for trace_id, members in ordered:
+        elapsed = (
+            max(float(span.get("end") or 0.0) for span in members)
+            - min(float(span.get("start") or 0.0) for span in members)
+        ) * 1000
+        print(f"trace {trace_id}  ({len(members)} spans, {elapsed:.2f} ms)")
+        if not arguments.list_traces:
+            print(render_trace(members))
+    if arguments.layers:
+        print("time by layer (self):")
+        rows = layer_table(spans)
+        width = max(len(layer) for layer, _, _ in rows)
+        for layer, seconds, count in rows:
+            print(f"  {layer:<{width}}  {seconds * 1000:9.2f} ms  ({count} spans)")
     return 0
 
 

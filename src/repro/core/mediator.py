@@ -25,6 +25,7 @@ from collections.abc import Iterable, Sequence
 
 from ..alignment import AlignmentStore, EntityAlignment, FunctionRegistry, default_registry
 from ..coreference import SameAsService
+from ..obs.metrics import rewrite_cache_counter
 from ..rdf import URIRef
 from ..sparql import Query, parse_query
 from .algebra_rewriter import AlgebraQueryRewriter
@@ -235,6 +236,7 @@ class Mediator:
                 self._result_cache.move_to_end(key)
             else:
                 self._cache_misses += 1
+        rewrite_cache_counter().inc(outcome="hit" if cached is not None else "miss")
         if cached is not None:
             rewritten, report, considered = cached
             return MediationResult(

@@ -46,11 +46,13 @@ ORDER-BY-only queries.
 
 from __future__ import annotations
 
+import contextvars
 import time
 from dataclasses import dataclass, field
 from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
+from ..obs.trace import get_tracer
 from ..rdf import BNode, Graph, RDF, TermDictionary, Triple, URIRef, Variable
 from ..sparql import (
     AskQuery,
@@ -730,11 +732,19 @@ def execute_decomposed(
     from .federator import DatasetResult, FederatedResult
 
     started = time.perf_counter()
-    plan = decompose_query(
-        engine, query, targets, source_ontology, source_dataset, mode,
-        selector=selector, bind_join_batch=bind_join_batch,
-        render_sub_queries=False,
-    )
+    with get_tracer().start_span(
+        "planner.decompose", {"layer": "planner", "strategy": "decompose"}
+    ) as plan_span:
+        plan = decompose_query(
+            engine, query, targets, source_ontology, source_dataset, mode,
+            selector=selector, bind_join_batch=bind_join_batch,
+            render_sub_queries=False,
+        )
+        if plan_span.recording:
+            plan_span.set_attribute("units", len(plan.units))
+            plan_span.set_attribute("decomposed", plan.decomposed)
+            if plan.fallback_reason:
+                plan_span.set_attribute("fallback_reason", plan.fallback_reason)
     if not plan.decomposed:
         outcome = engine.execute(
             query,
@@ -772,6 +782,13 @@ def execute_decomposed(
         )
         merged = executor.execute(query, variables, canonical_pattern)
         run_event = executor.run_event(query)
+        tracer = get_tracer()
+        if tracer.enabled and executor.root is not None:
+            # The mediator pipeline's hot loop carries no tracing; its
+            # operator spans are synthesized from the recorded stats.
+            tracer.add_operator_spans(
+                executor.root.operator_stats(), "decompose", executor._elapsed
+            )
 
     per_dataset: list[DatasetResult] = []
     for target in targets:
@@ -818,6 +835,8 @@ class _VecUnitOp(VecOperator):
     cross-joined.  Fetched terms are interned into the mediator's own term
     dictionary, so the merge is integer-tuple work like every other join.
     """
+
+    span_name = "federation.unit"
 
     def __init__(
         self,
@@ -942,6 +961,8 @@ class _VecUnitOp(VecOperator):
 
 class _VecCanonicalOp(VecOperator):
     """Collapse URIs onto their canonical representative (id -> id cache)."""
+
+    span_name = "federation.canonicalise"
 
     def __init__(
         self,
@@ -1068,8 +1089,13 @@ class _PlanExecutor:
                 max_workers=min(len(sources), self._engine.max_workers),
                 thread_name_prefix="decompose",
             ) as pool:
+                # copy_context() per task: per-source endpoint spans keep
+                # the submitting thread's span (the request) as parent.
                 futures = [
-                    pool.submit(self._fetch, unit, self._targets[uri], inline)
+                    pool.submit(
+                        contextvars.copy_context().run,
+                        self._fetch, unit, self._targets[uri], inline,
+                    )
                     for uri in sources
                 ]
                 per_source = [future.result() for future in futures]

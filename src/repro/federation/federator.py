@@ -25,6 +25,7 @@ Experiment E6.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -33,6 +34,8 @@ from collections.abc import Iterable, Sequence
 
 from ..coreference import SameAsService
 from ..core import MediationResult, Mediator
+from ..obs.metrics import abandoned_attempts_gauge
+from ..obs.trace import get_tracer
 from ..rdf import Term, URIRef, Variable
 from ..sparql import Binding, Query, ResultSet, parse_query
 from .endpoint import EndpointError, EndpointTimeout
@@ -533,8 +536,12 @@ class FederatedQueryEngine:
             max_workers=min(len(targets), self.max_workers),
             thread_name_prefix="federate",
         ) as pool:
+            # copy_context() per task (a Context cannot be entered by two
+            # threads at once): each worker sees the submitting thread's
+            # active span, so per-dataset spans nest under the request.
             futures = {
                 pool.submit(
+                    contextvars.copy_context().run,
                     self._run_on_dataset, query, target,
                     source_ontology, source_dataset, mode,
                 ): index
@@ -592,28 +599,56 @@ class FederatedQueryEngine:
         effective_timeout = policy.timeout if timeout is None else timeout
         last_error: str | None = None
         attempts = 0
-        for attempt in range(policy.max_attempts):
-            if not breaker.allow():
-                last_error = f"circuit open for {target.uri}"
-                break
-            attempts += 1
-            try:
-                result = self._attempt(target, executable, effective_timeout, kind)
-                breaker.record_success()
-                return result, attempts, None
-            except (EndpointError, KeyError, ValueError) as exc:
-                breaker.record_failure()
-                last_error = str(exc)
-                if attempt < policy.max_retries:
-                    delay = policy.retry_delay(attempt)
-                    if delay > 0:
-                        time.sleep(delay)
-            except BaseException:
-                # Unexpected failure: still settle the breaker (a half-open
-                # probe reservation would otherwise leak and wedge the
-                # breaker refusing forever), then propagate the bug.
-                breaker.record_failure()
-                raise
+        with get_tracer().start_span(
+            "endpoint.call",
+            {"dataset": str(target.uri), "kind": kind, "layer": "federation"},
+        ) as span:
+            for attempt in range(policy.max_attempts):
+                if not breaker.allow():
+                    last_error = f"circuit open for {target.uri}"
+                    if span.recording:
+                        span.add_event("breaker_open")
+                    break
+                attempts += 1
+                before = breaker.state if span.recording else None
+                try:
+                    result = self._attempt(target, executable, effective_timeout, kind)
+                    breaker.record_success()
+                    if span.recording:
+                        span.set_attribute("attempts", attempts)
+                        if breaker.state != before:
+                            span.add_event(
+                                "breaker_transition",
+                                from_state=before, to_state=breaker.state,
+                            )
+                    return result, attempts, None
+                except (EndpointError, KeyError, ValueError) as exc:
+                    breaker.record_failure()
+                    last_error = str(exc)
+                    if span.recording and breaker.state != before:
+                        span.add_event(
+                            "breaker_transition",
+                            from_state=before, to_state=breaker.state,
+                        )
+                    if attempt < policy.max_retries:
+                        delay = policy.retry_delay(attempt)
+                        if span.recording:
+                            span.add_event(
+                                "retry",
+                                attempt=attempts, error=last_error, delay=delay,
+                            )
+                        if delay > 0:
+                            time.sleep(delay)
+                except BaseException:
+                    # Unexpected failure: still settle the breaker (a half-open
+                    # probe reservation would otherwise leak and wedge the
+                    # breaker refusing forever), then propagate the bug.
+                    breaker.record_failure()
+                    raise
+            if span.recording:
+                span.set_attribute("attempts", attempts)
+                if last_error is not None:
+                    span.set_attribute("error", last_error)
         return None, attempts, last_error
 
     @staticmethod
@@ -627,13 +662,26 @@ class FederatedQueryEngine:
 
         Endpoints expose no cancellation, so the attempt runs on a daemon
         thread and is abandoned on timeout — exactly how an HTTP client
-        would drop a socket while the server keeps computing.
+        would drop a socket while the server keeps computing.  Abandoned
+        attempts are visible while they last: the per-dataset
+        ``repro_abandoned_attempts`` gauge is incremented by the waiter
+        when it gives up and decremented by the attempt thread when it
+        finally finishes, so a non-zero value means a thread is still
+        burning cycles behind a timeout that already fired.
         """
         operation = getattr(target.endpoint, kind)
         if timeout is None:
             return operation(executable)
         box: dict[str, object] = {}
         done = threading.Event()
+        # Waiter and attempt thread agree under this lock on whether the
+        # attempt was abandoned; whichever side arrives second settles the
+        # gauge, so an attempt finishing in the same instant the timeout
+        # fires can never leak an increment.
+        state_lock = threading.Lock()
+        state = {"abandoned": False, "finished": False}
+        gauge = abandoned_attempts_gauge()
+        dataset = str(target.uri)
 
         def run() -> None:
             try:
@@ -642,10 +690,21 @@ class FederatedQueryEngine:
                 box["error"] = exc
             finally:
                 done.set()
+                with state_lock:
+                    state["finished"] = True
+                    if state["abandoned"]:
+                        gauge.dec(dataset=dataset)
 
-        thread = threading.Thread(target=run, daemon=True, name=f"attempt-{target.uri}")
+        context = contextvars.copy_context()
+        thread = threading.Thread(
+            target=lambda: context.run(run), daemon=True, name=f"attempt-{target.uri}"
+        )
         thread.start()
         if not done.wait(timeout):
+            with state_lock:
+                if not state["finished"]:
+                    state["abandoned"] = True
+                    gauge.inc(dataset=dataset)
             raise EndpointTimeout(
                 f"endpoint for {target.uri} timed out after {timeout:g}s"
             )

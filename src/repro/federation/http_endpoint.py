@@ -25,6 +25,7 @@ import urllib.parse
 import urllib.request
 
 
+from ..obs.trace import get_tracer
 from ..rdf import Graph, URIRef
 from ..sparql import AskResult, Query, ResultSet
 from ..sparql.formats import (
@@ -137,31 +138,47 @@ class HttpSparqlEndpoint(SparqlEndpoint):
         request = urllib.request.Request(url, data=data, headers={"Accept": accept})
         if data is not None:
             request.add_header("Content-Type", "application/x-www-form-urlencoded")
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            # The server answered, with an error status: the endpoint is
-            # reachable but refused or failed the query.
-            snippet = self._body_snippet(exc)
-            self._count_failure("injected_failures")
-            if exc.code == 504:
-                raise EndpointTimeout(
-                    f"endpoint {self.name} reported an upstream timeout (504): {snippet}"
+        # The client span's own id rides the outbound traceparent header,
+        # so the remote server's request span becomes its child and the
+        # federated sub-query joins this trace across the socket.
+        with get_tracer().start_span(
+            "http.client.request",
+            {"endpoint": self.name, "url": self.url, "layer": "client"},
+        ) as span:
+            traceparent = span.traceparent()
+            if traceparent is not None:
+                request.add_header("traceparent", traceparent)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    body = response.read().decode("utf-8")
+            except urllib.error.HTTPError as exc:
+                # The server answered, with an error status: the endpoint is
+                # reachable but refused or failed the query.
+                snippet = self._body_snippet(exc)
+                self._count_failure("injected_failures")
+                if span.recording:
+                    span.set_attribute("status", exc.code)
+                if exc.code == 504:
+                    raise EndpointTimeout(
+                        f"endpoint {self.name} reported an upstream timeout (504): {snippet}"
+                    ) from exc
+                raise EndpointUnavailable(
+                    f"endpoint {self.name} answered HTTP {exc.code}: {snippet}"
                 ) from exc
-            raise EndpointUnavailable(
-                f"endpoint {self.name} answered HTTP {exc.code}: {snippet}"
-            ) from exc
-        except urllib.error.URLError as exc:
-            self._count_failure("transport_failures")
-            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+            except urllib.error.URLError as exc:
+                self._count_failure("transport_failures")
+                if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                    raise EndpointTimeout(self._timeout_message()) from exc
+                raise EndpointUnavailable(
+                    f"endpoint {self.name} is unreachable: {exc.reason}"
+                ) from exc
+            except (socket.timeout, TimeoutError) as exc:
+                self._count_failure("transport_failures")
                 raise EndpointTimeout(self._timeout_message()) from exc
-            raise EndpointUnavailable(
-                f"endpoint {self.name} is unreachable: {exc.reason}"
-            ) from exc
-        except (socket.timeout, TimeoutError) as exc:
-            self._count_failure("transport_failures")
-            raise EndpointTimeout(self._timeout_message()) from exc
+            if span.recording:
+                span.set_attribute("status", 200)
+                span.set_attribute("bytes", len(body))
+        return body
 
     def _timeout_message(self) -> str:
         budget = f" after {self.timeout:g}s" if self.timeout is not None else ""

@@ -17,6 +17,7 @@ import threading
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Iterator
 
+from ..obs.metrics import abandoned_attempts_gauge
 from ..rdf import Graph, URIRef
 from .endpoint import EndpointStatistics, SparqlEndpoint
 from .policy import CircuitBreaker, ExecutionPolicy
@@ -37,17 +38,20 @@ class EndpointHealth(str):
     state: str
     consecutive_failures: int
     statistics: EndpointStatistics | None
+    abandoned_attempts: int
 
     def __new__(
         cls,
         state: str,
         consecutive_failures: int = 0,
         statistics: EndpointStatistics | None = None,
+        abandoned_attempts: int = 0,
     ) -> EndpointHealth:
         self = super().__new__(cls, state)
         self.state = str(state)
         self.consecutive_failures = consecutive_failures
         self.statistics = statistics
+        self.abandoned_attempts = abandoned_attempts
         return self
 
     def as_dict(self) -> dict:
@@ -55,6 +59,7 @@ class EndpointHealth(str):
         payload: dict = {
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,
+            "abandoned_attempts": self.abandoned_attempts,
         }
         if self.statistics is not None:
             payload["statistics"] = self.statistics.as_dict()
@@ -192,6 +197,7 @@ class DatasetRegistry:
         """
         with self._lock:
             snapshot = dict(self._datasets)
+        gauge = abandoned_attempts_gauge()
         report: dict[URIRef, EndpointHealth] = {}
         for uri in sorted(snapshot, key=str):
             breaker = self.breaker_for(uri)
@@ -199,6 +205,7 @@ class DatasetRegistry:
                 breaker.state,
                 consecutive_failures=breaker.consecutive_failures,
                 statistics=getattr(snapshot[uri].endpoint, "statistics", None),
+                abandoned_attempts=int(gauge.value(dataset=str(uri))),
             )
         return report
 

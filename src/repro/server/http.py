@@ -16,7 +16,9 @@ dependencies beyond the standard library.  The protocol surface:
 * ``GET /health`` — backend health (circuit-breaker states for a
   federation backend),
 * ``GET /metrics`` — per-endpoint :class:`EndpointStatistics` plus server
-  counters (requests, errors, cache hits/misses),
+  counters (requests, errors, cache hits/misses) as JSON, or the
+  Prometheus text exposition when the ``Accept`` header prefers
+  ``text/plain`` (or ``?format=prometheus``),
 * ``GET /`` — a small JSON service description.
 
 Successful query responses are cached in an LRU keyed by
@@ -33,12 +35,17 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.parse
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 
 from ..federation.endpoint import EndpointError, EndpointTimeout, EndpointUnavailable
+from ..obs.export import SINK
+from ..obs.metrics import REGISTRY, MetricsRegistry
+from ..obs.slowlog import SLOW_LOG
+from ..obs.trace import get_tracer
 from ..rdf import Graph
 from ..sparql import AskResult, ResultSet, TermSerializationError
 from ..sparql.formats import (
@@ -121,15 +128,21 @@ class _HttpError(Exception):
 
 
 class _SparqlHttpd(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared server state."""
+    """ThreadingHTTPServer carrying the shared server state.
+
+    Each server instance owns a private :class:`MetricsRegistry`, so two
+    loopback servers in one process (a federation test) keep independent
+    request counters; process-wide metrics (abandoned attempts, rewrite
+    cache) live in the global registry and are concatenated into the
+    Prometheus exposition.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
     backend: QueryBackend
     cache: ResponseCache
-    counters: dict[str, int]
-    counters_lock: threading.Lock
+    registry: MetricsRegistry
     quiet: bool
 
     def handle_error(self, request, client_address) -> None:
@@ -153,44 +166,73 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        self._count("requests")
-        parsed = urllib.parse.urlsplit(self.path)
-        try:
-            if parsed.path in ("/sparql", "/query"):
-                parameters = urllib.parse.parse_qs(parsed.query)
-                queries = parameters.get("query")
-                if not queries:
-                    raise _HttpError(400, "missing required 'query' parameter")
-                self._answer_query(queries[0])
-            elif parsed.path == "/analyze":
-                parameters = urllib.parse.parse_qs(parsed.query)
-                queries = parameters.get("query")
-                if not queries:
-                    raise _HttpError(400, "missing required 'query' parameter")
-                self._answer_analyze(queries[0])
-            elif parsed.path == "/health":
-                self._send_json(200, self._health_payload())
-            elif parsed.path == "/metrics":
-                self._send_json(200, self._metrics_payload())
-            elif parsed.path == "/":
-                self._send_json(200, self._service_payload())
-            else:
-                raise _HttpError(404, f"no such resource: {parsed.path}")
-        except _HttpError as error:
-            self._send_error(error)
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        """Count, trace and time one request, then route it.
+
+        The request span joins the caller's trace when the request carries
+        a W3C ``traceparent`` header (a federated sub-query issued by
+        :class:`~repro.federation.http_endpoint.HttpSparqlEndpoint`), and
+        starts a fresh trace otherwise.
+        """
         self._count("requests")
         parsed = urllib.parse.urlsplit(self.path)
-        try:
-            if parsed.path == "/analyze":
-                self._answer_analyze(self._read_query_body())
-            elif parsed.path in ("/sparql", "/query"):
-                self._answer_query(self._read_query_body())
-            else:
-                raise _HttpError(404, f"no such resource: {parsed.path}")
-        except _HttpError as error:
-            self._send_error(error)
+        started = time.perf_counter()
+        span = get_tracer().start_span(
+            "http.server.request",
+            {"method": method, "path": parsed.path, "layer": "http"},
+            traceparent=self.headers.get("traceparent"),
+        )
+        with span:
+            try:
+                if method == "GET":
+                    self._route_get(parsed)
+                else:
+                    self._route_post(parsed)
+            except _HttpError as error:
+                if span.recording:
+                    span.set_attribute("status", error.status)
+                self._send_error(error)
+        if parsed.path in ("/sparql", "/query", "/analyze"):
+            self.server.registry.histogram(
+                "repro_http_request_seconds",
+                "Query request latency in seconds by handler",
+                labels=("handler",),
+            ).observe(time.perf_counter() - started, handler=parsed.path.lstrip("/"))
+
+    def _route_get(self, parsed: urllib.parse.SplitResult) -> None:
+        if parsed.path in ("/sparql", "/query"):
+            parameters = urllib.parse.parse_qs(parsed.query)
+            queries = parameters.get("query")
+            if not queries:
+                raise _HttpError(400, "missing required 'query' parameter")
+            self._answer_query(queries[0])
+        elif parsed.path == "/analyze":
+            parameters = urllib.parse.parse_qs(parsed.query)
+            queries = parameters.get("query")
+            if not queries:
+                raise _HttpError(400, "missing required 'query' parameter")
+            self._answer_analyze(queries[0])
+        elif parsed.path == "/health":
+            self._send_json(200, self._health_payload())
+        elif parsed.path == "/metrics":
+            self._answer_metrics()
+        elif parsed.path == "/":
+            self._send_json(200, self._service_payload())
+        else:
+            raise _HttpError(404, f"no such resource: {parsed.path}")
+
+    def _route_post(self, parsed: urllib.parse.SplitResult) -> None:
+        if parsed.path == "/analyze":
+            self._answer_analyze(self._read_query_body())
+        elif parsed.path in ("/sparql", "/query"):
+            self._answer_query(self._read_query_body())
+        else:
+            raise _HttpError(404, f"no such resource: {parsed.path}")
 
     # ------------------------------------------------------------------ #
     # The protocol's query operation
@@ -231,6 +273,7 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             return
 
         # 5xx responses are counted once, in _send_error.
+        started = time.perf_counter()
         try:
             result = backend.execute(query_text)
         except RejectedQuery as exc:
@@ -257,6 +300,16 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             raise _HttpError(500, f"internal error: {type(exc).__name__}: {exc}") from exc
 
         format_name, content_type, text = self._render(result, accept)
+        elapsed = time.perf_counter() - started
+        if elapsed >= SLOW_LOG.threshold:
+            span = get_tracer().current_span()
+            SLOW_LOG.record(
+                query=query_text,
+                elapsed=elapsed,
+                engine=backend.description,
+                layer="http",
+                trace_id=span.trace_id if span is not None and span.recording else None,
+            )
         body = text.encode("utf-8")
         self.server.cache.put((generation, query_text, format_name), content_type, body)
         self._send(200, content_type, body)
@@ -355,13 +408,58 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         payload.setdefault("status", "ok")
         return payload
 
+    def _answer_metrics(self) -> None:
+        """``/metrics``: JSON by default, Prometheus text when asked.
+
+        An ``Accept`` header preferring ``text/plain`` (what a Prometheus
+        scraper sends) or a ``?format=prometheus`` query parameter selects
+        the text exposition; everything else keeps the original JSON
+        payload.
+        """
+        parsed = urllib.parse.urlsplit(self.path)
+        parameters = urllib.parse.parse_qs(parsed.query)
+        accept = (self.headers.get("Accept") or "").lower()
+        wants_text = (
+            "prometheus" in parameters.get("format", [])
+            or "text/plain" in accept
+            or "openmetrics" in accept
+        )
+        if wants_text:
+            body = self.server.registry.render_prometheus() + REGISTRY.render_prometheus()
+            self._send(200, "text/plain; version=0.0.4", body.encode("utf-8"))
+        else:
+            self._send_json(200, self._metrics_payload())
+
     def _metrics_payload(self) -> dict[str, object]:
-        with self.server.counters_lock:
-            counters = dict(self.server.counters)
-        return {
+        """The backward-compatible JSON metrics document.
+
+        Each constituent (registry counters, cache info, backend metrics)
+        snapshots consistently under its own lock, and the payload carries
+        the backend generation it was sampled at, so a reader can detect
+        that the alignment KB changed between two scrapes instead of
+        puzzling over counters that moved independently.
+        """
+        registry = self.server.registry
+        counters = {
+            key: int(self._counter(key).value())
+            for key in ("requests", "queries", "errors")
+        }
+        latency = registry.histogram(
+            "repro_http_request_seconds",
+            "Query request latency in seconds by handler",
+            labels=("handler",),
+        )
+        payload: dict[str, object] = {
             "server": {**counters, "cache": self.server.cache.info()},
             "endpoints": self.server.backend.metrics(),
+            "generation": self.server.backend.generation,
+            "latency": {
+                "sparql": latency.snapshot(handler="sparql"),
+                "analyze": latency.snapshot(handler="analyze"),
+            },
+            "slowlog": SLOW_LOG.as_dict(),
         }
+        return payload
 
     def _service_payload(self) -> dict[str, object]:
         return {
@@ -405,9 +503,19 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         if self.command != "HEAD":
             self.wfile.write(body)
 
+    _COUNTER_HELP = {
+        "requests": "HTTP requests received",
+        "queries": "SPARQL protocol query operations",
+        "errors": "Responses with status >= 500",
+    }
+
+    def _counter(self, key: str):
+        return self.server.registry.counter(
+            f"repro_http_{key}_total", self._COUNTER_HELP.get(key, key)
+        )
+
     def _count(self, key: str) -> None:
-        with self.server.counters_lock:
-            self.server.counters[key] = self.server.counters.get(key, 0) + 1
+        self._counter(key).inc()
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:  # pragma: no cover - log formatting
@@ -439,10 +547,12 @@ class SparqlHttpServer:
         self._httpd = _SparqlHttpd((host, port), _SparqlRequestHandler)
         self._httpd.backend = backend
         self._httpd.cache = ResponseCache(cache_size)
-        self._httpd.counters = {"requests": 0, "queries": 0, "errors": 0}
-        self._httpd.counters_lock = threading.Lock()
+        self._httpd.registry = MetricsRegistry()
         self._httpd.quiet = quiet
         self._thread: threading.Thread | None = None
+        # Server construction is a configuration point: pick up any change
+        # to REPRO_RUN_EVENTS made since the last refresh.
+        SINK.refresh()
 
     # ------------------------------------------------------------------ #
     @property

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 
+from ..obs.export import SINK
+from ..obs.slowlog import SLOW_LOG
+from ..obs.trace import get_tracer
 from ..rdf import BNode, Graph, Literal, Term, Triple, URIRef, Variable, fresh_bnode
 from .ast import (
     AskQuery,
@@ -306,6 +309,9 @@ class QueryEvaluator:
         self.strict = strict
         self.analysis_enabled = analysis
         self._prepared: tuple | None = None
+        # Evaluator construction is a configuration point: pick up any
+        # change to REPRO_RUN_EVENTS made since the last refresh.
+        SINK.refresh()
 
     # -- static analysis ------------------------------------------------------ #
     def _prepare(self, query: Query):
@@ -428,18 +434,45 @@ class QueryEvaluator:
         """Compile ``query`` onto the batched execution core."""
         from .exec import compile_naive_query, compile_planner_query
 
-        if self.engine in ("planner", "streaming"):
-            return compile_planner_query(query, self._graph, self._exec_config)
-        return compile_naive_query(query, self._graph, self._exec_config)
+        with get_tracer().start_span(
+            "planner.compile", {"engine": self.engine, "layer": "planner"}
+        ) as span:
+            if self.engine in ("planner", "streaming"):
+                plan = compile_planner_query(query, self._graph, self._exec_config)
+            else:
+                plan = compile_naive_query(query, self._graph, self._exec_config)
+            if span.recording:
+                span.set_attribute("operators", len(plan.root.operator_stats()))
+        return plan
 
     def _finish(self, plan, query: Query) -> None:
-        """Per-query run-event emission (opt-in via ``REPRO_RUN_EVENTS``)."""
-        import os
+        """Post-execution hooks: run-event JSONL, operator spans, slow log.
 
-        from .exec import RUN_EVENTS_ENV, maybe_emit_event
+        The batched executor carries no tracing code; per-operator spans
+        are synthesized here from its existing ``operator_stats`` timing
+        counters, so the hot loop is identical whether tracing is on or
+        off.
+        """
+        from .exec import maybe_emit_event
 
-        if os.environ.get(RUN_EVENTS_ENV):
+        if SINK.enabled:
             maybe_emit_event(plan.run_event())
+        tracer = get_tracer()
+        trace_id: str | None = None
+        if tracer.enabled:
+            root = tracer.add_operator_spans(
+                plan.root.operator_stats(), plan.engine, plan.elapsed
+            )
+            trace_id = root.trace_id or None
+        if plan.elapsed >= SLOW_LOG.threshold:
+            SLOW_LOG.record(
+                query=type(query).__name__,
+                elapsed=plan.elapsed,
+                engine=plan.engine,
+                layer="evaluator",
+                trace_id=trace_id,
+                plan=plan.report(),
+            )
 
     # -- SELECT -------------------------------------------------------------- #
     def _evaluate_select(self, query: SelectQuery) -> ResultSet:

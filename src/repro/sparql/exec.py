@@ -45,8 +45,6 @@ structured per-query event consumable by ``benchmarks/compare.py
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -54,6 +52,7 @@ from itertools import chain as _iter_chain, islice
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
+from ..obs.export import RUN_EVENTS_ENV, SINK
 from ..rdf import BNode, Term, TermDictionary, Triple, Variable
 from .ast import AskQuery, ConstructQuery, Expression, OrderCondition, Query, SelectQuery
 from .evaluator import (
@@ -101,10 +100,6 @@ UNBOUND = 0
 #: Name prefix of the synthetic ordinal columns used to correlate
 #: OPTIONAL/UNION sub-plan output with its input rows.
 _ORD_PREFIX = "__ord_"
-
-#: Environment variable: when set to a path, per-query run events are
-#: appended there as JSON lines.
-RUN_EVENTS_ENV = "REPRO_RUN_EVENTS"
 
 Row = tuple[int, ...]
 Schema = tuple[Variable, ...]
@@ -273,6 +268,9 @@ class VecOperator:
     schema: Schema = ()
     #: Estimated output rows (display + join-strategy bookkeeping).
     est: float = 1.0
+    #: Tracing span name of this operator (every concrete ``Vec*`` class
+    #: must override it; enforced by ``tools/check_invariants.py``).
+    span_name: str = "exec.operator"
 
     def __init__(self, ctx: ExecContext) -> None:
         self.ctx = ctx
@@ -335,6 +333,7 @@ class VecOperator:
         metrics = self.metrics
         stats: list[dict[str, Any]] = [{
             "operator": self.describe(),
+            "span": self.span_name,
             "depth": depth,
             "rows_in": metrics.rows_in,
             "rows_out": metrics.rows_out,
@@ -374,6 +373,8 @@ class VecBGPOp(VecOperator):
     ``adaptive`` is on, the chain samples each step's actual output and
     reorders the remaining steps on misestimates.
     """
+
+    span_name = "exec.bgp_scan"
 
     def __init__(
         self,
@@ -708,6 +709,8 @@ class VecBGPOp(VecOperator):
 class VecTableOp(VecOperator):
     """An inline solution table (VALUES) joined against the input stream."""
 
+    span_name = "exec.table"
+
     def __init__(
         self,
         ctx: ExecContext,
@@ -769,6 +772,8 @@ class VecTableOp(VecOperator):
 class VecBindJoinOp(VecOperator):
     """Streaming bind join: left batches feed the right sub-plan."""
 
+    span_name = "exec.bind_join"
+
     def __init__(self, ctx: ExecContext, left: VecOperator, right: VecOperator) -> None:
         super().__init__(ctx)
         self._left = left
@@ -788,6 +793,8 @@ class VecBindJoinOp(VecOperator):
 
 class VecHashJoinOp(VecOperator):
     """Hash join on shared certainly-bound variables (build right once)."""
+
+    span_name = "exec.hash_join"
 
     def __init__(
         self,
@@ -879,6 +886,8 @@ class _OrdinalMixin:
 class VecLeftJoinOp(VecOperator, _OrdinalMixin):
     """OPTIONAL: extend input rows where the sub-plan matches, else pass."""
 
+    span_name = "exec.left_join"
+
     def __init__(
         self,
         ctx: ExecContext,
@@ -947,6 +956,8 @@ class VecLeftJoinOp(VecOperator, _OrdinalMixin):
 class VecUnionOp(VecOperator, _OrdinalMixin):
     """UNION: each input row flows through every branch, in branch order."""
 
+    span_name = "exec.union"
+
     def __init__(
         self,
         ctx: ExecContext,
@@ -1012,6 +1023,8 @@ class VecUnionOp(VecOperator, _OrdinalMixin):
 class VecFilterOp(VecOperator):
     """FILTER expressions evaluated at the term boundary (decode per row)."""
 
+    span_name = "exec.filter"
+
     def __init__(
         self,
         ctx: ExecContext,
@@ -1055,6 +1068,8 @@ class VecFilterOp(VecOperator):
 class VecProjectOp(VecOperator):
     """Project rows onto the requested variables (anchors stripped)."""
 
+    span_name = "exec.project"
+
     def __init__(
         self, ctx: ExecContext, child: VecOperator, projection: Sequence[Variable]
     ) -> None:
@@ -1091,6 +1106,8 @@ class VecProjectOp(VecOperator):
 class VecDistinctOp(VecOperator):
     """Duplicate elimination on raw row tuples (first occurrence wins)."""
 
+    span_name = "exec.distinct"
+
     def __init__(self, ctx: ExecContext, child: VecOperator) -> None:
         super().__init__(ctx)
         self._child = child
@@ -1117,6 +1134,8 @@ class VecDistinctOp(VecOperator):
 
 class VecOrderByOp(VecOperator):
     """ORDER BY: the one blocking operator (materialise, decode keys, sort)."""
+
+    span_name = "exec.order_by"
 
     def __init__(
         self,
@@ -1164,6 +1183,8 @@ class VecOrderByOp(VecOperator):
 
 class VecSliceOp(VecOperator):
     """OFFSET/LIMIT with early termination across batch boundaries."""
+
+    span_name = "exec.slice"
 
     def __init__(
         self,
@@ -1268,12 +1289,13 @@ class QueryRunEvent:
 
 
 def maybe_emit_event(event: QueryRunEvent) -> None:
-    """Append ``event`` to the JSONL file named by ``REPRO_RUN_EVENTS``."""
-    path = os.environ.get(RUN_EVENTS_ENV)
-    if not path:
-        return
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(event.to_json_dict(), sort_keys=True) + "\n")
+    """Append ``event`` to the JSONL file named by ``REPRO_RUN_EVENTS``.
+
+    Delegates to the process-wide :data:`repro.obs.export.SINK`, which
+    serializes concurrent emitters (one ``write()`` per line) and caches
+    the environment lookup instead of re-reading it per event.
+    """
+    SINK.emit(event.to_json_dict())
 
 
 class ExecPlan:
@@ -1306,6 +1328,11 @@ class ExecPlan:
     def first_binding(self) -> Binding | None:
         """The first solution, pulling as little as possible (ASK)."""
         return next(self.bindings(), None)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds of the most recent execution."""
+        return self._elapsed
 
     def report(self) -> str:
         """Per-operator rows/batches/time of the most recent execution."""
@@ -1492,6 +1519,8 @@ def compile_naive_query(
 class _VecIdentityOp(VecOperator):
     """Pass-through (an empty group matches every input row once)."""
 
+    span_name = "exec.identity"
+
     def __init__(self, ctx: ExecContext, schema: Schema) -> None:
         super().__init__(ctx)
         self.schema = schema
@@ -1513,6 +1542,8 @@ class VecAnalysisPruneOp(VecOperator):
     operator with zero rows and zero batches, and no scan ever touches
     the graph indexes.
     """
+
+    span_name = "exec.analysis_prune"
 
     def __init__(self, ctx: ExecContext, schema: Schema, reason: str) -> None:
         super().__init__(ctx)

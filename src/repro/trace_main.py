@@ -1,0 +1,12 @@
+"""``python -m repro.trace_main`` — module form of the ``repro-trace`` script.
+
+Lets trace span trees be rendered without installing the console scripts
+(CI steps, subprocess tests): equivalent to running ``repro-trace``.
+"""
+
+import sys
+
+from .cli import main_trace
+
+if __name__ == "__main__":
+    sys.exit(main_trace())

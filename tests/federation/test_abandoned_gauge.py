@@ -1,0 +1,96 @@
+"""The abandoned-attempt gauge: timed-out daemon threads stay visible.
+
+When a policy timeout fires, the attempt thread is abandoned but keeps
+running (endpoints expose no cancellation).  The per-dataset
+``repro_abandoned_attempts`` gauge counts exactly those threads: the
+waiter increments it when it gives up, the thread decrements it when it
+finally finishes — so the gauge drains back to zero and a non-zero value
+always means live abandoned work.
+"""
+
+import time
+
+import pytest
+
+from repro.federation import (
+    EndpointTimeout,
+    LocalSparqlEndpoint,
+    RegisteredDataset,
+)
+from repro.federation.federator import FederatedQueryEngine
+from repro.federation.void import DatasetDescription
+from repro.obs.metrics import abandoned_attempts_gauge
+from repro.rdf import URIRef
+from repro.sparql import parse_query
+from repro.turtle import parse_graph
+
+DATA = "@prefix ex: <http://example.org/> . ex:a ex:knows ex:b ."
+QUERY = parse_query("SELECT ?s WHERE { ?s ?p ?o }")
+
+
+def _dataset(uri: str, latency: float = 0.0) -> RegisteredDataset:
+    dataset_uri = URIRef(uri)
+    return RegisteredDataset(
+        DatasetDescription(uri=dataset_uri, endpoint_uri=dataset_uri),
+        LocalSparqlEndpoint(dataset_uri, parse_graph(DATA), latency=latency),
+    )
+
+
+def _drain(gauge, uri: str, deadline_seconds: float = 5.0) -> float:
+    deadline = time.time() + deadline_seconds
+    while gauge.value(dataset=uri) > 0 and time.time() < deadline:
+        time.sleep(0.01)
+    return gauge.value(dataset=uri)
+
+
+class TestAbandonedAttemptGauge:
+    def test_timeout_increments_then_thread_drains(self):
+        # A unique dataset URI isolates this test's series in the
+        # process-global registry.
+        uri = "http://example.org/slow-gauge-drain"
+        target = _dataset(uri, latency=0.4)
+        gauge = abandoned_attempts_gauge()
+        assert gauge.value(dataset=uri) == 0
+
+        with pytest.raises(EndpointTimeout):
+            FederatedQueryEngine._attempt(target, QUERY, timeout=0.05)
+        # The waiter gave up; the daemon thread is still inside its 0.4s
+        # simulated latency, so the abandoned attempt is visible NOW.
+        assert gauge.value(dataset=uri) == 1
+
+        # ...and once the thread finishes, it settles its own increment.
+        assert _drain(gauge, uri) == 0
+
+    def test_successful_attempt_never_touches_the_gauge(self):
+        uri = "http://example.org/fast-gauge-untouched"
+        target = _dataset(uri)
+        gauge = abandoned_attempts_gauge()
+        result = FederatedQueryEngine._attempt(target, QUERY, timeout=5.0)
+        assert len(result) == 1
+        assert gauge.value(dataset=uri) == 0
+
+    def test_failing_attempt_within_budget_never_touches_the_gauge(self):
+        uri = "http://example.org/flaky-gauge-untouched"
+        target = _dataset(uri)
+        target.endpoint.fail_next(1)
+        gauge = abandoned_attempts_gauge()
+        with pytest.raises(Exception, match="injected"):
+            FederatedQueryEngine._attempt(target, QUERY, timeout=5.0)
+        assert gauge.value(dataset=uri) == 0
+
+    def test_gauge_surfaces_in_registry_health(self):
+        from repro.federation import DatasetRegistry, ExecutionPolicy
+
+        uri = "http://example.org/slow-gauge-health"
+        target = _dataset(uri, latency=0.4)
+        registry = DatasetRegistry(
+            [target], default_policy=ExecutionPolicy(timeout=0.05)
+        )
+        gauge = abandoned_attempts_gauge()
+        with pytest.raises(EndpointTimeout):
+            FederatedQueryEngine._attempt(target, QUERY, timeout=0.05)
+        health = registry.health()[URIRef(uri)]
+        assert health.abandoned_attempts == 1
+        assert health.as_dict()["abandoned_attempts"] == 1
+        _drain(gauge, uri)
+        assert registry.health()[URIRef(uri)].abandoned_attempts == 0

@@ -1,0 +1,70 @@
+"""The slow-query log: threshold, ring bound, environment configuration."""
+
+import json
+
+from repro.obs.slowlog import SLOWLOG_ENV, SlowQueryLog
+
+
+class TestThreshold:
+    def test_fast_queries_are_not_retained(self):
+        log = SlowQueryLog(threshold=0.5)
+        assert log.record("SELECT 1", elapsed=0.1) is None
+        assert log.entries() == []
+
+    def test_slow_queries_are_retained_with_context(self):
+        log = SlowQueryLog(threshold=0.5)
+        entry = log.record(
+            "SELECT * WHERE { ?s ?p ?o }",
+            elapsed=0.9,
+            engine="planner",
+            layer="http",
+            trace_id="ab" * 16,
+            plan="Project\n  BGPScan",
+        )
+        assert entry is not None
+        assert entry.elapsed == 0.9
+        assert entry.trace_id == "ab" * 16
+        assert entry.plan.startswith("Project")
+
+    def test_per_call_threshold_override(self):
+        log = SlowQueryLog(threshold=10.0)
+        assert log.record("q", elapsed=0.2, threshold=0.1) is not None
+
+    def test_zero_threshold_captures_everything(self):
+        log = SlowQueryLog(threshold=0.0)
+        assert log.record("q", elapsed=0.0) is not None
+
+    def test_threshold_from_environment(self, monkeypatch):
+        monkeypatch.setenv(SLOWLOG_ENV, "0.25")
+        assert SlowQueryLog().threshold == 0.25
+
+    def test_invalid_environment_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(SLOWLOG_ENV, "not-a-number")
+        assert SlowQueryLog().threshold == 0.75
+
+
+class TestRing:
+    def test_capacity_keeps_newest_entries(self):
+        log = SlowQueryLog(threshold=0.0, capacity=3)
+        for index in range(6):
+            log.record(f"q{index}", elapsed=1.0)
+        assert [entry.query for entry in log.entries()] == ["q3", "q4", "q5"]
+        # Sequence numbers keep counting past evictions.
+        assert [entry.sequence for entry in log.entries()] == [4, 5, 6]
+
+    def test_as_dict_is_json_ready(self):
+        log = SlowQueryLog(threshold=0.0, capacity=2)
+        log.record("q", elapsed=1.5, engine="planner", rows=7)
+        payload = log.as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["threshold"] == 0.0
+        assert payload["recorded"] == 1
+        [entry] = payload["entries"]
+        assert entry["query"] == "q"
+        assert entry["rows"] == 7  # extra kwargs ride along
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold=0.0)
+        log.record("q", elapsed=1.0)
+        log.clear()
+        assert log.entries() == []

@@ -201,6 +201,105 @@ class TestObservability:
         assert endpoint_stats["select_queries"] == 1
         assert endpoint_stats["ask_queries"] == 1
 
+    def test_metrics_json_includes_latency_and_slowlog(self, server):
+        import time
+
+        _get(server, SELECT)
+        # The latency observation lands just after the response is sent.
+        deadline = time.time() + 5.0
+        while True:
+            with urllib.request.urlopen(server.url + "/metrics") as response:
+                payload = json.loads(response.read())
+            if payload["latency"]["sparql"]["count"] or time.time() > deadline:
+                break
+            time.sleep(0.01)
+        latency = payload["latency"]["sparql"]
+        assert latency["count"] >= 1
+        assert latency["p50"] is not None
+        assert set(latency) == {"count", "p50", "p95", "p99"}
+        assert {"threshold", "capacity", "recorded", "entries"} <= set(
+            payload["slowlog"]
+        )
+
+    def test_slow_query_is_retained_with_its_text(self, server, monkeypatch):
+        from repro.obs.slowlog import SLOW_LOG
+
+        # Drop the threshold so even this trivial query counts as slow.
+        monkeypatch.setattr(SLOW_LOG, "threshold", 0.0)
+        SLOW_LOG.clear()
+        try:
+            _get(server, SELECT)
+            with urllib.request.urlopen(server.url + "/metrics") as response:
+                payload = json.loads(response.read())
+            entries = payload["slowlog"]["entries"]
+            assert any(
+                entry["layer"] == "http" and entry["query"] == SELECT
+                for entry in entries
+            )
+        finally:
+            SLOW_LOG.clear()
+
+
+class TestPrometheusExposition:
+    def _scrape(self, server, accept=None, path="/metrics"):
+        headers = {"Accept": accept} if accept else {}
+        request = urllib.request.Request(server.url + path, headers=headers)
+        with urllib.request.urlopen(request) as response:
+            return response.headers.get("Content-Type"), response.read().decode()
+
+    def test_json_stays_the_default(self, server):
+        content_type, body = self._scrape(server)
+        assert content_type.startswith("application/json")
+        json.loads(body)
+
+    def test_accept_text_plain_negotiates_prometheus(self, server):
+        import time
+
+        _get(server, SELECT)
+        # The handler records its latency after the response bytes are out,
+        # so the histogram may land an instant after _get returns.
+        deadline = time.time() + 5.0
+        while True:
+            content_type, body = self._scrape(server, accept="text/plain")
+            if "repro_http_request_seconds" in body or time.time() > deadline:
+                break
+            time.sleep(0.01)
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_http_requests_total counter" in body
+        assert "# TYPE repro_http_request_seconds histogram" in body
+        assert 'repro_http_request_seconds_bucket{handler="sparql",le="+Inf"}' in body
+
+    def test_format_parameter_negotiates_prometheus(self, server):
+        _, body = self._scrape(server, path="/metrics?format=prometheus")
+        assert "# TYPE repro_http_requests_total counter" in body
+
+    def test_exposition_passes_the_format_checker(self, server):
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        _get(server, SELECT)
+        _get(server, ASK)
+        _, body = self._scrape(server, accept="text/plain")
+        path = (Path(__file__).resolve().parents[2] / "tools"
+                / "check_prom_format.py")
+        spec = importlib.util.spec_from_file_location("check_prom_format", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules.setdefault("check_prom_format", module)
+        spec.loader.exec_module(module)
+        problems, types, samples = module.check(body)
+        assert problems == []
+        assert types["repro_http_requests_total"] == "counter"
+        assert samples
+
+    def test_counters_agree_between_json_and_prometheus(self, server):
+        _get(server, SELECT)
+        _, json_body = self._scrape(server)
+        queries = json.loads(json_body)["server"]["queries"]
+        _, prom_body = self._scrape(server, accept="text/plain")
+        # The scrape above was itself a request, but not a query.
+        assert f"repro_http_queries_total {queries}" in prom_body
+
 
 class TestResponseCache:
     def test_repeated_query_hits_the_cache(self, endpoint, server):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo invariant lints, run as a hard CI gate.
 
-Three structural invariants that ordinary linters do not express, checked
+Four structural invariants that ordinary linters do not express, checked
 with nothing but the stdlib ``ast`` module:
 
 1. **Hot-loop allocation ban** — inside the batched executor
@@ -22,6 +22,12 @@ with nothing but the stdlib ``ast`` module:
 
 3. **No bare ``except:``** — repo-wide.  A handler must name the
    exceptions it means to swallow.
+
+4. **Operator span coverage** — every concrete ``Vec*`` operator class
+   (a class named ``Vec...``/``_Vec...`` deriving from a ``Vec`` base)
+   must assign a ``span_name`` in its class body, so distributed traces
+   and ``repro-trace`` can attribute execution time to every operator.
+   The ``VecOperator`` base itself is exempt: it defines the fallback.
 
 Exit status is non-zero when any violation is found.  Findings are printed
 one per line as ``path:line: [INVxxx] message`` so CI logs read like
@@ -241,6 +247,50 @@ def check_bare_except(tree: ast.Module, path: Path) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------- #
+# INV004 — every concrete Vec* operator class registers a span name
+# --------------------------------------------------------------------------- #
+
+def _base_names(klass: ast.ClassDef):
+    for base in klass.bases:
+        if isinstance(base, ast.Name):
+            yield base.id
+        elif isinstance(base, ast.Attribute):
+            yield base.attr
+
+
+def check_span_names(tree: ast.Module, path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        if not klass.name.lstrip("_").startswith("Vec"):
+            continue
+        if klass.name == "VecOperator":
+            continue  # the base class defines the fallback span name
+        if not any("Vec" in name for name in _base_names(klass)):
+            continue
+        assigned = False
+        for node in klass.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            if any(isinstance(t, ast.Name) and t.id == "span_name"
+                   for t in targets):
+                assigned = True
+                break
+        if not assigned:
+            findings.append(Finding(
+                path, klass.lineno, "INV004",
+                f"{klass.name} does not assign span_name: every concrete "
+                "Vec* operator must register the span it reports as",
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
 
 def main() -> int:
     findings: list[Finding] = []
@@ -257,6 +307,7 @@ def main() -> int:
                 continue
             findings.extend(check_bare_except(tree, path))
             findings.extend(check_lock_discipline(tree, path))
+            findings.extend(check_span_names(tree, path))
             if path == EXEC_PATH:
                 findings.extend(check_hot_loops(tree, path))
     for finding in findings:

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4), stdlib only.
+
+CI scrapes the live server's ``/metrics`` endpoint and pipes the body
+through this checker::
+
+    curl -s http://host:port/metrics | python tools/check_prom_format.py
+    python tools/check_prom_format.py metrics.txt --require repro_http_requests_total
+
+Checked per the exposition-format spec:
+
+* every non-comment line parses as ``name{labels} value`` with a legal
+  metric name, legal label names, correctly quoted/escaped label values
+  and a float-parseable value (``+Inf``/``-Inf``/``NaN`` included);
+* ``# TYPE`` names one of the known metric kinds, appears at most once
+  per family, and precedes that family's first sample;
+* no duplicate samples (same name and label set twice);
+* histogram families carry ``_bucket`` series with an ``le`` label, end
+  in an ``le="+Inf"`` bucket whose count equals ``_count``, and bucket
+  counts are cumulative (non-decreasing as ``le`` grows).
+
+``--require NAME`` (repeatable) additionally fails the check when a
+metric family is absent — CI uses it to pin the families the server must
+export.  Exit status is non-zero on any violation; findings are printed
+one per line as ``line N: message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+#: Series suffixes a ``# TYPE x histogram``/``summary`` declaration covers.
+_FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class Failure(Exception):
+    """A line violates the exposition format; str(exc) is the message."""
+
+
+def _parse_labels(text: str, line: int) -> tuple[tuple[str, str], ...]:
+    """Parse ``name="value",...`` (the text between the braces)."""
+    labels = []
+    position = 0
+    while position < len(text):
+        match = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", text[position:])
+        if match is None:
+            raise Failure(f"line {line}: malformed label pair at {text[position:]!r}")
+        name = match.group(1)
+        position += match.end()
+        value = []
+        while True:
+            if position >= len(text):
+                raise Failure(f"line {line}: unterminated label value for {name!r}")
+            char = text[position]
+            if char == "\\":
+                if position + 1 >= len(text) or text[position + 1] not in "\\\"n":
+                    raise Failure(f"line {line}: bad escape in label {name!r}")
+                value.append({"n": "\n"}.get(text[position + 1], text[position + 1]))
+                position += 2
+            elif char == '"':
+                position += 1
+                break
+            elif char == "\n":
+                raise Failure(f"line {line}: raw newline in label {name!r}")
+            else:
+                value.append(char)
+                position += 1
+        labels.append((name, "".join(value)))
+        if position < len(text):
+            if text[position] != ",":
+                raise Failure(f"line {line}: expected ',' between labels, "
+                              f"got {text[position]!r}")
+            position += 1
+    return tuple(labels)
+
+
+def _parse_value(text: str, line: int) -> float:
+    if text in ("+Inf", "-Inf"):
+        return float(text.replace("Inf", "inf"))
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        raise Failure(f"line {line}: unparseable sample value {text!r}") from None
+
+
+def _family(name: str) -> str:
+    """The metric family a series name belongs to (strip histogram suffixes)."""
+    for suffix in _FAMILY_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text: str) -> tuple[list[str], dict[str, str], list[tuple[str, tuple, float]]]:
+    """Validate ``text``; return ``(problems, types by family, samples)``."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    samples: list[tuple[str, tuple, float]] = []
+    seen: set[tuple[str, tuple]] = set()
+    sampled_families: set[str] = set()
+
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                    continue  # other comments are legal and ignored
+                name = parts[2]
+                if not _METRIC_NAME.match(name):
+                    raise Failure(f"line {number}: illegal metric name {name!r}")
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _TYPES:
+                        raise Failure(f"line {number}: unknown TYPE {kind!r} "
+                                      f"for {name}")
+                    if name in types:
+                        raise Failure(f"line {number}: duplicate TYPE for {name}")
+                    if name in sampled_families:
+                        raise Failure(f"line {number}: TYPE for {name} after "
+                                      f"its samples")
+                    types[name] = kind
+                continue
+
+            match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                             r"(\s+-?\d+)?\s*$", line)
+            if match is None:
+                raise Failure(f"line {number}: not a valid sample line: {line!r}")
+            name, _, label_text, value_text, _ = match.groups()
+            labels = _parse_labels(label_text, number) if label_text else ()
+            for label_name, _ in labels:
+                if not _LABEL_NAME.match(label_name):
+                    raise Failure(f"line {number}: illegal label name "
+                                  f"{label_name!r}")
+            value = _parse_value(value_text, number)
+            key = (name, tuple(sorted(labels)))
+            if key in seen:
+                raise Failure(f"line {number}: duplicate sample {name}"
+                              f"{dict(labels)}")
+            seen.add(key)
+            sampled_families.add(_family(name))
+            samples.append((name, labels, value))
+        except Failure as failure:
+            problems.append(str(failure))
+
+    problems.extend(_check_histograms(types, samples))
+    return problems, types, samples
+
+
+def _check_histograms(
+    types: dict[str, str], samples: list[tuple[str, tuple, float]]
+) -> list[str]:
+    """Cumulative-bucket and +Inf/_count consistency per histogram series."""
+    problems: list[str] = []
+    histograms = {name for name, kind in types.items() if kind == "histogram"}
+    # Group bucket samples by (family, non-le labels).
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for name, labels, value in samples:
+        family = _family(name)
+        if family not in histograms:
+            continue
+        rest = tuple(sorted(pair for pair in labels if pair[0] != "le"))
+        if name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                problems.append(f"{family}: _bucket sample without an le label")
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.setdefault((family, rest), []).append((bound, value))
+        elif name.endswith("_count"):
+            counts[(family, rest)] = value
+    for (family, rest), series in buckets.items():
+        ordered = sorted(series)
+        if not ordered or ordered[-1][0] != float("inf"):
+            problems.append(f"{family}{dict(rest)}: histogram lacks the "
+                            f'le="+Inf" bucket')
+            continue
+        cumulative = [count for _, count in ordered]
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            problems.append(f"{family}{dict(rest)}: bucket counts are not "
+                            f"cumulative: {cumulative}")
+        total = counts.get((family, rest))
+        if total is not None and total != ordered[-1][1]:
+            problems.append(f"{family}{dict(rest)}: _count {total:g} != "
+                            f'le="+Inf" bucket {ordered[-1][1]:g}')
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus 0.0.4 text exposition format.")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="file to check ('-' or absent: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this metric family has samples "
+                             "(repeatable)")
+    arguments = parser.parse_args(argv)
+    if arguments.path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(arguments.path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {arguments.path}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    problems, types, samples = check(text)
+    families = {_family(name) for name, _, _ in samples}
+    for name in arguments.require:
+        if name not in families:
+            problems.append(f"required metric family {name!r} has no samples")
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} exposition-format problem(s)", file=sys.stderr)
+        return 1
+    print(f"prometheus exposition ok: {len(samples)} samples in "
+          f"{len(families)} families ({len(types)} typed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
