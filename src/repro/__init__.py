@@ -55,8 +55,23 @@ from .federation import (
     FederatedQueryEngine,
     LocalSparqlEndpoint,
     MediatorService,
+    shard_graph,
 )
-from .rdf import BNode, Graph, Literal, Namespace, Triple, URIRef, Variable
+from .rdf import (
+    BNode,
+    Graph,
+    GraphView,
+    Literal,
+    MemoryStore,
+    Namespace,
+    SegmentStore,
+    Store,
+    Triple,
+    URIRef,
+    Variable,
+    open_graph,
+    open_store,
+)
 from .sparql import QueryEvaluator, parse_query, serialize_query
 
 __version__ = "1.0.0"
@@ -64,7 +79,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # rdf
-    "URIRef", "Literal", "BNode", "Variable", "Triple", "Graph", "Namespace",
+    "URIRef", "Literal", "BNode", "Variable", "Triple", "Graph", "GraphView",
+    "Namespace",
+    # storage
+    "Store", "MemoryStore", "SegmentStore", "open_store", "open_graph",
     # sparql
     "parse_query", "serialize_query", "QueryEvaluator",
     # alignment
@@ -78,5 +96,5 @@ __all__ = [
     "RewriteReport",
     # federation
     "LocalSparqlEndpoint", "DatasetDescription", "DatasetRegistry",
-    "FederatedQueryEngine", "MediatorService",
+    "FederatedQueryEngine", "MediatorService", "shard_graph",
 ]

@@ -10,8 +10,11 @@ Entry points (installed as console scripts by ``pyproject.toml``):
   results wire format via ``--format``).
 * ``repro-federate`` — run the demo federation over the built-in synthetic
   scenario and print per-dataset and merged result counts.
-* ``repro-serve`` — publish an RDF file or the built-in mediated
-  federation as a W3C SPARQL Protocol endpoint over HTTP.
+* ``repro-serve`` — publish an RDF file, a persistent store directory
+  (``--store``) or the built-in mediated federation as a W3C SPARQL
+  Protocol endpoint over HTTP.
+* ``repro-store`` — build, compact and inspect persistent
+  :class:`~repro.rdf.SegmentStore` directories.
 * ``repro-lint`` — run the static query analyzer over a batch of SPARQL
   files and print the diagnostics (text or JSON); exits non-zero when
   any file has error-severity findings.
@@ -44,6 +47,7 @@ __all__ = [
     "main_query",
     "main_federate",
     "main_serve",
+    "main_store",
     "main_lint",
     "main_trace",
 ]
@@ -437,10 +441,13 @@ def main_lint(argv: Sequence[str] | None = None) -> int:
 def main_serve(argv: Sequence[str] | None = None) -> int:
     """Publish a SPARQL endpoint over HTTP (the W3C SPARQL Protocol).
 
-    Two modes:
+    Three modes:
 
     * ``repro-serve data.ttl [more.ttl ...]`` — serve the union of the
       given RDF files as a single endpoint (SELECT/ASK/CONSTRUCT);
+    * ``repro-serve --store DIR`` — serve a persistent
+      :class:`~repro.rdf.SegmentStore` directory (built with
+      ``repro-store build``) without loading it into memory;
     * ``repro-serve --scenario`` — serve the built-in mediated federation
       (every SELECT is rewritten per dataset, executed and merged), or one
       scenario dataset with ``--dataset``.
@@ -457,6 +464,9 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
                              "omit when using --scenario")
     parser.add_argument("--scenario", action="store_true",
                         help="serve the built-in mediated federation scenario")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="serve a persistent SegmentStore directory "
+                             "(see repro-store build)")
     parser.add_argument("--dataset", default=None, metavar="URI",
                         help="with --scenario: serve just this dataset's endpoint "
                              "instead of the federation")
@@ -492,11 +502,31 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
 
         get_tracer().enable()
 
-    if arguments.scenario == bool(arguments.data):
-        print("error: serve either RDF files or --scenario (exactly one)", file=sys.stderr)
+    modes = sum((arguments.scenario, bool(arguments.data), arguments.store is not None))
+    if modes != 1:
+        print("error: serve RDF files, --store DIR or --scenario (exactly one)",
+              file=sys.stderr)
         return 2
 
-    if arguments.scenario:
+    if arguments.store is not None:
+        from .rdf import StoreError, open_graph
+
+        store_dir = Path(arguments.store)
+        if not (store_dir / "MANIFEST.json").exists():
+            print(f"error: {store_dir} is not a store directory "
+                  "(no MANIFEST.json; create one with repro-store build)", file=sys.stderr)
+            return 2
+        try:
+            graph = open_graph(store_dir)
+        except StoreError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        placeholder = f"http://{arguments.host}:{arguments.port or 0}/sparql"
+        endpoint = LocalSparqlEndpoint(
+            URIRef(arguments.uri or placeholder), graph, name=str(store_dir),
+        )
+        backend = EndpointBackend(endpoint, strict=arguments.strict)
+    elif arguments.scenario:
         scenario = build_resist_scenario(
             n_persons=arguments.persons,
             n_papers=arguments.papers,
@@ -551,6 +581,107 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-store
+# --------------------------------------------------------------------------- #
+def main_store(argv: Sequence[str] | None = None) -> int:
+    """Build, compact and inspect persistent ``SegmentStore`` directories.
+
+    Subcommands:
+
+    * ``repro-store build DIR data.ttl [...]`` — parse RDF files into the
+      store at ``DIR`` (created if missing, extended if present) and flush
+      to immutable index segments;
+    * ``repro-store compact DIR`` — merge all segments into one and drop
+      tombstoned deletes;
+    * ``repro-store stats DIR`` — print size, layout and vocabulary
+      statistics without loading any triple data.
+    """
+    from .rdf import Graph, SegmentStore, StoreError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Manage persistent triple-store directories (SegmentStore).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="load RDF files into a store directory")
+    build.add_argument("store", metavar="DIR", help="store directory (created if missing)")
+    build.add_argument("data", nargs="+", help="RDF file(s) to load (Turtle or N-Triples)")
+    build.add_argument("--data-format", choices=["turtle", "ntriples"], default=None,
+                       help="RDF syntax of the data files (guessed from the extension)")
+    build.add_argument("--buffer-limit", type=int, default=SegmentStore.DEFAULT_BUFFER_LIMIT,
+                       metavar="TRIPLES", help="write-buffer size between segment flushes")
+
+    compact = commands.add_parser("compact",
+                                  help="merge segments and drop tombstoned deletes")
+    compact.add_argument("store", metavar="DIR")
+
+    stats = commands.add_parser("stats", help="print store size and layout statistics")
+    stats.add_argument("store", metavar="DIR")
+    stats.add_argument("--top", type=int, default=5, metavar="N",
+                       help="show the N most frequent predicates and classes")
+
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "build":
+            store = SegmentStore(arguments.store, buffer_limit=arguments.buffer_limit)
+            graph = Graph(store=store)
+            loaded = 0
+            for path in arguments.data:
+                format_name = arguments.data_format
+                if format_name is None:
+                    format_name = "ntriples" if path.endswith(".nt") else "turtle"
+                before = len(graph)
+                graph.add_all(parse_graph(_read_text(path), format=format_name))
+                loaded += len(graph) - before
+                print(f"{path}: +{len(graph) - before} triples", file=sys.stderr)
+            graph.close()
+            print(f"{arguments.store}: {len(store)} triples in "
+                  f"{len(store.segment_names)} segment(s) (+{loaded} new)")
+            return 0
+
+        if arguments.command == "compact":
+            store = SegmentStore(arguments.store)
+            before = len(store.segment_names)
+            tombstones = store.tombstoned
+            changed = store.compact()
+            store.close()
+            if changed:
+                print(f"{arguments.store}: {before} segment(s) -> "
+                      f"{len(store.segment_names)}, {tombstones} tombstone(s) dropped")
+            else:
+                print(f"{arguments.store}: already compact")
+            return 0
+
+        # stats
+        store = SegmentStore(arguments.store)
+        statistics = store.stats
+        print(f"store:      {arguments.store}")
+        print(f"triples:    {len(store)}")
+        print(f"segments:   {len(store.segment_names)}"
+              + (f" ({', '.join(store.segment_names)})" if store.segment_names else ""))
+        print(f"buffered:   {store.buffered}")
+        print(f"tombstones: {store.tombstoned}")
+        print(f"terms:      {len(store.dictionary)}")
+        print(f"distinct:   {statistics.distinct_subjects} subjects, "
+              f"{statistics.distinct_predicates} predicates, "
+              f"{statistics.distinct_objects} objects")
+        for label, counts in (("predicate", statistics.predicate_counts),
+                              ("class", statistics.class_counts)):
+            ranked = sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+            for term, count in ranked[:max(0, arguments.top)]:
+                print(f"  {label} {term}: {count}")
+        store.close()
+        return 0
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 # --------------------------------------------------------------------------- #

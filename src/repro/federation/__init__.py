@@ -30,6 +30,7 @@ from .federator import (
 from .policy import CircuitBreaker, CircuitState, ExecutionPolicy
 from .registry import DatasetRegistry, EndpointHealth, RegisteredDataset
 from .service import DatasetInfo, ExecutionResponse, MediatorService, TranslationResponse
+from .shard import ShardedGraph, shard_for_subject, shard_graph
 from .void import DatasetDescription, descriptions_from_graph, descriptions_to_graph
 
 __all__ = [
@@ -44,5 +45,6 @@ __all__ = [
     "SourceSelector", "decompose_query", "execute_decomposed",
     "DEFAULT_BIND_JOIN_BATCH",
     "recall", "precision", "f1_score",
+    "ShardedGraph", "shard_graph", "shard_for_subject",
     "MediatorService", "DatasetInfo", "TranslationResponse", "ExecutionResponse",
 ]

@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass
 from collections.abc import Iterable
 
-from ..rdf import Graph, ReadOnlyGraphView, Triple, URIRef
+from ..rdf import Graph, GraphView, Triple, URIRef
 from ..sparql import (
     AskQuery,
     AskResult,
@@ -164,9 +164,9 @@ class LocalSparqlEndpoint(SparqlEndpoint):
     # Data access
     # ------------------------------------------------------------------ #
     @property
-    def graph(self) -> ReadOnlyGraphView:
+    def graph(self) -> GraphView:
         """Read-only view of the endpoint's data."""
-        return ReadOnlyGraphView(self._graph)
+        return GraphView(self._graph)
 
     def triple_count(self) -> int:
         return len(self._graph)

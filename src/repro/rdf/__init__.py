@@ -41,7 +41,18 @@ from .namespace import (
     VOID,
     XSD_NS,
 )
-from .graph import Graph, GraphStatistics, ReadOnlyGraphView, TermDictionary, UNBOUND_ID
+from .store import (
+    GraphStatistics,
+    MemoryStore,
+    SegmentStore,
+    Store,
+    StoreError,
+    TermDictionary,
+    UNBOUND_ID,
+    open_graph,
+    open_store,
+)
+from .graph import Graph, GraphView, ReadOnlyGraphView
 from .dataset import Dataset
 from .reification import ReificationError, dereify, dereify_all, is_statement_node, reify
 from .collections import CollectionError, build_list, is_list_node, read_list
@@ -58,8 +69,11 @@ __all__ = [
     "RDF", "RDFS", "OWL", "XSD_NS", "FOAF", "DC", "VOID", "SKOS",
     "AKT", "KISTI", "DBPO", "MAP", "ALIGN_FN", "RKB_ID", "KISTI_ID", "DBPEDIA_RES",
     # graph/dataset
-    "Graph", "GraphStatistics", "ReadOnlyGraphView", "Dataset",
+    "Graph", "GraphView", "GraphStatistics", "ReadOnlyGraphView", "Dataset",
     "TermDictionary", "UNBOUND_ID",
+    # storage backends
+    "Store", "MemoryStore", "SegmentStore", "StoreError",
+    "open_store", "open_graph",
     # reification / collections
     "reify", "dereify", "dereify_all", "is_statement_node", "ReificationError",
     "build_list", "read_list", "is_list_node", "CollectionError",

@@ -1,150 +1,57 @@
-"""In-memory indexed RDF graph.
+"""The :class:`Graph` facade over a pluggable storage backend.
 
-:class:`Graph` is the storage substrate underneath the local SPARQL
-endpoints of the federation layer.  It maintains three permutation indexes
-(SPO, POS, OSP) so that any triple pattern with at least one ground
-position is answered without a full scan — the same design used by
-mainstream triple stores (and by Jena's in-memory model, the store used by
-the original system).
+Historically this module *was* the store: three in-memory permutation
+indexes (SPO, POS, OSP) plus statistics.  That representation now lives in
+:class:`repro.rdf.store.MemoryStore`; ``Graph`` is a thin facade over any
+:class:`repro.rdf.store.Store` — the same triple-pattern API can be served
+from RAM or from immutable on-disk index segments
+(:class:`repro.rdf.store.SegmentStore`), chosen at construction time::
+
+    Graph()                      # in-memory (default)
+    Graph(store=SegmentStore(p)) # explicit backend
+    open_graph("/data/store")    # persistent, via the factory
+
+The facade owns everything term-level and convention-level — wildcard
+normalisation (``Variable`` acts as ``None``), positional validity
+(a literal can never match in subject position), set algebra, Turtle I/O —
+while the store answers id-level scans, counts and statistics.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import warnings
 from collections.abc import Iterable, Iterator
+from pathlib import Path
 
 from .namespace import NamespaceManager, RDF
+from .store import (
+    UNBOUND_ID,
+    GraphStatistics,
+    MemoryStore,
+    Store,
+    TermDictionary,
+)
 from .terms import BNode, Term, URIRef, Variable
 from .triple import Triple
 
-__all__ = ["Graph", "GraphStatistics", "ReadOnlyGraphView", "TermDictionary", "UNBOUND_ID"]
+__all__ = [
+    "Graph",
+    "GraphView",
+    "GraphStatistics",
+    "ReadOnlyGraphView",
+    "TermDictionary",
+    "UNBOUND_ID",
+]
 
 _Pattern = tuple[Term | None, Term | None, Term | None]
 
-#: Reserved dictionary id meaning "no term bound here".  Kept falsy on
-#: purpose: executor hot loops test ``if term_id:`` instead of comparing.
-UNBOUND_ID = 0
-
-
-class TermDictionary:
-    """Bidirectional term <-> integer interning table.
-
-    The batched executor (:mod:`repro.sparql.exec`) represents solution
-    rows as fixed-width tuples of integers; this dictionary assigns those
-    integers.  Each :class:`Graph` owns one dictionary (ids are meaningless
-    across graphs), ids are assigned lazily on first use and stay stable
-    for the lifetime of the graph — a term is never re-interned to a new
-    id, so row tuples survive graph mutations.
-
-    Id ``0`` (:data:`UNBOUND_ID`) is reserved for "unbound" and never
-    assigned to a term.
-    """
-
-    __slots__ = ("_terms", "_ids")
-
-    def __init__(self) -> None:
-        self._terms: list = [None]
-        self._ids: dict[Term, int] = {}
-
-    def intern(self, term: Term) -> int:
-        """The id for ``term``, assigning a fresh one on first sight."""
-        term_id = self._ids.get(term)
-        if term_id is None:
-            term_id = len(self._terms)
-            self._terms.append(term)
-            self._ids[term] = term_id
-        return term_id
-
-    def lookup(self, term: Term) -> int:
-        """The id for ``term`` without interning (``UNBOUND_ID`` if unseen)."""
-        return self._ids.get(term, UNBOUND_ID)
-
-    def decode(self, term_id: int) -> Term:
-        """The term behind ``term_id`` (raises for the unbound id)."""
-        term = self._terms[term_id]
-        if term is None:
-            raise KeyError(f"term id {term_id} decodes to no term")
-        return term
-
-    @property
-    def terms(self) -> list:
-        """The id-indexed decode table (index 0 is the unbound slot)."""
-        return self._terms
-
-    def __len__(self) -> int:
-        return len(self._terms) - 1
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<TermDictionary {len(self)} terms>"
-
-
-class GraphStatistics:
-    """Incrementally maintained cardinality statistics for one graph.
-
-    The query planner orders joins by how many triples each pattern can
-    match; these counters answer that question in O(1) for any pattern
-    with at most one ground position (two- and three-bound patterns are
-    answered exactly from the permutation indexes).  Counts are refreshed
-    on every :meth:`Graph.add` / :meth:`Graph.discard`, so they are always
-    exact — no ANALYZE step, no staleness.
-    """
-
-    __slots__ = ("subject_counts", "predicate_counts", "object_counts", "class_counts")
-
-    def __init__(self) -> None:
-        #: triples per subject / predicate / object term.
-        self.subject_counts: dict[Term, int] = {}
-        self.predicate_counts: dict[Term, int] = {}
-        self.object_counts: dict[Term, int] = {}
-        #: instances per ``rdf:type`` class (object of an rdf:type triple).
-        self.class_counts: dict[Term, int] = {}
-
-    # -- maintenance ------------------------------------------------------ #
-    def _record(self, s: Term, p: Term, o: Term, delta: int) -> None:
-        for counts, term in (
-            (self.subject_counts, s),
-            (self.predicate_counts, p),
-            (self.object_counts, o),
-        ):
-            updated = counts.get(term, 0) + delta
-            if updated > 0:
-                counts[term] = updated
-            else:
-                counts.pop(term, None)
-        if p == RDF.type:
-            updated = self.class_counts.get(o, 0) + delta
-            if updated > 0:
-                self.class_counts[o] = updated
-            else:
-                self.class_counts.pop(o, None)
-
-    def _clear(self) -> None:
-        self.subject_counts.clear()
-        self.predicate_counts.clear()
-        self.object_counts.clear()
-        self.class_counts.clear()
-
-    # -- read API ---------------------------------------------------------- #
-    @property
-    def distinct_subjects(self) -> int:
-        return len(self.subject_counts)
-
-    @property
-    def distinct_predicates(self) -> int:
-        return len(self.predicate_counts)
-
-    @property
-    def distinct_objects(self) -> int:
-        return len(self.object_counts)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<GraphStatistics s={self.distinct_subjects} "
-                f"p={self.distinct_predicates} o={self.distinct_objects} "
-                f"classes={len(self.class_counts)}>")
+#: File-suffix -> serialisation format, for :meth:`Graph.load`.
+_SUFFIX_FORMATS = {".ttl": "turtle", ".turtle": "turtle",
+                   ".nt": "ntriples", ".ntriples": "ntriples"}
 
 
 class Graph:
-    """A set of RDF triples with pattern-match indexes.
+    """A set of RDF triples with pattern-match indexes, backed by a store.
 
     The graph exposes a small, explicit API:
 
@@ -155,6 +62,11 @@ class Graph:
     * :meth:`value` -- fetch a single object/subject
     * set-style operators ``+`` (union), ``-`` (difference), ``&``
       (intersection)
+
+    Construction paths: ``Graph()`` uses a fresh in-memory store,
+    ``Graph(store=...)`` wraps an explicit backend (possibly already
+    populated on disk), ``Graph.load(path)`` parses an RDF file, and
+    :func:`repro.open_graph` picks memory vs disk from its argument.
     """
 
     def __init__(
@@ -162,24 +74,18 @@ class Graph:
         triples: Iterable[Triple] | None = None,
         identifier: URIRef | None = None,
         namespace_manager: NamespaceManager | None = None,
+        store: Store | None = None,
     ) -> None:
         self._identifier = identifier
-        self._triples: set[Triple] = set()
-        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        # Id-level mirrors of the permutation indexes, keyed by dictionary
-        # ids.  The batched executor scans these (:meth:`triples_ids`) so its
-        # join loops never hash terms or construct Triple objects.
-        self._id_spo: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
-        self._id_pos: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
-        self._id_osp: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
-        self._stats = GraphStatistics()
-        self._dictionary = TermDictionary()
-        self._version = 0
+        self._store = store if store is not None else MemoryStore()
         self.namespace_manager = namespace_manager or NamespaceManager()
         if triples:
             self.add_all(triples)
+
+    @property
+    def store(self) -> Store:
+        """The storage backend this graph reads and writes."""
+        return self._store
 
     @property
     def version(self) -> int:
@@ -189,7 +95,7 @@ class Graph:
         structures (e.g. the HTTP server's response cache) key their
         entries on it so stale answers cannot outlive a data change.
         """
-        return self._version
+        return self._store.version
 
     # ------------------------------------------------------------------ #
     # Identification
@@ -207,20 +113,7 @@ class Graph:
         triple = self._coerce(triple)
         if triple.variables():
             raise ValueError(f"cannot assert a triple pattern with variables: {triple}")
-        if triple in self._triples:
-            return self
-        self._triples.add(triple)
-        s, p, o = triple.as_tuple()
-        self._spo[s][p].add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
-        intern = self._dictionary.intern
-        si, pi, oi = intern(s), intern(p), intern(o)
-        self._id_spo[si][pi].add(oi)
-        self._id_pos[pi][oi].add(si)
-        self._id_osp[oi][si].add(pi)
-        self._stats._record(s, p, o, +1)
-        self._version += 1
+        self._store.add(triple.subject, triple.predicate, triple.object)
         return self
 
     def add_all(self, triples: Iterable[Triple | tuple[Term, Term, Term]]) -> Graph:
@@ -232,27 +125,14 @@ class Graph:
     def remove(self, triple: Triple | tuple[Term, Term, Term]) -> Graph:
         """Remove a triple; raise :class:`KeyError` when absent."""
         triple = self._coerce(triple)
-        if triple not in self._triples:
+        if not self._store.discard(triple.subject, triple.predicate, triple.object):
             raise KeyError(f"triple not in graph: {triple}")
-        return self.discard(triple)
+        return self
 
     def discard(self, triple: Triple | tuple[Term, Term, Term]) -> Graph:
         """Remove a triple if present."""
         triple = self._coerce(triple)
-        if triple not in self._triples:
-            return self
-        self._triples.discard(triple)
-        s, p, o = triple.as_tuple()
-        self._prune(self._spo, s, p, o)
-        self._prune(self._pos, p, o, s)
-        self._prune(self._osp, o, s, p)
-        lookup = self._dictionary.lookup
-        si, pi, oi = lookup(s), lookup(p), lookup(o)
-        self._prune(self._id_spo, si, pi, oi)
-        self._prune(self._id_pos, pi, oi, si)
-        self._prune(self._id_osp, oi, si, pi)
-        self._stats._record(s, p, o, -1)
-        self._version += 1
+        self._store.discard(triple.subject, triple.predicate, triple.object)
         return self
 
     def remove_pattern(
@@ -269,26 +149,7 @@ class Graph:
 
     def clear(self) -> None:
         """Remove every triple."""
-        self._triples.clear()
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._id_spo.clear()
-        self._id_pos.clear()
-        self._id_osp.clear()
-        self._stats._clear()
-        self._version += 1
-
-    @staticmethod
-    def _prune(index, a, b, c) -> None:
-        """Drop ``c`` from ``index[a][b]``, pruning emptied levels (keys are
-        terms in the term indexes, dictionary ids in the id indexes)."""
-        bucket = index[a][b]
-        bucket.discard(c)
-        if not bucket:
-            del index[a][b]
-        if not index[a]:
-            del index[a]
+        self._store.clear()
 
     @staticmethod
     def _coerce(triple: Triple | tuple[Term, Term, Term]) -> Triple:
@@ -297,19 +158,33 @@ class Graph:
         return Triple(*triple)
 
     # ------------------------------------------------------------------ #
+    # Persistence lifecycle (no-ops on in-memory stores)
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Make pending writes durable on persistent backends."""
+        self._store.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources (file handles etc.)."""
+        self._store.close()
+
+    # ------------------------------------------------------------------ #
     # Query
     # ------------------------------------------------------------------ #
     def __contains__(self, triple: Triple | tuple[Term, Term, Term]) -> bool:
-        return self._coerce(triple) in self._triples
+        triple = self._coerce(triple)
+        if triple.variables():
+            return False
+        return self._store.contains(triple.subject, triple.predicate, triple.object)
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        return self._store.triples()
 
     def __bool__(self) -> bool:
-        return bool(self._triples)
+        return bool(self._store)
 
     def triples(
         self,
@@ -328,41 +203,8 @@ class Graph:
         if not self._positions_valid(s, p):
             # e.g. a literal in subject/predicate position (a variable bound
             # to a literal by an earlier pattern): nothing can match.
-            return
-
-        if s is not None and p is not None and o is not None:
-            candidate = Triple(s, p, o)
-            if candidate in self._triples:
-                yield candidate
-            return
-        if s is not None and p is not None:
-            for obj_term in self._spo.get(s, {}).get(p, ()):  # type: ignore[arg-type]
-                yield Triple(s, p, obj_term)
-            return
-        if p is not None and o is not None:
-            for subj_term in self._pos.get(p, {}).get(o, ()):  # type: ignore[arg-type]
-                yield Triple(subj_term, p, o)
-            return
-        if s is not None and o is not None:
-            for pred_term in self._osp.get(o, {}).get(s, ()):  # type: ignore[arg-type]
-                yield Triple(s, pred_term, o)
-            return
-        if s is not None:
-            for pred_term, objects in self._spo.get(s, {}).items():
-                for obj_term in objects:
-                    yield Triple(s, pred_term, obj_term)
-            return
-        if p is not None:
-            for obj_term, subjects in self._pos.get(p, {}).items():
-                for subj_term in subjects:
-                    yield Triple(subj_term, p, obj_term)
-            return
-        if o is not None:
-            for subj_term, predicates in self._osp.get(o, {}).items():
-                for pred_term in predicates:
-                    yield Triple(subj_term, pred_term, o)
-            return
-        yield from self._triples
+            return iter(())
+        return self._store.triples(s, p, o)
 
     def triples_ids(
         self, s: int = UNBOUND_ID, p: int = UNBOUND_ID, o: int = UNBOUND_ID
@@ -377,41 +219,7 @@ class Graph:
         matches nothing (the id indexes only contain asserted triples, so
         e.g. a literal id used as subject finds an empty bucket).
         """
-        if s and p and o:
-            if o in self._id_spo.get(s, {}).get(p, ()):
-                yield (s, p, o)
-            return
-        if s and p:
-            for oi in self._id_spo.get(s, {}).get(p, ()):
-                yield (s, p, oi)
-            return
-        if p and o:
-            for si in self._id_pos.get(p, {}).get(o, ()):
-                yield (si, p, o)
-            return
-        if s and o:
-            for pi in self._id_osp.get(o, {}).get(s, ()):
-                yield (s, pi, o)
-            return
-        if s:
-            for pi, objects in self._id_spo.get(s, {}).items():
-                for oi in objects:
-                    yield (s, pi, oi)
-            return
-        if p:
-            for oi, subjects in self._id_pos.get(p, {}).items():
-                for si in subjects:
-                    yield (si, p, oi)
-            return
-        if o:
-            for si, predicates in self._id_osp.get(o, {}).items():
-                for pi in predicates:
-                    yield (si, pi, o)
-            return
-        for s_term, by_predicate in self._id_spo.items():
-            for p_term, objects in by_predicate.items():
-                for o_term in objects:
-                    yield (s_term, p_term, o_term)
+        return self._store.triples_ids(s, p, o)
 
     @staticmethod
     def _normalize(term: Term | None) -> Term | None:
@@ -435,7 +243,7 @@ class Graph:
     @property
     def stats(self) -> GraphStatistics:
         """Live, incrementally maintained cardinality statistics."""
-        return self._stats
+        return self._store.stats
 
     @property
     def dictionary(self) -> TermDictionary:
@@ -445,7 +253,7 @@ class Graph:
         does not retire ids (they are tiny and stay valid for row tuples
         held by in-flight queries).
         """
-        return self._dictionary
+        return self._store.dictionary
 
     def cardinality(
         self,
@@ -466,22 +274,7 @@ class Graph:
         o = self._normalize(obj)
         if not self._positions_valid(s, p):
             return 0
-
-        if s is not None and p is not None and o is not None:
-            return 1 if Triple(s, p, o) in self._triples else 0
-        if s is not None and p is not None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if p is not None and o is not None:
-            return len(self._pos.get(p, {}).get(o, ()))
-        if s is not None and o is not None:
-            return len(self._osp.get(o, {}).get(s, ()))
-        if s is not None:
-            return self._stats.subject_counts.get(s, 0)
-        if p is not None:
-            return self._stats.predicate_counts.get(p, 0)
-        if o is not None:
-            return self._stats.object_counts.get(o, 0)
-        return len(self._triples)
+        return self._store.cardinality(s, p, o)
 
     def match_pattern(self, pattern: Triple) -> Iterator[Triple]:
         """Yield triples matching a :class:`Triple` pattern (variables wild)."""
@@ -549,31 +342,36 @@ class Graph:
     # ------------------------------------------------------------------ #
     def predicate_histogram(self) -> dict[Term, int]:
         """Map each predicate to the number of triples using it."""
-        return dict(self._stats.predicate_counts)
+        return dict(self.stats.predicate_counts)
 
     def class_histogram(self) -> dict[Term, int]:
         """Map each ``rdf:type`` object to its instance count."""
-        return dict(self._stats.class_counts)
+        return dict(self.stats.class_counts)
 
     def vocabularies(self) -> set[str]:
-        """Namespace URIs of every predicate and class used in the graph."""
+        """Namespace URIs of every predicate and class used in the graph.
+
+        Derived from the statistics counters rather than a triple scan, so
+        it stays cheap on disk-backed stores.
+        """
         spaces: set[str] = set()
-        for triple in self._triples:
-            if isinstance(triple.predicate, URIRef):
-                spaces.add(triple.predicate.namespace_split()[0])
-            if triple.predicate == RDF.type and isinstance(triple.object, URIRef):
-                spaces.add(triple.object.namespace_split()[0])
+        for predicate in self.stats.predicate_counts:
+            if isinstance(predicate, URIRef):
+                spaces.add(predicate.namespace_split()[0])
+        for klass in self.stats.class_counts:
+            if isinstance(klass, URIRef):
+                spaces.add(klass.namespace_split()[0])
         spaces.discard("")
         return spaces
 
     # ------------------------------------------------------------------ #
-    # Set algebra
+    # Set algebra (results are always in-memory graphs)
     # ------------------------------------------------------------------ #
     def copy(self) -> Graph:
         """Shallow copy preserving identifier and namespace bindings."""
         clone = Graph(identifier=self._identifier,
                       namespace_manager=self.namespace_manager.copy())
-        clone.add_all(self._triples)
+        clone.add_all(self)
         return clone
 
     def __add__(self, other: Graph) -> Graph:
@@ -587,19 +385,25 @@ class Graph:
 
     def __sub__(self, other: Graph) -> Graph:
         result = Graph(namespace_manager=self.namespace_manager.copy())
-        result.add_all(t for t in self._triples if t not in other)
+        result.add_all(t for t in self if t not in other)
         return result
 
     def __and__(self, other: Graph) -> Graph:
         result = Graph(namespace_manager=self.namespace_manager.copy())
-        result.add_all(t for t in self._triples if t in other)
+        result.add_all(t for t in self if t in other)
         return result
 
     def __eq__(self, other: object) -> bool:
-        """Exact set equality (not bnode-isomorphism; see ``isomorphism``)."""
+        """Exact set equality (not bnode-isomorphism; see ``isomorphism``).
+
+        Works across storage backends: two graphs are equal when they hold
+        the same triple set, regardless of where each set lives.
+        """
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._triples == other._triples
+        if len(self) != len(other):
+            return False
+        return all(triple in other for triple in self)
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
@@ -630,12 +434,33 @@ class Graph:
             graph._identifier = identifier
         return graph
 
+    @classmethod
+    def load(cls, path, format: str | None = None,
+             identifier: URIRef | None = None, store: Store | None = None) -> Graph:
+        """Parse an RDF file into a graph.
+
+        ``format`` defaults from the file suffix (``.ttl`` -> turtle,
+        ``.nt`` -> ntriples).  Pass ``store=`` to load into a specific
+        backend (e.g. populate a :class:`SegmentStore` from a file).
+        """
+        source = Path(path)
+        if format is None:
+            format = _SUFFIX_FORMATS.get(source.suffix.lower(), "turtle")
+        parsed = cls.parse(source.read_text(encoding="utf-8"),
+                           format=format, identifier=identifier)
+        if store is None:
+            return parsed
+        graph = cls(identifier=identifier,
+                    namespace_manager=parsed.namespace_manager, store=store)
+        graph.add_all(parsed)
+        return graph
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = str(self._identifier) if self._identifier else "anonymous"
         return f"<Graph {name} with {len(self)} triples>"
 
 
-class ReadOnlyGraphView:
+class GraphView:
     """Immutable facade over a :class:`Graph`.
 
     Local SPARQL endpoints hand this view to query evaluation so that a
@@ -685,3 +510,15 @@ class ReadOnlyGraphView:
     @property
     def namespace_manager(self) -> NamespaceManager:
         return self._graph.namespace_manager
+
+
+class ReadOnlyGraphView(GraphView):
+    """Deprecated alias of :class:`GraphView` (renamed in the Store redesign)."""
+
+    def __init__(self, graph: Graph) -> None:
+        warnings.warn(
+            "ReadOnlyGraphView is deprecated; use GraphView",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(graph)

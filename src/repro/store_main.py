@@ -1,0 +1,12 @@
+"""``python -m repro.store_main`` — module form of the ``repro-store`` script.
+
+Lets store directories be built and inspected without installing the
+console scripts (CI jobs, subprocess tests): equivalent to ``repro-store``.
+"""
+
+import sys
+
+from .cli import main_store
+
+if __name__ == "__main__":
+    sys.exit(main_store())

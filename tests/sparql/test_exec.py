@@ -81,9 +81,9 @@ class TestTermDictionary:
         graph = _graph(("a", "p", Literal(1)))
         assert isinstance(graph.dictionary, TermDictionary)
         # The read-only view shares the backing graph's dictionary.
-        from repro.rdf import ReadOnlyGraphView
+        from repro.rdf import GraphView
 
-        assert ReadOnlyGraphView(graph).dictionary is graph.dictionary
+        assert GraphView(graph).dictionary is graph.dictionary
 
 
 # --------------------------------------------------------------------------- #

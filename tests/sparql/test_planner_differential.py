@@ -12,11 +12,14 @@ or invents a solution shows up as a multiset mismatch.
 
 from __future__ import annotations
 
+import tempfile
 from collections import Counter
+from contextlib import contextmanager
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.rdf import Graph, Literal, Triple, URIRef, Variable
+from repro.rdf import Graph, Literal, SegmentStore, Triple, URIRef, Variable
 from repro.sparql import (
     ENGINES,
     BinaryExpression,
@@ -93,6 +96,31 @@ def group_patterns(draw):
     return GroupGraphPattern([elements[index] for index in order])
 
 
+#: Both storage backends run the same differential property: the disk
+#: path must be solution-for-solution identical to the in-memory path.
+BACKENDS = ("memory", "segment")
+
+
+@contextmanager
+def _graph_for(backend, triples):
+    if backend == "memory":
+        graph = Graph()
+        for s, p, o in triples:
+            graph.add(Triple(s, p, o))
+        yield graph
+        return
+    with tempfile.TemporaryDirectory() as root:
+        # Tiny buffer: most data lands in on-disk segments, not the buffer.
+        graph = Graph(store=SegmentStore(root, buffer_limit=4))
+        for s, p, o in triples:
+            graph.add(Triple(s, p, o))
+        graph.flush()
+        try:
+            yield graph
+        finally:
+            graph.close()
+
+
 def _solution_multiset(result):
     return Counter(frozenset(binding.as_dict().items()) for binding in result.bindings)
 
@@ -107,24 +135,20 @@ def _assert_engines_agree(graph, query):
         assert _solution_multiset(got) == expected, f"engine {engine} diverged"
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=120, deadline=None)
 @given(st.lists(data_triples, max_size=20), group_patterns())
-def test_engines_match_reference_evaluator(triples, where):
-    graph = Graph()
-    for s, p, o in triples:
-        graph.add(Triple(s, p, o))
+def test_engines_match_reference_evaluator(backend, triples, where):
     query = SelectQuery(Prologue(), [], where)
+    with _graph_for(backend, triples) as graph:
+        _assert_engines_agree(graph, query)
 
-    _assert_engines_agree(graph, query)
 
-
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=60, deadline=None)
 @given(st.lists(data_triples, max_size=20), group_patterns())
-def test_engines_distinct_matches_reference_evaluator(triples, where):
-    graph = Graph()
-    for s, p, o in triples:
-        graph.add(Triple(s, p, o))
+def test_engines_distinct_matches_reference_evaluator(backend, triples, where):
     query = SelectQuery(Prologue(), [], where)
     query.modifiers.distinct = True
-
-    _assert_engines_agree(graph, query)
+    with _graph_for(backend, triples) as graph:
+        _assert_engines_agree(graph, query)

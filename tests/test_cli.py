@@ -359,3 +359,102 @@ class TestQueryLintFlags:
 
         code = main_federate(["--lint", "--persons", "8", "--papers", "12"])
         assert code == 0
+
+
+class TestStoreCommand:
+    DATA = """
+        @prefix ex: <http://example.org/> .
+        ex:a ex:knows ex:b .
+        ex:b ex:knows ex:c .
+        ex:a a ex:Person .
+    """
+
+    def _build(self, tmp_path, capsys):
+        from repro.cli import main_store
+
+        data = tmp_path / "data.ttl"
+        data.write_text(self.DATA, encoding="utf-8")
+        store_dir = tmp_path / "store"
+        assert main_store(["build", str(store_dir), str(data),
+                           "--buffer-limit", "2"]) == 0
+        capsys.readouterr()
+        return store_dir
+
+    def test_build_stats_compact_round_trip(self, capsys, tmp_path):
+        from repro.cli import main_store
+
+        store_dir = self._build(tmp_path, capsys)
+        assert main_store(["stats", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "triples:    3" in out
+        assert "http://example.org/knows: 2" in out
+        assert "class http://example.org/Person: 1" in out
+
+        assert main_store(["compact", str(store_dir)]) == 0
+        assert "segment" in capsys.readouterr().out
+        # Compacting a compacted store is a reported no-op.
+        assert main_store(["compact", str(store_dir)]) == 0
+        assert "already compact" in capsys.readouterr().out
+
+    def test_build_extends_an_existing_store(self, capsys, tmp_path):
+        from repro.cli import main_store
+
+        store_dir = self._build(tmp_path, capsys)
+        more = tmp_path / "more.ttl"
+        more.write_text("@prefix ex: <http://example.org/> . ex:c ex:knows ex:a .",
+                        encoding="utf-8")
+        assert main_store(["build", str(store_dir), str(more)]) == 0
+        assert "+1 new" in capsys.readouterr().out
+
+        from repro.rdf import open_graph
+
+        graph = open_graph(store_dir)
+        assert len(graph) == 4
+        graph.close()
+
+    def test_serve_rejects_missing_store_directory(self, capsys, tmp_path):
+        from repro.cli import main_serve
+
+        assert main_serve(["--store", str(tmp_path / "nope")]) == 2
+        assert "MANIFEST.json" in capsys.readouterr().err
+
+    def test_serve_rejects_store_plus_data(self, capsys, tmp_path):
+        from repro.cli import main_serve
+
+        data = tmp_path / "data.ttl"
+        data.write_text("", encoding="utf-8")
+        assert main_serve([str(data), "--store", str(tmp_path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_serves_a_store_directory_over_http(self, capsys, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys as _sys
+        import urllib.parse
+        import urllib.request
+        from pathlib import Path
+
+        store_dir = self._build(tmp_path, capsys)
+        source_dir = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(source_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [_sys.executable, "-m", "repro.serve_main",
+             "--store", str(store_dir), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env,
+        )
+        try:
+            endpoint_line = process.stdout.readline().strip()
+            assert endpoint_line.startswith("SPARQL endpoint: http://")
+            url = endpoint_line.split(": ", 1)[1]
+            query = "SELECT ?s WHERE { ?s <http://example.org/knows> ?o }"
+            with urllib.request.urlopen(
+                url + "?" + urllib.parse.urlencode({"query": query}), timeout=10
+            ) as response:
+                payload = json.loads(response.read())
+            got = sorted(row["s"]["value"] for row in payload["results"]["bindings"])
+            assert got == ["http://example.org/a", "http://example.org/b"]
+        finally:
+            process.terminate()
+            process.wait(timeout=10)

@@ -29,6 +29,14 @@ with nothing but the stdlib ``ast`` module:
    and ``repro-trace`` can attribute execution time to every operator.
    The ``VecOperator`` base itself is exempt: it defines the fallback.
 
+5. **Store API boundary** — outside ``src/repro/rdf/``, no code may reach
+   into the storage internals that used to be ``Graph`` attributes
+   (``_spo``/``_osp``/``_id_spo``/``_id_pos``/``_id_osp``/``_triples``).
+   Everything goes through the ``Store`` contract: ``triples()``,
+   ``triples_ids()``, ``cardinality()``, ``stats``, ``dictionary``.
+   (``_pos`` is deliberately not on the list: tokenizer/parser classes
+   legitimately use ``self._pos`` for their cursor position.)
+
 Exit status is non-zero when any violation is found.  Findings are printed
 one per line as ``path:line: [INVxxx] message`` so CI logs read like
 compiler output.
@@ -291,6 +299,29 @@ def check_span_names(tree: ast.Module, path: Path) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------- #
+# INV005 — storage internals are private to src/repro/rdf/
+# --------------------------------------------------------------------------- #
+
+#: Index attributes of the storage layer.  ``_pos`` is deliberately absent:
+#: tokenizer/parser classes use ``self._pos`` as a cursor position and the
+#: check matches attribute names anywhere, not just on graphs.
+STORE_INTERNAL_ATTRS = {"_spo", "_osp", "_id_spo", "_id_pos", "_id_osp", "_triples"}
+RDF_PACKAGE = REPO_ROOT / "src" / "repro" / "rdf"
+
+
+def check_store_boundary(tree: ast.Module, path: Path) -> list[Finding]:
+    if RDF_PACKAGE in path.parents:
+        return []
+    return [
+        Finding(path, node.lineno, "INV005",
+                f"direct access to storage internal .{node.attr}: outside "
+                "rdf/ use the Store API (triples_ids/cardinality/stats)")
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute) and node.attr in STORE_INTERNAL_ATTRS
+    ]
+
+
+# --------------------------------------------------------------------------- #
 
 def main() -> int:
     findings: list[Finding] = []
@@ -308,6 +339,7 @@ def main() -> int:
             findings.extend(check_bare_except(tree, path))
             findings.extend(check_lock_discipline(tree, path))
             findings.extend(check_span_names(tree, path))
+            findings.extend(check_store_boundary(tree, path))
             if path == EXEC_PATH:
                 findings.extend(check_hot_loops(tree, path))
     for finding in findings:
